@@ -1,0 +1,484 @@
+// Benchmarks regenerating every table and figure of the paper at CI scale,
+// plus ablation benches for the design choices called out in DESIGN.md §6.
+//
+// Each benchmark reports the experiment's headline quality metric via
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as a compact
+// reproduction report. Larger-scale runs are the job of cmd/experiments.
+package crowddb_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"crowddb/internal/dataset"
+	"crowddb/internal/eval"
+	"crowddb/internal/experiments"
+	"crowddb/internal/space"
+	"crowddb/internal/svm"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(experiments.TinyOptions())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1DirectCrowd reproduces Table 1 (Experiments 1–3).
+func BenchmarkTable1DirectCrowd(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	var acc1, acc2, acc3 float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunCrowdExperiments()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc1 = res.Experiments[0].PctCorrect()
+		acc2 = res.Experiments[1].PctCorrect()
+		acc3 = res.Experiments[2].PctCorrect()
+	}
+	b.ReportMetric(acc1, "exp1-acc")
+	b.ReportMetric(acc2, "exp2-acc")
+	b.ReportMetric(acc3, "exp3-acc")
+}
+
+// BenchmarkTable2NearestNeighbors reproduces Table 2.
+func BenchmarkTable2NearestNeighbors(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunTable2(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits = 0
+		for _, l := range res.Lists {
+			hits += l.GroupHits
+		}
+	}
+	b.ReportMetric(float64(hits), "group-hits-of-15")
+}
+
+// BenchmarkFigure3BoostOverTime reproduces Experiments 4–6 over time.
+func BenchmarkFigure3BoostOverTime(b *testing.B) {
+	env := benchEnvironment(b)
+	t1, err := env.RunCrowdExperiments()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var finalBoost float64
+	for i := 0; i < b.N; i++ {
+		figs, err := env.RunBoostExperiments(t1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		finalBoost = float64(figs.Series[1].FinalBoostCorrect)
+	}
+	b.ReportMetric(finalBoost, "exp5-final-boost-correct")
+}
+
+// BenchmarkFigure4BoostOverMoney reproduces the money axis of Figure 4:
+// the boosted correct count after spending roughly an eighth of the full
+// crowd budget (the paper's "538 correct after $2.82" moment).
+func BenchmarkFigure4BoostOverMoney(b *testing.B) {
+	env := benchEnvironment(b)
+	t1, err := env.RunCrowdExperiments()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var earlyBoost, earlyCost float64
+	for i := 0; i < b.N; i++ {
+		figs, err := env.RunBoostExperiments(t1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := figs.Series[0] // Exp 4 boosts the open population
+		budget := series.Points[len(series.Points)-1].Cost / 8
+		for _, p := range series.Points {
+			if p.Cost >= budget {
+				earlyBoost, earlyCost = float64(p.BoostCorrect), p.Cost
+				break
+			}
+		}
+	}
+	b.ReportMetric(earlyBoost, "exp4-early-boost-correct")
+	b.ReportMetric(earlyCost, "at-cost-dollars")
+}
+
+// BenchmarkTable3SmallSamples reproduces Table 3.
+func BenchmarkTable3SmallSamples(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	var percep, meta float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		percep = res.MeanPerceptual[len(res.MeanPerceptual)-1]
+		meta = res.MeanMetadata[len(res.MeanMetadata)-1]
+	}
+	b.ReportMetric(percep, "perceptual-gmean-n40")
+	b.ReportMetric(meta, "metadata-gmean-n40")
+}
+
+// BenchmarkTable4QuestionableHITs reproduces Table 4.
+func BenchmarkTable4QuestionableHITs(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	var prec, rec float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.MeanPerceptual) - 1
+		prec = res.MeanPerceptual[last].Precision
+		rec = res.MeanPerceptual[last].Recall
+	}
+	b.ReportMetric(prec, "precision-x20")
+	b.ReportMetric(rec, "recall-x20")
+}
+
+// BenchmarkTable5Restaurants reproduces Table 5.
+func BenchmarkTable5Restaurants(b *testing.B) {
+	opt := experiments.TinyOptions()
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable5(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = res.Mean[len(res.Mean)-1]
+	}
+	b.ReportMetric(mean, "gmean-n40")
+}
+
+// BenchmarkTable6BoardGames reproduces Table 6.
+func BenchmarkTable6BoardGames(b *testing.B) {
+	opt := experiments.TinyOptions()
+	b.ResetTimer()
+	var percep, factual float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		percep, factual = res.PerceptualVsFactualMeans()
+	}
+	b.ReportMetric(percep, "perceptual-gmean")
+	b.ReportMetric(factual, "factual-gmean")
+}
+
+// BenchmarkTSVMVsSVM reproduces the §5 runtime comparison.
+func BenchmarkTSVMVsSVM(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunTSVMComparison("Comedy", 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = res.SlowdownFactor()
+	}
+	b.ReportMetric(slowdown, "tsvm-slowdown-x")
+}
+
+// BenchmarkSpaceTraining measures the cost of building the perceptual
+// space itself (the paper reports ~2 h for 103M ratings on a notebook; the
+// metric here is ratings processed per second).
+func BenchmarkSpaceTraining(b *testing.B) {
+	u, err := dataset.Generate(dataset.Movies(dataset.ScaleTiny, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := space.DefaultConfig()
+	cfg.Dims = 16
+	cfg.Epochs = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := space.TrainEuclidean(u.Ratings, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perIter := float64(len(u.Ratings.Ratings) * cfg.Epochs)
+	b.ReportMetric(perIter*float64(b.N)/b.Elapsed().Seconds(), "rating-updates/s")
+}
+
+// --- ablations (DESIGN.md §6) ---
+
+// gmeanOn evaluates a 20/20 small-sample SVM on a given space.
+func gmeanOn(b *testing.B, sp *space.Space, labels []bool, seed int64) float64 {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pos, neg []int
+	for i, v := range labels {
+		if i >= sp.NumItems() {
+			break
+		}
+		if v {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	n := 20
+	var X [][]float64
+	var y []bool
+	train := map[int]bool{}
+	for i := 0; i < n; i++ {
+		X = append(X, sp.Vector(pos[i]))
+		y = append(y, true)
+		train[pos[i]] = true
+		X = append(X, sp.Vector(neg[i]))
+		y = append(y, false)
+		train[neg[i]] = true
+	}
+	model, err := svm.TrainSVC(X, y, svm.SVCConfig{C: 2, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var conf eval.Confusion
+	for i, v := range labels {
+		if i >= sp.NumItems() || train[i] {
+			continue
+		}
+		conf.Observe(model.Predict(sp.Vector(i)), v)
+	}
+	return conf.GMean()
+}
+
+// BenchmarkAblationEuclideanVsSVD contrasts the paper's Euclidean
+// embedding with the dot-product SVD space on genre extraction.
+func BenchmarkAblationEuclideanVsSVD(b *testing.B) {
+	u, err := dataset.Generate(dataset.Movies(dataset.ScaleTiny, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := space.DefaultConfig()
+	cfg.Dims = 16
+	cfg.Epochs = 20
+	labels := u.Categories["Comedy"].Reference
+	b.ResetTimer()
+	var gEuc, gSVD float64
+	for i := 0; i < b.N; i++ {
+		em, _, err := space.TrainEuclidean(u.Ratings, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sm, _, err := space.TrainSVD(u.Ratings, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gEuc = gmeanOn(b, space.FromModel(em), labels, 7)
+		gSVD = gmeanOn(b, space.FromModel(sm), labels, 7)
+	}
+	b.ReportMetric(gEuc, "euclidean-gmean")
+	b.ReportMetric(gSVD, "svd-gmean")
+}
+
+// BenchmarkAblationDimensionality sweeps the space dimensionality d
+// (the paper: quality is stable once d is "large enough").
+func BenchmarkAblationDimensionality(b *testing.B) {
+	u, err := dataset.Generate(dataset.Movies(dataset.ScaleTiny, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := u.Categories["Comedy"].Reference
+	dims := []int{4, 16, 48}
+	results := make([]float64, len(dims))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for di, d := range dims {
+			cfg := space.DefaultConfig()
+			cfg.Dims = d
+			cfg.Epochs = 20
+			m, _, err := space.TrainEuclidean(u.Ratings, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[di] = gmeanOn(b, space.FromModel(m), labels, 7)
+		}
+	}
+	b.ReportMetric(results[0], "gmean-d4")
+	b.ReportMetric(results[1], "gmean-d16")
+	b.ReportMetric(results[2], "gmean-d48")
+}
+
+// BenchmarkAblationRegularization sweeps λ (the paper: λ = 0.02 works
+// across data sets and the exact value hardly matters).
+func BenchmarkAblationRegularization(b *testing.B) {
+	u, err := dataset.Generate(dataset.Movies(dataset.ScaleTiny, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := u.Categories["Comedy"].Reference
+	lambdas := []float64{0, 0.02, 0.2}
+	results := make([]float64, len(lambdas))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for li, lam := range lambdas {
+			cfg := space.DefaultConfig()
+			cfg.Dims = 16
+			cfg.Epochs = 20
+			cfg.Lambda = lam
+			m, _, err := space.TrainEuclidean(u.Ratings, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[li] = gmeanOn(b, space.FromModel(m), labels, 7)
+		}
+	}
+	b.ReportMetric(results[0], "gmean-lambda0")
+	b.ReportMetric(results[1], "gmean-lambda0.02")
+	b.ReportMetric(results[2], "gmean-lambda0.2")
+}
+
+// BenchmarkAblationSGDvsALS contrasts the SGD and ALS trainers of the
+// dot-product model on held-out RMSE.
+func BenchmarkAblationSGDvsALS(b *testing.B) {
+	u, err := dataset.Generate(dataset.Movies(dataset.ScaleTiny, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test := u.Ratings.Split(0.2, rng)
+	cfg := space.DefaultConfig()
+	cfg.Dims = 8
+	cfg.Epochs = 10
+	alsCfg := cfg
+	alsCfg.Epochs = 4
+	b.ResetTimer()
+	var rmseSGD, rmseALS float64
+	for i := 0; i < b.N; i++ {
+		sgd, _, err := space.TrainSVD(train, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		als, _, err := space.TrainSVDALS(train, alsCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmseSGD = sgd.RMSE(test.Ratings)
+		rmseALS = als.RMSE(test.Ratings)
+	}
+	b.ReportMetric(rmseSGD, "sgd-test-rmse")
+	b.ReportMetric(rmseALS, "als-test-rmse")
+}
+
+// BenchmarkAblationKernel contrasts the RBF kernel (the paper's choice)
+// with a linear kernel for the genre extractor.
+func BenchmarkAblationKernel(b *testing.B) {
+	env := benchEnvironment(b)
+	labels := env.U.Categories["Comedy"].Reference
+	sp := env.Space
+	var pos, neg []int
+	for i, v := range labels {
+		if v {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	b.ResetTimer()
+	var gRBF, gLin float64
+	for i := 0; i < b.N; i++ {
+		for _, kernel := range []string{"rbf", "linear"} {
+			rng := rand.New(rand.NewSource(13))
+			rng.Shuffle(len(pos), func(a, c int) { pos[a], pos[c] = pos[c], pos[a] })
+			rng.Shuffle(len(neg), func(a, c int) { neg[a], neg[c] = neg[c], neg[a] })
+			var X [][]float64
+			var y []bool
+			train := map[int]bool{}
+			for k := 0; k < 20; k++ {
+				X = append(X, sp.Vector(pos[k]))
+				y = append(y, true)
+				train[pos[k]] = true
+				X = append(X, sp.Vector(neg[k]))
+				y = append(y, false)
+				train[neg[k]] = true
+			}
+			cfg := svm.SVCConfig{C: 2, Seed: 13}
+			if kernel == "linear" {
+				cfg.Kernel = svm.LinearKernel{}
+			}
+			model, err := svm.TrainSVC(X, y, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var conf eval.Confusion
+			for idx, v := range labels {
+				if train[idx] {
+					continue
+				}
+				conf.Observe(model.Predict(sp.Vector(idx)), v)
+			}
+			if kernel == "rbf" {
+				gRBF = conf.GMean()
+			} else {
+				gLin = conf.GMean()
+			}
+		}
+	}
+	b.ReportMetric(gRBF, "rbf-gmean")
+	b.ReportMetric(gLin, "linear-gmean")
+}
+
+// BenchmarkAblationParallelSGD contrasts sequential SGD with the DSGD
+// parallel trainer (paper §4.2: "parallelization techniques are quite
+// easy to exploit").
+func BenchmarkAblationParallelSGD(b *testing.B) {
+	u, err := dataset.Generate(dataset.Movies(dataset.ScaleTiny, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := space.DefaultConfig()
+	cfg.Dims = 16
+	cfg.Epochs = 10
+	b.ResetTimer()
+	var rmseSeq, rmsePar float64
+	var seqNs, parNs int64
+	for i := 0; i < b.N; i++ {
+		t0 := nowNano()
+		_, sStats, err := space.TrainEuclidean(u.Ratings, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := nowNano()
+		_, pStats, err := space.TrainEuclideanParallel(u.Ratings, cfg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t2 := nowNano()
+		rmseSeq, rmsePar = sStats.FinalRMSE(), pStats.FinalRMSE()
+		seqNs += t1 - t0
+		parNs += t2 - t1
+	}
+	b.ReportMetric(rmseSeq, "seq-rmse")
+	b.ReportMetric(rmsePar, "dsgd-rmse")
+	if parNs > 0 {
+		b.ReportMetric(float64(seqNs)/float64(parNs), "dsgd-speedup-x")
+	}
+}
+
+func nowNano() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,210 @@
+// Command crowdsql is an interactive SQL shell over a crowd-enabled movie
+// database with an attached perceptual space and a simulated crowd.
+//
+// It boots a synthetic movie universe, trains the perceptual space from
+// its ratings, loads the factual columns into a `movies` table, and drops
+// you into a REPL. Any genre of the universe is registered for implicit
+// query-driven expansion, so
+//
+//	SELECT name FROM movies WHERE Comedy = true LIMIT 5;
+//
+// triggers a crowd-sourced schema expansion mid-query. Meta commands:
+//
+//	\d            describe the movies table (expanded columns marked)
+//	\ledger       show cumulative crowd spending
+//	\expand NAME METHOD   explicitly expand a genre (CROWD|SPACE|HYBRID)
+//	\quit         exit
+//
+// Usage:
+//
+//	crowdsql [-scale tiny|small] [-seed N] [-spammers 0.25]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"crowddb"
+	"crowddb/internal/crowd"
+	"crowddb/internal/dataset"
+	"crowddb/internal/storage"
+)
+
+func main() {
+	scaleName := flag.String("scale", "tiny", "universe scale: tiny or small")
+	seed := flag.Int64("seed", 1, "random seed")
+	spammers := flag.Float64("spammers", 0.25, "spammer fraction of the worker population")
+	flag.Parse()
+
+	scale := dataset.ScaleTiny
+	if *scaleName == "small" {
+		scale = dataset.ScaleSmall
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %s movie universe…\n", *scaleName)
+	universe, err := dataset.Generate(dataset.Movies(scale, *seed))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "training perceptual space from %d ratings…\n", len(universe.Ratings.Ratings))
+	cfg := crowddb.DefaultSpaceConfig()
+	cfg.Dims = 24
+	cfg.Epochs = 30
+	space, err := crowddb.BuildSpace(universe.Ratings, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	pop := crowd.NewPopulation(crowd.PopulationConfig{
+		Workers: 60, SpammerFraction: *spammers,
+	}, rng)
+	db := crowddb.New(crowddb.NewSimulatedCrowd(pop, universe.CrowdItems, rng))
+
+	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER, country TEXT)`); err != nil {
+		fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("movies")
+	for _, it := range universe.Items {
+		if err := tbl.Insert(storage.Int(int64(it.ID)), storage.Text(it.Name),
+			storage.Int(int64(it.Year)), storage.Text(it.Country)); err != nil {
+			fatal(err)
+		}
+	}
+	if err := db.AttachSpace("movies", "movie_id", space); err != nil {
+		fatal(err)
+	}
+	for _, genre := range universe.CategoryNames() {
+		db.RegisterExpandable("movies", genre, crowddb.KindBool,
+			crowddb.ExpandOptions{SamplesPerClass: 40})
+	}
+
+	fmt.Printf("crowdsql — %d movies loaded; expandable genres: %s\n",
+		len(universe.Items), strings.Join(universe.CategoryNames(), ", "))
+	fmt.Println(`try: SELECT name FROM movies WHERE Comedy = true LIMIT 5;   (\q to quit)`)
+
+	repl(db, os.Stdin, os.Stdout)
+}
+
+func repl(db *crowddb.DB, in io.Reader, out io.Writer) {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Fprint(out, "crowdsql> ")
+		} else {
+			fmt.Fprint(out, "     ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !metaCommand(db, trimmed, out) {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if strings.Contains(line, ";") {
+			sql := strings.Trim(pending.String(), " \t\n;")
+			pending.Reset()
+			if sql != "" {
+				execute(db, sql, out)
+			}
+		}
+		prompt()
+	}
+}
+
+func metaCommand(db *crowddb.DB, cmd string, out io.Writer) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`, `\quit`, `\exit`:
+		return false
+	case `\d`:
+		describe(db, out)
+	case `\ledger`:
+		l := db.Ledger()
+		fmt.Fprintf(out, "crowd spending: $%.2f | %d judgments | %d jobs | %.0f simulated minutes\n",
+			l.Cost, l.Judgments, l.Jobs, l.Minutes)
+	case `\expand`:
+		if len(fields) < 2 {
+			fmt.Fprintln(out, `usage: \expand GENRE [CROWD|SPACE|HYBRID]`)
+			break
+		}
+		method := "SPACE"
+		if len(fields) >= 3 {
+			method = strings.ToUpper(fields[2])
+		}
+		sql := fmt.Sprintf("EXPAND TABLE movies ADD COLUMN %s BOOLEAN USING %s WITH SAMPLES 40", fields[1], method)
+		execute(db, sql, out)
+	default:
+		fmt.Fprintf(out, "unknown meta command %s (try \\d, \\ledger, \\expand, \\q)\n", fields[0])
+	}
+	return true
+}
+
+func describe(db *crowddb.DB, out io.Writer) {
+	tbl, ok := db.Catalog().Get("movies")
+	if !ok {
+		fmt.Fprintln(out, "no movies table")
+		return
+	}
+	schema := tbl.Schema()
+	fmt.Fprintf(out, "table movies (%d rows)\n", tbl.NumRows())
+	for i := 0; i < schema.Len(); i++ {
+		c := schema.Column(i)
+		flags := ""
+		if c.Perceptual {
+			flags += " PERCEPTUAL"
+		}
+		if c.Origin == storage.ColumnExpanded {
+			flags += " (expanded at query time)"
+		}
+		fmt.Fprintf(out, "  %-16s %s%s\n", c.Name, c.Kind, flags)
+	}
+}
+
+func execute(db *crowddb.DB, sql string, out io.Writer) {
+	res, report, err := db.ExecSQL(sql)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if report != nil {
+		fmt.Fprintf(out, "-- schema expanded: %s.%s via %s (%d filled, %d judgments, $%.2f, %.0f min)\n",
+			report.Table, report.Column, report.Method, report.Filled,
+			report.Judgments, report.Cost, report.Minutes)
+	}
+	if res.Columns != nil {
+		fmt.Fprintln(out, strings.Join(res.Columns, " | "))
+		fmt.Fprintln(out, strings.Repeat("-", len(strings.Join(res.Columns, " | "))))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Fprintln(out, strings.Join(cells, " | "))
+		}
+		fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+		return
+	}
+	if res.Message != "" {
+		fmt.Fprintln(out, res.Message)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crowdsql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"crowddb"
+	"crowddb/internal/crowd"
+	"crowddb/internal/dataset"
+	"crowddb/internal/storage"
+)
+
+// testDB builds a minimal crowd-enabled DB for REPL testing (no space
+// training: only plain SQL and meta commands are exercised, plus a CROWD
+// expansion which needs no space).
+func testDB(t *testing.T) *crowddb.DB {
+	t.Helper()
+	u, err := dataset.Generate(dataset.Movies(dataset.Scale{Items: 60, Users: 150, RatingsPerUser: 20}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pop := crowd.NewPopulation(crowd.PopulationConfig{Workers: 20}, rng)
+	db := crowddb.New(crowddb.NewSimulatedCrowd(pop, u.CrowdItems, rng))
+	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER, country TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("movies")
+	for _, it := range u.Items {
+		if err := tbl.Insert(storage.Int(int64(it.ID)), storage.Text(it.Name),
+			storage.Int(int64(it.Year)), storage.Text(it.Country)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func runREPL(t *testing.T, db *crowddb.DB, input string) string {
+	t.Helper()
+	var out strings.Builder
+	repl(db, strings.NewReader(input), &out)
+	return out.String()
+}
+
+func TestREPLSelect(t *testing.T) {
+	db := testDB(t)
+	out := runREPL(t, db, "SELECT COUNT(*) n FROM movies;\n\\q\n")
+	if !strings.Contains(out, "60") || !strings.Contains(out, "(1 rows)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestREPLMultilineStatement(t *testing.T) {
+	db := testDB(t)
+	out := runREPL(t, db, "SELECT name FROM movies\nWHERE year > 1900\nLIMIT 2;\n\\q\n")
+	if !strings.Contains(out, "(2 rows)") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "...>") {
+		t.Fatal("continuation prompt missing")
+	}
+}
+
+func TestREPLErrorsAreReportedNotFatal(t *testing.T) {
+	db := testDB(t)
+	out := runREPL(t, db, "SELECT * FROM nope;\nSELECT COUNT(*) FROM movies;\n\\q\n")
+	if !strings.Contains(out, "error:") {
+		t.Fatal("error not reported")
+	}
+	if !strings.Contains(out, "(1 rows)") {
+		t.Fatal("REPL must keep working after an error")
+	}
+}
+
+func TestREPLMetaCommands(t *testing.T) {
+	db := testDB(t)
+	out := runREPL(t, db, "\\d\n\\ledger\n\\wat\n\\q\n")
+	if !strings.Contains(out, "table movies (60 rows)") {
+		t.Fatalf("\\d output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "crowd spending: $0.00") {
+		t.Fatal("\\ledger output missing")
+	}
+	if !strings.Contains(out, "unknown meta command") {
+		t.Fatal("unknown meta command not reported")
+	}
+}
+
+func TestREPLExpandMeta(t *testing.T) {
+	db := testDB(t)
+	out := runREPL(t, db, "\\expand Comedy CROWD\n\\d\n\\q\n")
+	if !strings.Contains(out, "schema expanded: movies.Comedy via CROWD") {
+		t.Fatalf("expansion missing:\n%s", out)
+	}
+	if !strings.Contains(out, "expanded at query time") {
+		t.Fatal("expanded column not marked in \\d")
+	}
+	out = runREPL(t, db, "\\expand\n\\q\n")
+	if !strings.Contains(out, "usage:") {
+		t.Fatal("usage hint missing")
+	}
+}
+
+func TestREPLQuitVariants(t *testing.T) {
+	for _, q := range []string{`\q`, `\quit`, `\exit`} {
+		db := testDB(t)
+		out := runREPL(t, db, q+"\nSELECT COUNT(*) FROM movies;\n")
+		if strings.Contains(out, "(1 rows)") {
+			t.Fatalf("%s did not stop the REPL", q)
+		}
+	}
+}
+
+func TestREPLEmptyStatementIgnored(t *testing.T) {
+	db := testDB(t)
+	out := runREPL(t, db, ";\n;;\n\\q\n")
+	if strings.Contains(out, "error:") {
+		t.Fatalf("empty statements must be ignored:\n%s", out)
+	}
+}

@@ -1,0 +1,184 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic substrates of this repository.
+//
+// Usage:
+//
+//	experiments [-scale tiny|small|medium|paper] [-seed N] [-reps N]
+//	            [-run all|1|2|3|4|5|6|fig3|fig4|tsvm|consensus] [-quiet]
+//
+// Examples:
+//
+//	experiments -run all                  # everything at the default scale
+//	experiments -run 3 -scale medium      # Table 3 at a larger scale
+//	experiments -run fig4 -seed 7         # Figure 4 with another seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"crowddb/internal/dataset"
+	"crowddb/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "universe scale: tiny, small, medium, paper")
+	seed := flag.Int64("seed", 1, "random seed for all generators")
+	reps := flag.Int("reps", 0, "repetitions for Tables 3-6 (0 = default)")
+	run := flag.String("run", "all", "what to run: all, 1, 2, 3, 4, 5, 6, fig3, fig4, tsvm, consensus")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	if err := realMain(*scale, *seed, *reps, *run, *quiet, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func scaleByName(name string) (dataset.Scale, error) {
+	switch strings.ToLower(name) {
+	case "tiny":
+		return dataset.ScaleTiny, nil
+	case "small":
+		return dataset.ScaleSmall, nil
+	case "medium":
+		return dataset.ScaleMedium, nil
+	case "paper":
+		return dataset.ScalePaper, nil
+	default:
+		return dataset.Scale{}, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+func realMain(scaleName string, seed int64, reps int, run string, quiet bool, w io.Writer) error {
+	sc, err := scaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+	opt := experiments.DefaultOptions()
+	opt.Scale = sc
+	opt.Seed = seed
+	if scaleName == "tiny" {
+		opt = experiments.TinyOptions()
+		opt.Seed = seed
+	}
+	if reps > 0 {
+		opt.Repetitions = reps
+		opt.Table4Repetitions = 0 // refill from Repetitions
+	}
+	if !quiet {
+		opt.Log = os.Stderr
+	}
+
+	want := func(keys ...string) bool {
+		if run == "all" {
+			return true
+		}
+		for _, k := range keys {
+			if run == k {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Tables 5/6 do not need the movie environment.
+	needEnv := want("1", "2", "3", "4", "fig3", "fig4", "tsvm", "consensus")
+
+	var env *experiments.Env
+	if needEnv {
+		env, err = experiments.NewEnv(opt)
+		if err != nil {
+			return err
+		}
+	}
+
+	sep := func() { fmt.Fprintln(w, strings.Repeat("-", 78)) }
+
+	var t1 *experiments.Table1Result
+	if want("1", "fig3", "fig4") {
+		t1, err = env.RunCrowdExperiments()
+		if err != nil {
+			return err
+		}
+	}
+	if want("1") {
+		sep()
+		t1.Render(w)
+	}
+	if want("2") {
+		res, err := env.RunTable2(5)
+		if err != nil {
+			return err
+		}
+		sep()
+		res.Render(w)
+	}
+	if want("consensus") {
+		res, err := env.RunConsensus(2000)
+		if err != nil {
+			return err
+		}
+		sep()
+		res.Render(w)
+	}
+	if want("fig3", "fig4") {
+		figs, err := env.RunBoostExperiments(t1)
+		if err != nil {
+			return err
+		}
+		if want("fig3") {
+			sep()
+			figs.RenderFigure3(w)
+		}
+		if want("fig4") {
+			sep()
+			figs.RenderFigure4(w)
+		}
+	}
+	if want("3") {
+		res, err := env.RunTable3()
+		if err != nil {
+			return err
+		}
+		sep()
+		res.Render(w)
+	}
+	if want("4") {
+		res, err := env.RunTable4()
+		if err != nil {
+			return err
+		}
+		sep()
+		res.Render(w)
+	}
+	if want("5") {
+		res, err := experiments.RunTable5(opt)
+		if err != nil {
+			return err
+		}
+		sep()
+		res.Render(w)
+	}
+	if want("6") {
+		res, err := experiments.RunTable6(opt)
+		if err != nil {
+			return err
+		}
+		sep()
+		res.Render(w)
+	}
+	if want("tsvm") {
+		res, err := env.RunTSVMComparison("Comedy", 40)
+		if err != nil {
+			return err
+		}
+		sep()
+		res.Render(w)
+	}
+	sep()
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium", "paper", "TINY"} {
+		if _, err := scaleByName(name); err != nil {
+			t.Errorf("scaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := scaleByName("galactic"); err == nil {
+		t.Fatal("unknown scale must fail")
+	}
+}
+
+// The full pipeline smoke test: every artifact renders at tiny scale.
+// Fast artifacts run individually; the expensive Table 4 and figures are
+// covered by the "all" run in the experiments package tests and benches.
+func TestRealMainSingleArtifacts(t *testing.T) {
+	for _, run := range []string{"1", "2", "5", "tsvm", "consensus"} {
+		var sb strings.Builder
+		if err := realMain("tiny", 1, 2, run, true, &sb); err != nil {
+			t.Fatalf("run=%s: %v", run, err)
+		}
+		if len(sb.String()) < 40 {
+			t.Fatalf("run=%s produced no output:\n%s", run, sb.String())
+		}
+	}
+}
+
+func TestRealMainRejectsBadScale(t *testing.T) {
+	var sb strings.Builder
+	if err := realMain("galactic", 1, 0, "1", true, &sb); err == nil {
+		t.Fatal("bad scale must fail")
+	}
+}
+
+func TestRealMainTable6WithoutEnv(t *testing.T) {
+	// Tables 5/6 must not build the movie environment.
+	var sb strings.Builder
+	if err := realMain("tiny", 1, 2, "6", true, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "board games") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,158 @@
+// Command spacebuild trains a perceptual space from a ratings CSV and
+// writes the item coordinates as CSV — the offline preprocessing step a
+// production deployment would run against its own Social-Web rating dump.
+//
+// Input format (one rating per line, header optional):
+//
+//	item_id,user_id,score
+//
+// Item and user ids must be non-negative integers; ids index the output
+// rows. Usage:
+//
+//	spacebuild -in ratings.csv -out space.csv [-dims 100] [-lambda 0.02]
+//	           [-epochs 25] [-seed 1] [-demo]
+//
+// With -demo, a synthetic movie universe's ratings are used instead of
+// -in, which makes the tool runnable without any data files.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"crowddb/internal/dataset"
+	"crowddb/internal/space"
+)
+
+func main() {
+	in := flag.String("in", "", "input ratings CSV (item_id,user_id,score)")
+	out := flag.String("out", "", "output coordinates CSV (default stdout)")
+	dims := flag.Int("dims", 100, "space dimensionality d")
+	lambda := flag.Float64("lambda", 0.02, "regularization λ")
+	epochs := flag.Int("epochs", 25, "SGD epochs")
+	seed := flag.Int64("seed", 1, "random seed")
+	demo := flag.Bool("demo", false, "use a synthetic demo universe instead of -in")
+	flag.Parse()
+
+	if err := run(*in, *out, *dims, *lambda, *epochs, *seed, *demo); err != nil {
+		fmt.Fprintln(os.Stderr, "spacebuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, dims int, lambda float64, epochs int, seed int64, demo bool) error {
+	var data *space.Dataset
+	switch {
+	case demo:
+		u, err := dataset.Generate(dataset.Movies(dataset.ScaleTiny, seed))
+		if err != nil {
+			return err
+		}
+		data = u.Ratings
+		fmt.Fprintf(os.Stderr, "demo universe: %d items, %d users, %d ratings\n",
+			data.Items, data.Users, len(data.Ratings))
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		data, err = ReadRatingsCSV(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d ratings (%d items, %d users, density %.2f%%)\n",
+			len(data.Ratings), data.Items, data.Users, 100*data.Density())
+	default:
+		return fmt.Errorf("either -in or -demo is required")
+	}
+
+	cfg := space.DefaultConfig()
+	cfg.Dims = dims
+	cfg.Lambda = lambda
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	model, stats, err := space.TrainEuclidean(data, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained d=%d space, final RMSE %.4f\n", dims, stats.FinalRMSE())
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return WriteSpaceCSV(w, space.FromModel(model))
+}
+
+// ReadRatingsCSV parses item_id,user_id,score triples; a non-numeric first
+// line is treated as a header and skipped.
+func ReadRatingsCSV(r io.Reader) (*space.Dataset, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = 3
+	var ratings []space.Rating
+	maxItem, maxUser := -1, -1
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		item, err1 := strconv.Atoi(rec[0])
+		user, err2 := strconv.Atoi(rec[1])
+		score, err3 := strconv.ParseFloat(rec[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("line %d: malformed rating %v", line, rec)
+		}
+		if item < 0 || user < 0 {
+			return nil, fmt.Errorf("line %d: negative id %v", line, rec)
+		}
+		ratings = append(ratings, space.Rating{Item: int32(item), User: int32(user), Score: float32(score)})
+		if item > maxItem {
+			maxItem = item
+		}
+		if user > maxUser {
+			maxUser = user
+		}
+	}
+	if len(ratings) == 0 {
+		return nil, fmt.Errorf("no ratings found")
+	}
+	return &space.Dataset{Items: maxItem + 1, Users: maxUser + 1, Ratings: ratings}, nil
+}
+
+// WriteSpaceCSV emits one line per item: item_id,coord_0,…,coord_{d−1}.
+func WriteSpaceCSV(w io.Writer, sp *space.Space) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < sp.NumItems(); i++ {
+		if _, err := fmt.Fprintf(bw, "%d", i); err != nil {
+			return err
+		}
+		for _, v := range sp.Vector(i) {
+			if _, err := fmt.Fprintf(bw, ",%g", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,111 @@
+// Package crowddb is a crowd-enabled relational database with
+// query-driven schema expansion — a from-scratch Go reproduction of
+// Selke, Lofi & Balke, "Pushing the Boundaries of Crowd-enabled Databases
+// with Query-driven Schema Expansion", PVLDB 5(6), 2012.
+//
+// A crowddb database answers SQL queries even when they reference
+// attributes that no column holds yet: the missing column is created at
+// query time and filled either by direct crowd-sourcing (one HIT per
+// tuple batch, majority-voted) or — the paper's contribution — by
+// extracting the attribute from a *perceptual space* built from
+// Social-Web rating data, using only a small crowd-sourced training
+// sample and a support vector machine.
+//
+// # Quick start
+//
+//	db := crowddb.New(service)        // service: a JudgmentService
+//	db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT)`)
+//	// … insert rows …
+//	db.AttachSpace("movies", "movie_id", space)
+//	db.RegisterExpandable("movies", "is_comedy", crowddb.KindBool,
+//	    crowddb.ExpandOptions{SamplesPerClass: 40})
+//
+//	// The paper's running example — is_comedy does not exist yet; the
+//	// database expands the schema, crowd-sources a training sample,
+//	// trains an SVM on the perceptual space, fills the column, and only
+//	// then answers:
+//	res, report, err := db.ExecSQL(
+//	    `SELECT name FROM movies WHERE is_comedy = true`)
+//
+// See examples/quickstart for a complete runnable program, and DESIGN.md
+// for the system inventory and the experiment reproduction index.
+package crowddb
+
+import (
+	"math/rand"
+
+	"crowddb/internal/core"
+	"crowddb/internal/crowd"
+	"crowddb/internal/space"
+	"crowddb/internal/storage"
+)
+
+// DB is a crowd-enabled database (see package documentation).
+type DB = core.DB
+
+// New creates a crowd-enabled database using the given judgment service.
+// The service may be nil for databases that only use GoldFill.
+func New(service JudgmentService) *DB { return core.NewDB(service) }
+
+// JudgmentService obtains human judgments for items; implement it to
+// connect a real crowd-sourcing platform, or use NewSimulatedCrowd.
+type JudgmentService = core.JudgmentService
+
+// SimulatedCrowd is a JudgmentService backed by the bundled marketplace
+// simulator.
+type SimulatedCrowd = core.SimulatedCrowd
+
+// NewSimulatedCrowd wires a worker population and an item-model source
+// into a JudgmentService.
+func NewSimulatedCrowd(pop *crowd.Population, items core.ItemModelFunc, rng *rand.Rand) *SimulatedCrowd {
+	return core.NewSimulatedCrowd(pop, items, rng)
+}
+
+// ExpandOptions tunes one schema expansion.
+type ExpandOptions = core.ExpandOptions
+
+// ExpansionReport describes what one schema expansion did.
+type ExpansionReport = core.ExpansionReport
+
+// GoldValue is one expert-provided numeric judgment for GoldFill.
+type GoldValue = core.GoldValue
+
+// LedgerTotals is a snapshot of cumulative crowd spending.
+type LedgerTotals = core.LedgerTotals
+
+// Result is a query result set.
+type Result = core.Result
+
+// Space is an immutable perceptual-space snapshot of item coordinates.
+type Space = space.Space
+
+// SpaceConfig holds factor-model hyperparameters (the paper's d and λ).
+type SpaceConfig = space.Config
+
+// DefaultSpaceConfig mirrors the paper's published hyperparameters
+// (d = 100, λ = 0.02).
+func DefaultSpaceConfig() SpaceConfig { return space.DefaultConfig() }
+
+// Rating is one ⟨item, user, score⟩ triple of Social-Web feedback.
+type Rating = space.Rating
+
+// RatingDataset is a rating collection over item/user index spaces.
+type RatingDataset = space.Dataset
+
+// BuildSpace trains the paper's Euclidean-embedding factor model on rating
+// data and returns the resulting perceptual space.
+func BuildSpace(data *RatingDataset, cfg SpaceConfig) (*Space, error) {
+	model, _, err := space.TrainEuclidean(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return space.FromModel(model), nil
+}
+
+// Value kinds for RegisterExpandable.
+const (
+	KindBool  = storage.KindBool
+	KindInt   = storage.KindInt
+	KindFloat = storage.KindFloat
+	KindText  = storage.KindText
+)

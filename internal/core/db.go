@@ -1,0 +1,292 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"crowddb/internal/crowd"
+	"crowddb/internal/engine"
+	"crowddb/internal/space"
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// ExpandOptions tunes one schema expansion.
+type ExpandOptions struct {
+	// Method selects the fill strategy; defaults to SPACE when a
+	// perceptual space is attached, CROWD otherwise.
+	Method sqlparse.ExpandMethod
+	// SamplesPerClass is the SPACE strategy's crowd-sourced training
+	// sample size per class (the paper's n; default 40).
+	SamplesPerClass int
+	// Assignments is the number of judgments per item (default 10 for
+	// CROWD, 5 for SPACE training samples).
+	Assignments int
+	// Budget caps crowd spending in dollars (0 = unlimited). When the
+	// budget cannot cover the requested work, the job is shrunk, exactly
+	// like a requester running out of money mid-experiment.
+	Budget float64
+	// Job carries marketplace parameters; zero fields get defaults
+	// (10 items/HIT, $0.02/HIT, 95 judgments/min, don't-know allowed).
+	Job crowd.JobConfig
+	// WeightedVote aggregates judgments with EM-estimated worker
+	// reliabilities (binary Dawid–Skene) instead of a plain majority —
+	// the quality-management extension of the paper's §6 references
+	// [32]/[33]. Most useful when spammer contamination is expected but
+	// not dominant.
+	WeightedVote bool
+}
+
+func (o *ExpandOptions) fillDefaults(method sqlparse.ExpandMethod) {
+	if o.Method == "" {
+		o.Method = method
+	}
+	if o.SamplesPerClass <= 0 {
+		o.SamplesPerClass = 40
+	}
+	if o.Assignments <= 0 {
+		if o.Method == sqlparse.ExpandCrowd || o.Method == sqlparse.ExpandHybrid {
+			o.Assignments = 10
+		} else {
+			o.Assignments = 5
+		}
+	}
+	if o.Job.ItemsPerHIT <= 0 {
+		o.Job.ItemsPerHIT = 10
+	}
+	if o.Job.PayPerHIT <= 0 {
+		o.Job.PayPerHIT = 0.02
+	}
+	if o.Job.JudgmentsPerMinute <= 0 {
+		o.Job.JudgmentsPerMinute = 95
+	}
+	o.Job.AssignmentsPerItem = o.Assignments
+}
+
+// ExpansionReport describes what one schema expansion did.
+type ExpansionReport struct {
+	Table  string
+	Column string
+	Method sqlparse.ExpandMethod
+	// Filled is the number of rows that received a value.
+	Filled int
+	// Unfilled is the number of rows left NULL (no majority, no space
+	// coordinates, or budget exhausted).
+	Unfilled int
+	// TrainingSize is the number of labeled examples the SPACE strategy
+	// trained on (0 for CROWD).
+	TrainingSize int
+	// Judgments, Cost and Minutes account the crowd work of this
+	// expansion alone.
+	Judgments int
+	Cost      float64
+	Minutes   float64
+	// Requeried counts tuples re-elicited by the HYBRID cleaning pass.
+	Requeried int
+}
+
+// tableBinding connects a table to a perceptual space.
+type tableBinding struct {
+	space    *space.Space
+	idColumn string
+}
+
+// expandableSpec registers a column that implicit expansion may create.
+type expandableSpec struct {
+	kind storage.Kind
+	opts ExpandOptions
+}
+
+// DB is a crowd-enabled database.
+type DB struct {
+	engine  *engine.Engine
+	service JudgmentService
+	ledger  *Ledger
+
+	mu          sync.Mutex
+	bindings    map[string]*tableBinding             // table name (lower) → space
+	expandables map[string]map[string]expandableSpec // table → column → spec
+}
+
+// NewDB creates a crowd-enabled database. The judgment service may be nil
+// for a database that only uses pre-labeled gold samples.
+func NewDB(service JudgmentService) *DB {
+	return &DB{
+		engine:      engine.New(storage.NewCatalog()),
+		service:     service,
+		ledger:      &Ledger{},
+		bindings:    map[string]*tableBinding{},
+		expandables: map[string]map[string]expandableSpec{},
+	}
+}
+
+// Engine exposes the underlying SQL engine (read-only use).
+func (db *DB) Engine() *engine.Engine { return db.engine }
+
+// Catalog exposes the storage catalog.
+func (db *DB) Catalog() *storage.Catalog { return db.engine.Catalog() }
+
+// Ledger returns the cumulative crowd-sourcing account.
+func (db *DB) Ledger() LedgerTotals { return db.ledger.Snapshot() }
+
+// AttachSpace associates a perceptual space with a table. idColumn names
+// the INTEGER column whose value is the item's index in the space; rows
+// whose id falls outside the space are simply not predictable.
+func (db *DB) AttachSpace(table, idColumn string, sp *space.Space) error {
+	tbl, ok := db.Catalog().Get(table)
+	if !ok {
+		return fmt.Errorf("core: no such table %q", table)
+	}
+	schema := tbl.Schema()
+	idx, ok := schema.Lookup(idColumn)
+	if !ok {
+		return fmt.Errorf("core: table %q has no column %q", table, idColumn)
+	}
+	if schema.Column(idx).Kind != storage.KindInt {
+		return fmt.Errorf("core: id column %q must be INTEGER", idColumn)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.bindings[strings.ToLower(table)] = &tableBinding{space: sp, idColumn: idColumn}
+	return nil
+}
+
+// RegisterExpandable declares that the named column may be created by
+// implicit query-driven expansion (a SELECT referencing it). This is the
+// "malleable schema" declaration: the paper's §2 argues the DBMS should
+// answer queries whether the data exists or not, but it still needs to
+// know the new attribute's type and elicitation parameters.
+func (db *DB) RegisterExpandable(table, column string, kind storage.Kind, opts ExpandOptions) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(table)
+	if db.expandables[key] == nil {
+		db.expandables[key] = map[string]expandableSpec{}
+	}
+	db.expandables[key][strings.ToLower(column)] = expandableSpec{kind: kind, opts: opts}
+}
+
+// binding returns the space binding for a table, if any.
+func (db *DB) binding(table string) *tableBinding {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.bindings[strings.ToLower(table)]
+}
+
+func (db *DB) expandableSpec(table, column string) (expandableSpec, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.expandables[strings.ToLower(table)]
+	if m == nil {
+		return expandableSpec{}, false
+	}
+	spec, ok := m[strings.ToLower(column)]
+	return spec, ok
+}
+
+// Result re-exports the engine result type.
+type Result = engine.Result
+
+// ExecSQL parses and executes one statement. SELECTs that reference a
+// registered expandable column trigger schema expansion transparently and
+// are then re-executed — the query-driven loop of the paper's title.
+// The returned report is non-nil iff an expansion happened.
+func (db *DB) ExecSQL(sql string) (*Result, *ExpansionReport, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.Exec(stmt)
+}
+
+// Exec executes a parsed statement (see ExecSQL).
+func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
+	if ex, ok := stmt.(*sqlparse.ExpandStmt); ok {
+		report, err := db.execExpandStmt(ex)
+		if err != nil {
+			return nil, nil, err
+		}
+		msg := fmt.Sprintf("expanded %s.%s via %s: %d filled, %d unfilled, $%.2f",
+			ex.Table, ex.Column.Name, report.Method, report.Filled, report.Unfilled, report.Cost)
+		return &Result{Message: msg}, report, nil
+	}
+
+	res, err := db.engine.Exec(stmt)
+	if err == nil {
+		return res, nil, nil
+	}
+	var missing *engine.MissingColumnError
+	if !errors.As(err, &missing) {
+		return nil, nil, err
+	}
+	// Implicit query-driven expansion: only registered columns qualify —
+	// a typo must stay an error, not a $20 crowd job.
+	spec, ok := db.expandableSpec(missing.Table, missing.Column)
+	if !ok {
+		return nil, nil, err
+	}
+	report, err := db.Expand(missing.Table, missing.Column, spec.kind, spec.opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: query-driven expansion of %s.%s failed: %w",
+			missing.Table, missing.Column, err)
+	}
+	res, err = db.engine.Exec(stmt)
+	if err != nil {
+		return nil, report, err
+	}
+	return res, report, nil
+}
+
+func (db *DB) execExpandStmt(ex *sqlparse.ExpandStmt) (*ExpansionReport, error) {
+	col, err := engine.ColumnDefToStorage(ex.Column, storage.ColumnExpanded)
+	if err != nil {
+		return nil, err
+	}
+	opts := ExpandOptions{Method: ex.Method, Budget: ex.Budget}
+	if ex.Samples > 0 {
+		opts.SamplesPerClass = int(ex.Samples)
+	}
+	return db.Expand(ex.Table, ex.Column.Name, col.Kind, opts)
+}
+
+// Expand adds the column to the table (if absent) and fills it with the
+// selected strategy. It is idempotent on the column: re-expanding an
+// existing column re-elicits its values.
+func (db *DB) Expand(table, column string, kind storage.Kind, opts ExpandOptions) (*ExpansionReport, error) {
+	tbl, ok := db.Catalog().Get(table)
+	if !ok {
+		return nil, fmt.Errorf("core: no such table %q", table)
+	}
+
+	defaultMethod := sqlparse.ExpandCrowd
+	if db.binding(table) != nil {
+		defaultMethod = sqlparse.ExpandSpace
+	}
+	opts.fillDefaults(defaultMethod)
+
+	if kind != storage.KindBool {
+		return nil, fmt.Errorf("core: only BOOLEAN perceptual attributes are crowd-expandable in this build; %s has kind %s (use GoldFill for numeric attributes)", column, kind)
+	}
+
+	schema := tbl.Schema()
+	if _, exists := schema.Lookup(column); !exists {
+		if _, err := tbl.AddColumn(storage.Column{
+			Name: column, Kind: kind, Perceptual: true, Origin: storage.ColumnExpanded,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	switch opts.Method {
+	case sqlparse.ExpandCrowd:
+		return db.expandDirectCrowd(tbl, column, opts)
+	case sqlparse.ExpandSpace:
+		return db.expandViaSpace(tbl, column, opts)
+	case sqlparse.ExpandHybrid:
+		return db.expandHybrid(tbl, column, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown expansion method %q", opts.Method)
+	}
+}

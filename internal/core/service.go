@@ -1,0 +1,122 @@
+// Package core implements the paper's primary contribution: a
+// crowd-enabled database whose schema expands at query time.
+//
+// A query may reference an attribute that no column holds yet
+// (`SELECT * FROM movies WHERE is_comedy = true`). The database then
+// creates the column and fills it using one of three strategies:
+//
+//   - CROWD  — direct crowd-sourcing: every tuple is judged by several
+//     workers and majority-voted (the paper's baseline, Experiments 1–3);
+//   - SPACE  — perceptual-space extraction: only a small training sample
+//     is crowd-sourced, an RBF-SVM is trained on the items' coordinates in
+//     a perceptual space built from Social-Web ratings, and all remaining
+//     values are predicted (the paper's contribution, Experiments 4–6);
+//   - HYBRID — direct crowd-sourcing followed by space-based cleaning:
+//     responses that contradict the space are re-elicited (§4.4).
+//
+// The crowd itself is reached through the JudgmentService interface; this
+// repository ships a simulator-backed implementation (the real CrowdFlower
+// service is not reachable from an offline reproduction — see DESIGN.md).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"crowddb/internal/crowd"
+)
+
+// JudgmentService obtains human judgments for items. Implementations may
+// talk to a real crowd-sourcing platform or to the bundled simulator.
+type JudgmentService interface {
+	// Collect runs a crowd job asking the given yes/no question about the
+	// identified items and returns the full judgment log.
+	Collect(question string, itemIDs []int, cfg crowd.JobConfig) (*crowd.RunResult, error)
+}
+
+// ItemModelFunc supplies the simulator's behavioural item models for a
+// question (latent truth, popularity, ambiguity), keyed by item ID.
+// dataset.Universe.CrowdItems provides exactly this shape.
+type ItemModelFunc func(question string) ([]crowd.Item, error)
+
+// SimulatedCrowd is a JudgmentService backed by the marketplace simulator.
+type SimulatedCrowd struct {
+	mu         sync.Mutex
+	population *crowd.Population
+	items      ItemModelFunc
+	rng        *rand.Rand
+
+	// Gold optionally mixes known-answer screening questions into every
+	// job (Experiment 3 setup).
+	Gold             []crowd.Item
+	GoldFailureLimit int
+}
+
+// NewSimulatedCrowd wires a worker population and an item-model source
+// into a JudgmentService. The rng drives all marketplace randomness.
+func NewSimulatedCrowd(pop *crowd.Population, items ItemModelFunc, rng *rand.Rand) *SimulatedCrowd {
+	return &SimulatedCrowd{population: pop, items: items, rng: rng}
+}
+
+// Collect implements JudgmentService.
+func (s *SimulatedCrowd) Collect(question string, itemIDs []int, cfg crowd.JobConfig) (*crowd.RunResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	models, err := s.items(question)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[int]crowd.Item, len(models))
+	for _, m := range models {
+		byID[m.ID] = m
+	}
+	selected := make([]crowd.Item, 0, len(itemIDs))
+	for _, id := range itemIDs {
+		m, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("core: no crowd item model for id %d (question %q)", id, question)
+		}
+		selected = append(selected, m)
+	}
+	if len(s.Gold) > 0 && len(cfg.GoldItems) == 0 {
+		cfg.GoldItems = s.Gold
+		cfg.GoldFailureLimit = s.GoldFailureLimit
+	}
+	return crowd.RunJob(s.population, selected, cfg, s.rng)
+}
+
+// LedgerTotals is a point-in-time snapshot of crowd-sourcing spend.
+type LedgerTotals struct {
+	// Judgments is the total number of human judgments collected.
+	Judgments int
+	// Cost is the total payment in dollars.
+	Cost float64
+	// Minutes is the total simulated crowd wall-clock.
+	Minutes float64
+	// Jobs is the number of crowd jobs issued.
+	Jobs int
+}
+
+// Ledger accumulates the crowd-sourcing cost of a database across
+// expansions, the accounting the paper's Figures 3–4 are drawn from.
+type Ledger struct {
+	mu     sync.Mutex
+	totals LedgerTotals
+}
+
+func (l *Ledger) add(res *crowd.RunResult) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.totals.Judgments += len(res.Records)
+	l.totals.Cost += res.TotalCost
+	l.totals.Minutes += res.DurationMinutes
+	l.totals.Jobs++
+}
+
+// Snapshot returns a copy of the current totals.
+func (l *Ledger) Snapshot() LedgerTotals {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totals
+}

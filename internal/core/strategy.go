@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowddb/internal/crowd"
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+	"crowddb/internal/svm"
+)
+
+// rowIDs extracts (rowIndex, itemID) pairs for a table using its space
+// binding's id column, or the row index itself when no binding exists.
+func (db *DB) rowItemIDs(tbl *storage.Table) ([]int, []int, error) {
+	schema := tbl.Schema()
+	binding := db.binding(tbl.Name())
+	idCol := -1
+	if binding != nil {
+		c, ok := schema.Lookup(binding.idColumn)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: id column %q vanished from %q", binding.idColumn, tbl.Name())
+		}
+		idCol = c
+	}
+	var rows, ids []int
+	var scanErr error
+	tbl.Scan(func(i int, row storage.Row) bool {
+		id := i
+		if idCol >= 0 {
+			v, ok := row[idCol].AsInt()
+			if !ok {
+				scanErr = fmt.Errorf("core: row %d has non-integer id", i)
+				return false
+			}
+			id = int(v)
+		}
+		rows = append(rows, i)
+		ids = append(ids, id)
+		return true
+	})
+	return rows, ids, scanErr
+}
+
+// applyBudget shrinks the set of items to judge so that the projected cost
+// stays within budget (0 = unlimited). Judging fewer items mirrors a
+// requester stopping when the money runs out.
+func applyBudget(ids []int, opts *ExpandOptions) []int {
+	if opts.Budget <= 0 {
+		return ids
+	}
+	perJudgment := opts.Job.PayPerHIT / float64(opts.Job.ItemsPerHIT)
+	maxJudgments := int(opts.Budget / perJudgment)
+	maxItems := maxJudgments / opts.Assignments
+	if maxItems < len(ids) {
+		return ids[:maxItems]
+	}
+	return ids
+}
+
+// aggregateVotes applies the configured vote aggregation.
+func aggregateVotes(records []crowd.Record, opts ExpandOptions) map[int]bool {
+	if opts.WeightedVote {
+		return crowd.WeightedMajorityVote(records, 0).Label
+	}
+	return crowd.MajorityVote(records).Label
+}
+
+// expandDirectCrowd is the paper's baseline: judge every tuple, majority
+// vote, write the result (Experiments 1–3).
+func (db *DB) expandDirectCrowd(tbl *storage.Table, column string, opts ExpandOptions) (*ExpansionReport, error) {
+	if db.service == nil {
+		return nil, fmt.Errorf("core: direct crowd expansion requires a JudgmentService")
+	}
+	rows, ids, err := db.rowItemIDs(tbl)
+	if err != nil {
+		return nil, err
+	}
+	judgeIDs := applyBudget(ids, &opts)
+	if len(judgeIDs) == 0 {
+		return nil, fmt.Errorf("core: budget $%.2f cannot cover a single tuple", opts.Budget)
+	}
+
+	res, err := db.service.Collect(column, judgeIDs, opts.Job)
+	if err != nil {
+		return nil, err
+	}
+	db.ledger.add(res)
+
+	labels := aggregateVotes(res.Records, opts)
+	report := &ExpansionReport{
+		Table: tbl.Name(), Column: column, Method: sqlparse.ExpandCrowd,
+		Judgments: len(res.Records), Cost: res.TotalCost, Minutes: res.DurationMinutes,
+	}
+	vals := make([]storage.Value, len(rows))
+	for i := range rows {
+		if label, ok := labels[ids[i]]; ok {
+			vals[i] = storage.Bool(label)
+			report.Filled++
+		} else {
+			vals[i] = storage.Null()
+			report.Unfilled++
+		}
+	}
+	if err := tbl.FillColumn(column, vals); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// expandViaSpace is the paper's contribution: crowd-source a small
+// training sample, train an RBF-SVM on the perceptual space, predict
+// everything (Experiments 4–6, §4.3).
+func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptions) (*ExpansionReport, error) {
+	binding := db.binding(tbl.Name())
+	if binding == nil {
+		return nil, fmt.Errorf("core: SPACE expansion of %q requires AttachSpace", tbl.Name())
+	}
+	if db.service == nil {
+		return nil, fmt.Errorf("core: SPACE expansion requires a JudgmentService for the training sample")
+	}
+	rows, ids, err := db.rowItemIDs(tbl)
+	if err != nil {
+		return nil, err
+	}
+	sp := binding.space
+
+	// Sample tuples to crowd-source: the most popular items give honest
+	// workers the best chance of knowing them, but a uniformly random
+	// sample is the paper's protocol — we take a deterministic spread.
+	inSpace := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if id >= 0 && id < sp.NumItems() {
+			inSpace = append(inSpace, id)
+		}
+	}
+	if len(inSpace) == 0 {
+		return nil, fmt.Errorf("core: no row of %q maps into the attached space", tbl.Name())
+	}
+	want := 2 * opts.SamplesPerClass * 2 // oversample: don't-knows and ties shrink it
+	if want > len(inSpace) {
+		want = len(inSpace)
+	}
+	sampleIDs := spreadSample(inSpace, want)
+	sampleIDs = applyBudget(sampleIDs, &opts)
+	if len(sampleIDs) == 0 {
+		return nil, fmt.Errorf("core: budget $%.2f cannot cover a training sample", opts.Budget)
+	}
+
+	res, err := db.service.Collect(column, sampleIDs, opts.Job)
+	if err != nil {
+		return nil, err
+	}
+	db.ledger.add(res)
+	voteLabels := aggregateVotes(res.Records, opts)
+
+	// Train on every sampled item that reached a majority, with whatever
+	// class balance the crowd produced — the Experiment 4–6 protocol.
+	// (The controlled Table 3 study uses balanced gold samples instead;
+	// that protocol lives in internal/experiments.)
+	var X [][]float64
+	var y []bool
+	perClass := map[bool]int{}
+	for _, id := range sampleIDs {
+		label, ok := voteLabels[id]
+		if !ok {
+			continue
+		}
+		perClass[label]++
+		X = append(X, sp.Vector(id))
+		y = append(y, label)
+	}
+	report := &ExpansionReport{
+		Table: tbl.Name(), Column: column, Method: sqlparse.ExpandSpace,
+		Judgments: len(res.Records), Cost: res.TotalCost, Minutes: res.DurationMinutes,
+		TrainingSize: len(X),
+	}
+	if perClass[true] == 0 || perClass[false] == 0 {
+		return nil, fmt.Errorf("core: crowd training sample for %s is single-class (pos=%d, neg=%d)",
+			column, perClass[true], perClass[false])
+	}
+
+	model, err := svm.TrainSVC(X, y, svm.SVCConfig{C: 2})
+	if err != nil {
+		return nil, err
+	}
+
+	vals := make([]storage.Value, len(rows))
+	for i := range rows {
+		id := ids[i]
+		if id < 0 || id >= sp.NumItems() {
+			vals[i] = storage.Null()
+			report.Unfilled++
+			continue
+		}
+		vals[i] = storage.Bool(model.Predict(sp.Vector(id)))
+		report.Filled++
+	}
+	if err := tbl.FillColumn(column, vals); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// expandHybrid crowd-sources everything, then uses the space to flag and
+// re-elicit questionable responses (§4.4): direct crowd quality at a
+// fraction of the re-verification cost.
+func (db *DB) expandHybrid(tbl *storage.Table, column string, opts ExpandOptions) (*ExpansionReport, error) {
+	binding := db.binding(tbl.Name())
+	if binding == nil {
+		return nil, fmt.Errorf("core: HYBRID expansion of %q requires AttachSpace", tbl.Name())
+	}
+	crowdReport, err := db.expandDirectCrowd(tbl, column, opts)
+	if err != nil {
+		return nil, err
+	}
+	report := *crowdReport
+	report.Method = sqlparse.ExpandHybrid
+
+	questionable, err := db.IdentifyQuestionable(tbl.Name(), column)
+	if err != nil {
+		return nil, err
+	}
+	if len(questionable) == 0 {
+		return &report, nil
+	}
+
+	// Re-elicit flagged tuples with tripled redundancy.
+	rows, ids, err := db.rowItemIDs(tbl)
+	if err != nil {
+		return nil, err
+	}
+	rowToID := map[int]int{}
+	for i, r := range rows {
+		rowToID[r] = ids[i]
+	}
+	var reIDs []int
+	for _, r := range questionable {
+		if id, ok := rowToID[r]; ok {
+			reIDs = append(reIDs, id)
+		}
+	}
+	reOpts := opts
+	reOpts.Assignments = opts.Assignments * 3
+	reOpts.Job.AssignmentsPerItem = reOpts.Assignments
+	res, err := db.service.Collect(column, reIDs, reOpts.Job)
+	if err != nil {
+		return nil, err
+	}
+	db.ledger.add(res)
+	requeryLabels := aggregateVotes(res.Records, opts)
+
+	schema := tbl.Schema()
+	colIdx, _ := schema.Lookup(column)
+	for _, r := range questionable {
+		id := rowToID[r]
+		if label, ok := requeryLabels[id]; ok {
+			if err := tbl.Set(r, colIdx, storage.Bool(label)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	report.Judgments += len(res.Records)
+	report.Cost += res.TotalCost
+	report.Minutes += res.DurationMinutes
+	report.Requeried = len(reIDs)
+	return &report, nil
+}
+
+// IdentifyQuestionable trains an SVM on the column's current values over
+// the attached perceptual space and returns the row indices whose stored
+// label contradicts the model's prediction — the §4.4 cleaning primitive.
+func (db *DB) IdentifyQuestionable(table, column string) ([]int, error) {
+	tbl, ok := db.Catalog().Get(table)
+	if !ok {
+		return nil, fmt.Errorf("core: no such table %q", table)
+	}
+	binding := db.binding(table)
+	if binding == nil {
+		return nil, fmt.Errorf("core: IdentifyQuestionable requires AttachSpace on %q", table)
+	}
+	schema := tbl.Schema()
+	colIdx, ok := schema.Lookup(column)
+	if !ok {
+		return nil, fmt.Errorf("core: table %q has no column %q", table, column)
+	}
+	if schema.Column(colIdx).Kind != storage.KindBool {
+		return nil, fmt.Errorf("core: IdentifyQuestionable requires a BOOLEAN column")
+	}
+	rows, ids, err := db.rowItemIDs(tbl)
+	if err != nil {
+		return nil, err
+	}
+	sp := binding.space
+
+	var X [][]float64
+	var y []bool
+	type labeled struct {
+		row   int
+		id    int
+		label bool
+	}
+	var all []labeled
+	for i, r := range rows {
+		v, err := tbl.Value(r, colIdx)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			continue // NULL or non-bool: nothing to verify
+		}
+		id := ids[i]
+		if id < 0 || id >= sp.NumItems() {
+			continue
+		}
+		X = append(X, sp.Vector(id))
+		y = append(y, b)
+		all = append(all, labeled{row: r, id: id, label: b})
+	}
+	if len(X) < 10 {
+		return nil, fmt.Errorf("core: too few labeled rows (%d) to identify questionable responses", len(X))
+	}
+	model, err := svm.TrainSVC(X, y, svm.SVCConfig{C: 2})
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, l := range all {
+		if model.Predict(sp.Vector(l.id)) != l.label {
+			out = append(out, l.row)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// spreadSample picks k elements evenly spread over ids (deterministic).
+func spreadSample(ids []int, k int) []int {
+	if k >= len(ids) {
+		return append([]int(nil), ids...)
+	}
+	out := make([]int, 0, k)
+	step := float64(len(ids)) / float64(k)
+	for i := 0; i < k; i++ {
+		out = append(out, ids[int(math.Floor(float64(i)*step))])
+	}
+	return out
+}

@@ -1,0 +1,397 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// JobConfig describes one crowd-sourcing job (a HIT group).
+type JobConfig struct {
+	// ItemsPerHIT is how many items one HIT bundles (10 in the paper).
+	ItemsPerHIT int
+	// AssignmentsPerItem is how many distinct workers judge each item
+	// (10 in the paper, for majority voting).
+	AssignmentsPerItem int
+	// PayPerHIT is the payment per completed HIT in dollars
+	// ($0.02 in Experiments 1–2, $0.03 in Experiment 3).
+	PayPerHIT float64
+	// JudgmentsPerMinute is the aggregate marketplace throughput. The
+	// paper observed ~95/min for the cheap perceptual task (Exp 1),
+	// a similar rate for the filtered population (Exp 2), and ~18/min for
+	// the laborious lookup task (Exp 3).
+	JudgmentsPerMinute float64
+	// AllowDontKnow mirrors the HIT option set; Experiment 3 removed the
+	// "I do not know this movie" choice.
+	AllowDontKnow bool
+	// ExcludeCountries drops workers from these countries (Experiment 2).
+	ExcludeCountries []string
+	// Gold configures gold-question screening (Experiment 3): GoldItems
+	// known-answer items are mixed into the job; workers whose gold error
+	// count exceeds GoldFailureLimit are excluded and their judgments
+	// discarded and re-issued. Gold item IDs must not collide with
+	// ordinary item IDs (use negative IDs by convention).
+	GoldItems        []Item
+	GoldFailureLimit int
+}
+
+// Record is one judgment event in the job's timeline.
+type Record struct {
+	// Time is minutes since the job started.
+	Time float64
+	// WorkerID identifies the judging worker.
+	WorkerID int
+	// ItemID identifies the judged item; gold items use their own IDs.
+	ItemID int
+	// Gold marks screening questions (excluded from majority votes).
+	Gold bool
+	// Answer is the judgment given.
+	Answer Judgment
+}
+
+// WorkerStats summarizes one worker's behaviour during a job, mirroring the
+// per-worker analysis of §4.1 (claimed coverage and positive-answer rate).
+type WorkerStats struct {
+	WorkerID   int
+	Archetype  Archetype
+	Judgments  int
+	DontKnows  int
+	Positives  int
+	GoldErrors int
+	Excluded   bool
+}
+
+// ClaimedCoverage is the fraction of items the worker claimed to know.
+func (s WorkerStats) ClaimedCoverage() float64 {
+	if s.Judgments == 0 {
+		return 0
+	}
+	return 1 - float64(s.DontKnows)/float64(s.Judgments)
+}
+
+// PositiveRate is the fraction of the worker's non-DontKnow answers that
+// were Positive.
+func (s WorkerStats) PositiveRate() float64 {
+	answered := s.Judgments - s.DontKnows
+	if answered == 0 {
+		return 0
+	}
+	return float64(s.Positives) / float64(answered)
+}
+
+// RunResult is the full outcome of a simulated crowd job.
+type RunResult struct {
+	// Records is the judgment timeline, sorted by Time ascending. Records
+	// from workers that were later excluded by gold screening have already
+	// been removed, matching CrowdFlower's behaviour of discarding
+	// untrusted judgments.
+	Records []Record
+	// DurationMinutes is the completion time of the whole job.
+	DurationMinutes float64
+	// TotalCost is the total payment in dollars (excluded workers are
+	// still paid for completed HITs — the requester eats that cost).
+	TotalCost float64
+	// DistinctWorkers is the number of workers that contributed at least
+	// one judgment (including later-excluded ones).
+	DistinctWorkers int
+	// Stats has one entry per participating worker.
+	Stats []WorkerStats
+	// ExcludedWorkers lists workers removed by gold screening.
+	ExcludedWorkers []int
+}
+
+// CostAt returns the money spent up to minute t, assuming payment accrues
+// per judgment (PayPerHIT / ItemsPerHIT each). Used for Figure 4's
+// money axis.
+func (r *RunResult) CostAt(t float64, cfg JobConfig) float64 {
+	if r.DurationMinutes <= 0 {
+		return 0
+	}
+	perJudgment := cfg.PayPerHIT / float64(cfg.ItemsPerHIT)
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Time <= t {
+			n++
+		}
+	}
+	return float64(n) * perJudgment
+}
+
+// RunJob simulates executing a crowd job over items with the given worker
+// population. The simulation is an arrival process: judgment slots arrive
+// at an exponential rate of cfg.JudgmentsPerMinute and are served by
+// workers sampled proportionally to their Speed, subject to the constraint
+// that a worker judges any given item at most once.
+func RunJob(pop *Population, items []Item, cfg JobConfig, rng *rand.Rand) (*RunResult, error) {
+	if cfg.ItemsPerHIT <= 0 || cfg.AssignmentsPerItem <= 0 {
+		return nil, fmt.Errorf("crowd: ItemsPerHIT and AssignmentsPerItem must be positive")
+	}
+	if cfg.JudgmentsPerMinute <= 0 {
+		return nil, fmt.Errorf("crowd: JudgmentsPerMinute must be positive")
+	}
+	workers := pop.Filter(cfg.ExcludeCountries).Workers
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("crowd: no eligible workers after country filter")
+	}
+
+	// The work queue: every item needs AssignmentsPerItem judgments; gold
+	// items are interleaved at the recommended ~10% ratio by listing them
+	// like ordinary items.
+	type slot struct {
+		item Item
+		gold bool
+	}
+	var queue []slot
+	for _, it := range items {
+		queue = append(queue, slot{item: it})
+	}
+	for _, g := range cfg.GoldItems {
+		queue = append(queue, slot{item: g, gold: true})
+	}
+	// Shuffle so gold questions are indistinguishable by position.
+	rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+
+	// pending[i] = remaining assignments for queue entry i.
+	pending := make([]int, len(queue))
+	remaining := 0
+	for i := range queue {
+		pending[i] = cfg.AssignmentsPerItem
+		remaining += cfg.AssignmentsPerItem
+	}
+
+	// judged[worker] = set of queue indices already judged by the worker.
+	judged := make([]map[int]bool, len(workers))
+	for i := range judged {
+		judged[i] = make(map[int]bool)
+	}
+
+	totalSpeed := 0.0
+	for _, w := range workers {
+		totalSpeed += w.Speed
+	}
+
+	excluded := make([]bool, len(workers))
+	stats := make([]WorkerStats, len(workers))
+	for i, w := range workers {
+		stats[i] = WorkerStats{WorkerID: w.ID, Archetype: w.Archetype}
+	}
+
+	var records []Record
+	recordOwner := make([]int, 0) // parallel to records: local worker index
+	now := 0.0
+	judgmentsDone := 0
+
+	pickWorker := func() int {
+		// Sample proportional to Speed among non-excluded workers.
+		active := 0.0
+		for i, w := range workers {
+			if !excluded[i] {
+				active += w.Speed
+			}
+		}
+		if active == 0 {
+			return -1
+		}
+		x := rng.Float64() * active
+		for i, w := range workers {
+			if excluded[i] {
+				continue
+			}
+			x -= w.Speed
+			if x <= 0 {
+				return i
+			}
+		}
+		for i := range workers {
+			if !excluded[i] {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// Safety valve: if the eligible population cannot supply enough
+	// distinct workers for the remaining items, stop cleanly instead of
+	// looping forever.
+	stall := 0
+	maxStall := 50 * (len(workers) + 1)
+
+	for remaining > 0 {
+		wi := pickWorker()
+		if wi == -1 {
+			break // everyone excluded
+		}
+		// Find a queue entry this worker has not judged yet, preferring
+		// the most under-served entries (highest pending).
+		best := -1
+		for qi := range queue {
+			if pending[qi] == 0 || judged[wi][qi] {
+				continue
+			}
+			if best == -1 || pending[qi] > pending[best] {
+				best = qi
+			}
+		}
+		if best == -1 {
+			stall++
+			if stall > maxStall {
+				break
+			}
+			continue
+		}
+		stall = 0
+
+		now += rng.ExpFloat64() / cfg.JudgmentsPerMinute
+		w := workers[wi]
+		sl := queue[best]
+		ans := w.Judge(sl.item, cfg.AllowDontKnow, rng)
+
+		judged[wi][best] = true
+		pending[best]--
+		remaining--
+		judgmentsDone++
+
+		st := &stats[wi]
+		st.Judgments++
+		if ans == DontKnow {
+			st.DontKnows++
+		}
+		if ans == Positive {
+			st.Positives++
+		}
+
+		if sl.gold {
+			truthAns := Negative
+			if sl.item.Truth {
+				truthAns = Positive
+			}
+			if ans != truthAns {
+				st.GoldErrors++
+				if cfg.GoldFailureLimit > 0 && st.GoldErrors > cfg.GoldFailureLimit && !excluded[wi] {
+					excluded[wi] = true
+					st.Excluded = true
+					// Discard the cheater's judgments and re-issue them.
+					kept := records[:0]
+					keptOwners := recordOwner[:0]
+					for ri, rec := range records {
+						if recordOwner[ri] == wi {
+							// Find the queue entry and put the
+							// assignment back.
+							for qi := range queue {
+								if queue[qi].item.ID == rec.ItemID && queue[qi].gold == rec.Gold {
+									pending[qi]++
+									remaining++
+									break
+								}
+							}
+							continue
+						}
+						kept = append(kept, rec)
+						keptOwners = append(keptOwners, recordOwner[ri])
+					}
+					records = kept
+					recordOwner = keptOwners
+					// The triggering gold judgment is dropped and
+					// re-issued as well.
+					pending[best]++
+					remaining++
+					continue
+				}
+			}
+		}
+
+		records = append(records, Record{
+			Time:     now,
+			WorkerID: w.ID,
+			ItemID:   sl.item.ID,
+			Gold:     sl.gold,
+			Answer:   ans,
+		})
+		recordOwner = append(recordOwner, wi)
+	}
+
+	sort.SliceStable(records, func(i, j int) bool { return records[i].Time < records[j].Time })
+
+	res := &RunResult{
+		Records:         records,
+		DurationMinutes: now,
+		TotalCost:       float64(judgmentsDone) / float64(cfg.ItemsPerHIT) * cfg.PayPerHIT,
+	}
+	for i := range stats {
+		if stats[i].Judgments > 0 {
+			res.DistinctWorkers++
+			res.Stats = append(res.Stats, stats[i])
+		}
+		if stats[i].Excluded {
+			res.ExcludedWorkers = append(res.ExcludedWorkers, stats[i].WorkerID)
+		}
+	}
+	return res, nil
+}
+
+// VoteOutcome is the result of majority voting over a judgment log.
+type VoteOutcome struct {
+	// Label maps item ID to the majority classification. Items with no
+	// usable judgments or a tie are absent.
+	Label map[int]bool
+	// Unclassified lists item IDs that received judgments but no majority.
+	Unclassified []int
+}
+
+// Classified returns the number of items with a majority label.
+func (v *VoteOutcome) Classified() int { return len(v.Label) }
+
+// MajorityVote aggregates judgments per item, ignoring DontKnow answers and
+// gold questions. Ties and empty vote sets leave the item unclassified,
+// exactly as in §4.1.
+func MajorityVote(records []Record) *VoteOutcome {
+	return MajorityVoteAt(records, math.Inf(1))
+}
+
+// MajorityVoteAt is MajorityVote restricted to records with Time <= t.
+// Experiments 4–6 use it to snapshot the crowd's progress every five
+// simulated minutes while the SVM trains on the evolving majority.
+func MajorityVoteAt(records []Record, t float64) *VoteOutcome {
+	pos := map[int]int{}
+	neg := map[int]int{}
+	seen := map[int]bool{}
+	for _, r := range records {
+		if r.Gold || r.Time > t {
+			continue
+		}
+		seen[r.ItemID] = true
+		switch r.Answer {
+		case Positive:
+			pos[r.ItemID]++
+		case Negative:
+			neg[r.ItemID]++
+		}
+	}
+	out := &VoteOutcome{Label: make(map[int]bool)}
+	for id := range seen {
+		p, n := pos[id], neg[id]
+		switch {
+		case p > n:
+			out.Label[id] = true
+		case n > p:
+			out.Label[id] = false
+		default:
+			out.Unclassified = append(out.Unclassified, id)
+		}
+	}
+	sort.Ints(out.Unclassified)
+	return out
+}
+
+// AccuracyAgainst measures a vote outcome against ground truth: the number
+// of classified items, and of those, how many match truth.
+func (v *VoteOutcome) AccuracyAgainst(truth map[int]bool) (classified, correct int) {
+	for id, label := range v.Label {
+		classified++
+		if truth[id] == label {
+			correct++
+		}
+	}
+	return classified, correct
+}

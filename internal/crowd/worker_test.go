@@ -1,0 +1,193 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewPopulationComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pop := NewPopulation(PopulationConfig{Workers: 100, SpammerFraction: 0.3, LookupFraction: 0.1}, rng)
+	if len(pop.Workers) != 100 {
+		t.Fatalf("workers = %d", len(pop.Workers))
+	}
+	counts := map[Archetype]int{}
+	for _, w := range pop.Workers {
+		counts[w.Archetype]++
+	}
+	if counts[Spammer] != 30 || counts[Lookup] != 10 || counts[Honest] != 60 {
+		t.Fatalf("composition = %v", counts)
+	}
+}
+
+func TestNewPopulationPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPopulation(PopulationConfig{}, rand.New(rand.NewSource(1)))
+}
+
+func TestSpammersLiveInSpammerCountries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pop := NewPopulation(PopulationConfig{Workers: 50, SpammerFraction: 0.5}, rng)
+	for _, w := range pop.Workers {
+		isSpamCountry := w.Country == "ZZ" || w.Country == "YY"
+		if (w.Archetype == Spammer) != isSpamCountry {
+			t.Fatalf("worker %d: archetype %v in country %s", w.ID, w.Archetype, w.Country)
+		}
+	}
+	filtered := pop.Filter([]string{"ZZ", "YY"})
+	for _, w := range filtered.Workers {
+		if w.Archetype == Spammer {
+			t.Fatal("country filter must remove all spammers")
+		}
+	}
+	if len(filtered.Workers) != 25 {
+		t.Fatalf("filtered size = %d", len(filtered.Workers))
+	}
+}
+
+func TestHonestWorkerAdmitsIgnorance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := &Worker{Archetype: Honest, KnowRate: 0.25, Accuracy: 0.9}
+	item := Item{ID: 1, Truth: true, Popularity: 1.0}
+	dontKnow := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if w.Judge(item, true, rng) == DontKnow {
+			dontKnow++
+		}
+	}
+	rate := float64(dontKnow) / float64(n)
+	if rate < 0.70 || rate > 0.80 {
+		t.Fatalf("dont-know rate = %v, want ≈ 0.75", rate)
+	}
+}
+
+func TestHonestWorkerIsAccurateWhenKnowing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := &Worker{Archetype: Honest, KnowRate: 1.0, Accuracy: 0.9}
+	item := Item{ID: 1, Truth: true, Popularity: 1.0}
+	correct, answered := 0, 0
+	for i := 0; i < 10000; i++ {
+		switch w.Judge(item, true, rng) {
+		case Positive:
+			correct++
+			answered++
+		case Negative:
+			answered++
+		}
+	}
+	acc := float64(correct) / float64(answered)
+	if acc < 0.87 || acc > 0.93 {
+		t.Fatalf("accuracy = %v, want ≈ 0.9", acc)
+	}
+}
+
+func TestAmbiguityDegradesAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := &Worker{Archetype: Honest, KnowRate: 1.0, Accuracy: 1.0}
+	hard := Item{ID: 1, Truth: true, Popularity: 1, Ambiguity: 0.4}
+	correct := 0
+	for i := 0; i < 10000; i++ {
+		if w.Judge(hard, true, rng) == Positive {
+			correct++
+		}
+	}
+	acc := float64(correct) / 10000
+	if acc < 0.57 || acc > 0.63 {
+		t.Fatalf("ambiguous accuracy = %v, want ≈ 0.6", acc)
+	}
+}
+
+func TestSpammerClaimsToKnowEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := &Worker{Archetype: Spammer, PositiveBias: 0.56}
+	item := Item{ID: 1, Truth: false, Popularity: 0.05} // obscure movie
+	dontKnow, positive, total := 0, 0, 20000
+	for i := 0; i < total; i++ {
+		switch w.Judge(item, true, rng) {
+		case DontKnow:
+			dontKnow++
+		case Positive:
+			positive++
+		}
+	}
+	claimed := 1 - float64(dontKnow)/float64(total)
+	if claimed < 0.92 || claimed > 0.96 {
+		t.Fatalf("claimed coverage = %v, want ≈ 0.94", claimed)
+	}
+	posRate := float64(positive) / float64(total-dontKnow)
+	if posRate < 0.52 || posRate > 0.60 {
+		t.Fatalf("positive rate = %v, want ≈ 0.56", posRate)
+	}
+}
+
+func TestLookupWorkerAnswersEverythingAccurately(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := &Worker{Archetype: Lookup, Accuracy: 0.95}
+	item := Item{ID: 1, Truth: true, Popularity: 0.01}
+	correct := 0
+	for i := 0; i < 10000; i++ {
+		ans := w.Judge(item, true, rng)
+		if ans == DontKnow {
+			t.Fatal("lookup workers never answer dont-know")
+		}
+		if ans == Positive {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 10000; acc < 0.92 || acc > 0.97 {
+		t.Fatalf("lookup accuracy = %v", acc)
+	}
+}
+
+func TestForcedAnswerWithoutDontKnowOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	w := &Worker{Archetype: Honest, KnowRate: 0.0, Accuracy: 0.9}
+	item := Item{ID: 1, Truth: true, Popularity: 1}
+	pos := 0
+	for i := 0; i < 10000; i++ {
+		ans := w.Judge(item, false, rng)
+		if ans == DontKnow {
+			t.Fatal("dont-know must not appear when the option is removed")
+		}
+		if ans == Positive {
+			pos++
+		}
+	}
+	rate := float64(pos) / 10000
+	if rate < 0.47 || rate > 0.53 {
+		t.Fatalf("forced-guess positive rate = %v, want ≈ 0.5", rate)
+	}
+}
+
+func TestArchetypeAndJudgmentStrings(t *testing.T) {
+	if Honest.String() != "honest" || Spammer.String() != "spammer" || Lookup.String() != "lookup" {
+		t.Fatal("archetype strings wrong")
+	}
+	if Positive.String() != "positive" || Negative.String() != "negative" || DontKnow.String() != "dont-know" {
+		t.Fatal("judgment strings wrong")
+	}
+}
+
+func TestPopulationCountries(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pop := NewPopulation(PopulationConfig{Workers: 40, SpammerFraction: 0.5}, rng)
+	countries := pop.Countries()
+	if len(countries) < 3 {
+		t.Fatalf("countries = %v", countries)
+	}
+	seen := map[string]bool{}
+	for _, c := range countries {
+		if seen[c] {
+			t.Fatalf("duplicate country %s", c)
+		}
+		seen[c] = true
+	}
+	if !seen["ZZ"] && !seen["YY"] {
+		t.Fatal("spammer countries missing")
+	}
+}

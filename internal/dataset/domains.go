@@ -1,0 +1,157 @@
+package dataset
+
+// Scale selects how large a generated universe is. The paper's full data
+// sizes (10,562 movies × 480k users × 86M ratings) are reproducible in
+// shape at a fraction of the volume; experiments accept any scale and the
+// benchmarks default to ScaleTiny so `go test -bench` stays fast.
+type Scale struct {
+	Items          int
+	Users          int
+	RatingsPerUser int
+}
+
+// Predefined scales.
+var (
+	// ScaleTiny is for unit tests and CI benchmarks (seconds).
+	ScaleTiny = Scale{Items: 300, Users: 1000, RatingsPerUser: 90}
+	// ScaleSmall is the default for the experiments binary (tens of
+	// seconds). The per-item rating volume (~300) is what makes learned
+	// neighbourhoods crisp; the paper's Netflix corpus had ~5,800
+	// ratings per movie.
+	ScaleSmall = Scale{Items: 1200, Users: 3000, RatingsPerUser: 150}
+	// ScaleMedium approaches the paper's movie count at reduced user
+	// volume (minutes).
+	ScaleMedium = Scale{Items: 4000, Users: 10000, RatingsPerUser: 150}
+	// ScalePaper matches the paper's item count for the movie domain.
+	ScalePaper = Scale{Items: 10562, Users: 40000, RatingsPerUser: 200}
+)
+
+// MovieGenres are the six genres shared by all three expert databases
+// (paper §4.3), with base rates close to the reference data set's
+// (30.1% comedies; horror ≈ 10%).
+var MovieGenres = []CategorySpec{
+	{Name: "Comedy", Kind: Perceptual, Rate: 0.301},
+	{Name: "Documentary", Kind: Perceptual, Rate: 0.07},
+	{Name: "Drama", Kind: Perceptual, Rate: 0.42},
+	{Name: "Family", Kind: Perceptual, Rate: 0.12},
+	{Name: "Horror", Kind: Perceptual, Rate: 0.10},
+	{Name: "Romance", Kind: Perceptual, Rate: 0.17},
+}
+
+// Table2Groups are the franchise/style neighbourhoods of the paper's
+// Table 2; each group shares a latent anchor so a faithful perceptual
+// space must reunite them.
+var Table2Groups = []NamedGroup{
+	{Names: []string{
+		"Rocky (1976)", "Rocky II (1979)", "Rocky III (1982)",
+		"Hoosiers (1986)", "The Natural (1984)", "The Karate Kid (1984)",
+	}},
+	{Names: []string{
+		"Dirty Dancing (1987)", "Pretty Woman (1990)", "Footloose (1984)",
+		"Grease (1978)", "Ghost (1990)", "Flashdance (1983)",
+	}},
+	{Names: []string{
+		"The Birds (1963)", "Psycho (1960)", "Vertigo (1958)",
+		"Rear Window (1954)", "North By Northwest (1959)", "Dial M for Murder (1954)",
+	}},
+}
+
+// Movies returns the movie-domain configuration: Netflix-style 5-star
+// ratings, three expert databases, six shared genres, and the Table 2
+// named franchises.
+func Movies(s Scale, seed int64) Config {
+	return Config{
+		Name:               "movies",
+		Items:              s.Items,
+		Users:              s.Users,
+		RatingsPerUser:     s.RatingsPerUser,
+		TrueDims:           8,
+		Clusters:           10,
+		RatingMax:          5,
+		Categories:         MovieGenres,
+		Experts:            3,
+		ExpertBaseFlip:     0.015,
+		ExpertBoundaryFlip: 0.30,
+		NamedGroups:        Table2Groups,
+		Seed:               seed,
+	}
+}
+
+// RestaurantCategories mirrors Table 5's Yelp categories. Most are
+// perceptual; a couple are kept factual-leaning to exercise the contrast.
+var RestaurantCategories = []CategorySpec{
+	{Name: "Ambience: Trendy", Kind: Perceptual, Rate: 0.18},
+	{Name: "Attire: Dressy", Kind: Perceptual, Rate: 0.12},
+	{Name: "Category: Fast Food", Kind: Perceptual, Rate: 0.15},
+	{Name: "Good For Kids", Kind: Perceptual, Rate: 0.35},
+	{Name: "Noise Level: Very Loud", Kind: Perceptual, Rate: 0.10},
+	{Name: "Romantic", Kind: Perceptual, Rate: 0.14},
+	{Name: "Casual", Kind: Perceptual, Rate: 0.45},
+	{Name: "Has Parking", Kind: Factual, Rate: 0.40},
+	{Name: "Open Late", Kind: Factual, Rate: 0.25},
+	{Name: "Upscale", Kind: Perceptual, Rate: 0.10},
+}
+
+// Restaurants returns the Yelp-like domain of Table 5 (the paper crawled
+// 3,811 San Francisco restaurants, 128k users, 626k ratings).
+func Restaurants(s Scale, seed int64) Config {
+	return Config{
+		Name:               "restaurants",
+		Items:              s.Items,
+		Users:              s.Users,
+		RatingsPerUser:     s.RatingsPerUser,
+		TrueDims:           6,
+		Clusters:           8,
+		RatingMax:          5,
+		Categories:         RestaurantCategories,
+		Experts:            1, // a single editorial source, as on yelp.com
+		ExpertBaseFlip:     0.03,
+		ExpertBoundaryFlip: 0.25,
+		Seed:               seed,
+	}
+}
+
+// BoardGameCategories mirrors Table 6's BoardGameGeek categories: truly
+// perceptual ones ("Party Game") extract well; mechanical/factual ones
+// ("Modular Board") do not.
+var BoardGameCategories = []CategorySpec{
+	{Name: "Collectible Components", Kind: Perceptual, Rate: 0.08},
+	{Name: "Children's Game", Kind: Perceptual, Rate: 0.12},
+	{Name: "Party Game", Kind: Perceptual, Rate: 0.15},
+	{Name: "Modular Board", Kind: Factual, Rate: 0.18},
+	{Name: "Route/Network Building", Kind: Perceptual, Rate: 0.10},
+	{Name: "Worker Placement", Kind: Perceptual, Rate: 0.09},
+	{Name: "Deck Building", Kind: Perceptual, Rate: 0.07},
+	{Name: "Dexterity", Kind: Perceptual, Rate: 0.06},
+	{Name: "Cooperative", Kind: Perceptual, Rate: 0.11},
+	{Name: "Wargame", Kind: Perceptual, Rate: 0.16},
+	{Name: "Abstract Strategy", Kind: Perceptual, Rate: 0.09},
+	{Name: "Dice Rolling", Kind: Factual, Rate: 0.30},
+	{Name: "Tile Placement", Kind: Factual, Rate: 0.14},
+	{Name: "Economic", Kind: Perceptual, Rate: 0.13},
+	{Name: "Fantasy Theme", Kind: Perceptual, Rate: 0.20},
+	{Name: "Sci-Fi Theme", Kind: Perceptual, Rate: 0.12},
+	{Name: "Horror Theme", Kind: Perceptual, Rate: 0.06},
+	{Name: "Trivia", Kind: Perceptual, Rate: 0.05},
+	{Name: "Bluffing", Kind: Perceptual, Rate: 0.08},
+	{Name: "Legacy", Kind: Factual, Rate: 0.03},
+}
+
+// BoardGames returns the BoardGameGeek-like domain of Table 6 (the paper
+// crawled 32,337 games, 73k users, 3.5M ratings; BGG rates on a 10 scale).
+func BoardGames(s Scale, seed int64) Config {
+	return Config{
+		Name:               "boardgames",
+		Items:              s.Items,
+		Users:              s.Users,
+		RatingsPerUser:     s.RatingsPerUser,
+		TrueDims:           7,
+		Clusters:           9,
+		RatingMax:          10,
+		Categories:         BoardGameCategories,
+		Experts:            1,
+		ExpertBaseFlip:     0.03,
+		ExpertBoundaryFlip: 0.25,
+		Seed:               seed,
+	}
+}

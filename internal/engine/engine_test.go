@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(storage.NewCatalog())
+	mustExec(t, e, `CREATE TABLE movies (
+		movie_id INTEGER, name TEXT, year INTEGER, rating FLOAT,
+		is_comedy BOOLEAN PERCEPTUAL
+	)`)
+	rows := []string{
+		"(1, 'Rocky', 1976, 8.1, false)",
+		"(2, 'Airplane', 1980, 7.8, true)",
+		"(3, 'Psycho', 1960, 8.5, false)",
+		"(4, 'Ghostbusters', 1984, 7.8, true)",
+		"(5, 'Vertigo', 1958, 8.3, NULL)",
+	}
+	for _, r := range rows {
+		mustExec(t, e, "INSERT INTO movies VALUES "+r)
+	}
+	return e
+}
+
+func mustExec(t *testing.T, e *Engine, sql string) *Result {
+	t.Helper()
+	res, err := e.ExecSQL(sql)
+	if err != nil {
+		t.Fatalf("ExecSQL(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestSelectAll(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT * FROM movies")
+	if len(res.Rows) != 5 || len(res.Columns) != 5 {
+		t.Fatalf("rows=%d cols=%v", len(res.Rows), res.Columns)
+	}
+	if res.Columns[1] != "name" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestSelectWhereComparison(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT name FROM movies WHERE year >= 1980")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectWherePaperQuery(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT name FROM movies WHERE is_comedy = true")
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected 2 comedies, got %d", len(res.Rows))
+	}
+}
+
+func TestNullSemanticsInWhere(t *testing.T) {
+	e := newTestEngine(t)
+	// Vertigo has NULL is_comedy: neither = true nor = false matches it.
+	r1 := mustExec(t, e, "SELECT * FROM movies WHERE is_comedy = true")
+	r2 := mustExec(t, e, "SELECT * FROM movies WHERE is_comedy = false")
+	r3 := mustExec(t, e, "SELECT * FROM movies WHERE NOT is_comedy = true")
+	if len(r1.Rows)+len(r2.Rows) != 4 {
+		t.Fatalf("NULL row leaked into equality results: %d + %d", len(r1.Rows), len(r2.Rows))
+	}
+	if len(r3.Rows) != 2 {
+		t.Fatalf("NOT over UNKNOWN must stay UNKNOWN; got %d rows", len(r3.Rows))
+	}
+	r4 := mustExec(t, e, "SELECT * FROM movies WHERE is_comedy IS NULL")
+	if len(r4.Rows) != 1 {
+		t.Fatalf("IS NULL rows = %d", len(r4.Rows))
+	}
+	r5 := mustExec(t, e, "SELECT * FROM movies WHERE is_comedy IS NOT NULL")
+	if len(r5.Rows) != 4 {
+		t.Fatalf("IS NOT NULL rows = %d", len(r5.Rows))
+	}
+}
+
+func TestBooleanColumnAsBarePredicate(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT name FROM movies WHERE is_comedy")
+	if len(res.Rows) != 2 {
+		t.Fatalf("bare boolean predicate rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, e, "SELECT name FROM movies WHERE NOT is_comedy")
+	if len(res.Rows) != 2 {
+		t.Fatalf("NOT bare boolean rows = %d", len(res.Rows))
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT name, year FROM movies ORDER BY year DESC LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	n0, _ := res.Rows[0][0].AsText()
+	n1, _ := res.Rows[1][0].AsText()
+	if n0 != "Ghostbusters" || n1 != "Airplane" {
+		t.Fatalf("order = %s, %s", n0, n1)
+	}
+}
+
+func TestOrderByNullsLast(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT name FROM movies ORDER BY is_comedy")
+	last, _ := res.Rows[4][0].AsText()
+	if last != "Vertigo" {
+		t.Fatalf("NULL row must sort last, got %s", last)
+	}
+	res = mustExec(t, e, "SELECT name FROM movies ORDER BY is_comedy DESC")
+	last, _ = res.Rows[4][0].AsText()
+	if last != "Vertigo" {
+		t.Fatalf("NULL row must sort last under DESC too, got %s", last)
+	}
+}
+
+func TestOrderByStability(t *testing.T) {
+	e := newTestEngine(t)
+	// rating 7.8 is shared by Airplane(2) and Ghostbusters(4): stable sort
+	// must preserve insertion order for ties.
+	res := mustExec(t, e, "SELECT movie_id FROM movies ORDER BY rating")
+	id0, _ := res.Rows[0][0].AsInt()
+	id1, _ := res.Rows[1][0].AsInt()
+	if id0 != 2 || id1 != 4 {
+		t.Fatalf("tie order = %d, %d; want 2, 4", id0, id1)
+	}
+}
+
+func TestProjectionExpressionsAndAliases(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT name, year - 1900 age FROM movies WHERE movie_id = 1")
+	if res.Columns[1] != "age" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	v, _ := res.Rows[0][1].AsInt()
+	if v != 76 {
+		t.Fatalf("age = %d", v)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT rating * 10 FROM movies WHERE movie_id = 3")
+	f, _ := res.Rows[0][0].AsFloat()
+	if f != 85 {
+		t.Fatalf("rating*10 = %v", f)
+	}
+	if _, err := e.ExecSQL("SELECT rating / 0 FROM movies"); err == nil {
+		t.Fatal("division by zero must fail")
+	}
+	if _, err := e.ExecSQL("SELECT name + 1 FROM movies"); err == nil {
+		t.Fatal("text arithmetic must fail")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT COUNT(*), COUNT(is_comedy), AVG(rating), MIN(year), MAX(year), SUM(rating) FROM movies")
+	row := res.Rows[0]
+	if n, _ := row[0].AsInt(); n != 5 {
+		t.Fatalf("COUNT(*) = %v", row[0])
+	}
+	if n, _ := row[1].AsInt(); n != 4 {
+		t.Fatalf("COUNT(is_comedy) must skip NULL, got %v", row[1])
+	}
+	if f, _ := row[2].AsFloat(); f != (8.1+7.8+8.5+7.8+8.3)/5 {
+		t.Fatalf("AVG = %v", row[2])
+	}
+	if y, _ := row[3].AsInt(); y != 1958 {
+		t.Fatalf("MIN = %v", row[3])
+	}
+	if y, _ := row[4].AsInt(); y != 1984 {
+		t.Fatalf("MAX = %v", row[4])
+	}
+}
+
+func TestAggregateWithWhereAndEmptyInput(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "SELECT COUNT(*), AVG(rating) FROM movies WHERE year > 3000")
+	if n, _ := res.Rows[0][0].AsInt(); n != 0 {
+		t.Fatalf("COUNT = %v", res.Rows[0][0])
+	}
+	if !res.Rows[0][1].IsNull() {
+		t.Fatalf("AVG of empty set must be NULL, got %v", res.Rows[0][1])
+	}
+}
+
+func TestAggregateMixError(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.ExecSQL("SELECT name, COUNT(*) FROM movies"); err == nil {
+		t.Fatal("mixing aggregates and scalars must fail")
+	}
+}
+
+func TestMissingColumnError(t *testing.T) {
+	e := newTestEngine(t)
+	_, err := e.ExecSQL("SELECT * FROM movies WHERE humor >= 8")
+	var missing *MissingColumnError
+	if !errors.As(err, &missing) {
+		t.Fatalf("err = %v, want MissingColumnError", err)
+	}
+	if missing.Table != "movies" || missing.Column != "humor" {
+		t.Fatalf("missing = %+v", missing)
+	}
+	// Must trigger even when the table is empty or predicates short-circuit.
+	mustExec(t, e, "DELETE FROM movies")
+	_, err = e.ExecSQL("SELECT * FROM movies WHERE humor >= 8")
+	if !errors.As(err, &missing) {
+		t.Fatalf("empty table: err = %v, want MissingColumnError", err)
+	}
+	// Also for ORDER BY and select list.
+	_, err = e.ExecSQL("SELECT humor FROM movies")
+	if !errors.As(err, &missing) {
+		t.Fatalf("select list: err = %v", err)
+	}
+	_, err = e.ExecSQL("SELECT name FROM movies ORDER BY humor")
+	if !errors.As(err, &missing) {
+		t.Fatalf("order by: err = %v", err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "UPDATE movies SET rating = rating + 1 WHERE is_comedy = true")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	check := mustExec(t, e, "SELECT rating FROM movies WHERE movie_id = 2")
+	if f, _ := check.Rows[0][0].AsFloat(); f != 8.8 {
+		t.Fatalf("rating = %v", f)
+	}
+	if _, err := e.ExecSQL("UPDATE movies SET nosuch = 1"); err == nil {
+		t.Fatal("unknown SET column must fail")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustExec(t, e, "DELETE FROM movies WHERE year < 1970")
+	if res.Affected != 2 {
+		t.Fatalf("deleted = %d", res.Affected)
+	}
+	left := mustExec(t, e, "SELECT COUNT(*) FROM movies")
+	if n, _ := left.Rows[0][0].AsInt(); n != 3 {
+		t.Fatalf("remaining = %d", n)
+	}
+}
+
+func TestInsertWithColumnList(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "INSERT INTO movies (movie_id, name) VALUES (6, 'New')")
+	res := mustExec(t, e, "SELECT year FROM movies WHERE movie_id = 6")
+	if !res.Rows[0][0].IsNull() {
+		t.Fatal("unlisted columns must be NULL")
+	}
+	if _, err := e.ExecSQL("INSERT INTO movies (movie_id, nosuch) VALUES (7, 1)"); err == nil {
+		t.Fatal("unknown insert column must fail")
+	}
+	if _, err := e.ExecSQL("INSERT INTO movies (movie_id) VALUES (7, 8)"); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+}
+
+func TestCreateDropErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.ExecSQL("CREATE TABLE movies (a INTEGER)"); err == nil {
+		t.Fatal("duplicate table must fail")
+	}
+	mustExec(t, e, "DROP TABLE movies")
+	if _, err := e.ExecSQL("DROP TABLE movies"); err == nil {
+		t.Fatal("double drop must fail")
+	}
+	if _, err := e.ExecSQL("SELECT * FROM movies"); err == nil {
+		t.Fatal("select from dropped table must fail")
+	}
+}
+
+func TestExpandRejectedByPlainEngine(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.ExecSQL("EXPAND TABLE movies ADD COLUMN humor FLOAT USING CROWD"); err == nil {
+		t.Fatal("plain engine must reject EXPAND")
+	}
+}
+
+func TestThreeValuedLogicTruthTable(t *testing.T) {
+	cases := []struct {
+		a, b, and, or tribool
+	}{
+		{triTrue, triTrue, triTrue, triTrue},
+		{triTrue, triFalse, triFalse, triTrue},
+		{triTrue, triUnknown, triUnknown, triTrue},
+		{triFalse, triFalse, triFalse, triFalse},
+		{triFalse, triUnknown, triFalse, triUnknown},
+		{triUnknown, triUnknown, triUnknown, triUnknown},
+	}
+	for _, c := range cases {
+		if got := c.a.and(c.b); got != c.and {
+			t.Errorf("%v AND %v = %v, want %v", c.a, c.b, got, c.and)
+		}
+		if got := c.b.and(c.a); got != c.and {
+			t.Errorf("AND must be symmetric")
+		}
+		if got := c.a.or(c.b); got != c.or {
+			t.Errorf("%v OR %v = %v, want %v", c.a, c.b, got, c.or)
+		}
+		if got := c.b.or(c.a); got != c.or {
+			t.Errorf("OR must be symmetric")
+		}
+	}
+	if triUnknown.not() != triUnknown || triTrue.not() != triFalse {
+		t.Fatal("NOT truth table broken")
+	}
+}

@@ -1,0 +1,336 @@
+// Package engine executes parsed SQL statements against the storage layer.
+//
+// It implements a straightforward single-table engine: full scans with
+// predicate filtering, projection, ORDER BY, LIMIT, and ungrouped
+// aggregates. WHERE predicates use SQL's three-valued logic (NULL
+// comparisons yield UNKNOWN, which filters the row out).
+//
+// The engine deliberately knows nothing about crowds: when a query
+// references a column the schema lacks, execution fails with a
+// *MissingColumnError. The crowd-enabled layer in internal/core catches
+// that error, performs schema expansion, and re-runs the query — this is
+// exactly the "query-driven" part of the paper's title.
+package engine
+
+import (
+	"fmt"
+
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// MissingColumnError reports that a query referenced a column that the
+// table's schema does not (yet) contain.
+type MissingColumnError struct {
+	Table  string
+	Column string
+}
+
+func (e *MissingColumnError) Error() string {
+	return fmt.Sprintf("engine: table %q has no column %q", e.Table, e.Column)
+}
+
+// tribool is SQL three-valued logic.
+type tribool uint8
+
+const (
+	triFalse tribool = iota
+	triTrue
+	triUnknown
+)
+
+func triOf(b bool) tribool {
+	if b {
+		return triTrue
+	}
+	return triFalse
+}
+
+func (t tribool) not() tribool {
+	switch t {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	default:
+		return triUnknown
+	}
+}
+
+func (t tribool) and(o tribool) tribool {
+	if t == triFalse || o == triFalse {
+		return triFalse
+	}
+	if t == triUnknown || o == triUnknown {
+		return triUnknown
+	}
+	return triTrue
+}
+
+func (t tribool) or(o tribool) tribool {
+	if t == triTrue || o == triTrue {
+		return triTrue
+	}
+	if t == triUnknown || o == triUnknown {
+		return triUnknown
+	}
+	return triFalse
+}
+
+// valueEnv resolves column references during expression evaluation.
+// rowEnv resolves against a table row; outputEnv (engine.go) resolves
+// against a grouped query's output columns for HAVING and ORDER BY.
+type valueEnv interface {
+	lookup(name string) (storage.Value, error)
+}
+
+// rowEnv resolves column references for one row.
+type rowEnv struct {
+	table  string
+	schema *storage.Schema
+	row    storage.Row
+}
+
+func (env *rowEnv) lookup(name string) (storage.Value, error) {
+	idx, ok := env.schema.Lookup(name)
+	if !ok {
+		return storage.Null(), &MissingColumnError{Table: env.table, Column: name}
+	}
+	return env.row[idx], nil
+}
+
+// evalValue computes a scalar expression for the row.
+func evalValue(e sqlparse.Expr, env valueEnv) (storage.Value, error) {
+	switch n := e.(type) {
+	case *sqlparse.Literal:
+		return literalValue(n), nil
+	case *sqlparse.ColumnRef:
+		return env.lookup(n.Name)
+	case *sqlparse.UnaryExpr:
+		switch n.Op {
+		case "-":
+			v, err := evalValue(n.Expr, env)
+			if err != nil {
+				return storage.Null(), err
+			}
+			if v.IsNull() {
+				return storage.Null(), nil
+			}
+			if i, ok := v.AsInt(); ok && v.Kind() == storage.KindInt {
+				return storage.Int(-i), nil
+			}
+			if f, ok := v.AsFloat(); ok {
+				return storage.Float(-f), nil
+			}
+			return storage.Null(), fmt.Errorf("engine: cannot negate %s value", v.Kind())
+		case "NOT":
+			t, err := evalPredicate(n, env)
+			if err != nil {
+				return storage.Null(), err
+			}
+			return triValue(t), nil
+		}
+		return storage.Null(), fmt.Errorf("engine: unknown unary operator %q", n.Op)
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "AND", "OR", "=", "!=", "<", "<=", ">", ">=":
+			t, err := evalPredicate(n, env)
+			if err != nil {
+				return storage.Null(), err
+			}
+			return triValue(t), nil
+		case "+", "-", "*", "/":
+			return evalArith(n, env)
+		}
+		return storage.Null(), fmt.Errorf("engine: unknown binary operator %q", n.Op)
+	case *sqlparse.IsNullExpr:
+		t, err := evalPredicate(n, env)
+		if err != nil {
+			return storage.Null(), err
+		}
+		return triValue(t), nil
+	default:
+		return storage.Null(), fmt.Errorf("engine: unsupported expression %T", e)
+	}
+}
+
+func triValue(t tribool) storage.Value {
+	switch t {
+	case triTrue:
+		return storage.Bool(true)
+	case triFalse:
+		return storage.Bool(false)
+	default:
+		return storage.Null()
+	}
+}
+
+func literalValue(l *sqlparse.Literal) storage.Value {
+	switch l.Kind {
+	case sqlparse.LitNull:
+		return storage.Null()
+	case sqlparse.LitBool:
+		return storage.Bool(l.Bool)
+	case sqlparse.LitInt:
+		return storage.Int(l.Int)
+	case sqlparse.LitFloat:
+		return storage.Float(l.Float)
+	case sqlparse.LitString:
+		return storage.Text(l.Str)
+	default:
+		return storage.Null()
+	}
+}
+
+func evalArith(n *sqlparse.BinaryExpr, env valueEnv) (storage.Value, error) {
+	l, err := evalValue(n.Left, env)
+	if err != nil {
+		return storage.Null(), err
+	}
+	r, err := evalValue(n.Right, env)
+	if err != nil {
+		return storage.Null(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return storage.Null(), nil
+	}
+	lf, ok1 := l.AsFloat()
+	rf, ok2 := r.AsFloat()
+	if !ok1 || !ok2 {
+		return storage.Null(), fmt.Errorf("engine: arithmetic on non-numeric values (%s %s %s)", l.Kind(), n.Op, r.Kind())
+	}
+	bothInt := l.Kind() == storage.KindInt && r.Kind() == storage.KindInt
+	switch n.Op {
+	case "+":
+		if bothInt {
+			li, _ := l.AsInt()
+			ri, _ := r.AsInt()
+			return storage.Int(li + ri), nil
+		}
+		return storage.Float(lf + rf), nil
+	case "-":
+		if bothInt {
+			li, _ := l.AsInt()
+			ri, _ := r.AsInt()
+			return storage.Int(li - ri), nil
+		}
+		return storage.Float(lf - rf), nil
+	case "*":
+		if bothInt {
+			li, _ := l.AsInt()
+			ri, _ := r.AsInt()
+			return storage.Int(li * ri), nil
+		}
+		return storage.Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return storage.Null(), fmt.Errorf("engine: division by zero")
+		}
+		return storage.Float(lf / rf), nil
+	}
+	return storage.Null(), fmt.Errorf("engine: unknown arithmetic operator %q", n.Op)
+}
+
+// evalPredicate computes a boolean expression under three-valued logic.
+func evalPredicate(e sqlparse.Expr, env valueEnv) (tribool, error) {
+	switch n := e.(type) {
+	case *sqlparse.Literal:
+		if n.Kind == sqlparse.LitNull {
+			return triUnknown, nil
+		}
+		if n.Kind == sqlparse.LitBool {
+			return triOf(n.Bool), nil
+		}
+		return triFalse, fmt.Errorf("engine: %s literal used as predicate", n.String())
+	case *sqlparse.ColumnRef:
+		v, err := env.lookup(n.Name)
+		if err != nil {
+			return triFalse, err
+		}
+		if v.IsNull() {
+			return triUnknown, nil
+		}
+		if b, ok := v.AsBool(); ok {
+			return triOf(b), nil
+		}
+		return triFalse, fmt.Errorf("engine: column %q is not boolean", n.Name)
+	case *sqlparse.UnaryExpr:
+		if n.Op == "NOT" {
+			t, err := evalPredicate(n.Expr, env)
+			if err != nil {
+				return triFalse, err
+			}
+			return t.not(), nil
+		}
+		return triFalse, fmt.Errorf("engine: %q used as predicate", n.Op)
+	case *sqlparse.IsNullExpr:
+		v, err := evalValue(n.Expr, env)
+		if err != nil {
+			return triFalse, err
+		}
+		isNull := v.IsNull()
+		if n.Negate {
+			return triOf(!isNull), nil
+		}
+		return triOf(isNull), nil
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "AND":
+			l, err := evalPredicate(n.Left, env)
+			if err != nil {
+				return triFalse, err
+			}
+			r, err := evalPredicate(n.Right, env)
+			if err != nil {
+				return triFalse, err
+			}
+			return l.and(r), nil
+		case "OR":
+			l, err := evalPredicate(n.Left, env)
+			if err != nil {
+				return triFalse, err
+			}
+			r, err := evalPredicate(n.Right, env)
+			if err != nil {
+				return triFalse, err
+			}
+			return l.or(r), nil
+		case "=", "!=", "<", "<=", ">", ">=":
+			l, err := evalValue(n.Left, env)
+			if err != nil {
+				return triFalse, err
+			}
+			r, err := evalValue(n.Right, env)
+			if err != nil {
+				return triFalse, err
+			}
+			if l.IsNull() || r.IsNull() {
+				return triUnknown, nil
+			}
+			switch n.Op {
+			case "=":
+				return triOf(l.Equal(r)), nil
+			case "!=":
+				return triOf(!l.Equal(r)), nil
+			default:
+				c, err := l.Compare(r)
+				if err != nil {
+					return triFalse, err
+				}
+				switch n.Op {
+				case "<":
+					return triOf(c < 0), nil
+				case "<=":
+					return triOf(c <= 0), nil
+				case ">":
+					return triOf(c > 0), nil
+				case ">=":
+					return triOf(c >= 0), nil
+				}
+			}
+		}
+		return triFalse, fmt.Errorf("engine: operator %q used as predicate", n.Op)
+	default:
+		return triFalse, fmt.Errorf("engine: unsupported predicate %T", e)
+	}
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+// exprEngine builds a one-row table for projecting expressions.
+func exprEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(storage.NewCatalog())
+	mustExec(t, e, `CREATE TABLE t (a INTEGER, b INTEGER, f FLOAT, s TEXT, flag BOOLEAN, n INTEGER)`)
+	mustExec(t, e, `INSERT INTO t VALUES (7, 3, 2.5, 'x', true, NULL)`)
+	return e
+}
+
+// project evaluates a single expression for the single row.
+func project(t *testing.T, e *Engine, expr string) storage.Value {
+	t.Helper()
+	res := mustExec(t, e, "SELECT "+expr+" FROM t")
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		t.Fatalf("projection %q shape = %dx%d", expr, len(res.Rows), len(res.Rows[0]))
+	}
+	return res.Rows[0][0]
+}
+
+func TestExpressionProjection(t *testing.T) {
+	e := exprEngine(t)
+	cases := []struct {
+		expr string
+		want storage.Value
+	}{
+		// Comparisons as values.
+		{"a = 7", storage.Bool(true)},
+		{"a != 7", storage.Bool(false)},
+		{"a < b", storage.Bool(false)},
+		{"a >= b", storage.Bool(true)},
+		{"s = 'x'", storage.Bool(true)},
+		// Logic as values.
+		{"flag AND a > 1", storage.Bool(true)},
+		{"NOT flag", storage.Bool(false)},
+		{"flag OR n > 0", storage.Bool(true)},       // TRUE OR UNKNOWN
+		{"NOT flag AND n > 0", storage.Bool(false)}, // FALSE AND UNKNOWN
+		// NULL propagation into values.
+		{"n = 1", storage.Null()},
+		{"n + 1", storage.Null()},
+		{"-n", storage.Null()},
+		{"NOT n > 0", storage.Null()},
+		// IS NULL as value.
+		{"n IS NULL", storage.Bool(true)},
+		{"a IS NULL", storage.Bool(false)},
+		{"a IS NOT NULL", storage.Bool(true)},
+		// Arithmetic typing.
+		{"a + b", storage.Int(10)},
+		{"a - b", storage.Int(4)},
+		{"a * b", storage.Int(21)},
+		{"a / b", storage.Float(7.0 / 3.0)},
+		{"a + f", storage.Float(9.5)},
+		{"-a", storage.Int(-7)},
+		{"-f", storage.Float(-2.5)},
+		{"-(a + b)", storage.Int(-10)},
+		// Literals.
+		{"42", storage.Int(42)},
+		{"4.5", storage.Float(4.5)},
+		{"'lit'", storage.Text("lit")},
+		{"true", storage.Bool(true)},
+		{"NULL", storage.Null()},
+	}
+	for _, c := range cases {
+		got := project(t, e, c.expr)
+		if c.want.IsNull() {
+			if !got.IsNull() {
+				t.Errorf("%s = %v, want NULL", c.expr, got)
+			}
+			continue
+		}
+		if !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("%s = %v (%v), want %v (%v)", c.expr, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestExpressionErrors(t *testing.T) {
+	e := exprEngine(t)
+	for _, expr := range []string{
+		"-s",          // negate text
+		"s + 1",       // text arithmetic
+		"a / 0",       // division by zero
+		"s AND flag",  // text as predicate
+		"a AND flag",  // int as predicate
+		"1 = 1 AND 5", // numeric literal as predicate operand
+	} {
+		if _, err := e.ExecSQL("SELECT " + expr + " FROM t"); err == nil {
+			t.Errorf("SELECT %s must fail", expr)
+		}
+	}
+}
+
+func TestWhereTextComparisons(t *testing.T) {
+	e := exprEngine(t)
+	res := mustExec(t, e, "SELECT a FROM t WHERE s < 'y' AND s > 'a'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("text range match failed")
+	}
+	if _, err := e.ExecSQL("SELECT a FROM t WHERE s < 5"); err == nil {
+		t.Fatal("text/int comparison must fail")
+	}
+}

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+func groupEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(storage.NewCatalog())
+	mustExec(t, e, `CREATE TABLE sales (region TEXT, product TEXT, amount FLOAT, qty INTEGER)`)
+	rows := []string{
+		"('north', 'ale', 10.0, 1)",
+		"('north', 'ale', 20.0, 2)",
+		"('north', 'rum', 5.0, 1)",
+		"('south', 'ale', 7.5, 3)",
+		"('south', 'rum', 2.5, 1)",
+		"('south', 'rum', NULL, 2)",
+		"('east', 'gin', 30.0, 1)",
+	}
+	for _, r := range rows {
+		mustExec(t, e, "INSERT INTO sales VALUES "+r)
+	}
+	return e
+}
+
+func TestGroupByBasic(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT region, COUNT(*) n, SUM(amount) total FROM sales GROUP BY region ORDER BY region`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if res.Columns[0] != "region" || res.Columns[1] != "n" || res.Columns[2] != "total" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	// east, north, south (ordered).
+	r0, _ := res.Rows[0][0].AsText()
+	if r0 != "east" {
+		t.Fatalf("first group = %s", r0)
+	}
+	nNorth, _ := res.Rows[1][1].AsInt()
+	if nNorth != 3 {
+		t.Fatalf("north count = %d", nNorth)
+	}
+	totSouth, _ := res.Rows[2][2].AsFloat()
+	if totSouth != 10.0 {
+		t.Fatalf("south total = %v (NULL amounts must be skipped)", totSouth)
+	}
+}
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT region, product, COUNT(*) FROM sales GROUP BY region, product ORDER BY region, product`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT region, COUNT(*) n FROM sales GROUP BY region HAVING n >= 3 ORDER BY region`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		n, _ := row[1].AsInt()
+		if n < 3 {
+			t.Fatalf("HAVING leaked group with n = %d", n)
+		}
+	}
+}
+
+func TestGroupByHavingOnGroupColumn(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT region, COUNT(*) n FROM sales GROUP BY region HAVING region = 'north'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestGroupByWithWhere(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT product, AVG(amount) FROM sales WHERE region = 'north' GROUP BY product ORDER BY product`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	ale, _ := res.Rows[0][1].AsFloat()
+	if ale != 15.0 {
+		t.Fatalf("ale avg = %v", ale)
+	}
+}
+
+func TestGroupByOrderByAggregateDesc(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT region, SUM(qty) total FROM sales GROUP BY region ORDER BY total DESC LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	t0, _ := res.Rows[0][1].AsInt()
+	t1, _ := res.Rows[1][1].AsInt()
+	if t0 < t1 {
+		t.Fatalf("order broken: %d then %d", t0, t1)
+	}
+}
+
+func TestGroupByExpressionKey(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT qty * 2, COUNT(*) FROM sales GROUP BY qty * 2 ORDER BY COUNT(*) DESC`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d (qty values 1,2,3 → keys 2,4,6)", len(res.Rows))
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	e := groupEngine(t)
+	if _, err := e.ExecSQL(`SELECT product, COUNT(*) FROM sales GROUP BY region`); err == nil {
+		t.Fatal("non-grouped scalar column must fail")
+	}
+	if _, err := e.ExecSQL(`SELECT *, COUNT(*) FROM sales GROUP BY region`); err == nil {
+		t.Fatal("star with GROUP BY must fail")
+	}
+	if _, err := e.ExecSQL(`SELECT region FROM sales HAVING region = 'x'`); err == nil {
+		t.Fatal("HAVING without grouping must fail")
+	}
+	if _, err := e.ExecSQL(`SELECT DISTINCT region, COUNT(*) FROM sales GROUP BY region`); err == nil {
+		t.Fatal("DISTINCT with GROUP BY must fail")
+	}
+	if _, err := e.ExecSQL(`SELECT region, COUNT(*) n FROM sales GROUP BY region HAVING nosuch > 1`); err == nil {
+		t.Fatal("HAVING with unknown output column must fail")
+	}
+	var missing *MissingColumnError
+	_, err := e.ExecSQL(`SELECT nosuch, COUNT(*) FROM sales GROUP BY nosuch`)
+	if !errors.As(err, &missing) {
+		t.Fatalf("unknown group column: err = %v", err)
+	}
+}
+
+func TestAggregateEmptyInputStillOneRow(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT COUNT(*), SUM(amount) FROM sales WHERE region = 'mars'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	if n, _ := res.Rows[0][0].AsInt(); n != 0 {
+		t.Fatalf("count = %d", n)
+	}
+	if !res.Rows[0][1].IsNull() {
+		t.Fatal("SUM over empty set must be NULL")
+	}
+	// But GROUP BY over empty input yields zero rows.
+	res = mustExec(t, e, `SELECT region, COUNT(*) FROM sales WHERE region = 'mars' GROUP BY region`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("grouped empty input rows = %d, want 0", len(res.Rows))
+	}
+}
+
+func TestGroupByMissingColumnTriggersExpansionPath(t *testing.T) {
+	e := groupEngine(t)
+	var missing *MissingColumnError
+	_, err := e.ExecSQL(`SELECT region, COUNT(*) FROM sales WHERE is_organic = true GROUP BY region`)
+	if !errors.As(err, &missing) || missing.Column != "is_organic" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT DISTINCT region FROM sales ORDER BY region`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, e, `SELECT DISTINCT region, product FROM sales`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("pairs = %d", len(res.Rows))
+	}
+	// DISTINCT + LIMIT applies the limit after deduplication.
+	res = mustExec(t, e, `SELECT DISTINCT region FROM sales LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("limited distinct rows = %d", len(res.Rows))
+	}
+	// Kind-tagged keys: 1 and '1' stay distinct.
+	mustExec(t, e, `CREATE TABLE mix (a INTEGER, b TEXT)`)
+	mustExec(t, e, `INSERT INTO mix VALUES (1, '1'), (1, '1')`)
+	res = mustExec(t, e, `SELECT DISTINCT a, b FROM mix`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("mix rows = %d", len(res.Rows))
+	}
+}
+
+func TestGroupByMinMaxOnText(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT region, MIN(product), MAX(product) FROM sales GROUP BY region ORDER BY region`)
+	minN, _ := res.Rows[1][1].AsText()
+	maxN, _ := res.Rows[1][2].AsText()
+	if minN != "ale" || maxN != "rum" {
+		t.Fatalf("north min/max = %s/%s", minN, maxN)
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	e := groupEngine(t)
+	res := mustExec(t, e, `SELECT region, amount * 2 double_amount FROM sales
+		WHERE amount IS NOT NULL ORDER BY double_amount DESC LIMIT 2`)
+	v0, _ := res.Rows[0][1].AsFloat()
+	v1, _ := res.Rows[1][1].AsFloat()
+	if v0 < v1 || v0 != 60 {
+		t.Fatalf("alias ordering broken: %v then %v", v0, v1)
+	}
+	// A real column shadows an alias of the same name.
+	res = mustExec(t, e, `SELECT qty, amount qty FROM sales WHERE amount IS NOT NULL ORDER BY qty DESC LIMIT 1`)
+	q, _ := res.Rows[0][0].AsInt()
+	if q != 3 {
+		t.Fatalf("real column must win over alias, got qty %d", q)
+	}
+	// Unknown names still error (and still trigger expansion upstream).
+	if _, err := e.ExecSQL(`SELECT region r FROM sales ORDER BY nosuch`); err == nil {
+		t.Fatal("unknown ORDER BY column must fail")
+	}
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+// TestEngineAgainstModel is a model-based property test: a random table is
+// loaded into both the SQL engine and a plain Go slice; random simple
+// queries are executed on both and must agree exactly.
+func TestEngineAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+
+	type modelRow struct {
+		id   int64
+		cat  string
+		val  float64
+		flag interface{} // bool or nil
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		e := New(storage.NewCatalog())
+		mustExec(t, e, `CREATE TABLE m (id INTEGER, cat TEXT, val FLOAT, flag BOOLEAN)`)
+		n := 5 + rng.Intn(60)
+		rows := make([]modelRow, n)
+		cats := []string{"a", "b", "c"}
+		for i := range rows {
+			rows[i] = modelRow{
+				id:  int64(i),
+				cat: cats[rng.Intn(len(cats))],
+				val: float64(rng.Intn(100)) / 4,
+			}
+			switch rng.Intn(3) {
+			case 0:
+				rows[i].flag = true
+			case 1:
+				rows[i].flag = false
+			}
+			flagSQL := "NULL"
+			if b, ok := rows[i].flag.(bool); ok {
+				flagSQL = fmt.Sprintf("%v", b)
+			}
+			mustExec(t, e, fmt.Sprintf("INSERT INTO m VALUES (%d, '%s', %g, %s)",
+				rows[i].id, rows[i].cat, rows[i].val, flagSQL))
+		}
+
+		// Query 1: val threshold filter.
+		thr := float64(rng.Intn(100)) / 4
+		res := mustExec(t, e, fmt.Sprintf("SELECT id FROM m WHERE val >= %g", thr))
+		want := 0
+		for _, r := range rows {
+			if r.val >= thr {
+				want++
+			}
+		}
+		if len(res.Rows) != want {
+			t.Fatalf("trial %d: val >= %g returned %d rows, model says %d",
+				trial, thr, len(res.Rows), want)
+		}
+
+		// Query 2: compound predicate with NULL-able flag.
+		cat := cats[rng.Intn(len(cats))]
+		res = mustExec(t, e, fmt.Sprintf(
+			"SELECT id FROM m WHERE cat = '%s' AND flag = true", cat))
+		want = 0
+		for _, r := range rows {
+			if b, ok := r.flag.(bool); ok && b && r.cat == cat {
+				want++
+			}
+		}
+		if len(res.Rows) != want {
+			t.Fatalf("trial %d: compound predicate returned %d, model says %d",
+				trial, len(res.Rows), want)
+		}
+
+		// Query 3: OR with IS NULL.
+		res = mustExec(t, e, fmt.Sprintf(
+			"SELECT id FROM m WHERE flag IS NULL OR val < %g", thr))
+		want = 0
+		for _, r := range rows {
+			if r.flag == nil || r.val < thr {
+				want++
+			}
+		}
+		if len(res.Rows) != want {
+			t.Fatalf("trial %d: OR/IS NULL returned %d, model says %d",
+				trial, len(res.Rows), want)
+		}
+
+		// Query 4: GROUP BY with COUNT and SUM.
+		res = mustExec(t, e, "SELECT cat, COUNT(*) n, SUM(val) s FROM m GROUP BY cat")
+		type agg struct {
+			n int
+			s float64
+		}
+		wantAgg := map[string]*agg{}
+		for _, r := range rows {
+			a := wantAgg[r.cat]
+			if a == nil {
+				a = &agg{}
+				wantAgg[r.cat] = a
+			}
+			a.n++
+			a.s += r.val
+		}
+		if len(res.Rows) != len(wantAgg) {
+			t.Fatalf("trial %d: %d groups, model says %d", trial, len(res.Rows), len(wantAgg))
+		}
+		for _, row := range res.Rows {
+			c, _ := row[0].AsText()
+			gotN, _ := row[1].AsInt()
+			gotS, _ := row[2].AsFloat()
+			a := wantAgg[c]
+			if a == nil || int(gotN) != a.n || gotS != a.s {
+				t.Fatalf("trial %d: group %s = (%d, %g), model says (%d, %g)",
+					trial, c, gotN, gotS, a.n, a.s)
+			}
+		}
+
+		// Query 5: ORDER BY val DESC, id ASC — verify full ordering.
+		res = mustExec(t, e, "SELECT id, val FROM m ORDER BY val DESC, id")
+		for i := 1; i < len(res.Rows); i++ {
+			prevV, _ := res.Rows[i-1][1].AsFloat()
+			curV, _ := res.Rows[i][1].AsFloat()
+			if prevV < curV {
+				t.Fatalf("trial %d: ORDER BY DESC violated at %d", trial, i)
+			}
+			if prevV == curV {
+				prevID, _ := res.Rows[i-1][0].AsInt()
+				curID, _ := res.Rows[i][0].AsInt()
+				if prevID > curID {
+					t.Fatalf("trial %d: tie-break ordering violated at %d", trial, i)
+				}
+			}
+		}
+
+		// Query 6: UPDATE then re-check with the model.
+		mustExec(t, e, fmt.Sprintf("UPDATE m SET val = val + 1 WHERE cat = '%s'", cat))
+		for i := range rows {
+			if rows[i].cat == cat {
+				rows[i].val++
+			}
+		}
+		res = mustExec(t, e, "SELECT SUM(val) FROM m")
+		var wantSum float64
+		for _, r := range rows {
+			wantSum += r.val
+		}
+		gotSum, _ := res.Rows[0][0].AsFloat()
+		if gotSum != wantSum {
+			t.Fatalf("trial %d: post-update SUM = %g, model says %g", trial, gotSum, wantSum)
+		}
+
+		// Query 7: DELETE and count.
+		mustExec(t, e, fmt.Sprintf("DELETE FROM m WHERE val > %g", thr+5))
+		kept := rows[:0]
+		for _, r := range rows {
+			if !(r.val > thr+5) {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+		res = mustExec(t, e, "SELECT COUNT(*) FROM m")
+		gotN, _ := res.Rows[0][0].AsInt()
+		if int(gotN) != len(rows) {
+			t.Fatalf("trial %d: post-delete count = %d, model says %d", trial, gotN, len(rows))
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package eval implements the evaluation metrics used throughout the
+// paper's experiments: plain accuracy for the direct-crowdsourcing study
+// (Table 1, Figures 3–4), the g-mean measure for the class-imbalanced
+// genre studies (Tables 3, 5, 6), and precision/recall for the
+// questionable-HIT-response study (Table 4).
+package eval
+
+import "math"
+
+// Confusion is a binary-classification confusion matrix. The positive class
+// is the attribute value being extracted (e.g. is_comedy = true).
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one (predicted, actual) pair.
+func (c *Confusion) Observe(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of observed pairs.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy is the fraction of correct predictions, or 0 when empty.
+func (c Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// Sensitivity (recall of the positive class): accuracy on items that truly
+// belong to the class. Returns 0 when there are no positives.
+func (c Confusion) Sensitivity() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Specificity: accuracy on items that truly do not belong to the class.
+// Returns 0 when there are no negatives.
+func (c Confusion) Specificity() float64 {
+	if c.TN+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TN) / float64(c.TN+c.FP)
+}
+
+// Precision: fraction of positive predictions that are correct.
+// Returns 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is a synonym for Sensitivity, named as in Table 4.
+func (c Confusion) Recall() float64 { return c.Sensitivity() }
+
+// GMean is the geometric mean of sensitivity and specificity ([20] in the
+// paper). It punishes classifiers that sacrifice the minority class: the
+// naive "never Horror" classifier scores 0 even at 90% raw accuracy.
+func (c Confusion) GMean() float64 {
+	return math.Sqrt(c.Sensitivity() * c.Specificity())
+}
+
+// F1 is the harmonic mean of precision and recall (reported alongside
+// precision/recall in extended runs of Table 4).
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// CompareLabels builds a confusion matrix from parallel predicted/actual
+// label slices. It panics on length mismatch: a silent zip-to-shortest
+// would invalidate experiment results.
+func CompareLabels(predicted, actual []bool) Confusion {
+	if len(predicted) != len(actual) {
+		panic("eval: CompareLabels length mismatch")
+	}
+	var c Confusion
+	for i := range predicted {
+		c.Observe(predicted[i], actual[i])
+	}
+	return c
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs.
+// Experiments report means over 20 random repetitions; Table 3 additionally
+// discusses the standard deviation across samples.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestObserveCounts(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)   // TP
+	c.Observe(true, false)  // FP
+	c.Observe(false, false) // TN
+	c.Observe(false, true)  // FN
+	c.Observe(true, true)   // TP
+	if c.TP != 2 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	c := Confusion{TP: 3, TN: 1, FP: 1, FN: 0}
+	if got := c.Accuracy(); got != 0.8 {
+		t.Fatalf("Accuracy = %v, want 0.8", got)
+	}
+	if got := (Confusion{}).Accuracy(); got != 0 {
+		t.Fatalf("empty Accuracy = %v, want 0", got)
+	}
+}
+
+func TestSensitivitySpecificity(t *testing.T) {
+	c := Confusion{TP: 8, FN: 2, TN: 6, FP: 4}
+	if got := c.Sensitivity(); got != 0.8 {
+		t.Fatalf("Sensitivity = %v", got)
+	}
+	if got := c.Specificity(); got != 0.6 {
+		t.Fatalf("Specificity = %v", got)
+	}
+	if got := c.GMean(); math.Abs(got-math.Sqrt(0.48)) > 1e-12 {
+		t.Fatalf("GMean = %v", got)
+	}
+}
+
+// The paper's motivating example: a classifier that labels nothing Horror
+// on a 10%-horror dataset has 90% accuracy but 0 g-mean.
+func TestNaiveClassifierGMeanIsZero(t *testing.T) {
+	c := Confusion{TN: 900, FN: 100}
+	if got := c.Accuracy(); got != 0.9 {
+		t.Fatalf("Accuracy = %v, want 0.9", got)
+	}
+	if got := c.GMean(); got != 0 {
+		t.Fatalf("GMean = %v, want 0", got)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := Confusion{TP: 6, FP: 2, FN: 2, TN: 10}
+	if got := c.Precision(); got != 0.75 {
+		t.Fatalf("Precision = %v", got)
+	}
+	if got := c.Recall(); got != 0.75 {
+		t.Fatalf("Recall = %v", got)
+	}
+	if got := c.F1(); got != 0.75 {
+		t.Fatalf("F1 = %v", got)
+	}
+	empty := Confusion{TN: 5}
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Fatal("degenerate confusion must yield zero precision/recall/F1")
+	}
+}
+
+func TestCompareLabels(t *testing.T) {
+	pred := []bool{true, true, false, false}
+	act := []bool{true, false, false, true}
+	c := CompareLabels(pred, act)
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+}
+
+func TestCompareLabelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	CompareLabels([]bool{true}, []bool{true, false})
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Fatalf("MeanStd = %v, %v; want 5, 2", mean, std)
+	}
+	mean, std = MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Fatal("MeanStd(nil) should be 0,0")
+	}
+}
+
+// Property: metrics are always within [0, 1] and g-mean lies between
+// min and max of sensitivity and specificity (geometric-mean bound).
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		vals := []float64{c.Accuracy(), c.Sensitivity(), c.Specificity(), c.Precision(), c.GMean(), c.F1()}
+		for _, v := range vals {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		lo := math.Min(c.Sensitivity(), c.Specificity())
+		hi := math.Max(c.Sensitivity(), c.Specificity())
+		return c.GMean() >= lo-1e-12 && c.GMean() <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CompareLabels observation counts add up and agree with a
+// direct recount.
+func TestCompareLabelsCountProperty(t *testing.T) {
+	f := func(pairs []struct{ P, A bool }) bool {
+		pred := make([]bool, len(pairs))
+		act := make([]bool, len(pairs))
+		for i, p := range pairs {
+			pred[i], act[i] = p.P, p.A
+		}
+		c := CompareLabels(pred, act)
+		if c.Total() != len(pairs) {
+			return false
+		}
+		correct := 0
+		for i := range pred {
+			if pred[i] == act[i] {
+				correct++
+			}
+		}
+		return c.TP+c.TN == correct
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section (§4–§5) on the synthetic substrates of this
+// repository. Each experiment returns a plain result struct plus a
+// Render method that prints the same rows/series the paper reports;
+// cmd/experiments drives them and EXPERIMENTS.md records paper-vs-measured
+// values. See DESIGN.md for the per-experiment index.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"crowddb/internal/dataset"
+	"crowddb/internal/lsi"
+	"crowddb/internal/space"
+)
+
+// Options configures an experiment environment.
+type Options struct {
+	// Scale selects the universe size (dataset.ScaleTiny … ScalePaper).
+	Scale dataset.Scale
+	// Seed drives all randomness.
+	Seed int64
+	// SpaceDims is the perceptual space dimensionality (paper: 100).
+	SpaceDims int
+	// SpaceEpochs is the SGD epoch count for space training.
+	SpaceEpochs int
+	// MetaDims is the LSI metadata-space dimensionality (paper: 100).
+	MetaDims int
+	// SampleSize is the crowd-experiment movie sample (paper: 1,000).
+	SampleSize int
+	// Repetitions is the random-repeat count for Tables 3–6 (paper: 20).
+	Repetitions int
+	// Table4Repetitions overrides Repetitions for the costly Table 4 runs
+	// (training on all items); 0 means max(3, Repetitions/4).
+	Table4Repetitions int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultOptions returns the configuration used by cmd/experiments:
+// small scale, paper hyperparameters scaled to it.
+func DefaultOptions() Options {
+	return Options{
+		Scale:       dataset.ScaleSmall,
+		Seed:        1,
+		SpaceDims:   50,
+		SpaceEpochs: 30,
+		MetaDims:    50,
+		SampleSize:  1000,
+		Repetitions: 20,
+	}
+}
+
+// TinyOptions returns a CI-scale configuration (seconds, for tests and
+// benchmarks).
+func TinyOptions() Options {
+	return Options{
+		Scale:       dataset.ScaleTiny,
+		Seed:        1,
+		SpaceDims:   16,
+		SpaceEpochs: 20,
+		MetaDims:    16,
+		SampleSize:  250,
+		Repetitions: 3,
+	}
+}
+
+func (o *Options) fillDefaults() {
+	if o.Scale.Items == 0 {
+		o.Scale = dataset.ScaleSmall
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SpaceDims <= 0 {
+		o.SpaceDims = 50
+	}
+	if o.SpaceEpochs <= 0 {
+		o.SpaceEpochs = 30
+	}
+	if o.MetaDims <= 0 {
+		o.MetaDims = 50
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 1000
+	}
+	if o.SampleSize > o.Scale.Items {
+		o.SampleSize = o.Scale.Items
+	}
+	if o.Repetitions <= 0 {
+		o.Repetitions = 20
+	}
+	if o.Table4Repetitions <= 0 {
+		o.Table4Repetitions = o.Repetitions / 4
+		if o.Table4Repetitions < 3 {
+			o.Table4Repetitions = 3
+		}
+	}
+}
+
+// Env is a prepared experiment environment: the movie universe, its
+// trained perceptual space, the LSI metadata space, and the 1,000-movie
+// crowd sample shared by Experiments 1–6.
+type Env struct {
+	Opt   Options
+	U     *dataset.Universe
+	Space *space.Space
+	// MetaSpace is the LSI embedding of the factual metadata.
+	MetaSpace *space.Space
+	// Sample is the random item subset used by the crowd experiments.
+	Sample []int
+	// SpaceRMSE is the factor model's final training RMSE (diagnostics).
+	SpaceRMSE float64
+}
+
+func (e *Env) logf(format string, args ...interface{}) {
+	if e.Opt.Log != nil {
+		fmt.Fprintf(e.Opt.Log, format+"\n", args...)
+	}
+}
+
+// NewEnv generates the movie universe, trains the perceptual space, and
+// builds the metadata space. This is the expensive shared setup.
+func NewEnv(opt Options) (*Env, error) {
+	opt.fillDefaults()
+	env := &Env{Opt: opt}
+
+	start := time.Now()
+	u, err := dataset.Generate(dataset.Movies(opt.Scale, opt.Seed))
+	if err != nil {
+		return nil, err
+	}
+	env.U = u
+	env.logf("universe: %d movies, %d users, %d ratings (%.1fs)",
+		opt.Scale.Items, opt.Scale.Users, len(u.Ratings.Ratings), time.Since(start).Seconds())
+
+	start = time.Now()
+	scfg := space.DefaultConfig()
+	scfg.Dims = opt.SpaceDims
+	scfg.Epochs = opt.SpaceEpochs
+	scfg.Seed = opt.Seed
+	model, stats, err := space.TrainEuclidean(u.Ratings, scfg)
+	if err != nil {
+		return nil, err
+	}
+	env.Space = space.FromModel(model)
+	env.SpaceRMSE = stats.FinalRMSE()
+	env.logf("perceptual space: d=%d, RMSE=%.4f (%.1fs)",
+		opt.SpaceDims, env.SpaceRMSE, time.Since(start).Seconds())
+
+	start = time.Now()
+	corpus, err := lsi.NewCorpus(u.Documents(opt.Seed), 2)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := corpus.TruncatedSVD(opt.MetaDims, 25, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	env.MetaSpace = space.NewSpace(emb.Coords)
+	env.logf("metadata space: d=%d over %d terms (%.1fs)",
+		emb.Coords.Cols, corpus.VocabSize(), time.Since(start).Seconds())
+
+	// The fixed random 1,000-movie sample of §4.1.
+	rng := rand.New(rand.NewSource(opt.Seed + 1000))
+	perm := rng.Perm(opt.Scale.Items)
+	env.Sample = append(env.Sample, perm[:opt.SampleSize]...)
+	return env, nil
+}

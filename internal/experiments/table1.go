@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"crowddb/internal/crowd"
+)
+
+// CrowdExperiment is one of the paper's three direct-crowdsourcing runs
+// (§4.1), with its full judgment timeline retained for Figures 3–4.
+type CrowdExperiment struct {
+	Name string
+	// Cfg is the job configuration used.
+	Cfg crowd.JobConfig
+	// Run is the raw marketplace outcome.
+	Run *crowd.RunResult
+	// Classified is the number of sample movies with a majority label.
+	Classified int
+	// Correct is the number of classified movies matching the reference.
+	Correct int
+}
+
+// PctCorrect is the paper's "%Correct": correct / classified.
+func (c *CrowdExperiment) PctCorrect() float64 {
+	if c.Classified == 0 {
+		return 0
+	}
+	return float64(c.Correct) / float64(c.Classified)
+}
+
+// Table1Result reproduces Table 1 ("Classification accuracy for direct
+// crowd-sourcing"): Exp 1 open population, Exp 2 trusted (country-
+// filtered) population, Exp 3 lookup task with gold questions.
+type Table1Result struct {
+	Experiments []*CrowdExperiment
+	// SampleSize is the number of movies judged (paper: 1,000).
+	SampleSize int
+}
+
+// Question is the attribute crowd-sourced throughout §4.1 ("is_comedy").
+const Question = "Comedy"
+
+// RunCrowdExperiments executes Experiments 1–3 on the environment's movie
+// sample. Population compositions are calibrated to the paper's observed
+// worker statistics (§4.1); see internal/crowd for the archetype models.
+func (e *Env) RunCrowdExperiments() (*Table1Result, error) {
+	items, err := e.U.CrowdItems(Question)
+	if err != nil {
+		return nil, err
+	}
+	sample := make([]crowd.Item, 0, len(e.Sample))
+	for _, id := range e.Sample {
+		sample = append(sample, items[id])
+	}
+	truth, err := e.U.ReferenceMap(Question)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{SampleSize: len(sample)}
+
+	// Experiment 1: open population. The paper observed 89 workers, most
+	// of the judgment volume from spammers, 95 judgments/min, $0.02/HIT.
+	rng := rand.New(rand.NewSource(e.Opt.Seed + 11))
+	openPop := crowd.NewPopulation(crowd.PopulationConfig{
+		Workers: 89, SpammerFraction: 0.45,
+	}, rng)
+	cfg1 := crowd.JobConfig{
+		ItemsPerHIT: 10, AssignmentsPerItem: 10, PayPerHIT: 0.02,
+		JudgmentsPerMinute: 95, AllowDontKnow: true,
+	}
+	exp1, err := e.runCrowdExperiment("Exp 1: All", openPop, sample, cfg1, truth, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Experiments = append(res.Experiments, exp1)
+
+	// Experiment 2: the same marketplace with spammer countries excluded.
+	// The paper saw 27 workers and a similar completion time (116 min).
+	rng2 := rand.New(rand.NewSource(e.Opt.Seed + 12))
+	cfg2 := cfg1
+	cfg2.ExcludeCountries = []string{"ZZ", "YY"}
+	cfg2.JudgmentsPerMinute = 86
+	exp2, err := e.runCrowdExperiment("Exp 2: Trusted", openPop, sample, cfg2, truth, rng2)
+	if err != nil {
+		return nil, err
+	}
+	res.Experiments = append(res.Experiments, exp2)
+
+	// Experiment 3: the lookup formulation — workers research answers on
+	// the Web (slow, accurate), 100 gold questions screen cheaters, no
+	// "don't know" option, $0.03/HIT, ~18 judgments/min (562 min total).
+	rng3 := rand.New(rand.NewSource(e.Opt.Seed + 13))
+	lookupPop := crowd.NewPopulation(crowd.PopulationConfig{
+		Workers: 51, SpammerFraction: 0.25, LookupFraction: 0.75,
+	}, rng3)
+	nGold := 100
+	if nGold > len(sample)/10 {
+		nGold = len(sample) / 10 // keep the recommended ~10% gold ratio
+	}
+	gold := make([]crowd.Item, 0, nGold)
+	for i := 0; i < nGold; i++ {
+		gold = append(gold, crowd.Item{
+			ID: -(i + 1), Truth: i%3 == 0, Popularity: 1,
+		})
+	}
+	// The observed net throughput was ~17.8 judgments/min (10,000 in 562
+	// minutes); the gross rate is higher because judgments from workers
+	// later excluded by gold screening are discarded and re-issued.
+	cfg3 := crowd.JobConfig{
+		ItemsPerHIT: 10, AssignmentsPerItem: 10, PayPerHIT: 0.03,
+		JudgmentsPerMinute: 21, AllowDontKnow: false,
+		GoldItems: gold, GoldFailureLimit: 2,
+	}
+	exp3, err := e.runCrowdExperiment("Exp 3: Lookup", lookupPop, sample, cfg3, truth, rng3)
+	if err != nil {
+		return nil, err
+	}
+	res.Experiments = append(res.Experiments, exp3)
+	return res, nil
+}
+
+func (e *Env) runCrowdExperiment(name string, pop *crowd.Population, items []crowd.Item,
+	cfg crowd.JobConfig, truth map[int]bool, rng *rand.Rand) (*CrowdExperiment, error) {
+
+	run, err := crowd.RunJob(pop, items, cfg, rng)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	votes := crowd.MajorityVote(run.Records)
+	classified, correct := votes.AccuracyAgainst(truth)
+	e.logf("%s: %d classified, %d correct (%.1f%%), %.0f min, $%.2f, %d workers",
+		name, classified, correct, 100*float64(correct)/float64(max(classified, 1)),
+		run.DurationMinutes, run.TotalCost, run.DistinctWorkers)
+	return &CrowdExperiment{
+		Name: name, Cfg: cfg, Run: run,
+		Classified: classified, Correct: correct,
+	}, nil
+}
+
+// Render prints the table in the paper's format.
+func (t *Table1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 1. Classification accuracy for direct crowd-sourcing (%d movies, 10 judgments each)\n", t.SampleSize)
+	fmt.Fprintf(w, "%-16s %12s %10s %10s %10s %9s\n",
+		"Evaluation", "#Classified", "%Correct", "Time(min)", "Cost($)", "Workers")
+	for _, ex := range t.Experiments {
+		fmt.Fprintf(w, "%-16s %12d %9.1f%% %10.0f %10.2f %9d\n",
+			ex.Name, ex.Classified, 100*ex.PctCorrect(),
+			ex.Run.DurationMinutes, ex.Run.TotalCost, ex.Run.DistinctWorkers)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

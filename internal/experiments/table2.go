@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// NeighborList is one anchor movie with its nearest neighbours in the
+// perceptual space.
+type NeighborList struct {
+	Anchor    string
+	Neighbors []string
+	// GroupHits counts neighbours from the anchor's own named group
+	// (franchise/style) — the quantitative version of Table 2's
+	// eyeball test.
+	GroupHits int
+}
+
+// Table2Result reproduces Table 2: example movies and their five nearest
+// neighbours in perceptual space.
+type Table2Result struct {
+	Lists []NeighborList
+	K     int
+}
+
+// Table2Anchors are the paper's three example movies.
+var Table2Anchors = []string{"Rocky (1976)", "Dirty Dancing (1987)", "The Birds (1963)"}
+
+// RunTable2 computes the k-nearest-neighbour lists for the paper's anchor
+// movies from the trained perceptual space.
+func (e *Env) RunTable2(k int) (*Table2Result, error) {
+	if k <= 0 {
+		k = 5
+	}
+	res := &Table2Result{K: k}
+
+	// Map each named movie to its group for the GroupHits metric.
+	groupOf := map[string]int{}
+	for g, grp := range e.U.Config.NamedGroups {
+		for _, name := range grp.Names {
+			groupOf[name] = g
+		}
+	}
+
+	for _, anchor := range Table2Anchors {
+		idx := e.U.FindItem(anchor)
+		if idx < 0 {
+			return nil, fmt.Errorf("experiments: anchor movie %q not in universe", anchor)
+		}
+		nns, err := e.Space.NearestNeighbors(idx, k)
+		if err != nil {
+			return nil, err
+		}
+		list := NeighborList{Anchor: anchor}
+		for _, nb := range nns {
+			name := e.U.Items[nb.Item].Name
+			list.Neighbors = append(list.Neighbors, name)
+			if g, ok := groupOf[name]; ok && g == groupOf[anchor] {
+				list.GroupHits++
+			}
+		}
+		res.Lists = append(res.Lists, list)
+		e.logf("Table 2: %s → %s (%d/%d group hits)",
+			anchor, strings.Join(list.Neighbors, ", "), list.GroupHits, k)
+	}
+	return res, nil
+}
+
+// Render prints the neighbour lists side by side, like the paper's table.
+func (t *Table2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 2. Example movies and their %d nearest neighbors in perceptual space\n", t.K)
+	for _, l := range t.Lists {
+		fmt.Fprintf(w, "%s  (same-group neighbours: %d/%d)\n", l.Anchor, l.GroupHits, t.K)
+		for _, n := range l.Neighbors {
+			fmt.Fprintf(w, "    %s\n", n)
+		}
+	}
+}

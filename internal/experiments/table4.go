@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"crowddb/internal/space"
+	"crowddb/internal/svm"
+)
+
+// SwapRates are the paper's corrupted-label fractions x.
+var SwapRates = []float64{0.05, 0.10, 0.20}
+
+// Table4Cell is one precision/recall pair.
+type Table4Cell struct {
+	Precision float64
+	Recall    float64
+}
+
+// Table4Row is one genre's results across swap rates, on both spaces.
+type Table4Row struct {
+	Genre      string
+	Perceptual []Table4Cell // indexed like SwapRates
+	Metadata   []Table4Cell
+}
+
+// Table4Result reproduces Table 4 ("Automatic identification of
+// questionable HIT responses").
+type Table4Result struct {
+	Rows        []Table4Row
+	Repetitions int
+	// MeanPerceptual / MeanMetadata aggregate over genres.
+	MeanPerceptual []Table4Cell
+	MeanMetadata   []Table4Cell
+}
+
+// questionablePR swaps x of the labels, trains an SVM on ALL (corrupted)
+// labels over sp, flags items whose label contradicts the prediction, and
+// scores the flags against the true swap set.
+func questionablePR(sp *space.Space, labels []bool, x float64, seed int64) (precision, recall float64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(labels)
+	if n > sp.NumItems() {
+		n = sp.NumItems()
+	}
+	corrupted := make([]bool, n)
+	copy(corrupted, labels[:n])
+	nSwap := int(x * float64(n))
+	swapped := make(map[int]bool, nSwap)
+	for len(swapped) < nSwap {
+		i := rng.Intn(n)
+		if swapped[i] {
+			continue
+		}
+		swapped[i] = true
+		corrupted[i] = !corrupted[i]
+	}
+
+	X := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = sp.Vector(i)
+	}
+	// A soft margin (C = 0.5) is essential here: the SVM must smooth over
+	// isolated wrong labels rather than memorize them — memorization flags
+	// nothing (this is exactly why the metadata space fails in the paper).
+	model, err := svm.TrainSVC(X, corrupted, svm.SVCConfig{C: 0.5, Seed: seed})
+	if err != nil {
+		return 0, 0
+	}
+	tp, fp, fn := 0, 0, 0
+	for i := 0; i < n; i++ {
+		flagged := model.Predict(X[i]) != corrupted[i]
+		switch {
+		case flagged && swapped[i]:
+			tp++
+		case flagged && !swapped[i]:
+			fp++
+		case !flagged && swapped[i]:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}
+
+// RunTable4 runs the questionable-response study for every genre and swap
+// rate on both spaces.
+func (e *Env) RunTable4() (*Table4Result, error) {
+	reps := e.Opt.Table4Repetitions
+	res := &Table4Result{
+		Repetitions:    reps,
+		MeanPerceptual: make([]Table4Cell, len(SwapRates)),
+		MeanMetadata:   make([]Table4Cell, len(SwapRates)),
+	}
+	for _, spec := range e.U.Config.Categories {
+		cat := e.U.Categories[spec.Name]
+		row := Table4Row{Genre: spec.Name}
+		for xi, x := range SwapRates {
+			var pP, pR, mP, mR float64
+			for rep := 0; rep < reps; rep++ {
+				seed := e.Opt.Seed + int64(100*xi+rep)
+				p1, r1 := questionablePR(e.Space, cat.Reference, x, seed)
+				p2, r2 := questionablePR(e.MetaSpace, cat.Reference, x, seed)
+				pP += p1
+				pR += r1
+				mP += p2
+				mR += r2
+			}
+			f := float64(reps)
+			row.Perceptual = append(row.Perceptual, Table4Cell{pP / f, pR / f})
+			row.Metadata = append(row.Metadata, Table4Cell{mP / f, mR / f})
+			res.MeanPerceptual[xi].Precision += pP / f
+			res.MeanPerceptual[xi].Recall += pR / f
+			res.MeanMetadata[xi].Precision += mP / f
+			res.MeanMetadata[xi].Recall += mR / f
+		}
+		e.logf("Table 4: %-12s perceptual P/R at 20%% = %.2f/%.2f",
+			spec.Name, row.Perceptual[len(row.Perceptual)-1].Precision,
+			row.Perceptual[len(row.Perceptual)-1].Recall)
+		res.Rows = append(res.Rows, row)
+	}
+	nG := float64(len(res.Rows))
+	for xi := range SwapRates {
+		res.MeanPerceptual[xi].Precision /= nG
+		res.MeanPerceptual[xi].Recall /= nG
+		res.MeanMetadata[xi].Precision /= nG
+		res.MeanMetadata[xi].Recall /= nG
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's precision/recall layout.
+func (t *Table4Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 4. Automatic identification of questionable HIT responses (precision/recall, %d repetitions)\n", t.Repetitions)
+	fmt.Fprintf(w, "%-14s |", "Genre")
+	for _, x := range SwapRates {
+		fmt.Fprintf(w, "  P x=%2.0f%%   ", 100*x)
+	}
+	fmt.Fprintf(w, "|")
+	for _, x := range SwapRates {
+		fmt.Fprintf(w, "  M x=%2.0f%%   ", 100*x)
+	}
+	fmt.Fprintln(w)
+	printRow := func(name string, p, m []Table4Cell) {
+		fmt.Fprintf(w, "%-14s |", name)
+		for _, c := range p {
+			fmt.Fprintf(w, " %4.2f/%4.2f  ", c.Precision, c.Recall)
+		}
+		fmt.Fprintf(w, "|")
+		for _, c := range m {
+			fmt.Fprintf(w, " %4.2f/%4.2f  ", c.Precision, c.Recall)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, row := range t.Rows {
+		printRow(row.Genre, row.Perceptual, row.Metadata)
+	}
+	printRow("Mean", t.MeanPerceptual, t.MeanMetadata)
+}

@@ -1,0 +1,251 @@
+// Package lsi implements Latent Semantic Indexing: tf-idf weighting of a
+// token corpus followed by truncated SVD, yielding a low-dimensional
+// "metadata space" for documents.
+//
+// The paper (§4.3) uses LSI over factual movie metadata (title, plot,
+// actors, director, year, …) as the baseline representation to show that
+// perceptual judgments cannot be mined from factual attributes: an SVM
+// trained on this space overfits badly. This package reproduces that
+// baseline with a sparse tf-idf matrix and subspace iteration for the
+// dominant singular subspace.
+package lsi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"crowddb/internal/vecmath"
+)
+
+// Tokenize lower-cases the text and splits it into letter/digit runs.
+func Tokenize(text string) []string {
+	var out []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			out = append(out, sb.String())
+			sb.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' {
+			sb.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// term is one sparse matrix entry.
+type term struct {
+	idx    int
+	weight float64
+}
+
+// Corpus is a tokenized document collection with a fitted vocabulary.
+type Corpus struct {
+	vocab map[string]int
+	terms []string
+	// docs[d] is the sparse tf-idf vector of document d, sorted by index.
+	docs [][]term
+	idf  []float64
+}
+
+// NewCorpus builds a tf-idf weighted corpus from raw documents (each a
+// token slice). Terms appearing in fewer than minDocFreq documents are
+// dropped (hapax pruning keeps the vocabulary sane).
+func NewCorpus(docs [][]string, minDocFreq int) (*Corpus, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("lsi: empty corpus")
+	}
+	if minDocFreq < 1 {
+		minDocFreq = 1
+	}
+	// Document frequencies.
+	df := map[string]int{}
+	for _, d := range docs {
+		seen := map[string]bool{}
+		for _, t := range d {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	c := &Corpus{vocab: map[string]int{}}
+	var kept []string
+	for t, n := range df {
+		if n >= minDocFreq {
+			kept = append(kept, t)
+		}
+	}
+	sort.Strings(kept) // deterministic vocabulary order
+	for _, t := range kept {
+		c.vocab[t] = len(c.terms)
+		c.terms = append(c.terms, t)
+	}
+	if len(c.terms) == 0 {
+		return nil, fmt.Errorf("lsi: vocabulary empty after pruning (minDocFreq=%d)", minDocFreq)
+	}
+	c.idf = make([]float64, len(c.terms))
+	nDocs := float64(len(docs))
+	for t, i := range c.vocab {
+		c.idf[i] = math.Log(nDocs/float64(df[t])) + 1
+	}
+
+	// tf-idf with L2 normalization per document.
+	for _, d := range docs {
+		counts := map[int]int{}
+		for _, t := range d {
+			if i, ok := c.vocab[t]; ok {
+				counts[i]++
+			}
+		}
+		vec := make([]term, 0, len(counts))
+		for i, n := range counts {
+			w := (1 + math.Log(float64(n))) * c.idf[i]
+			vec = append(vec, term{idx: i, weight: w})
+		}
+		sort.Slice(vec, func(a, b int) bool { return vec[a].idx < vec[b].idx })
+		var norm float64
+		for _, e := range vec {
+			norm += e.weight * e.weight
+		}
+		if norm > 0 {
+			norm = 1 / math.Sqrt(norm)
+			for i := range vec {
+				vec[i].weight *= norm
+			}
+		}
+		c.docs = append(c.docs, vec)
+	}
+	return c, nil
+}
+
+// NumDocs returns the number of documents.
+func (c *Corpus) NumDocs() int { return len(c.docs) }
+
+// VocabSize returns the number of retained terms.
+func (c *Corpus) VocabSize() int { return len(c.terms) }
+
+// mulV computes dst = A·v (docs × 1) for v in term space.
+func (c *Corpus) mulV(v []float64, dst []float64) {
+	for d, vec := range c.docs {
+		var s float64
+		for _, e := range vec {
+			s += e.weight * v[e.idx]
+		}
+		dst[d] = s
+	}
+}
+
+// mulTU computes dst = Aᵀ·u (terms × 1) for u in document space.
+func (c *Corpus) mulTU(u []float64, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for d, vec := range c.docs {
+		ud := u[d]
+		if ud == 0 {
+			continue
+		}
+		for _, e := range vec {
+			dst[e.idx] += e.weight * ud
+		}
+	}
+}
+
+// Embedding is the truncated-SVD document representation.
+type Embedding struct {
+	// Coords is docs × k: document d's coordinates are Coords.Row(d)
+	// (U_k · Σ_k, the standard LSI document embedding).
+	Coords *vecmath.Matrix
+	// SingularValues are the top-k singular values, descending.
+	SingularValues []float64
+}
+
+// TruncatedSVD computes the rank-k LSI embedding by orthogonal subspace
+// iteration on AᵀA: V ← orth(Aᵀ(A·V)) until the singular values settle.
+func (c *Corpus) TruncatedSVD(k, iters int, seed int64) (*Embedding, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("lsi: k must be positive, got %d", k)
+	}
+	if k > len(c.terms) {
+		k = len(c.terms)
+	}
+	if k > len(c.docs) {
+		k = len(c.docs)
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nT := len(c.terms)
+	nD := len(c.docs)
+
+	// V: term-space basis (k vectors of dim nT).
+	V := vecmath.NewMatrix(k, nT)
+	V.FillRandom(rng, 1)
+	for r := 0; r < k; r++ {
+		vecmath.Normalize(V.Row(r))
+	}
+
+	Av := make([]float64, nD)
+	AtAv := make([]float64, nT)
+	for it := 0; it < iters; it++ {
+		// Multiply each basis vector by AᵀA.
+		for r := 0; r < k; r++ {
+			c.mulV(V.Row(r), Av)
+			c.mulTU(Av, AtAv)
+			copy(V.Row(r), AtAv)
+		}
+		// Gram–Schmidt orthonormalization.
+		for r := 0; r < k; r++ {
+			row := V.Row(r)
+			for p := 0; p < r; p++ {
+				vecmath.AXPY(row, -vecmath.Dot(row, V.Row(p)), V.Row(p))
+			}
+			if vecmath.Normalize(row) == 0 {
+				// Degenerate direction: re-randomize.
+				for i := range row {
+					row[i] = rng.NormFloat64()
+				}
+				vecmath.Normalize(row)
+			}
+		}
+	}
+
+	// Singular values σ_r = ‖A v_r‖; document coords = A·V (= UΣ).
+	emb := &Embedding{Coords: vecmath.NewMatrix(nD, k), SingularValues: make([]float64, k)}
+	for r := 0; r < k; r++ {
+		c.mulV(V.Row(r), Av)
+		emb.SingularValues[r] = vecmath.Norm(Av)
+		for d := 0; d < nD; d++ {
+			emb.Coords.Set(d, r, Av[d])
+		}
+	}
+	// Order by descending singular value.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return emb.SingularValues[order[a]] > emb.SingularValues[order[b]]
+	})
+	sorted := vecmath.NewMatrix(nD, k)
+	sv := make([]float64, k)
+	for newIdx, oldIdx := range order {
+		sv[newIdx] = emb.SingularValues[oldIdx]
+		for d := 0; d < nD; d++ {
+			sorted.Set(d, newIdx, emb.Coords.At(d, oldIdx))
+		}
+	}
+	emb.Coords = sorted
+	emb.SingularValues = sv
+	return emb, nil
+}

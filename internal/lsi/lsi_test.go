@@ -1,0 +1,198 @@
+package lsi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"crowddb/internal/vecmath"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The Birds (1963), dir. Hitchcock!")
+	want := []string{"the", "birds", "1963", "dir", "hitchcock"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty text must yield no tokens")
+	}
+	if got := Tokenize("actor_42"); len(got) != 1 || got[0] != "actor_42" {
+		t.Fatalf("underscore tokens must survive: %v", got)
+	}
+}
+
+func docs(texts ...string) [][]string {
+	out := make([][]string, len(texts))
+	for i, s := range texts {
+		out[i] = Tokenize(s)
+	}
+	return out
+}
+
+func TestNewCorpusBasics(t *testing.T) {
+	c, err := NewCorpus(docs(
+		"rocky boxing underdog sports",
+		"rocky ii boxing sequel sports",
+		"psycho thriller hitchcock",
+	), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != 3 {
+		t.Fatalf("docs = %d", c.NumDocs())
+	}
+	if c.VocabSize() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+}
+
+func TestNewCorpusPruning(t *testing.T) {
+	c, err := NewCorpus(docs(
+		"shared unique1",
+		"shared unique2",
+	), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.VocabSize() != 1 {
+		t.Fatalf("vocab = %d, want 1 (only 'shared')", c.VocabSize())
+	}
+	if _, err := NewCorpus(docs("a", "b"), 2); err == nil {
+		t.Fatal("fully pruned corpus must fail")
+	}
+	if _, err := NewCorpus(nil, 1); err == nil {
+		t.Fatal("empty corpus must fail")
+	}
+}
+
+func TestDocVectorsAreL2Normalized(t *testing.T) {
+	c, err := NewCorpus(docs(
+		"alpha beta gamma",
+		"alpha alpha beta delta",
+		"gamma delta epsilon",
+	), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, vec := range c.docs {
+		var norm float64
+		for _, e := range vec {
+			norm += e.weight * e.weight
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("doc %d norm² = %v", d, norm)
+		}
+	}
+}
+
+func TestTruncatedSVDSeparatesTopics(t *testing.T) {
+	// Two clear topics with disjoint vocabulary.
+	var texts []string
+	for i := 0; i < 10; i++ {
+		texts = append(texts, "boxing ring fighter punch training montage")
+	}
+	for i := 0; i < 10; i++ {
+		texts = append(texts, "romance love wedding kiss couple ballroom")
+	}
+	c, err := NewCorpus(docs(texts...), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := c.TruncatedSVD(2, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Documents of the same topic must be much closer than across topics.
+	same := vecmath.Dist(emb.Coords.Row(0), emb.Coords.Row(5))
+	diff := vecmath.Dist(emb.Coords.Row(0), emb.Coords.Row(15))
+	if same > diff/4 {
+		t.Fatalf("same-topic dist %v not well below cross-topic %v", same, diff)
+	}
+	// Singular values descending.
+	if emb.SingularValues[0] < emb.SingularValues[1] {
+		t.Fatal("singular values must be descending")
+	}
+}
+
+func TestTruncatedSVDSingularValuesMatchDense(t *testing.T) {
+	// Small corpus: verify σ₁ against a direct power-iteration on the
+	// dense Gram matrix.
+	c, err := NewCorpus(docs(
+		"a b c",
+		"a b",
+		"c d",
+		"d e f",
+	), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := c.TruncatedSVD(1, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dense A.
+	A := vecmath.NewMatrix(c.NumDocs(), c.VocabSize())
+	for d, vec := range c.docs {
+		for _, e := range vec {
+			A.Set(d, e.idx, e.weight)
+		}
+	}
+	// Power iteration on AᵀA.
+	v := make([]float64, c.VocabSize())
+	v[0] = 1
+	tmpD := make([]float64, c.NumDocs())
+	for i := 0; i < 500; i++ {
+		A.MulVec(v, tmpD)
+		A.MulVecT(tmpD, v)
+		vecmath.Normalize(v)
+	}
+	A.MulVec(v, tmpD)
+	sigma1 := vecmath.Norm(tmpD)
+	if math.Abs(emb.SingularValues[0]-sigma1) > 1e-6*math.Max(1, sigma1) {
+		t.Fatalf("σ₁ = %v, dense reference %v", emb.SingularValues[0], sigma1)
+	}
+}
+
+func TestTruncatedSVDClampsK(t *testing.T) {
+	c, err := NewCorpus(docs("a b", "b c"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := c.TruncatedSVD(50, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Coords.Cols > 3 {
+		t.Fatalf("k should be clamped to min(docs, vocab), got %d", emb.Coords.Cols)
+	}
+	if _, err := c.TruncatedSVD(0, 10, 3); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestTruncatedSVDDeterministic(t *testing.T) {
+	c, err := NewCorpus(docs(
+		"alpha beta gamma delta",
+		"beta gamma epsilon",
+		"alpha epsilon zeta",
+		"zeta delta gamma",
+	), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := c.TruncatedSVD(2, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.TruncatedSVD(2, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e1.Coords.Data {
+		if e1.Coords.Data[i] != e2.Coords.Data[i] {
+			t.Fatal("same seed must give identical embeddings")
+		}
+	}
+}

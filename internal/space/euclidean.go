@@ -1,0 +1,207 @@
+package space
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowddb/internal/vecmath"
+)
+
+// Config holds factor-model hyperparameters. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Dims is the dimensionality d of the space. The paper uses 100 and
+	// reports insensitivity as long as d is "large enough".
+	Dims int
+	// Lambda is the regularization constant λ; the paper found 0.02 to
+	// work across data sets.
+	Lambda float64
+	// LearnRate is the SGD step size.
+	LearnRate float64
+	// LearnRateDecay multiplies the step size after each epoch.
+	LearnRateDecay float64
+	// Epochs is the number of SGD passes over the ratings.
+	Epochs int
+	// InitScale is the coordinate initialization range.
+	InitScale float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's published hyperparameters
+// (d = 100, λ = 0.02); the SGD-specific knobs are set to values that
+// converge on every dataset in this repository.
+func DefaultConfig() Config {
+	return Config{
+		Dims:           100,
+		Lambda:         0.02,
+		LearnRate:      0.02,
+		LearnRateDecay: 0.95,
+		Epochs:         25,
+		InitScale:      0.1,
+		Seed:           1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Dims <= 0 {
+		return fmt.Errorf("space: Dims must be positive, got %d", c.Dims)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("space: Epochs must be positive, got %d", c.Epochs)
+	}
+	if c.LearnRate <= 0 {
+		return fmt.Errorf("space: LearnRate must be positive, got %g", c.LearnRate)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("space: Lambda must be non-negative, got %g", c.Lambda)
+	}
+	return nil
+}
+
+// TrainStats reports per-epoch training progress.
+type TrainStats struct {
+	// EpochRMSE[k] is the root-mean-square training error after epoch k.
+	EpochRMSE []float64
+}
+
+// FinalRMSE returns the last epoch's RMSE, or +Inf if training never ran.
+func (s TrainStats) FinalRMSE() float64 {
+	if len(s.EpochRMSE) == 0 {
+		return math.Inf(1)
+	}
+	return s.EpochRMSE[len(s.EpochRMSE)-1]
+}
+
+// Model is the common interface of the factor models in this package.
+type Model interface {
+	// Predict estimates the rating of item m by user u.
+	Predict(m, u int) float64
+	// ItemVector returns item m's coordinates (a view, do not mutate).
+	ItemVector(m int) []float64
+	// Dims returns the space dimensionality.
+	Dims() int
+	// NumItems returns the number of items.
+	NumItems() int
+}
+
+// EuclideanModel is the paper's modified Euclidean-embedding factor model.
+type EuclideanModel struct {
+	Mu       float64
+	ItemBias []float64
+	UserBias []float64
+	Items    *vecmath.Matrix // nItems × d
+	Users    *vecmath.Matrix // nUsers × d
+}
+
+var _ Model = (*EuclideanModel)(nil)
+
+// Dims returns the space dimensionality.
+func (m *EuclideanModel) Dims() int { return m.Items.Cols }
+
+// NumItems returns the number of items.
+func (m *EuclideanModel) NumItems() int { return m.Items.Rows }
+
+// ItemVector returns item i's coordinates in the perceptual space.
+func (m *EuclideanModel) ItemVector(i int) []float64 { return m.Items.Row(i) }
+
+// Predict estimates r̂ = μ + δm + δu − ‖a_m − b_u‖².
+func (m *EuclideanModel) Predict(item, user int) float64 {
+	return m.Mu + m.ItemBias[item] + m.UserBias[user] -
+		vecmath.SqDist(m.Items.Row(item), m.Users.Row(user))
+}
+
+// RMSE computes the model's root-mean-square error over ratings.
+func modelRMSE(m Model, ratings []Rating, predict func(Rating) float64) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range ratings {
+		e := float64(r.Score) - predict(r)
+		s += e * e
+	}
+	return math.Sqrt(s / float64(len(ratings)))
+}
+
+// RMSE computes the model's error on a rating set.
+func (m *EuclideanModel) RMSE(ratings []Rating) float64 {
+	return modelRMSE(m, ratings, func(r Rating) float64 { return m.Predict(int(r.Item), int(r.User)) })
+}
+
+// TrainEuclidean fits the paper's Euclidean-embedding model to the dataset
+// by stochastic gradient descent on the objective of §3.3:
+//
+//	Σ ( r − [μ + δm + δu − d²(a,b)] )² + λ ( d⁴(a,b) + δm² + δu² ).
+//
+// Biases start at zero, coordinates at small uniform noise; each epoch
+// visits the ratings in a fresh random order. Gradient steps are clipped to
+// keep early epochs stable at large learning rates.
+func TrainEuclidean(data *Dataset, cfg Config) (*EuclideanModel, TrainStats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if err := data.Validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if len(data.Ratings) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("space: cannot train on zero ratings")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := &EuclideanModel{
+		Mu:       data.Mean(),
+		ItemBias: make([]float64, data.Items),
+		UserBias: make([]float64, data.Users),
+		Items:    vecmath.NewMatrix(data.Items, cfg.Dims),
+		Users:    vecmath.NewMatrix(data.Users, cfg.Dims),
+	}
+	model.Items.FillRandom(rng, cfg.InitScale/math.Sqrt(float64(cfg.Dims)))
+	model.Users.FillRandom(rng, cfg.InitScale/math.Sqrt(float64(cfg.Dims)))
+
+	stats := TrainStats{}
+	lr := cfg.LearnRate
+	order := make([]int, len(data.Ratings))
+	for i := range order {
+		order[i] = i
+	}
+
+	const clip = 4.0 // bound per-sample error signal; keeps SGD stable
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sumSq float64
+		for _, ri := range order {
+			r := data.Ratings[ri]
+			mi, ui := int(r.Item), int(r.User)
+			a := model.Items.Row(mi)
+			b := model.Users.Row(ui)
+
+			d2 := vecmath.SqDist(a, b)
+			pred := model.Mu + model.ItemBias[mi] + model.UserBias[ui] - d2
+			e := float64(r.Score) - pred
+			sumSq += e * e
+			e = vecmath.Clamp(e, -clip, clip)
+
+			// Bias updates: δ ← δ + lr (e − λ δ).
+			model.ItemBias[mi] += lr * (e - cfg.Lambda*model.ItemBias[mi])
+			model.UserBias[ui] += lr * (e - cfg.Lambda*model.UserBias[ui])
+
+			// Coordinate updates. For each dimension k:
+			//   ∂loss/∂a_k = 4 (a_k − b_k)(e + λ d²)   [descent direction]
+			// (the shared factor 4 is absorbed into the learning rate; the
+			// sign convention: positive error e pulls the item toward the
+			// user, the d⁴ regularizer always contracts distances).
+			g := lr * (e + cfg.Lambda*d2)
+			for k := range a {
+				diff := a[k] - b[k]
+				a[k] -= g * diff
+				b[k] += g * diff
+			}
+		}
+		stats.EpochRMSE = append(stats.EpochRMSE, math.Sqrt(sumSq/float64(len(order))))
+		lr *= cfg.LearnRateDecay
+	}
+	return model, stats, nil
+}

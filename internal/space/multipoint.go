@@ -1,0 +1,165 @@
+package space
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowddb/internal/vecmath"
+)
+
+// MultiPointModel implements the paper's §5 "advanced perceptual spaces"
+// extension: each user is represented by several points in the space to
+// model diverse interests (a film-noir-loving comedy fan is not halfway
+// between noir and comedy). The predicted rating uses a soft minimum over
+// the user's points:
+//
+//	r̂ = μ + δm + δu − Σ_k w_k · d²(a_m, b_{u,k})
+//	w_k = softmax_k( −d²(a_m, b_{u,k}) / τ )
+//
+// With K = 1 this reduces exactly to EuclideanModel. Item coordinates
+// remain a single point each, so the perceptual space handed to
+// classifiers keeps its shape.
+type MultiPointModel struct {
+	Mu       float64
+	ItemBias []float64
+	UserBias []float64
+	Items    *vecmath.Matrix
+	// UserPoints is (nUsers·K) × d: user u's k-th point is row u*K+k.
+	UserPoints *vecmath.Matrix
+	K          int
+	Tau        float64
+}
+
+var _ Model = (*MultiPointModel)(nil)
+
+// Dims returns the space dimensionality.
+func (m *MultiPointModel) Dims() int { return m.Items.Cols }
+
+// NumItems returns the number of items.
+func (m *MultiPointModel) NumItems() int { return m.Items.Rows }
+
+// ItemVector returns item i's coordinates.
+func (m *MultiPointModel) ItemVector(i int) []float64 { return m.Items.Row(i) }
+
+// userWeights computes the soft-min weights of user u's points for item
+// coordinates a; dst must have length K. Returns the weighted distance.
+func (m *MultiPointModel) userWeights(a []float64, u int, dst []float64) float64 {
+	maxNeg := math.Inf(-1)
+	for k := 0; k < m.K; k++ {
+		d2 := vecmath.SqDist(a, m.UserPoints.Row(u*m.K+k))
+		dst[k] = -d2 / m.Tau
+		if dst[k] > maxNeg {
+			maxNeg = dst[k]
+		}
+	}
+	var z float64
+	for k := 0; k < m.K; k++ {
+		dst[k] = math.Exp(dst[k] - maxNeg)
+		z += dst[k]
+	}
+	var soft float64
+	for k := 0; k < m.K; k++ {
+		dst[k] /= z
+		soft += dst[k] * vecmath.SqDist(a, m.UserPoints.Row(u*m.K+k))
+	}
+	return soft
+}
+
+// Predict estimates user u's rating of item i.
+func (m *MultiPointModel) Predict(item, user int) float64 {
+	w := make([]float64, m.K)
+	soft := m.userWeights(m.Items.Row(item), user, w)
+	return m.Mu + m.ItemBias[item] + m.UserBias[user] - soft
+}
+
+// RMSE computes the model's error on a rating set.
+func (m *MultiPointModel) RMSE(ratings []Rating) float64 {
+	return modelRMSE(m, ratings, func(r Rating) float64 { return m.Predict(int(r.Item), int(r.User)) })
+}
+
+// TrainMultiPoint fits the multi-point model by SGD. The soft-min weights
+// are treated as constants within each gradient step (an EM-style
+// approximation: the responsibility assignment is held fixed while the
+// geometry moves).
+func TrainMultiPoint(data *Dataset, cfg Config, K int, tau float64) (*MultiPointModel, TrainStats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if err := data.Validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if len(data.Ratings) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("space: cannot train on zero ratings")
+	}
+	if K <= 0 {
+		return nil, TrainStats{}, fmt.Errorf("space: K must be positive, got %d", K)
+	}
+	if tau <= 0 {
+		tau = 1.0
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := &MultiPointModel{
+		Mu:         data.Mean(),
+		ItemBias:   make([]float64, data.Items),
+		UserBias:   make([]float64, data.Users),
+		Items:      vecmath.NewMatrix(data.Items, cfg.Dims),
+		UserPoints: vecmath.NewMatrix(data.Users*K, cfg.Dims),
+		K:          K,
+		Tau:        tau,
+	}
+	// Spread each user's points wide apart at init so the soft-min can
+	// specialize them to different taste regions; a tight initialization
+	// keeps all points glued together and the model collapses to K = 1.
+	model.Items.FillRandom(rng, cfg.InitScale/math.Sqrt(float64(cfg.Dims)))
+	model.UserPoints.FillRandom(rng, 1.0)
+
+	stats := TrainStats{}
+	lr := cfg.LearnRate
+	const clip = 4.0
+	order := make([]int, len(data.Ratings))
+	for i := range order {
+		order[i] = i
+	}
+	w := make([]float64, K)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sumSq float64
+		for _, ri := range order {
+			r := data.Ratings[ri]
+			mi, ui := int(r.Item), int(r.User)
+			a := model.Items.Row(mi)
+
+			soft := model.userWeights(a, ui, w)
+			pred := model.Mu + model.ItemBias[mi] + model.UserBias[ui] - soft
+			e := float64(r.Score) - pred
+			sumSq += e * e
+			e = vecmath.Clamp(e, -clip, clip)
+
+			model.ItemBias[mi] += lr * (e - cfg.Lambda*model.ItemBias[mi])
+			model.UserBias[ui] += lr * (e - cfg.Lambda*model.UserBias[ui])
+
+			// With weights fixed, ∂soft/∂a = Σ_k w_k · 2(a − b_k) and
+			// ∂soft/∂b_k = w_k · 2(b_k − a); absorb the 2 into lr as in
+			// the single-point trainer, plus the d⁴-style contraction.
+			g := lr * (e + cfg.Lambda*soft)
+			for k := 0; k < K; k++ {
+				if w[k] < 1e-6 {
+					continue
+				}
+				b := model.UserPoints.Row(ui*K + k)
+				gw := g * w[k]
+				for x := range a {
+					diff := a[x] - b[x]
+					a[x] -= gw * diff
+					b[x] += gw * diff
+				}
+			}
+		}
+		stats.EpochRMSE = append(stats.EpochRMSE, math.Sqrt(sumSq/float64(len(order))))
+		lr *= cfg.LearnRateDecay
+	}
+	return model, stats, nil
+}

@@ -1,0 +1,127 @@
+package space
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"crowddb/internal/vecmath"
+)
+
+// TrainEuclideanParallel fits the Euclidean-embedding model with
+// distributed stochastic gradient descent (DSGD, Gemulla et al. — the
+// paper's reference [13] for training factor models "even on large data
+// sets"). Items and users are partitioned into P blocks; each sub-epoch
+// processes P interchangeable strata — (item-block p, user-block
+// (p+s) mod P) — in parallel. Strata touch disjoint parameters, so no
+// locks are needed and the result is deterministic for a fixed seed
+// regardless of goroutine scheduling.
+//
+// workers <= 0 selects GOMAXPROCS (capped at 8; beyond that, stratum
+// imbalance dominates).
+func TrainEuclideanParallel(data *Dataset, cfg Config, workers int) (*EuclideanModel, TrainStats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if err := data.Validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if len(data.Ratings) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("space: cannot train on zero ratings")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	if workers > data.Items {
+		workers = data.Items
+	}
+	if workers > data.Users {
+		workers = data.Users
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	P := workers
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := &EuclideanModel{
+		Mu:       data.Mean(),
+		ItemBias: make([]float64, data.Items),
+		UserBias: make([]float64, data.Users),
+		Items:    vecmath.NewMatrix(data.Items, cfg.Dims),
+		Users:    vecmath.NewMatrix(data.Users, cfg.Dims),
+	}
+	model.Items.FillRandom(rng, cfg.InitScale/math.Sqrt(float64(cfg.Dims)))
+	model.Users.FillRandom(rng, cfg.InitScale/math.Sqrt(float64(cfg.Dims)))
+
+	// Bucket ratings into the P×P grid by contiguous ranges.
+	itemBlock := func(i int32) int { return int(int64(i) * int64(P) / int64(data.Items)) }
+	userBlock := func(u int32) int { return int(int64(u) * int64(P) / int64(data.Users)) }
+	buckets := make([][]int, P*P) // rating indices
+	for ri, r := range data.Ratings {
+		b := itemBlock(r.Item)*P + userBlock(r.User)
+		buckets[b] = append(buckets[b], ri)
+	}
+
+	stats := TrainStats{}
+	lr := cfg.LearnRate
+	const clip = 4.0
+
+	// processBucket runs plain SGD over one bucket with its own RNG.
+	processBucket := func(bucket []int, lr float64, seed int64) float64 {
+		brng := rand.New(rand.NewSource(seed))
+		order := make([]int, len(bucket))
+		copy(order, bucket)
+		brng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sumSq float64
+		for _, ri := range order {
+			r := data.Ratings[ri]
+			mi, ui := int(r.Item), int(r.User)
+			a := model.Items.Row(mi)
+			b := model.Users.Row(ui)
+			d2 := vecmath.SqDist(a, b)
+			pred := model.Mu + model.ItemBias[mi] + model.UserBias[ui] - d2
+			e := float64(r.Score) - pred
+			sumSq += e * e
+			e = vecmath.Clamp(e, -clip, clip)
+			model.ItemBias[mi] += lr * (e - cfg.Lambda*model.ItemBias[mi])
+			model.UserBias[ui] += lr * (e - cfg.Lambda*model.UserBias[ui])
+			g := lr * (e + cfg.Lambda*d2)
+			for k := range a {
+				diff := a[k] - b[k]
+				a[k] -= g * diff
+				b[k] += g * diff
+			}
+		}
+		return sumSq
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochSumSq float64
+		for s := 0; s < P; s++ {
+			sums := make([]float64, P)
+			var wg sync.WaitGroup
+			for p := 0; p < P; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					bucket := buckets[p*P+(p+s)%P]
+					seed := cfg.Seed + int64(epoch)*10007 + int64(s)*101 + int64(p)
+					sums[p] = processBucket(bucket, lr, seed)
+				}(p)
+			}
+			wg.Wait()
+			for _, v := range sums {
+				epochSumSq += v
+			}
+		}
+		stats.EpochRMSE = append(stats.EpochRMSE, math.Sqrt(epochSumSq/float64(len(data.Ratings))))
+		lr *= cfg.LearnRateDecay
+	}
+	return model, stats, nil
+}

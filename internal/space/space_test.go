@@ -1,0 +1,489 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowddb/internal/vecmath"
+)
+
+// syntheticWorld generates ratings from the exact generative family the
+// Euclidean model assumes: items and users placed in a latent space with
+// biases, ratings = μ + δm + δu − α·d² + noise, clamped to a star scale.
+// Training must then recover a space whose geometry mirrors the latent one.
+type syntheticWorld struct {
+	data      *Dataset
+	itemPos   *vecmath.Matrix // latent positions
+	trueDims  int
+	clusterOf []int // items come in clusters: recoverable structure
+}
+
+func makeWorld(nItems, nUsers, ratingsPerUser, trueDims int, seed int64) *syntheticWorld {
+	rng := rand.New(rand.NewSource(seed))
+	nClusters := 4
+	centers := vecmath.NewMatrix(nClusters, trueDims)
+	centers.FillRandom(rng, 2.0)
+
+	itemPos := vecmath.NewMatrix(nItems, trueDims)
+	clusterOf := make([]int, nItems)
+	itemBias := make([]float64, nItems)
+	for i := 0; i < nItems; i++ {
+		c := rng.Intn(nClusters)
+		clusterOf[i] = c
+		row := itemPos.Row(i)
+		copy(row, centers.Row(c))
+		for k := range row {
+			row[k] += rng.NormFloat64() * 0.35
+		}
+		itemBias[i] = rng.NormFloat64() * 0.4
+	}
+	userPos := vecmath.NewMatrix(nUsers, trueDims)
+	userPos.FillRandom(rng, 2.0)
+	userBias := make([]float64, nUsers)
+	for u := range userBias {
+		userBias[u] = rng.NormFloat64() * 0.3
+	}
+
+	const mu = 3.6
+	const alpha = 0.25
+	var ratings []Rating
+	for u := 0; u < nUsers; u++ {
+		seen := map[int]bool{}
+		for r := 0; r < ratingsPerUser; r++ {
+			m := rng.Intn(nItems)
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+			d2 := vecmath.SqDist(itemPos.Row(m), userPos.Row(u))
+			score := mu + itemBias[m] + userBias[u] - alpha*d2 + rng.NormFloat64()*0.3
+			score = vecmath.Clamp(score, 1, 5)
+			ratings = append(ratings, Rating{Item: int32(m), User: int32(u), Score: float32(score)})
+		}
+	}
+	return &syntheticWorld{
+		data:      &Dataset{Items: nItems, Users: nUsers, Ratings: ratings},
+		itemPos:   itemPos,
+		trueDims:  trueDims,
+		clusterOf: clusterOf,
+	}
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Dims = 8
+	cfg.Epochs = 30
+	return cfg
+}
+
+func TestDatasetValidate(t *testing.T) {
+	good := &Dataset{Items: 2, Users: 2, Ratings: []Rating{{Item: 1, User: 1, Score: 3}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Dataset{Items: 2, Users: 2, Ratings: []Rating{{Item: 2, User: 0, Score: 3}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range item must fail")
+	}
+	bad = &Dataset{Items: 2, Users: 2, Ratings: []Rating{{Item: 0, User: -1, Score: 3}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative user must fail")
+	}
+	if err := (&Dataset{}).Validate(); err == nil {
+		t.Fatal("empty shape must fail")
+	}
+}
+
+func TestDatasetMeanDensity(t *testing.T) {
+	d := &Dataset{Items: 10, Users: 10, Ratings: []Rating{
+		{Item: 0, User: 0, Score: 2}, {Item: 1, User: 1, Score: 4},
+	}}
+	if got := d.Mean(); got != 3 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := d.Density(); got != 0.02 {
+		t.Fatalf("Density = %v", got)
+	}
+	if (&Dataset{Items: 1, Users: 1}).Mean() != 0 {
+		t.Fatal("empty Mean must be 0")
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	w := makeWorld(50, 40, 10, 3, 1)
+	rng := rand.New(rand.NewSource(2))
+	train, test := w.data.Split(0.25, rng)
+	if len(train.Ratings)+len(test.Ratings) != len(w.data.Ratings) {
+		t.Fatal("split lost ratings")
+	}
+	wantTest := int(0.25 * float64(len(w.data.Ratings)))
+	if len(test.Ratings) != wantTest {
+		t.Fatalf("test size = %d, want %d", len(test.Ratings), wantTest)
+	}
+}
+
+func TestTrainEuclideanReducesRMSE(t *testing.T) {
+	w := makeWorld(120, 200, 30, 3, 3)
+	model, stats, err := TrainEuclidean(w.data, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := stats.EpochRMSE[0], stats.FinalRMSE()
+	if last >= first {
+		t.Fatalf("training did not reduce RMSE: %v -> %v", first, last)
+	}
+	if last > 0.6 {
+		t.Fatalf("final RMSE = %v, want < 0.6 on model-family data", last)
+	}
+	// Predictions look like ratings.
+	p := model.Predict(0, 0)
+	if math.IsNaN(p) || p < -5 || p > 12 {
+		t.Fatalf("prediction = %v looks degenerate", p)
+	}
+}
+
+func TestTrainEuclideanBetterThanBiasOnly(t *testing.T) {
+	w := makeWorld(120, 200, 30, 3, 4)
+	model, _, err := TrainEuclidean(w.data, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bias-only predictor: μ + δm + δu with δ from per-entity means.
+	mu := w.data.Mean()
+	itemSum := make([]float64, w.data.Items)
+	itemN := make([]int, w.data.Items)
+	userSum := make([]float64, w.data.Users)
+	userN := make([]int, w.data.Users)
+	for _, r := range w.data.Ratings {
+		itemSum[r.Item] += float64(r.Score) - mu
+		itemN[r.Item]++
+	}
+	for _, r := range w.data.Ratings {
+		userSum[r.User] += float64(r.Score) - mu - itemSum[r.Item]/math.Max(1, float64(itemN[r.Item]))
+		userN[r.User]++
+	}
+	var sumSq float64
+	for _, r := range w.data.Ratings {
+		pred := mu + itemSum[r.Item]/math.Max(1, float64(itemN[r.Item])) +
+			userSum[r.User]/math.Max(1, float64(userN[r.User]))
+		e := float64(r.Score) - pred
+		sumSq += e * e
+	}
+	biasRMSE := math.Sqrt(sumSq / float64(len(w.data.Ratings)))
+	if model.RMSE(w.data.Ratings) >= biasRMSE {
+		t.Fatalf("factor model (%.4f) must beat bias-only (%.4f)",
+			model.RMSE(w.data.Ratings), biasRMSE)
+	}
+}
+
+// The core scientific claim: the learned space groups items by their latent
+// cluster, so same-cluster items are closer than cross-cluster items.
+func TestEuclideanSpaceRecoversClusters(t *testing.T) {
+	w := makeWorld(120, 300, 40, 3, 5)
+	model, _, err := TrainEuclidean(w.data, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := FromModel(model)
+	rng := rand.New(rand.NewSource(6))
+	var within, across []float64
+	for k := 0; k < 4000; k++ {
+		i, j := rng.Intn(120), rng.Intn(120)
+		if i == j {
+			continue
+		}
+		d := sp.Distance(i, j)
+		if w.clusterOf[i] == w.clusterOf[j] {
+			within = append(within, d)
+		} else {
+			across = append(across, d)
+		}
+	}
+	mw := vecmath.Mean(within)
+	ma := vecmath.Mean(across)
+	if mw >= ma*0.8 {
+		t.Fatalf("within-cluster mean distance %.3f not clearly below across-cluster %.3f", mw, ma)
+	}
+}
+
+func TestNearestNeighborsFindClusterSiblings(t *testing.T) {
+	w := makeWorld(120, 300, 40, 3, 7)
+	model, _, err := TrainEuclidean(w.data, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := FromModel(model)
+	hits, total := 0, 0
+	for item := 0; item < 40; item++ {
+		nns, err := sp.NearestNeighbors(item, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nns) != 5 {
+			t.Fatalf("got %d neighbours", len(nns))
+		}
+		for i := 1; i < len(nns); i++ {
+			if nns[i].Distance < nns[i-1].Distance {
+				t.Fatal("neighbours not sorted")
+			}
+		}
+		for _, nb := range nns {
+			if nb.Item == item {
+				t.Fatal("self in neighbour list")
+			}
+			total++
+			if w.clusterOf[nb.Item] == w.clusterOf[item] {
+				hits++
+			}
+		}
+	}
+	// Random guessing would hit ~25% (4 clusters). Expect far better.
+	if frac := float64(hits) / float64(total); frac < 0.6 {
+		t.Fatalf("cluster-sibling fraction = %.2f, want >= 0.6", frac)
+	}
+}
+
+func TestNearestNeighborsErrors(t *testing.T) {
+	sp := NewSpace(vecmath.NewMatrix(3, 2))
+	if _, err := sp.NearestNeighbors(-1, 2); err == nil {
+		t.Fatal("negative item must fail")
+	}
+	if _, err := sp.NearestNeighbors(3, 2); err == nil {
+		t.Fatal("out-of-range item must fail")
+	}
+	if _, err := sp.NearestNeighbors(0, 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	// k larger than the population returns everyone else.
+	nns, err := sp.NearestNeighbors(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nns) != 2 {
+		t.Fatalf("len = %d, want 2", len(nns))
+	}
+}
+
+func TestTrainSVDReducesRMSEAndPredicts(t *testing.T) {
+	w := makeWorld(100, 150, 25, 3, 8)
+	model, stats, err := TrainSVD(w.data, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalRMSE() >= stats.EpochRMSE[0] {
+		t.Fatal("SVD training did not reduce RMSE")
+	}
+	if rmse := model.RMSE(w.data.Ratings); rmse > 0.7 {
+		t.Fatalf("SVD RMSE = %v", rmse)
+	}
+}
+
+func TestTrainSVDALSConverges(t *testing.T) {
+	w := makeWorld(60, 80, 20, 3, 9)
+	cfg := smallConfig()
+	cfg.Dims = 4
+	cfg.Epochs = 8
+	model, stats, err := TrainSVDALS(w.data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalRMSE() > stats.EpochRMSE[0] {
+		t.Fatalf("ALS RMSE rose: %v -> %v", stats.EpochRMSE[0], stats.FinalRMSE())
+	}
+	if rmse := model.RMSE(w.data.Ratings); rmse > 0.8 {
+		t.Fatalf("ALS RMSE = %v", rmse)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	w := makeWorld(10, 10, 3, 2, 10)
+	bad := smallConfig()
+	bad.Dims = 0
+	if _, _, err := TrainEuclidean(w.data, bad); err == nil {
+		t.Fatal("Dims=0 must fail")
+	}
+	bad = smallConfig()
+	bad.Epochs = 0
+	if _, _, err := TrainEuclidean(w.data, bad); err == nil {
+		t.Fatal("Epochs=0 must fail")
+	}
+	bad = smallConfig()
+	bad.LearnRate = 0
+	if _, _, err := TrainSVD(w.data, bad); err == nil {
+		t.Fatal("LearnRate=0 must fail")
+	}
+	bad = smallConfig()
+	bad.Lambda = -1
+	if _, _, err := TrainSVD(w.data, bad); err == nil {
+		t.Fatal("negative Lambda must fail")
+	}
+	empty := &Dataset{Items: 5, Users: 5}
+	if _, _, err := TrainEuclidean(empty, smallConfig()); err == nil {
+		t.Fatal("empty ratings must fail")
+	}
+	if _, _, err := TrainSVDALS(empty, smallConfig()); err == nil {
+		t.Fatal("ALS empty ratings must fail")
+	}
+	invalid := &Dataset{Items: 2, Users: 2, Ratings: []Rating{{Item: 5, User: 0}}}
+	if _, _, err := TrainEuclidean(invalid, smallConfig()); err == nil {
+		t.Fatal("invalid dataset must fail")
+	}
+}
+
+func TestTrainingIsDeterministic(t *testing.T) {
+	w := makeWorld(40, 60, 15, 2, 11)
+	cfg := smallConfig()
+	cfg.Epochs = 5
+	m1, _, err := TrainEuclidean(w.data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := TrainEuclidean(w.data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Items.Data {
+		if m1.Items.Data[i] != m2.Items.Data[i] {
+			t.Fatal("equal seeds must give identical models")
+		}
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	w := makeWorld(80, 120, 20, 3, 12)
+	cfg := smallConfig()
+	cfg.Epochs = 10
+	results, err := CrossValidate(w.data, cfg, []int{2, 8}, []float64{0.02}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].TestRMSE < results[i-1].TestRMSE {
+			t.Fatal("results not sorted by RMSE")
+		}
+	}
+	if _, err := CrossValidate(w.data, cfg, []int{2}, []float64{0}, 1.5); err == nil {
+		t.Fatal("bad holdout must fail")
+	}
+}
+
+func TestPairwiseConsensus(t *testing.T) {
+	coords := vecmath.NewMatrix(3, 2)
+	copy(coords.Row(1), []float64{1, 0})
+	copy(coords.Row(2), []float64{5, 0})
+	sp := NewSpace(coords)
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	// External dissimilarity perfectly aligned with distance.
+	r, err := sp.PairwiseConsensus(pairs, []float64{1, 5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.99 {
+		t.Fatalf("consensus = %v, want ≈ 1", r)
+	}
+	if _, err := sp.PairwiseConsensus(pairs, []float64{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := sp.PairwiseConsensus([][2]int{{0, 9}}, []float64{1}); err == nil {
+		t.Fatal("out-of-range pair must fail")
+	}
+	if r, err := sp.PairwiseConsensus(nil, nil); err != nil || r != 0 {
+		t.Fatal("empty input must return 0, nil")
+	}
+}
+
+func TestSpread(t *testing.T) {
+	coords := vecmath.NewMatrix(3, 1)
+	coords.Set(1, 0, 3)
+	coords.Set(2, 0, 4)
+	sp := NewSpace(coords)
+	mean, max := sp.Spread(100)
+	if max != 4 {
+		t.Fatalf("max = %v", max)
+	}
+	if math.Abs(mean-(3.0+4.0+1.0)/3) > 1e-12 {
+		t.Fatalf("mean = %v", mean)
+	}
+	tiny := NewSpace(vecmath.NewMatrix(1, 1))
+	if m, x := tiny.Spread(10); m != 0 || x != 0 {
+		t.Fatal("single-item spread must be 0")
+	}
+}
+
+func TestGaussSolve(t *testing.T) {
+	A := vecmath.NewMatrix(3, 3)
+	copy(A.Data, []float64{2, 1, 0, 1, 3, 1, 0, 1, 2})
+	b := []float64{3, 5, 3}
+	x := make([]float64, 3)
+	if !gaussSolve(A.Clone(), append([]float64(nil), b...), x) {
+		t.Fatal("solve failed")
+	}
+	// Verify A·x = b.
+	A2 := vecmath.NewMatrix(3, 3)
+	copy(A2.Data, []float64{2, 1, 0, 1, 3, 1, 0, 1, 2})
+	got := A2.MulVec(x, nil)
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > 1e-9 {
+			t.Fatalf("A·x = %v, want %v", got, b)
+		}
+	}
+	// Singular matrix must be reported.
+	S := vecmath.NewMatrix(2, 2)
+	copy(S.Data, []float64{1, 2, 2, 4})
+	if gaussSolve(S, []float64{1, 2}, make([]float64, 2)) {
+		t.Fatal("singular system must return false")
+	}
+}
+
+// Property: gaussSolve solutions satisfy the original system for random
+// well-conditioned matrices.
+func TestGaussSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		A := vecmath.NewMatrix(n, n)
+		A.FillRandom(rng, 1)
+		for i := 0; i < n; i++ {
+			A.Set(i, i, A.At(i, i)+3) // diagonally dominant
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		if !gaussSolve(A.Clone(), append([]float64(nil), b...), x) {
+			return false
+		}
+		got := A.MulVec(x, nil)
+		for i := range b {
+			if math.Abs(got[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromModelSnapshotIsolation(t *testing.T) {
+	w := makeWorld(20, 30, 10, 2, 13)
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	model, _, err := TrainEuclidean(w.data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := FromModel(model)
+	before := sp.Vector(0)[0]
+	model.Items.Row(0)[0] += 100
+	if sp.Vector(0)[0] != before {
+		t.Fatal("FromModel must deep-copy coordinates")
+	}
+}

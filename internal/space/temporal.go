@@ -1,0 +1,201 @@
+package space
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowddb/internal/vecmath"
+)
+
+// TemporalRating is a rating with a normalized timestamp in [0, 1]
+// (0 = start of the observation window, 1 = end).
+type TemporalRating struct {
+	Item  int32
+	User  int32
+	Score float32
+	Time  float32
+}
+
+// TemporalDataset is a timestamped rating collection.
+type TemporalDataset struct {
+	Items   int
+	Users   int
+	Ratings []TemporalRating
+}
+
+// Validate checks index and time bounds.
+func (d *TemporalDataset) Validate() error {
+	if d.Items <= 0 || d.Users <= 0 {
+		return fmt.Errorf("space: temporal dataset needs positive Items and Users")
+	}
+	for i, r := range d.Ratings {
+		if r.Item < 0 || int(r.Item) >= d.Items || r.User < 0 || int(r.User) >= d.Users {
+			return fmt.Errorf("space: temporal rating %d out of range", i)
+		}
+		if r.Time < 0 || r.Time > 1 {
+			return fmt.Errorf("space: temporal rating %d has time %v outside [0,1]", i, r.Time)
+		}
+	}
+	return nil
+}
+
+// Static drops the timestamps, for training a time-blind baseline.
+func (d *TemporalDataset) Static() *Dataset {
+	out := &Dataset{Items: d.Items, Users: d.Users, Ratings: make([]Rating, len(d.Ratings))}
+	for i, r := range d.Ratings {
+		out.Ratings[i] = Rating{Item: r.Item, User: r.User, Score: r.Score}
+	}
+	return out
+}
+
+// Mean returns the global mean rating.
+func (d *TemporalDataset) Mean() float64 {
+	if len(d.Ratings) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range d.Ratings {
+		s += float64(r.Score)
+	}
+	return s / float64(len(d.Ratings))
+}
+
+// TemporalModel implements the paper's §5 "changing taste over time"
+// extension (its reference [24], Koren's temporal dynamics, in its
+// simplest binned form): the user bias becomes time-dependent,
+//
+//	r̂(m, u, t) = μ + δm + δu + δ_{u, bin(t)} − ‖a_m − b_u‖²
+//
+// so a user whose rating level drifts (harsher over time, a rating-scale
+// reinterpretation, …) no longer smears the item geometry.
+type TemporalModel struct {
+	Mu       float64
+	ItemBias []float64
+	UserBias []float64
+	// UserBinBias is nUsers × Bins, row-major.
+	UserBinBias []float64
+	Bins        int
+	Items       *vecmath.Matrix
+	Users       *vecmath.Matrix
+}
+
+var _ Model = (*TemporalModel)(nil)
+
+// Dims returns the space dimensionality.
+func (m *TemporalModel) Dims() int { return m.Items.Cols }
+
+// NumItems returns the number of items.
+func (m *TemporalModel) NumItems() int { return m.Items.Rows }
+
+// ItemVector returns item i's coordinates.
+func (m *TemporalModel) ItemVector(i int) []float64 { return m.Items.Row(i) }
+
+func (m *TemporalModel) bin(t float64) int {
+	b := int(t * float64(m.Bins))
+	if b >= m.Bins {
+		b = m.Bins - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// PredictAt estimates the rating at normalized time t.
+func (m *TemporalModel) PredictAt(item, user int, t float64) float64 {
+	return m.Mu + m.ItemBias[item] + m.UserBias[user] +
+		m.UserBinBias[user*m.Bins+m.bin(t)] -
+		vecmath.SqDist(m.Items.Row(item), m.Users.Row(user))
+}
+
+// Predict implements Model using the window midpoint; use PredictAt for
+// time-aware predictions.
+func (m *TemporalModel) Predict(item, user int) float64 {
+	return m.PredictAt(item, user, 0.5)
+}
+
+// RMSE computes the time-aware error over a temporal rating set.
+func (m *TemporalModel) RMSE(ratings []TemporalRating) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range ratings {
+		e := float64(r.Score) - m.PredictAt(int(r.Item), int(r.User), float64(r.Time))
+		s += e * e
+	}
+	return math.Sqrt(s / float64(len(ratings)))
+}
+
+// TrainTemporal fits the temporal Euclidean-embedding model by SGD.
+// bins is the number of time bins per user (default 4 when <= 0).
+func TrainTemporal(data *TemporalDataset, cfg Config, bins int) (*TemporalModel, TrainStats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if err := data.Validate(); err != nil {
+		return nil, TrainStats{}, err
+	}
+	if len(data.Ratings) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("space: cannot train on zero ratings")
+	}
+	if bins <= 0 {
+		bins = 4
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := &TemporalModel{
+		Mu:          data.Mean(),
+		ItemBias:    make([]float64, data.Items),
+		UserBias:    make([]float64, data.Users),
+		UserBinBias: make([]float64, data.Users*bins),
+		Bins:        bins,
+		Items:       vecmath.NewMatrix(data.Items, cfg.Dims),
+		Users:       vecmath.NewMatrix(data.Users, cfg.Dims),
+	}
+	model.Items.FillRandom(rng, cfg.InitScale/math.Sqrt(float64(cfg.Dims)))
+	model.Users.FillRandom(rng, cfg.InitScale/math.Sqrt(float64(cfg.Dims)))
+
+	stats := TrainStats{}
+	lr := cfg.LearnRate
+	const clip = 4.0
+	order := make([]int, len(data.Ratings))
+	for i := range order {
+		order[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sumSq float64
+		for _, ri := range order {
+			r := data.Ratings[ri]
+			mi, ui := int(r.Item), int(r.User)
+			bi := ui*bins + model.bin(float64(r.Time))
+			a := model.Items.Row(mi)
+			b := model.Users.Row(ui)
+
+			d2 := vecmath.SqDist(a, b)
+			pred := model.Mu + model.ItemBias[mi] + model.UserBias[ui] + model.UserBinBias[bi] - d2
+			e := float64(r.Score) - pred
+			sumSq += e * e
+			e = vecmath.Clamp(e, -clip, clip)
+
+			model.ItemBias[mi] += lr * (e - cfg.Lambda*model.ItemBias[mi])
+			model.UserBias[ui] += lr * (e - cfg.Lambda*model.UserBias[ui])
+			// The bin offset gets stronger shrinkage: it must capture
+			// drift, not absorb the stationary part of the bias.
+			model.UserBinBias[bi] += lr * (e - 5*cfg.Lambda*model.UserBinBias[bi])
+
+			g := lr * (e + cfg.Lambda*d2)
+			for k := range a {
+				diff := a[k] - b[k]
+				a[k] -= g * diff
+				b[k] += g * diff
+			}
+		}
+		stats.EpochRMSE = append(stats.EpochRMSE, math.Sqrt(sumSq/float64(len(order))))
+		lr *= cfg.LearnRateDecay
+	}
+	return model, stats, nil
+}

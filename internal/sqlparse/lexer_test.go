@@ -1,0 +1,125 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func tokenTexts(t *testing.T, input string) []string {
+	t.Helper()
+	toks, err := Tokenize(input)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", input, err)
+	}
+	var out []string
+	for _, tok := range toks {
+		if tok.Type == TokEOF {
+			break
+		}
+		out = append(out, tok.Text)
+	}
+	return out
+}
+
+func TestTokenizeBasicQuery(t *testing.T) {
+	got := tokenTexts(t, "SELECT name FROM movies WHERE humor >= 8")
+	want := []string{"SELECT", "name", "FROM", "movies", "WHERE", "humor", ">=", "8"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestKeywordsAreUppercasedIdentsAreNot(t *testing.T) {
+	toks, err := Tokenize("select Name from Movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != TokKeyword || toks[0].Text != "SELECT" {
+		t.Fatalf("first token = %+v", toks[0])
+	}
+	if toks[1].Type != TokIdent || toks[1].Text != "Name" {
+		t.Fatalf("second token = %+v", toks[1])
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":      "42",
+		"3.14":    "3.14",
+		".5":      ".5",
+		"1e3":     "1e3",
+		"2.5E-2":  "2.5E-2",
+		"1.25e+4": "1.25e+4",
+	}
+	for in, want := range cases {
+		toks, err := Tokenize(in)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", in, err)
+		}
+		if toks[0].Type != TokNumber || toks[0].Text != want {
+			t.Errorf("Tokenize(%q) = %+v, want number %q", in, toks[0], want)
+		}
+	}
+}
+
+func TestTokenizeBadNumbers(t *testing.T) {
+	for _, in := range []string{"1e", "1e+", "12abc"} {
+		if _, err := Tokenize(in); err == nil {
+			t.Errorf("Tokenize(%q) should fail", in)
+		}
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks, err := Tokenize("'hello world'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != TokString || toks[0].Text != "hello world" {
+		t.Fatalf("token = %+v", toks[0])
+	}
+
+	toks, err = Tokenize("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Fatalf("escaped quote: %q", toks[0].Text)
+	}
+
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Fatal("unterminated string should fail")
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	got := tokenTexts(t, "a <= b >= c != d <> e = f < g > h")
+	want := []string{"a", "<=", "b", ">=", "c", "!=", "d", "!=", "e", "=", "f", "<", "g", ">", "h"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	got := tokenTexts(t, "SELECT 1 -- a comment\n, 2")
+	want := []string{"SELECT", "1", ",", "2"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeRejectsGarbage(t *testing.T) {
+	if _, err := Tokenize("SELECT @foo"); err == nil {
+		t.Fatal("expected error for '@'")
+	}
+}
+
+func TestTokenizeEmptyInput(t *testing.T) {
+	toks, err := Tokenize("   \n\t ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Type != TokEOF {
+		t.Fatalf("tokens = %v", toks)
+	}
+}

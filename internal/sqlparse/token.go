@@ -1,0 +1,77 @@
+// Package sqlparse implements the SQL dialect of the crowd-enabled
+// database: a lexer, an AST, and a recursive-descent parser.
+//
+// The dialect covers the statements the paper's scenarios need —
+// CREATE TABLE (with a PERCEPTUAL column modifier), INSERT, SELECT with
+// WHERE/ORDER BY/LIMIT and simple aggregates, UPDATE, and DELETE. The
+// distinguishing feature is not syntax but semantics: a SELECT may
+// reference columns that do not exist yet, and the engine layer decides
+// whether that is an error or a schema-expansion trigger.
+package sqlparse
+
+import "fmt"
+
+// TokenType identifies the lexical class of a token.
+type TokenType uint8
+
+const (
+	TokEOF TokenType = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokSymbol
+)
+
+func (t TokenType) String() string {
+	switch t {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokKeyword:
+		return "keyword"
+	case TokSymbol:
+		return "symbol"
+	default:
+		return fmt.Sprintf("TokenType(%d)", uint8(t))
+	}
+}
+
+// Token is one lexical unit. Keywords carry their upper-cased text;
+// identifiers keep original casing (resolution is case-insensitive later).
+type Token struct {
+	Type TokenType
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+func (t Token) String() string {
+	if t.Type == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords is the reserved-word set of the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"CREATE": true, "TABLE": true, "ORDER": true, "BY": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "TRUE": true, "FALSE": true, "NULL": true,
+	"IS": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"INTEGER": true, "INT": true, "FLOAT": true, "REAL": true,
+	"TEXT": true, "VARCHAR": true, "BOOLEAN": true, "BOOL": true,
+	"PERCEPTUAL": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "DROP": true, "EXPAND": true, "USING": true,
+	"CROWD": true, "SPACE": true, "HYBRID": true, "WITH": true,
+	"BUDGET": true, "SAMPLES": true, "ADD": true, "COLUMN": true,
+	"GROUP": true, "HAVING": true, "DISTINCT": true,
+}
+
+// IsKeyword reports whether upper-cased s is reserved.
+func IsKeyword(s string) bool { return keywords[s] }

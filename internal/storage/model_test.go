@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTableAgainstModel drives a Table with a random operation sequence
+// mirrored against a plain-slice model; all reads must agree.
+func TestTableAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+
+	for trial := 0; trial < 20; trial++ {
+		schema, err := NewSchema(
+			Column{Name: "k", Kind: KindInt},
+			Column{Name: "v", Kind: KindFloat},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := NewTable("m", schema)
+		type mrow struct {
+			k int64
+			v float64
+		}
+		var model []mrow
+		cols := 2
+
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				k := int64(rng.Intn(1000))
+				v := float64(rng.Intn(1000)) / 8
+				row := make([]Value, cols)
+				row[0], row[1] = Int(k), Float(v)
+				for c := 2; c < cols; c++ {
+					row[c] = Null()
+				}
+				if err := tbl.Insert(row...); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model, mrow{k: k, v: v})
+			case 4, 5: // set
+				if len(model) == 0 {
+					continue
+				}
+				i := rng.Intn(len(model))
+				v := float64(rng.Intn(1000)) / 8
+				if err := tbl.Set(i, 1, Float(v)); err != nil {
+					t.Fatal(err)
+				}
+				model[i].v = v
+			case 6: // delete a random subset
+				if len(model) == 0 {
+					continue
+				}
+				var idx []int
+				for i := range model {
+					if rng.Float64() < 0.2 {
+						idx = append(idx, i)
+					}
+				}
+				removed := tbl.Delete(idx)
+				kill := map[int]bool{}
+				for _, i := range idx {
+					kill[i] = true
+				}
+				kept := model[:0]
+				for i, r := range model {
+					if !kill[i] {
+						kept = append(kept, r)
+					}
+				}
+				if removed != len(model)-len(kept) {
+					t.Fatalf("Delete removed %d, model says %d", removed, len(model)-len(kept))
+				}
+				model = kept
+			case 7: // add a column (schema expansion), all NULLs
+				if cols >= 6 {
+					continue
+				}
+				name := string(rune('a' + cols))
+				if _, err := tbl.AddColumn(Column{Name: name, Kind: KindText}); err != nil {
+					t.Fatal(err)
+				}
+				cols++
+			case 8: // point read
+				if len(model) == 0 {
+					continue
+				}
+				i := rng.Intn(len(model))
+				got, err := tbl.Get(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k, _ := got[0].AsInt()
+				v, _ := got[1].AsFloat()
+				if k != model[i].k || v != model[i].v {
+					t.Fatalf("row %d = (%d, %g), model says (%d, %g)", i, k, v, model[i].k, model[i].v)
+				}
+			default: // full scan comparison
+				if tbl.NumRows() != len(model) {
+					t.Fatalf("NumRows = %d, model says %d", tbl.NumRows(), len(model))
+				}
+				i := 0
+				tbl.Scan(func(idx int, row Row) bool {
+					k, _ := row[0].AsInt()
+					v, _ := row[1].AsFloat()
+					if k != model[i].k || v != model[i].v {
+						t.Fatalf("scan row %d mismatch", i)
+					}
+					if len(row) != cols {
+						t.Fatalf("row width %d, want %d", len(row), cols)
+					}
+					i++
+					return true
+				})
+				if i != len(model) {
+					t.Fatalf("scan visited %d rows, model has %d", i, len(model))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ColumnOrigin records how a column came to exist. Query-driven schema
+// expansion (the paper's contribution) creates ColumnExpanded columns; the
+// provenance matters for quality accounting and for the REPL's \d output.
+type ColumnOrigin uint8
+
+const (
+	// ColumnDeclared columns come from CREATE TABLE.
+	ColumnDeclared ColumnOrigin = iota
+	// ColumnExpanded columns were added at query time by a schema
+	// expansion strategy.
+	ColumnExpanded
+)
+
+func (o ColumnOrigin) String() string {
+	if o == ColumnExpanded {
+		return "expanded"
+	}
+	return "declared"
+}
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Kind Kind
+	// Perceptual marks attributes that rely on human judgment (genre,
+	// humor, …) as opposed to factual attributes (year, director). Only
+	// perceptual attributes can be filled from a perceptual space; factual
+	// ones must be crowd-sourced individually (paper §2).
+	Perceptual bool
+	Origin     ColumnOrigin
+}
+
+// Schema is an ordered list of columns with unique case-insensitive names.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from cols. Duplicate names are an error.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{index: make(map[string]int, len(cols))}
+	for _, c := range cols {
+		if err := s.add(c); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func normName(name string) string { return strings.ToLower(name) }
+
+func (s *Schema) add(c Column) error {
+	if c.Name == "" {
+		return fmt.Errorf("storage: empty column name")
+	}
+	key := normName(c.Name)
+	if _, dup := s.index[key]; dup {
+		return fmt.Errorf("storage: duplicate column %q", c.Name)
+	}
+	s.index[key] = len(s.cols)
+	s.cols = append(s.cols, c)
+	return nil
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column {
+	out := make([]Column, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// Lookup returns the index of the named column (case-insensitive).
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[normName(name)]
+	return i, ok
+}
+
+// Row is a tuple; the i-th entry corresponds to schema column i.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an in-memory, mutex-guarded row store.
+//
+// The lock makes concurrent crowd fill-ins safe: the crowd simulator
+// completes HITs on goroutines while the engine keeps serving reads.
+type Table struct {
+	name string
+
+	mu     sync.RWMutex
+	schema *Schema
+	rows   []Row
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{name: name, schema: schema}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns a snapshot of the table's schema.
+func (t *Table) Schema() *Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s, _ := NewSchema(t.schema.cols...)
+	return s
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.schema.Len()
+}
+
+// Insert appends a row after validating arity and coercing each value to
+// its column kind.
+func (t *Table) Insert(vals ...Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(vals) != t.schema.Len() {
+		return fmt.Errorf("storage: table %s expects %d values, got %d", t.name, t.schema.Len(), len(vals))
+	}
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		cv, err := v.Coerce(t.schema.Column(i).Kind)
+		if err != nil {
+			return fmt.Errorf("storage: column %s: %w", t.schema.Column(i).Name, err)
+		}
+		row[i] = cv
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// Get returns a copy of row i.
+func (t *Table) Get(i int) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.rows) {
+		return nil, fmt.Errorf("storage: row %d out of range [0,%d)", i, len(t.rows))
+	}
+	return t.rows[i].Clone(), nil
+}
+
+// Set overwrites the value at (row, col) after coercion.
+func (t *Table) Set(row, col int, v Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if row < 0 || row >= len(t.rows) {
+		return fmt.Errorf("storage: row %d out of range [0,%d)", row, len(t.rows))
+	}
+	if col < 0 || col >= t.schema.Len() {
+		return fmt.Errorf("storage: column %d out of range [0,%d)", col, t.schema.Len())
+	}
+	cv, err := v.Coerce(t.schema.Column(col).Kind)
+	if err != nil {
+		return err
+	}
+	t.rows[row][col] = cv
+	return nil
+}
+
+// Value returns the value at (row, col).
+func (t *Table) Value(row, col int) (Value, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if row < 0 || row >= len(t.rows) {
+		return Null(), fmt.Errorf("storage: row %d out of range [0,%d)", row, len(t.rows))
+	}
+	if col < 0 || col >= t.schema.Len() {
+		return Null(), fmt.Errorf("storage: column %d out of range [0,%d)", col, t.schema.Len())
+	}
+	return t.rows[row][col], nil
+}
+
+// AddColumn appends a new column (schema expansion). Every existing row
+// receives NULL for it. Returns the new column's index.
+func (t *Table) AddColumn(c Column) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.schema.add(c); err != nil {
+		return 0, err
+	}
+	for i := range t.rows {
+		t.rows[i] = append(t.rows[i], Null())
+	}
+	return t.schema.Len() - 1, nil
+}
+
+// FillColumn assigns vals (one per row, in row order) to the named column.
+// It is the bulk write path used by expansion strategies after a classifier
+// has produced values for every tuple.
+func (t *Table) FillColumn(name string, vals []Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	col, ok := t.schema.Lookup(name)
+	if !ok {
+		return fmt.Errorf("storage: table %s has no column %q", t.name, name)
+	}
+	if len(vals) != len(t.rows) {
+		return fmt.Errorf("storage: FillColumn %s: %d values for %d rows", name, len(vals), len(t.rows))
+	}
+	kind := t.schema.Column(col).Kind
+	for i, v := range vals {
+		cv, err := v.Coerce(kind)
+		if err != nil {
+			return fmt.Errorf("storage: FillColumn %s row %d: %w", name, i, err)
+		}
+		t.rows[i][col] = cv
+	}
+	return nil
+}
+
+// ScanFunc is invoked once per row during Scan. Returning false stops the
+// scan early. The row must not be mutated or retained.
+type ScanFunc func(rowIdx int, row Row) bool
+
+// Scan iterates over all rows under a read lock.
+func (t *Table) Scan(f ScanFunc) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, r := range t.rows {
+		if !f(i, r) {
+			return
+		}
+	}
+}
+
+// Delete removes rows whose indices appear in idx. Indices outside the
+// valid range are ignored.
+func (t *Table) Delete(idx []int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(idx) == 0 {
+		return 0
+	}
+	kill := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		if i >= 0 && i < len(t.rows) {
+			kill[i] = true
+		}
+	}
+	if len(kill) == 0 {
+		return 0
+	}
+	out := t.rows[:0]
+	for i, r := range t.rows {
+		if !kill[i] {
+			out = append(out, r)
+		}
+	}
+	n := len(t.rows) - len(out)
+	t.rows = out
+	return n
+}
+
+// Catalog maps table names to tables, case-insensitively.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create registers a new table. Duplicate names are an error.
+func (c *Catalog) Create(name string, schema *Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := normName(name)
+	if _, dup := c.tables[key]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	c.tables[key] = t
+	return t, nil
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[normName(name)]
+	return t, ok
+}
+
+// Drop removes the named table, reporting whether it existed.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := normName(name)
+	_, ok := c.tables[key]
+	delete(c.tables, key)
+	return ok
+}
+
+// Names returns the sorted list of table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Fatal("Null().IsNull() = false")
+	}
+	if v, ok := Bool(true).AsBool(); !ok || !v {
+		t.Fatal("Bool round-trip failed")
+	}
+	if v, ok := Int(-7).AsInt(); !ok || v != -7 {
+		t.Fatal("Int round-trip failed")
+	}
+	if v, ok := Float(2.5).AsFloat(); !ok || v != 2.5 {
+		t.Fatal("Float round-trip failed")
+	}
+	if v, ok := Text("hi").AsText(); !ok || v != "hi" {
+		t.Fatal("Text round-trip failed")
+	}
+}
+
+func TestNumericCrossConversion(t *testing.T) {
+	if f, ok := Int(3).AsFloat(); !ok || f != 3.0 {
+		t.Fatal("Int→Float failed")
+	}
+	if i, ok := Float(4.0).AsInt(); !ok || i != 4 {
+		t.Fatal("lossless Float→Int failed")
+	}
+	if _, ok := Float(4.5).AsInt(); ok {
+		t.Fatal("lossy Float→Int must fail")
+	}
+	if _, ok := Text("3").AsInt(); ok {
+		t.Fatal("Text→Int must fail")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{Text("abc"), "abc"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Fatal("NULL must not equal NULL")
+	}
+	if !Int(3).Equal(Float(3)) {
+		t.Fatal("3 must equal 3.0")
+	}
+	if Int(3).Equal(Text("3")) {
+		t.Fatal("3 must not equal '3'")
+	}
+	if !Text("a").Equal(Text("a")) || Text("a").Equal(Text("b")) {
+		t.Fatal("text equality broken")
+	}
+	if !Bool(true).Equal(Bool(true)) || Bool(true).Equal(Bool(false)) {
+		t.Fatal("bool equality broken")
+	}
+	if Bool(true).Equal(Int(1)) {
+		t.Fatal("bool must not equal int")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if c, err := Int(1).Compare(Float(2)); err != nil || c != -1 {
+		t.Fatalf("1 vs 2.0: %d, %v", c, err)
+	}
+	if c, err := Text("b").Compare(Text("a")); err != nil || c != 1 {
+		t.Fatalf("b vs a: %d, %v", c, err)
+	}
+	if c, err := Text("x").Compare(Text("x")); err != nil || c != 0 {
+		t.Fatalf("x vs x: %d, %v", c, err)
+	}
+	if c, err := Bool(true).Compare(Bool(false)); err != nil || c != 1 {
+		t.Fatalf("true vs false: %d, %v", c, err)
+	}
+	if _, err := Text("a").Compare(Int(1)); err == nil {
+		t.Fatal("text vs int must error")
+	}
+	if _, err := Null().Compare(Int(1)); err == nil {
+		t.Fatal("NULL compare must error")
+	}
+	if _, err := Bool(true).Compare(Int(1)); err == nil {
+		t.Fatal("bool vs int must error")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := Int(5).Coerce(KindFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.AsFloat(); f != 5 || v.Kind() != KindFloat {
+		t.Fatalf("coerced value = %v", v)
+	}
+	if _, err := Text("x").Coerce(KindInt); err == nil {
+		t.Fatal("text→int coercion must fail")
+	}
+	n, err := Null().Coerce(KindBool)
+	if err != nil || !n.IsNull() {
+		t.Fatal("NULL must coerce to NULL for any kind")
+	}
+	if !Float(3.0).CoercibleTo(KindInt) || Float(3.5).CoercibleTo(KindInt) {
+		t.Fatal("CoercibleTo float→int rules broken")
+	}
+}
+
+// Property: Compare is antisymmetric for comparable numeric pairs.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Int(int64(a)), Int(int64(b))
+		c1, err1 := x.Compare(y)
+		c2, err2 := y.Compare(x)
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Equal is consistent with Compare == 0 for numerics.
+func TestEqualCompareConsistencyProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := Int(int64(a)), Float(float64(b))
+		c, err := x.Compare(y)
+		if err != nil {
+			return false
+		}
+		return (c == 0) == x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

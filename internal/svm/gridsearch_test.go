@@ -1,0 +1,98 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGridSearchPicksWorkingConfigOnRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	X, y := rings(160, rng)
+	points, err := GridSearchSVC(X, y,
+		[]float64{0.1, 1, 5},
+		[]float64{0, 0.01, 1},
+		3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 9 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Sorted best-first.
+	for i := 1; i < len(points); i++ {
+		if points[i].GMean > points[i-1].GMean {
+			t.Fatal("points not sorted by g-mean")
+		}
+	}
+	// The best configuration must actually solve the rings.
+	if points[0].GMean < 0.9 {
+		t.Fatalf("best grid point g-mean = %.3f", points[0].GMean)
+	}
+	// A hopeless configuration must rank below the best (γ=0.01 is far
+	// too smooth for unit-scale rings).
+	var worst GridPoint
+	for _, p := range points {
+		if p.C == 0.1 && p.Gamma == 0.01 {
+			worst = p
+		}
+	}
+	if worst.GMean >= points[0].GMean {
+		t.Fatalf("under-fit config g-mean %.3f should trail best %.3f", worst.GMean, points[0].GMean)
+	}
+}
+
+func TestGridSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	X, y := twoBlobs(30, 3, rng)
+	if _, err := GridSearchSVC(nil, nil, []float64{1}, []float64{0}, 3, 1); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	if _, err := GridSearchSVC(X, y, nil, []float64{0}, 3, 1); err == nil {
+		t.Fatal("empty C grid must fail")
+	}
+	if _, err := GridSearchSVC(X, y, []float64{1}, nil, 3, 1); err == nil {
+		t.Fatal("empty gamma grid must fail")
+	}
+	// Single-class data cannot be stratified.
+	ones := make([]bool, len(y))
+	for i := range ones {
+		ones[i] = true
+	}
+	if _, err := GridSearchSVC(X, ones, []float64{1}, []float64{0}, 3, 1); err == nil {
+		t.Fatal("single-class must fail")
+	}
+}
+
+func TestGridSearchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	X, y := twoBlobs(60, 3, rng)
+	p1, err := GridSearchSVC(X, y, []float64{1, 2}, []float64{0}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := GridSearchSVC(X, y, []float64{1, 2}, []float64{0}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("grid search must be deterministic per seed")
+		}
+	}
+}
+
+func TestGridSearchFoldClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	X, y := twoBlobs(12, 4, rng)
+	// folds > len(X) gets clamped; folds < 2 raised to 2.
+	if _, err := GridSearchSVC(X, y, []float64{1}, []float64{0}, 100, 1); err == nil {
+		t.Fatal("folds clamp beyond class size must fail (6 per class < 12 folds)")
+	}
+	points, err := GridSearchSVC(X, y, []float64{1}, []float64{0}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d", len(points))
+	}
+}

@@ -1,0 +1,251 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SVCConfig configures the C-SVC trainer.
+type SVCConfig struct {
+	// Kernel defaults to RBF with DefaultGamma when nil.
+	Kernel Kernel
+	// C is the soft-margin penalty (default 1).
+	C float64
+	// Tol is the KKT violation tolerance (default 1e-3).
+	Tol float64
+	// MaxPasses is how many consecutive full passes without an update end
+	// training (default 5).
+	MaxPasses int
+	// MaxIter caps total passes as a safety valve (default 10_000).
+	MaxIter int
+	// CacheEntries caps the precomputed Gram matrix size in float32 cells
+	// (default 16M ≈ 64 MB); larger problems fall back to on-demand
+	// kernel evaluation.
+	CacheEntries int
+	// Seed drives the SMO's randomized second-index choice.
+	Seed int64
+	// PerSampleC optionally overrides C per training sample (len must
+	// equal the sample count). The transductive SVM uses it to penalize
+	// unlabeled examples with a gradually increasing C*.
+	PerSampleC []float64
+}
+
+func (c *SVCConfig) fillDefaults(X [][]float64) {
+	if c.Kernel == nil {
+		c.Kernel = RBFKernel{Gamma: DefaultGamma(X)}
+	}
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses <= 0 {
+		c.MaxPasses = 5
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 10000
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 16 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SVC is a trained soft-margin kernel classifier.
+type SVC struct {
+	kernel   Kernel
+	supportX [][]float64
+	coef     []float64 // α_i · y_i for each support vector
+	b        float64
+}
+
+// Kernel returns the trained model's kernel.
+func (m *SVC) Kernel() Kernel { return m.kernel }
+
+// NumSupport returns the number of support vectors.
+func (m *SVC) NumSupport() int { return len(m.supportX) }
+
+// Decision returns the signed distance-like score f(x) = Σ αᵢyᵢ K(xᵢ,x) + b.
+func (m *SVC) Decision(x []float64) float64 {
+	s := m.b
+	for i, sv := range m.supportX {
+		s += m.coef[i] * m.kernel.Eval(sv, x)
+	}
+	return s
+}
+
+// Predict classifies x (true = positive class). Points exactly on the
+// boundary are labeled negative.
+func (m *SVC) Predict(x []float64) bool { return m.Decision(x) > 0 }
+
+// PredictAll classifies a batch.
+func (m *SVC) PredictAll(X [][]float64) []bool {
+	out := make([]bool, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// TrainSVC fits a binary classifier on X with boolean labels using
+// sequential minimal optimization (the simplified Platt variant with a
+// randomized second working-set index). Both classes must be present.
+func TrainSVC(X [][]float64, y []bool, cfg SVCConfig) (*SVC, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("svm: %d samples but %d labels", len(X), len(y))
+	}
+	dim := len(X[0])
+	pos, neg := 0, 0
+	for i, x := range X {
+		if len(x) != dim {
+			return nil, fmt.Errorf("svm: sample %d has dimension %d, want %d", i, len(x), dim)
+		}
+		if y[i] {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("svm: training set needs both classes (pos=%d, neg=%d)", pos, neg)
+	}
+	cfg.fillDefaults(X)
+
+	n := len(X)
+	Cs := make([]float64, n)
+	if cfg.PerSampleC != nil {
+		if len(cfg.PerSampleC) != n {
+			return nil, fmt.Errorf("svm: PerSampleC has %d entries for %d samples", len(cfg.PerSampleC), n)
+		}
+		for i, c := range cfg.PerSampleC {
+			if c <= 0 {
+				return nil, fmt.Errorf("svm: PerSampleC[%d] = %g must be positive", i, c)
+			}
+			Cs[i] = c
+		}
+	} else {
+		for i := range Cs {
+			Cs[i] = cfg.C
+		}
+	}
+	ys := make([]float64, n)
+	for i := range y {
+		if y[i] {
+			ys[i] = 1
+		} else {
+			ys[i] = -1
+		}
+	}
+	km := newKernelMatrix(cfg.Kernel, X, cfg.CacheEntries)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	alpha := make([]float64, n)
+	b := 0.0
+
+	// fvals caches the decision value of every training sample; it is
+	// updated incrementally after each successful alpha step, which turns
+	// the simplified-SMO inner loop from O(n²) into O(n).
+	fvals := make([]float64, n) // all zero: alpha = 0, b = 0
+	rowI := make([]float64, n)
+	rowJ := make([]float64, n)
+
+	passes, iter := 0, 0
+	for passes < cfg.MaxPasses && iter < cfg.MaxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			Ei := fvals[i] - ys[i]
+			if !((ys[i]*Ei < -cfg.Tol && alpha[i] < Cs[i]) || (ys[i]*Ei > cfg.Tol && alpha[i] > 0)) {
+				continue
+			}
+			// Pick j != i at random (simplified SMO heuristic).
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			Ej := fvals[j] - ys[j]
+
+			ai, aj := alpha[i], alpha[j]
+			var L, H float64
+			if ys[i] != ys[j] {
+				L = math.Max(0, aj-ai)
+				H = math.Min(Cs[j], Cs[i]+aj-ai)
+			} else {
+				L = math.Max(0, ai+aj-Cs[i])
+				H = math.Min(Cs[j], ai+aj)
+			}
+			if L >= H {
+				continue
+			}
+			eta := 2*km.at(i, j) - km.at(i, i) - km.at(j, j)
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - ys[j]*(Ei-Ej)/eta
+			if ajNew > H {
+				ajNew = H
+			} else if ajNew < L {
+				ajNew = L
+			}
+			if math.Abs(ajNew-aj) < 1e-5 {
+				continue
+			}
+			aiNew := ai + ys[i]*ys[j]*(aj-ajNew)
+
+			b1 := b - Ei - ys[i]*(aiNew-ai)*km.at(i, i) - ys[j]*(ajNew-aj)*km.at(i, j)
+			b2 := b - Ej - ys[i]*(aiNew-ai)*km.at(i, j) - ys[j]*(ajNew-aj)*km.at(j, j)
+			bOld := b
+			switch {
+			case aiNew > 0 && aiNew < Cs[i]:
+				b = b1
+			case ajNew > 0 && ajNew < Cs[j]:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+
+			km.rowInto(i, rowI)
+			km.rowInto(j, rowJ)
+			dI := (aiNew - ai) * ys[i]
+			dJ := (ajNew - aj) * ys[j]
+			dB := b - bOld
+			for k := 0; k < n; k++ {
+				fvals[k] += dI*rowI[k] + dJ*rowJ[k] + dB
+			}
+
+			alpha[i], alpha[j] = aiNew, ajNew
+			changed++
+		}
+		iter++
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	model := &SVC{kernel: cfg.Kernel, b: b}
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-9 {
+			model.supportX = append(model.supportX, X[i])
+			model.coef = append(model.coef, alpha[i]*ys[i])
+		}
+	}
+	if len(model.supportX) == 0 {
+		// Degenerate but possible on trivially separable data with tiny C:
+		// fall back to a nearest-centroid-style decision via bias only.
+		model.b = 0
+		if pos >= neg {
+			model.b = 1e-9
+		} else {
+			model.b = -1e-9
+		}
+	}
+	return model, nil
+}

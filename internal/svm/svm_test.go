@@ -1,0 +1,452 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoBlobs generates a linearly separable 2-class problem.
+func twoBlobs(n int, gap float64, rng *rand.Rand) (X [][]float64, y []bool) {
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		cx := -gap / 2
+		if pos {
+			cx = gap / 2
+		}
+		X = append(X, []float64{cx + rng.NormFloat64()*0.4, rng.NormFloat64() * 0.4})
+		y = append(y, pos)
+	}
+	return X, y
+}
+
+// rings generates a non-linearly-separable problem: class by radius.
+func rings(n int, rng *rand.Rand) (X [][]float64, y []bool) {
+	for i := 0; i < n; i++ {
+		inner := i%2 == 0
+		r := 2.5
+		if inner {
+			r = 0.8
+		}
+		theta := rng.Float64() * 2 * math.Pi
+		rr := r + rng.NormFloat64()*0.15
+		X = append(X, []float64{rr * math.Cos(theta), rr * math.Sin(theta)})
+		y = append(y, inner)
+	}
+	return X, y
+}
+
+func accuracyOf(m *SVC, X [][]float64, y []bool) float64 {
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+func TestKernels(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	if got := (LinearKernel{}).Eval(a, b); got != 11 {
+		t.Fatalf("linear = %v", got)
+	}
+	rbf := RBFKernel{Gamma: 0.5}
+	want := math.Exp(-0.5 * 8) // ‖a−b‖² = 8
+	if got := rbf.Eval(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rbf = %v, want %v", got, want)
+	}
+	if got := rbf.Eval(a, a); got != 1 {
+		t.Fatalf("rbf self-similarity = %v, want 1", got)
+	}
+	poly := PolyKernel{Gamma: 1, Coef0: 1, Degree: 2}
+	if got := poly.Eval(a, b); got != 144 {
+		t.Fatalf("poly = %v, want 144", got)
+	}
+	for _, k := range []Kernel{LinearKernel{}, rbf, poly} {
+		if k.String() == "" {
+			t.Fatal("kernel String() empty")
+		}
+	}
+}
+
+func TestDefaultGamma(t *testing.T) {
+	X := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	g := DefaultGamma(X)
+	if g <= 0 {
+		t.Fatalf("gamma = %v", g)
+	}
+	if got := DefaultGamma(nil); got != 1 {
+		t.Fatalf("empty gamma = %v", got)
+	}
+	constant := [][]float64{{5, 5}, {5, 5}}
+	if got := DefaultGamma(constant); got != 0.5 {
+		t.Fatalf("degenerate gamma = %v, want 1/d", got)
+	}
+}
+
+func TestKernelMatrixCacheAgreesWithDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, _ := twoBlobs(20, 2, rng)
+	k := RBFKernel{Gamma: 0.7}
+	cached := newKernelMatrix(k, X, 1<<20)
+	uncached := newKernelMatrix(k, X, 1) // too small: no cache
+	if cached.full == nil || uncached.full != nil {
+		t.Fatal("cache decision wrong")
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			a, b := cached.at(i, j), uncached.at(i, j)
+			if math.Abs(a-b) > 1e-6 {
+				t.Fatalf("K(%d,%d): cached %v vs direct %v", i, j, a, b)
+			}
+		}
+	}
+	row := make([]float64, 20)
+	cached.rowInto(3, row)
+	for j := range row {
+		if math.Abs(row[j]-cached.at(3, j)) > 1e-9 {
+			t.Fatal("rowInto mismatch")
+		}
+	}
+	uncached.rowInto(3, row)
+	for j := range row {
+		if math.Abs(row[j]-uncached.at(3, j)) > 1e-9 {
+			t.Fatal("uncached rowInto mismatch")
+		}
+	}
+}
+
+func TestSVCLinearlySeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := twoBlobs(120, 4, rng)
+	m, err := TrainSVC(X, y, SVCConfig{Kernel: LinearKernel{}, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(m, X, y); acc < 0.98 {
+		t.Fatalf("linear accuracy = %v", acc)
+	}
+	if m.NumSupport() == 0 || m.NumSupport() == len(X) {
+		t.Fatalf("support vectors = %d of %d, looks degenerate", m.NumSupport(), len(X))
+	}
+}
+
+func TestSVCRBFSolvesRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := rings(160, rng)
+	// Linear kernel cannot separate rings.
+	lin, err := TrainSVC(X, y, SVCConfig{Kernel: LinearKernel{}, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linAcc := accuracyOf(lin, X, y)
+	if linAcc > 0.75 {
+		t.Fatalf("linear kernel should fail on rings, got %v", linAcc)
+	}
+	// RBF separates them.
+	rbf, err := TrainSVC(X, y, SVCConfig{C: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(rbf, X, y); acc < 0.95 {
+		t.Fatalf("rbf accuracy = %v", acc)
+	}
+}
+
+func TestSVCGeneralization(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	Xtr, ytr := rings(120, rng)
+	Xte, yte := rings(200, rng)
+	m, err := TrainSVC(Xtr, ytr, SVCConfig{C: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(m, Xte, yte); acc < 0.92 {
+		t.Fatalf("held-out accuracy = %v", acc)
+	}
+}
+
+func TestSVCNoisyLabelsStillLearn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := twoBlobs(200, 4, rng)
+	noisy := append([]bool(nil), y...)
+	for i := 0; i < len(noisy); i += 10 { // 10% label noise
+		noisy[i] = !noisy[i]
+	}
+	m, err := TrainSVC(X, noisy, SVCConfig{C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy vs the CLEAN labels should remain high: the soft margin
+	// absorbs the noise.
+	if acc := accuracyOf(m, X, y); acc < 0.93 {
+		t.Fatalf("accuracy under label noise = %v", acc)
+	}
+}
+
+func TestSVCInputValidation(t *testing.T) {
+	if _, err := TrainSVC(nil, nil, SVCConfig{}); err == nil {
+		t.Fatal("empty set must fail")
+	}
+	X := [][]float64{{1}, {2}}
+	if _, err := TrainSVC(X, []bool{true}, SVCConfig{}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := TrainSVC(X, []bool{true, true}, SVCConfig{}); err == nil {
+		t.Fatal("single-class set must fail")
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := TrainSVC(ragged, []bool{true, false}, SVCConfig{}); err == nil {
+		t.Fatal("ragged input must fail")
+	}
+	if _, err := TrainSVC(X, []bool{true, false}, SVCConfig{PerSampleC: []float64{1}}); err == nil {
+		t.Fatal("PerSampleC length mismatch must fail")
+	}
+	if _, err := TrainSVC(X, []bool{true, false}, SVCConfig{PerSampleC: []float64{1, -1}}); err == nil {
+		t.Fatal("negative PerSampleC must fail")
+	}
+}
+
+func TestSVCDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := rings(80, rng)
+	m1, err := TrainSVC(X, y, SVCConfig{C: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainSVC(X, y, SVCConfig{C: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		if m1.Decision(x) != m2.Decision(x) {
+			t.Fatal("same seed must give identical models")
+		}
+	}
+}
+
+func TestSVCPredictAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := twoBlobs(60, 4, rng)
+	m, err := TrainSVC(X, y, SVCConfig{Kernel: LinearKernel{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := m.PredictAll(X)
+	if len(preds) != len(X) {
+		t.Fatal("PredictAll length mismatch")
+	}
+	for i := range preds {
+		if preds[i] != m.Predict(X[i]) {
+			t.Fatal("PredictAll disagrees with Predict")
+		}
+	}
+}
+
+// Property: the decision function is symmetric under swapping the two
+// classes (label inversion flips the sign, approximately).
+func TestSVCLabelInversionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X, y := twoBlobs(60, 3, rng)
+	inv := make([]bool, len(y))
+	for i := range y {
+		inv[i] = !y[i]
+	}
+	m1, err := TrainSVC(X, y, SVCConfig{Kernel: LinearKernel{}, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainSVC(X, inv, SVCConfig{Kernel: LinearKernel{}, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		if m1.Predict(x) != m2.Predict(x) {
+			agree++
+		}
+	}
+	if agree < 90 {
+		t.Fatalf("inverted model should predict the complement, agreement on flip = %d%%", agree)
+	}
+}
+
+func TestSVRFitsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 80; i++ {
+		x := rng.Float64()*4 - 2
+		X = append(X, []float64{x})
+		y = append(y, 2*x+1+rng.NormFloat64()*0.05)
+	}
+	m, err := TrainSVR(X, y, SVRConfig{Kernel: LinearKernel{}, C: 10, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i := -10; i <= 10; i++ {
+		x := float64(i) / 5
+		got := m.Predict([]float64{x})
+		want := 2*x + 1
+		if e := math.Abs(got - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.35 {
+		t.Fatalf("max error = %v", maxErr)
+	}
+}
+
+func TestSVRFitsSine(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 120; i++ {
+		x := rng.Float64()*2*math.Pi - math.Pi
+		X = append(X, []float64{x})
+		y = append(y, math.Sin(x)+rng.NormFloat64()*0.05)
+	}
+	m, err := TrainSVR(X, y, SVRConfig{Kernel: RBFKernel{Gamma: 1}, C: 10, Epsilon: 0.05, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumSq float64
+	n := 0
+	for x := -3.0; x <= 3.0; x += 0.1 {
+		e := m.Predict([]float64{x}) - math.Sin(x)
+		sumSq += e * e
+		n++
+	}
+	rmse := math.Sqrt(sumSq / float64(n))
+	if rmse > 0.15 {
+		t.Fatalf("sine RMSE = %v", rmse)
+	}
+}
+
+func TestSVRConstantTarget(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{5, 5, 5, 5}
+	m, err := TrainSVR(X, y, SVRConfig{Kernel: LinearKernel{}, C: 1, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{1.5}); math.Abs(got-5) > 0.2 {
+		t.Fatalf("constant prediction = %v, want ≈ 5", got)
+	}
+}
+
+func TestSVRValidation(t *testing.T) {
+	if _, err := TrainSVR(nil, nil, SVRConfig{}); err == nil {
+		t.Fatal("empty must fail")
+	}
+	if _, err := TrainSVR([][]float64{{1}}, []float64{1, 2}, SVRConfig{}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := TrainSVR([][]float64{{1, 2}, {3}}, []float64{1, 2}, SVRConfig{}); err == nil {
+		t.Fatal("ragged must fail")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("median odd = %v", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("median even = %v", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Fatalf("median empty = %v", got)
+	}
+}
+
+func TestTSVMAccuracyAndCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	Xl, yl := twoBlobs(20, 3, rng)
+	Xu, yu := twoBlobs(120, 3, rng)
+
+	svcOnly, err := TrainSVC(Xl, yl, SVCConfig{Kernel: LinearKernel{}, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsvm, stats, err := TrainTSVM(Xl, yl, Xu, TSVMConfig{
+		SVC:         SVCConfig{Kernel: LinearKernel{}, C: 1},
+		MaxRetrains: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSVC := accuracyOf(svcOnly, Xu, yu)
+	accTSVM := accuracyOf(tsvm, Xu, yu)
+	// Paper §5: TSVM achieves roughly the same accuracy…
+	if accTSVM < accSVC-0.08 {
+		t.Fatalf("TSVM accuracy %v much worse than SVC %v", accTSVM, accSVC)
+	}
+	// …at hugely increased cost: many full retrainings.
+	if stats.Retrains < 5 {
+		t.Fatalf("TSVM retrains = %d, expected many", stats.Retrains)
+	}
+	if stats.Elapsed <= 0 {
+		t.Fatal("elapsed must be positive")
+	}
+}
+
+func TestTSVMNoUnlabeledFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	Xl, yl := twoBlobs(30, 3, rng)
+	m, stats, err := TrainTSVM(Xl, yl, nil, TSVMConfig{SVC: SVCConfig{Kernel: LinearKernel{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retrains != 1 {
+		t.Fatalf("retrains = %d", stats.Retrains)
+	}
+	if acc := accuracyOf(m, Xl, yl); acc < 0.95 {
+		t.Fatalf("fallback accuracy = %v", acc)
+	}
+}
+
+func TestTSVMRespectsPositiveFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	Xl, yl := twoBlobs(16, 3, rng)
+	Xu, _ := twoBlobs(60, 3, rng)
+	_, stats, err := TrainTSVM(Xl, yl, Xu, TSVMConfig{
+		SVC:              SVCConfig{Kernel: LinearKernel{}, C: 1},
+		PositiveFraction: 0.5,
+		MaxRetrains:      30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retrains > 30 {
+		t.Fatalf("retrain cap violated: %d", stats.Retrains)
+	}
+}
+
+// Property: RBF kernel values are in (0, 1] and symmetric.
+func TestRBFKernelProperty(t *testing.T) {
+	k := RBFKernel{Gamma: 0.3}
+	f := func(a, b [4]float64) bool {
+		for i := range a {
+			a[i] = math.Mod(a[i], 10)
+			b[i] = math.Mod(b[i], 10)
+			if math.IsNaN(a[i]) {
+				a[i] = 0
+			}
+			if math.IsNaN(b[i]) {
+				b[i] = 0
+			}
+		}
+		v := k.Eval(a[:], b[:])
+		w := k.Eval(b[:], a[:])
+		return v > 0 && v <= 1 && v == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package vecmath
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix. Rows are contiguous slices of the
+// backing Data array, so Row(i) returns a view, not a copy.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: NewMatrix negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Row returns row i as a mutable view into the matrix.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// FillRandom fills the matrix with uniform values in [-scale, scale).
+// Factor models start from small random coordinates; the scale controls how
+// far initial points are from the origin.
+func (m *Matrix) FillRandom(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// MulVec computes dst = m · v where v has length Cols and dst length Rows.
+// dst is returned for chaining; if dst is nil a new slice is allocated.
+func (m *Matrix) MulVec(v, dst []float64) []float64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("vecmath: MulVec v length %d != cols %d", len(v), m.Cols))
+	}
+	if dst == nil {
+		dst = make([]float64, m.Rows)
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("vecmath: MulVec dst length %d != rows %d", len(dst), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), v)
+	}
+	return dst
+}
+
+// MulVecT computes dst = mᵀ · v where v has length Rows and dst length Cols.
+func (m *Matrix) MulVecT(v, dst []float64) []float64 {
+	if len(v) != m.Rows {
+		panic(fmt.Sprintf("vecmath: MulVecT v length %d != rows %d", len(v), m.Rows))
+	}
+	if dst == nil {
+		dst = make([]float64, m.Cols)
+	}
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("vecmath: MulVecT dst length %d != cols %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		AXPY(dst, v[i], m.Row(i))
+	}
+	return dst
+}

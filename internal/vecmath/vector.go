@@ -1,0 +1,141 @@
+// Package vecmath provides the small dense linear-algebra kernel shared by
+// the factor-model trainer, the SVM solver, and the LSI implementation.
+//
+// All routines operate on plain []float64 slices and row-major matrices so
+// that callers can slice views into larger buffers without copying. The
+// package is deliberately free of clever abstractions: every experiment in
+// the repository funnels through these few loops, so they are kept simple,
+// allocation-free where possible, and easy to audit.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the scalar product of a and b.
+// It panics if the lengths differ, since a silent truncation would corrupt
+// model training in a way that is very hard to track down.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: SqDist length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 {
+	return math.Sqrt(SqDist(a, b))
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 {
+	return math.Sqrt(Dot(a, a))
+}
+
+// Scale multiplies every element of a by c in place.
+func Scale(a []float64, c float64) {
+	for i := range a {
+		a[i] *= c
+	}
+}
+
+// AXPY computes a += c*b in place.
+func AXPY(a []float64, c float64, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: AXPY length mismatch %d != %d", len(a), len(b)))
+	}
+	for i := range a {
+		a[i] += c * b[i]
+	}
+}
+
+// Normalize scales a to unit norm in place and returns the original norm.
+// A zero vector is left untouched and 0 is returned.
+func Normalize(a []float64) float64 {
+	n := Norm(a)
+	if n == 0 {
+		return 0
+	}
+	Scale(a, 1/n)
+	return n
+}
+
+// Mean returns the arithmetic mean of a, or 0 for an empty slice.
+func Mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s / float64(len(a))
+}
+
+// Variance returns the population variance of a, or 0 for fewer than two
+// elements.
+func Variance(a []float64) float64 {
+	if len(a) < 2 {
+		return 0
+	}
+	m := Mean(a)
+	var s float64
+	for _, v := range a {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples
+// a and b, or 0 if either side has zero variance.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Pearson length mismatch %d != %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var cov, va, vb float64
+	for i := range a {
+		da := a[i] - ma
+		db := b[i] - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,251 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestSqDistAndDist(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := SqDist(a, b); got != 25 {
+		t.Fatalf("SqDist = %v, want 25", got)
+	}
+	if got := Dist(a, b); got != 5 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	if got := Norm(v); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	n := Normalize(v)
+	if n != 5 {
+		t.Fatalf("Normalize returned %v, want 5", n)
+	}
+	if !almostEqual(Norm(v), 1, 1e-12) {
+		t.Fatalf("normalized norm = %v, want 1", Norm(v))
+	}
+
+	zero := []float64{0, 0}
+	if got := Normalize(zero); got != 0 {
+		t.Fatalf("Normalize(zero) = %v, want 0", got)
+	}
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("Normalize mutated a zero vector")
+	}
+}
+
+func TestScaleAXPY(t *testing.T) {
+	a := []float64{1, 2}
+	Scale(a, 3)
+	if a[0] != 3 || a[1] != 6 {
+		t.Fatalf("Scale got %v", a)
+	}
+	AXPY(a, 2, []float64{1, 1})
+	if a[0] != 5 || a[1] != 8 {
+		t.Fatalf("AXPY got %v", a)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	a := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(a); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(a); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Fatalf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 1, 10, 5},
+		{-3, 1, 10, 1},
+		{42, 1, 10, 10},
+		{1, 1, 10, 1},
+		{10, 1, 10, 10},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := Pearson(a, a); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson(a,a) = %v, want 1", got)
+	}
+	b := []float64{5, 4, 3, 2, 1}
+	if got := Pearson(a, b); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Pearson(a,-a) = %v, want -1", got)
+	}
+	if got := Pearson(a, []float64{2, 2, 2, 2, 2}); got != 0 {
+		t.Fatalf("Pearson with constant = %v, want 0", got)
+	}
+	if got := Pearson(nil, nil); got != 0 {
+		t.Fatalf("Pearson(nil,nil) = %v, want 0", got)
+	}
+}
+
+// Property: the Cauchy-Schwarz inequality holds for Dot and Norm.
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		av, bv := a[:], b[:]
+		for i := range av {
+			av[i] = math.Mod(av[i], 1e3)
+			bv[i] = math.Mod(bv[i], 1e3)
+			if math.IsNaN(av[i]) {
+				av[i] = 0
+			}
+			if math.IsNaN(bv[i]) {
+				bv[i] = 0
+			}
+		}
+		lhs := math.Abs(Dot(av, bv))
+		rhs := Norm(av) * Norm(bv)
+		return lhs <= rhs*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: squared distance matches dot-product expansion
+// |a-b|² = |a|² + |b|² − 2a·b.
+func TestSqDistExpansionProperty(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		av, bv := a[:], b[:]
+		// Keep inputs in a sane numeric range so the identity is not
+		// destroyed by overflow to +Inf.
+		for i := range av {
+			av[i] = math.Mod(av[i], 1e3)
+			bv[i] = math.Mod(bv[i], 1e3)
+			if math.IsNaN(av[i]) {
+				av[i] = 0
+			}
+			if math.IsNaN(bv[i]) {
+				bv[i] = 0
+			}
+		}
+		lhs := SqDist(av, bv)
+		rhs := Dot(av, av) + Dot(bv, bv) - 2*Dot(av, bv)
+		scale := math.Max(1, math.Max(math.Abs(lhs), math.Abs(rhs)))
+		return math.Abs(lhs-rhs) <= 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the triangle inequality holds for Dist.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c [5]float64) bool {
+		av, bv, cv := a[:], b[:], c[:]
+		return Dist(av, cv) <= Dist(av, bv)+Dist(bv, cv)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 7)
+	m.Set(1, 2, -2)
+	if m.At(0, 1) != 7 || m.At(1, 2) != -2 {
+		t.Fatal("Set/At mismatch")
+	}
+	row := m.Row(1)
+	row[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 123)
+	if m.At(0, 0) == 123 {
+		t.Fatal("Clone must be a deep copy")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVec([]float64{1, 1, 1}, nil)
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	gotT := m.MulVecT([]float64{1, 1}, nil)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if gotT[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", gotT, want)
+		}
+	}
+}
+
+func TestMatrixFillRandomDeterministic(t *testing.T) {
+	a := NewMatrix(4, 4)
+	b := NewMatrix(4, 4)
+	a.FillRandom(rand.New(rand.NewSource(1)), 0.5)
+	b.FillRandom(rand.New(rand.NewSource(1)), 0.5)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("FillRandom must be deterministic for equal seeds")
+		}
+		if a.Data[i] < -0.5 || a.Data[i] >= 0.5 {
+			t.Fatalf("value %v out of [-0.5, 0.5)", a.Data[i])
+		}
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for name, f := range map[string]func(){
+		"MulVec-bad-v":    func() { m.MulVec([]float64{1}, nil) },
+		"MulVec-bad-dst":  func() { m.MulVec([]float64{1, 2}, []float64{0}) },
+		"MulVecT-bad-v":   func() { m.MulVecT([]float64{1}, nil) },
+		"negative-matrix": func() { NewMatrix(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
