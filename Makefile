@@ -1,0 +1,28 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# build/vet/race-test sequence.
+
+GO ?= go
+
+.PHONY: build test race vet check bench serve
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet race
+
+# Reproduction + serving benchmarks (compact report; see DESIGN.md §5–§7).
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Run the HTTP server on :8080 with the demo movie universe.
+serve:
+	$(GO) run ./cmd/crowdserve

@@ -7,15 +7,26 @@
 package crowddb_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"crowddb"
+	"crowddb/internal/crowd"
 	"crowddb/internal/dataset"
 	"crowddb/internal/eval"
 	"crowddb/internal/experiments"
+	"crowddb/internal/server"
 	"crowddb/internal/space"
+	"crowddb/internal/storage"
 	"crowddb/internal/svm"
 )
 
@@ -482,3 +493,223 @@ func BenchmarkAblationParallelSGD(b *testing.B) {
 }
 
 func nowNano() int64 { return time.Now().UnixNano() }
+
+// --- concurrent serving (ISSUE 1: async scheduler + query server) ---
+
+// benchServeDB builds a 1000-row movie table with no crowd service —
+// the serving benches exercise the pure read path.
+func benchServeDB(b *testing.B) *crowddb.DB {
+	b.Helper()
+	db := crowddb.New(nil)
+	b.Cleanup(db.Close)
+	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("movies")
+	for i := 0; i < 1000; i++ {
+		if err := tbl.Insert(storage.Int(int64(i)), storage.Text(fmt.Sprintf("movie-%04d", i)), storage.Int(int64(1950+i%70))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+const benchSelectSQL = `SELECT COUNT(*) FROM movies WHERE year > 1990`
+
+// runConcurrentSelect fires b.N queries from gor goroutines. When
+// serialize is true every query additionally takes one global mutex,
+// emulating a single-mutex DB. On multi-core hardware the RWMutex path
+// scales with cores; on one core the two converge (reads are CPU-bound).
+func runConcurrentSelect(b *testing.B, gor int, serialize bool) {
+	db := benchServeDB(b)
+	var global sync.Mutex
+	var next atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < gor; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if serialize {
+					global.Lock()
+				}
+				_, _, err := db.ExecSQL(benchSelectSQL)
+				if serialize {
+					global.Unlock()
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
+}
+
+// sleepingService is a JudgmentService whose Collect takes real
+// wall-clock time, standing in for human crowd latency.
+type sleepingService struct{ latency time.Duration }
+
+func (s *sleepingService) Collect(question string, itemIDs []int, cfg crowd.JobConfig) (*crowd.RunResult, error) {
+	time.Sleep(s.latency)
+	res := &crowd.RunResult{DurationMinutes: 1}
+	for _, id := range itemIDs {
+		for a := 0; a < cfg.AssignmentsPerItem; a++ {
+			res.Records = append(res.Records, crowd.Record{ItemID: id, WorkerID: a, Answer: crowd.Positive})
+		}
+	}
+	res.TotalCost = float64(len(res.Records)) * cfg.PayPerHIT / float64(cfg.ItemsPerHIT)
+	return res, nil
+}
+
+// runSelectDuringExpansion measures how many reads gor goroutines
+// complete while one crowd expansion is in flight. This is the paper's
+// pain point: crowd latency must not block the read path. With
+// serialize=true the expanding query holds the same global mutex every
+// read takes (the seed's single-mutex discipline), so readers complete
+// ~0 queries until the crowd finishes; the async scheduler keeps them
+// flowing. The headline metric is reads completed per expansion window.
+func runSelectDuringExpansion(b *testing.B, gor int, serialize bool) {
+	db := crowddb.New(&sleepingService{latency: 20 * time.Millisecond})
+	b.Cleanup(db.Close)
+	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("movies")
+	for i := 0; i < 1000; i++ {
+		if err := tbl.Insert(storage.Int(int64(i)), storage.Text(fmt.Sprintf("movie-%04d", i)), storage.Int(int64(1950+i%70))); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var global sync.Mutex
+	exec := func(sql string) error {
+		if serialize {
+			global.Lock()
+			defer global.Unlock()
+		}
+		_, _, err := db.ExecSQL(sql)
+		return err
+	}
+
+	var reads atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		col := fmt.Sprintf("genre_%d", i)
+		db.RegisterExpandable("movies", col, crowddb.KindBool,
+			crowddb.ExpandOptions{Method: "CROWD"})
+
+		// One client triggers the expansion; gor readers hammer live
+		// columns until it completes. Readers only start counting once
+		// the expanding query is actually underway (in the serialized
+		// baseline: once it holds the global mutex), so the metric is
+		// strictly "reads completed during the expansion".
+		expStarted := make(chan struct{})
+		expDone := make(chan struct{})
+		go func() {
+			defer close(expDone)
+			if serialize {
+				global.Lock()
+				defer global.Unlock()
+			}
+			close(expStarted)
+			if _, _, err := db.ExecSQL(fmt.Sprintf(`SELECT COUNT(*) FROM movies WHERE %s = true`, col)); err != nil {
+				b.Error(err)
+			}
+		}()
+		<-expStarted
+		var wg sync.WaitGroup
+		for g := 0; g < gor; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-expDone:
+						return
+					default:
+					}
+					if err := exec(benchSelectSQL); err != nil {
+						b.Error(err)
+						return
+					}
+					reads.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(reads.Load())/float64(b.N), "reads-per-expansion")
+	b.ReportMetric(float64(reads.Load())/time.Since(start).Seconds(), "reads/s")
+}
+
+// BenchmarkConcurrentSelect measures aggregate read throughput at 8 and
+// 64 goroutines under the catalog-level RWMutex design: pure reads
+// ("idle") and reads racing an in-flight crowd expansion
+// ("during-expansion" — the acceptance metric, >2× the single-mutex
+// baseline's reads-per-expansion at 8 goroutines).
+func BenchmarkConcurrentSelect(b *testing.B) {
+	for _, gor := range []int{8, 64} {
+		b.Run(fmt.Sprintf("goroutines=%d/idle", gor), func(b *testing.B) {
+			runConcurrentSelect(b, gor, false)
+		})
+		b.Run(fmt.Sprintf("goroutines=%d/during-expansion", gor), func(b *testing.B) {
+			runSelectDuringExpansion(b, gor, false)
+		})
+	}
+}
+
+// BenchmarkSerializedSelectBaseline is the same workload behind one
+// global mutex — the seed's locking discipline. Compare metrics against
+// BenchmarkConcurrentSelect at the same goroutine count.
+func BenchmarkSerializedSelectBaseline(b *testing.B) {
+	for _, gor := range []int{8, 64} {
+		b.Run(fmt.Sprintf("goroutines=%d/idle", gor), func(b *testing.B) {
+			runConcurrentSelect(b, gor, true)
+		})
+		b.Run(fmt.Sprintf("goroutines=%d/during-expansion", gor), func(b *testing.B) {
+			runSelectDuringExpansion(b, gor, true)
+		})
+	}
+}
+
+// BenchmarkServerQueryRoundTrip measures one full HTTP round-trip of
+// POST /query against an in-process server, at 8 concurrent clients.
+func BenchmarkServerQueryRoundTrip(b *testing.B) {
+	db := benchServeDB(b)
+	ts := httptest.NewServer(server.New(db, server.Config{MaxInflight: 128}).Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]string{"sql": benchSelectSQL})
+
+	const clients = 8
+	var next atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "requests/s")
+}

@@ -1,0 +1,131 @@
+// Command crowdserve serves a crowd-enabled database over HTTP — the
+// first network-servable configuration of this reproduction.
+//
+// It boots the paper's running example (a movie table with a perceptual
+// space built from simulated Social-Web ratings and a simulated crowd
+// marketplace), registers every genre as an expandable column, and then
+// serves queries:
+//
+//	crowdserve -addr :8080
+//
+//	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM movies"}'
+//	curl -s localhost:8080/query \
+//	    -d '{"sql":"SELECT name FROM movies WHERE Comedy = true LIMIT 5","mode":"async"}'
+//	curl -s localhost:8080/jobs/job-1?wait=1
+//	curl -s localhost:8080/ledger
+//
+// The async query returns 202 with a job handle while the crowd fills
+// the column on the expansion scheduler's worker pool; concurrent reads
+// keep flowing meanwhile. SIGINT/SIGTERM trigger a graceful shutdown:
+// the listener drains, then in-flight expansion jobs finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowddb/internal/core"
+	"crowddb/internal/crowd"
+	"crowddb/internal/dataset"
+	"crowddb/internal/server"
+	"crowddb/internal/space"
+	"crowddb/internal/storage"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Int64("seed", 42, "universe and marketplace RNG seed")
+		items       = flag.Int("items", dataset.ScaleTiny.Items, "movies in the demo universe")
+		dims        = flag.Int("dims", 16, "perceptual-space dimensionality")
+		epochs      = flag.Int("epochs", 25, "space training epochs")
+		workers     = flag.Int("crowd-workers", 40, "simulated crowd population size")
+		spammers    = flag.Float64("spammers", 0, "spammer fraction of the crowd population")
+		maxInflight = flag.Int("max-inflight", 64, "admitted concurrent /query requests")
+	)
+	flag.Parse()
+
+	db, err := buildDemoDB(*seed, *items, *dims, *epochs, *workers, *spammers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	srv := server.New(db, server.Config{MaxInflight: *maxInflight})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("crowdserve: listening on %s (%d movies, %d-d space)", *addr, *items, *dims)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("crowdserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("crowdserve: shutdown: %v", err)
+	}
+	led := db.Ledger()
+	log.Printf("crowdserve: session spend $%.2f for %d judgments in %d crowd jobs",
+		led.Cost, led.Judgments, led.Jobs)
+}
+
+// buildDemoDB assembles the paper's running example: a movie table, a
+// perceptual space trained on the universe's ratings, a simulated crowd,
+// and one registered expandable column per genre.
+func buildDemoDB(seed int64, items, dims, epochs, workers int, spammers float64) (*core.DB, error) {
+	scale := dataset.ScaleTiny
+	if items > 0 {
+		scale.Items = items
+	}
+	u, err := dataset.Generate(dataset.Movies(scale, seed))
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := space.DefaultConfig()
+	cfg.Dims = dims
+	cfg.Epochs = epochs
+	model, _, err := space.TrainEuclidean(u.Ratings, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sp := space.FromModel(model)
+
+	rng := rand.New(rand.NewSource(seed))
+	pop := crowd.NewPopulation(crowd.PopulationConfig{Workers: workers, SpammerFraction: spammers}, rng)
+	db := core.NewDB(core.NewSimulatedCrowd(pop, u.CrowdItems, rng))
+
+	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
+		return nil, err
+	}
+	tbl, _ := db.Catalog().Get("movies")
+	for _, it := range u.Items {
+		if err := tbl.Insert(storage.Int(int64(it.ID)), storage.Text(it.Name), storage.Int(int64(it.Year))); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.AttachSpace("movies", "movie_id", sp); err != nil {
+		return nil, err
+	}
+	for name := range u.Categories {
+		db.RegisterExpandable("movies", name, storage.KindBool,
+			core.ExpandOptions{SamplesPerClass: 40})
+	}
+	if len(u.Categories) == 0 {
+		return nil, fmt.Errorf("crowdserve: universe has no categories to register")
+	}
+	return db, nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"crowddb/internal/jobs"
+	"crowddb/internal/server"
+)
+
+// TestBuildDemoDBServesEndToEnd boots a miniature demo database and
+// drives it through the HTTP layer: plain query, async expansion with
+// job polling, then the expanded query.
+func TestBuildDemoDBServesEndToEnd(t *testing.T) {
+	db, err := buildDemoDB(7, 80, 8, 10, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ts := httptest.NewServer(server.New(db, server.Config{}).Handler())
+	defer ts.Close()
+
+	post := func(sql, mode string) (int, map[string]json.RawMessage) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"sql": sql, "mode": mode})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, out := post(`SELECT COUNT(*) FROM movies`, "")
+	if code != http.StatusOK {
+		t.Fatalf("count query: %d %v", code, out)
+	}
+	var rows [][]float64
+	if err := json.Unmarshal(out["rows"], &rows); err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != 80 {
+		t.Fatalf("count = %v", rows[0][0])
+	}
+
+	// The paper's query, async: the genre column does not exist yet.
+	code, out = post(`SELECT name FROM movies WHERE Comedy = true LIMIT 5`, "async")
+	if code != http.StatusAccepted {
+		t.Fatalf("async query: %d %v", code, out)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(out["job"], &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Long-poll the job to completion, then re-issue the query.
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != jobs.StateDone {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+	if st.Ledger.Judgments == 0 || st.Ledger.Cost == 0 {
+		t.Fatalf("job ledger empty: %+v", st.Ledger)
+	}
+
+	code, out = post(`SELECT COUNT(*) FROM movies WHERE Comedy = true`, "sync")
+	if code != http.StatusOK {
+		t.Fatalf("expanded query: %d %v", code, out)
+	}
+	if err := json.Unmarshal(out["rows"], &rows); err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] <= 0 {
+		t.Fatalf("no comedies found after expansion: %v", rows[0][0])
+	}
+}

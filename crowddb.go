@@ -27,8 +27,30 @@
 //	res, report, err := db.ExecSQL(
 //	    `SELECT name FROM movies WHERE is_comedy = true`)
 //
+// # Asynchronous expansion and serving
+//
+// Crowd expansions take (simulated) minutes, so they run on a background
+// worker pool rather than the caller's goroutine. ExecSQL still blocks
+// until the answer is complete, but concurrent queries hitting the same
+// missing column share a single expansion job (singleflight — one crowd
+// job, one ledger charge), and read-only queries keep flowing while an
+// expansion is in flight. ExecSQLAsync never waits on the crowd:
+//
+//	res, job, err := db.ExecSQLAsync(
+//	    `SELECT name FROM movies WHERE is_comedy = true`)
+//	if job != nil {            // expansion started (or joined): poll it
+//	    report, err := job.Wait(ctx)
+//	    res, _, err = db.ExecSQL(…) // re-issue once done
+//	}
+//
+// Job status is observable via db.Job(id) / db.Jobs(), each job carrying
+// its own cost ledger. cmd/crowdserve serves this API over HTTP/JSON
+// (POST /query, GET /jobs/{id}, GET /schema/{table}, GET /ledger) with a
+// bounded admission queue and graceful shutdown; see internal/server.
+//
 // See examples/quickstart for a complete runnable program, and DESIGN.md
-// for the system inventory and the experiment reproduction index.
+// for the system inventory and the experiment reproduction index
+// (DESIGN.md §7 covers the scheduler and serving layer).
 package crowddb
 
 import (
@@ -36,6 +58,7 @@ import (
 
 	"crowddb/internal/core"
 	"crowddb/internal/crowd"
+	"crowddb/internal/jobs"
 	"crowddb/internal/space"
 	"crowddb/internal/storage"
 )
@@ -75,6 +98,13 @@ type LedgerTotals = core.LedgerTotals
 
 // Result is a query result set.
 type Result = core.Result
+
+// Job is a handle on an asynchronous expansion job (Wait/Status/Done).
+type Job = jobs.Job
+
+// JobStatus is a point-in-time snapshot of an expansion job, including
+// its lifecycle state and per-job cost ledger.
+type JobStatus = jobs.Status
 
 // Space is an immutable perceptual-space snapshot of item coordinates.
 type Space = space.Space

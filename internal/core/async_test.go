@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowddb/internal/crowd"
+	"crowddb/internal/jobs"
+	"crowddb/internal/storage"
+)
+
+// slowService is a deterministic JudgmentService: every item gets
+// Assignments judgments whose majority equals (id%2 == 0). An optional
+// gate stalls Collect so tests can hold an expansion in flight.
+type slowService struct {
+	gate  chan struct{} // Collect blocks until closed (nil = no stall)
+	calls atomic.Int32
+}
+
+func (s *slowService) Collect(question string, itemIDs []int, cfg crowd.JobConfig) (*crowd.RunResult, error) {
+	s.calls.Add(1)
+	if s.gate != nil {
+		<-s.gate
+	}
+	res := &crowd.RunResult{DurationMinutes: 1}
+	for _, id := range itemIDs {
+		for a := 0; a < cfg.AssignmentsPerItem; a++ {
+			ans := crowd.Positive
+			if id%2 == 1 {
+				ans = crowd.Negative
+			}
+			res.Records = append(res.Records, crowd.Record{ItemID: id, WorkerID: a, Answer: ans})
+		}
+	}
+	res.TotalCost = float64(len(res.Records)) * cfg.PayPerHIT / float64(cfg.ItemsPerHIT)
+	return res, nil
+}
+
+// newAsyncDB builds a 40-row table with a registered CROWD-method
+// expandable column backed by the given service.
+func newAsyncDB(t testing.TB, service JudgmentService) *DB {
+	t.Helper()
+	db := NewDB(service)
+	t.Cleanup(db.Close)
+	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("movies")
+	for i := 0; i < 40; i++ {
+		if err := tbl.Insert(storage.Int(int64(i)), storage.Text(fmt.Sprintf("movie-%03d", i)), storage.Int(int64(1970+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RegisterExpandable("movies", "is_comedy", storage.KindBool,
+		ExpandOptions{Method: "CROWD"})
+	return db
+}
+
+// TestSingleflightOneJobOneCharge is the acceptance test for singleflight:
+// N concurrent queries on the same unexpanded column must produce exactly
+// one expansion job, one service call, and one ledger charge.
+func TestSingleflightOneJobOneCharge(t *testing.T) {
+	svc := &slowService{gate: make(chan struct{})}
+	db := newAsyncDB(t, svc)
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	reports := make([]*ExpansionReport, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, reports[i], errs[i] = db.ExecSQL(`SELECT name FROM movies WHERE is_comedy = true`)
+		}(i)
+	}
+	// Let the goroutines pile onto the missing column, then release the
+	// crowd.
+	time.Sleep(20 * time.Millisecond)
+	close(svc.gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if got := svc.calls.Load(); got != 1 {
+		t.Fatalf("service called %d times, want 1 (singleflight broken)", got)
+	}
+	if led := db.Ledger(); led.Jobs != 1 {
+		t.Fatalf("ledger charged %d jobs, want 1", led.Jobs)
+	}
+	jobList := db.Jobs()
+	if len(jobList) != 1 {
+		t.Fatalf("%d expansion jobs, want 1", len(jobList))
+	}
+	st := jobList[0]
+	if st.State != jobs.StateDone || st.Ledger.Charges != 1 {
+		t.Fatalf("job status = %+v", st)
+	}
+	// At least one caller gets the report; every caller gets the rows.
+	gotReport := 0
+	for _, r := range reports {
+		if r != nil {
+			gotReport++
+		}
+	}
+	if gotReport == 0 {
+		t.Fatal("no caller received the expansion report")
+	}
+}
+
+// TestConcurrentReadsDuringExpansion fires read-only SELECTs on other
+// columns while an expansion is held in flight: the reads must complete
+// without waiting for the crowd (run under -race in CI).
+func TestConcurrentReadsDuringExpansion(t *testing.T) {
+	svc := &slowService{gate: make(chan struct{})}
+	db := newAsyncDB(t, svc)
+
+	// Kick off the expansion asynchronously; it stalls on the gate.
+	_, job, err := db.ExecSQLAsync(`SELECT name FROM movies WHERE is_comedy = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job == nil {
+		t.Fatal("expected a job handle for the expanding query")
+	}
+	if st := job.Status(); st.State.Terminal() {
+		t.Fatalf("job already terminal: %s", st.State)
+	}
+
+	// 8 readers × 50 queries each against live columns, while the
+	// expansion is pending. None of them may block on the crowd gate.
+	var wg sync.WaitGroup
+	readErrs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, rep, err := db.ExecSQL(`SELECT COUNT(*) FROM movies WHERE year > 1980`)
+				if err != nil {
+					readErrs <- err
+					return
+				}
+				if rep != nil {
+					readErrs <- fmt.Errorf("read-only query expanded something")
+					return
+				}
+				if n, _ := res.Rows[0][0].AsInt(); n != 29 {
+					readErrs <- fmt.Errorf("count = %d, want 29", n)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case err := <-readErrs:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("readers blocked behind the in-flight expansion")
+	}
+
+	// Release the crowd; the async job completes and the query now
+	// answers directly.
+	close(svc.gate)
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, job2, err := db.ExecSQLAsync(`SELECT COUNT(*) FROM movies WHERE is_comedy = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job2 != nil {
+		t.Fatal("column already expanded; no new job expected")
+	}
+	if n, _ := res.Rows[0][0].AsInt(); n != 20 {
+		t.Fatalf("comedies = %d, want 20", n)
+	}
+}
+
+// TestAsyncExpandStatement routes an explicit EXPAND through the async
+// API and polls it to completion.
+func TestAsyncExpandStatement(t *testing.T) {
+	svc := &slowService{}
+	db := newAsyncDB(t, svc)
+
+	res, job, err := db.ExecSQLAsync(`EXPAND TABLE movies ADD COLUMN is_comedy BOOLEAN USING CROWD`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil || job == nil {
+		t.Fatalf("want job-only response, got res=%v job=%v", res, job)
+	}
+	result, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, ok := result.(*ExpansionReport)
+	if !ok || report.Filled != 40 {
+		t.Fatalf("report = %+v", result)
+	}
+	st, ok := db.Job(job.ID())
+	if !ok || st.State != jobs.StateDone {
+		t.Fatalf("poll: ok=%v st=%+v", ok, st)
+	}
+	if st.Ledger.Judgments != report.Judgments {
+		t.Fatalf("job ledger %d judgments, report %d", st.Ledger.Judgments, report.Judgments)
+	}
+}
+
+// TestImplicitRaceAfterCompletion covers the resubmit race: a query that
+// observed the column as missing but submits after the original job
+// finished must not trigger a second crowd run.
+func TestImplicitRaceAfterCompletion(t *testing.T) {
+	svc := &slowService{}
+	db := newAsyncDB(t, svc)
+
+	if _, _, err := db.ExecSQL(`SELECT name FROM movies WHERE is_comedy = true`); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.calls.Load(); got != 1 {
+		t.Fatalf("calls = %d", got)
+	}
+	// Simulate the losing racer: submit the same implicit expansion again.
+	spec, ok := db.expandableSpec("movies", "is_comedy")
+	if !ok {
+		t.Fatal("spec vanished")
+	}
+	job, created, err := db.submitExpansion("movies", "is_comedy", spec.kind, spec.opts, true)
+	if err != nil || !created {
+		t.Fatalf("created=%v err=%v", created, err)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.calls.Load(); got != 1 {
+		t.Fatalf("late resubmit re-ran the crowd: calls = %d", got)
+	}
+}

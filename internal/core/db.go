@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"crowddb/internal/crowd"
 	"crowddb/internal/engine"
+	"crowddb/internal/jobs"
 	"crowddb/internal/space"
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
@@ -37,6 +39,20 @@ type ExpandOptions struct {
 	// [32]/[33]. Most useful when spammer contamination is expected but
 	// not dominant.
 	WeightedVote bool
+
+	// onPhase and onCharge are set by the job scheduler so that an
+	// expansion running on a worker goroutine can report lifecycle
+	// transitions and crowd spending to its job handle. They are
+	// internal: callers outside core cannot set them.
+	onPhase  func(jobs.State)
+	onCharge func(*crowd.RunResult)
+}
+
+// phase reports a lifecycle transition to the owning job, if any.
+func (o *ExpandOptions) phase(s jobs.State) {
+	if o.onPhase != nil {
+		o.onPhase(s)
+	}
 }
 
 func (o *ExpandOptions) fillDefaults(method sqlparse.ExpandMethod) {
@@ -100,12 +116,19 @@ type expandableSpec struct {
 }
 
 // DB is a crowd-enabled database.
+//
+// Reads and expansions are decoupled: SELECTs run concurrently under the
+// storage layer's read locks, while schema expansions execute on the job
+// scheduler's worker pool. The DB-level RWMutex below guards only the
+// expansion metadata (space bindings and expandable registrations), so
+// read-only queries never serialize behind crowd latency.
 type DB struct {
 	engine  *engine.Engine
 	service JudgmentService
 	ledger  *Ledger
+	sched   *jobs.Scheduler
 
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	bindings    map[string]*tableBinding             // table name (lower) → space
 	expandables map[string]map[string]expandableSpec // table → column → spec
 }
@@ -117,10 +140,16 @@ func NewDB(service JudgmentService) *DB {
 		engine:      engine.New(storage.NewCatalog()),
 		service:     service,
 		ledger:      &Ledger{},
+		sched:       jobs.NewScheduler(defaultExpansionWorkers, defaultExpansionQueue),
 		bindings:    map[string]*tableBinding{},
 		expandables: map[string]map[string]expandableSpec{},
 	}
 }
+
+// Close shuts down the expansion scheduler, waiting for in-flight jobs.
+// A DB that never expanded anything closes instantly (workers start
+// lazily).
+func (db *DB) Close() { db.sched.Close() }
 
 // Engine exposes the underlying SQL engine (read-only use).
 func (db *DB) Engine() *engine.Engine { return db.engine }
@@ -170,14 +199,14 @@ func (db *DB) RegisterExpandable(table, column string, kind storage.Kind, opts E
 
 // binding returns the space binding for a table, if any.
 func (db *DB) binding(table string) *tableBinding {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.bindings[strings.ToLower(table)]
 }
 
 func (db *DB) expandableSpec(table, column string) (expandableSpec, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	m := db.expandables[strings.ToLower(table)]
 	if m == nil {
 		return expandableSpec{}, false
@@ -201,10 +230,17 @@ func (db *DB) ExecSQL(sql string) (*Result, *ExpansionReport, error) {
 	return db.Exec(stmt)
 }
 
-// Exec executes a parsed statement (see ExecSQL).
+// Exec executes a parsed statement (see ExecSQL). The caller blocks until
+// the answer is complete, but the expansion itself runs on the job
+// scheduler: concurrent queries hitting the same missing column join one
+// shared job (singleflight) instead of each paying for its own crowd run.
 func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 	if ex, ok := stmt.(*sqlparse.ExpandStmt); ok {
-		report, err := db.execExpandStmt(ex)
+		job, err := db.submitExpandStmt(ex)
+		if err != nil {
+			return nil, nil, err
+		}
+		report, err := waitReport(job)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -217,20 +253,18 @@ func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 	if err == nil {
 		return res, nil, nil
 	}
-	var missing *engine.MissingColumnError
-	if !errors.As(err, &missing) {
-		return nil, nil, err
-	}
 	// Implicit query-driven expansion: only registered columns qualify —
 	// a typo must stay an error, not a $20 crowd job.
-	spec, ok := db.expandableSpec(missing.Table, missing.Column)
-	if !ok {
+	job, expErr := db.submitMissingColumn(err)
+	if expErr != nil {
+		return nil, nil, expErr
+	}
+	if job == nil {
 		return nil, nil, err
 	}
-	report, err := db.Expand(missing.Table, missing.Column, spec.kind, spec.opts)
+	report, err := waitReport(job)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: query-driven expansion of %s.%s failed: %w",
-			missing.Table, missing.Column, err)
+		return nil, nil, err
 	}
 	res, err = db.engine.Exec(stmt)
 	if err != nil {
@@ -239,16 +273,36 @@ func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 	return res, report, nil
 }
 
-func (db *DB) execExpandStmt(ex *sqlparse.ExpandStmt) (*ExpansionReport, error) {
-	col, err := engine.ColumnDefToStorage(ex.Column, storage.ColumnExpanded)
+// submitMissingColumn inspects err; if it is a MissingColumnError on a
+// registered expandable column, the expansion is submitted (or joined, if
+// already in flight) and the job returned. A nil, nil return means err was
+// not an expandable miss and the caller should surface it unchanged.
+func (db *DB) submitMissingColumn(err error) (*jobs.Job, error) {
+	var missing *engine.MissingColumnError
+	if !errors.As(err, &missing) {
+		return nil, nil
+	}
+	spec, ok := db.expandableSpec(missing.Table, missing.Column)
+	if !ok {
+		return nil, nil
+	}
+	job, _, submitErr := db.submitExpansion(missing.Table, missing.Column, spec.kind, spec.opts, true)
+	if submitErr != nil {
+		return nil, fmt.Errorf("core: query-driven expansion of %s.%s rejected: %w",
+			missing.Table, missing.Column, submitErr)
+	}
+	return job, nil
+}
+
+// waitReport blocks on the job and unwraps its *ExpansionReport. A nil
+// report with nil error means a racing job already filled the column.
+func waitReport(job *jobs.Job) (*ExpansionReport, error) {
+	result, err := job.Wait(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	opts := ExpandOptions{Method: ex.Method, Budget: ex.Budget}
-	if ex.Samples > 0 {
-		opts.SamplesPerClass = int(ex.Samples)
-	}
-	return db.Expand(ex.Table, ex.Column.Name, col.Kind, opts)
+	report, _ := result.(*ExpansionReport)
+	return report, nil
 }
 
 // Expand adds the column to the table (if absent) and fills it with the

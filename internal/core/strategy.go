@@ -6,10 +6,20 @@ import (
 	"sort"
 
 	"crowddb/internal/crowd"
+	"crowddb/internal/jobs"
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
 	"crowddb/internal/svm"
 )
+
+// charge books one crowd run into the global ledger and, when the
+// expansion runs under a scheduled job, into that job's ledger too.
+func (db *DB) charge(res *crowd.RunResult, opts *ExpandOptions) {
+	db.ledger.add(res)
+	if opts.onCharge != nil {
+		opts.onCharge(res)
+	}
+}
 
 // rowIDs extracts (rowIndex, itemID) pairs for a table using its space
 // binding's id column, or the row index itself when no binding exists.
@@ -82,12 +92,14 @@ func (db *DB) expandDirectCrowd(tbl *storage.Table, column string, opts ExpandOp
 		return nil, fmt.Errorf("core: budget $%.2f cannot cover a single tuple", opts.Budget)
 	}
 
+	opts.phase(jobs.StateSampling)
 	res, err := db.service.Collect(column, judgeIDs, opts.Job)
 	if err != nil {
 		return nil, err
 	}
-	db.ledger.add(res)
+	db.charge(res, &opts)
 
+	opts.phase(jobs.StateFilling)
 	labels := aggregateVotes(res.Records, opts)
 	report := &ExpansionReport{
 		Table: tbl.Name(), Column: column, Method: sqlparse.ExpandCrowd,
@@ -148,11 +160,13 @@ func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptio
 		return nil, fmt.Errorf("core: budget $%.2f cannot cover a training sample", opts.Budget)
 	}
 
+	opts.phase(jobs.StateSampling)
 	res, err := db.service.Collect(column, sampleIDs, opts.Job)
 	if err != nil {
 		return nil, err
 	}
-	db.ledger.add(res)
+	db.charge(res, &opts)
+	opts.phase(jobs.StateTraining)
 	voteLabels := aggregateVotes(res.Records, opts)
 
 	// Train on every sampled item that reached a majority, with whatever
@@ -186,6 +200,7 @@ func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptio
 		return nil, err
 	}
 
+	opts.phase(jobs.StateFilling)
 	vals := make([]storage.Value, len(rows))
 	for i := range rows {
 		id := ids[i]
@@ -241,6 +256,9 @@ func (db *DB) expandHybrid(tbl *storage.Table, column string, opts ExpandOptions
 			reIDs = append(reIDs, id)
 		}
 	}
+	// No phase report here: expandDirectCrowd already advanced the job to
+	// filling, and the lifecycle only moves forward — the HYBRID
+	// re-elicitation is part of the filling phase from the outside.
 	reOpts := opts
 	reOpts.Assignments = opts.Assignments * 3
 	reOpts.Job.AssignmentsPerItem = reOpts.Assignments
@@ -248,7 +266,7 @@ func (db *DB) expandHybrid(tbl *storage.Table, column string, opts ExpandOptions
 	if err != nil {
 		return nil, err
 	}
-	db.ledger.add(res)
+	db.charge(res, &opts)
 	requeryLabels := aggregateVotes(res.Records, opts)
 
 	schema := tbl.Schema()

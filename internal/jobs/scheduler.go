@@ -1,0 +1,376 @@
+// Package jobs implements the asynchronous expansion-job subsystem: a
+// worker-pool scheduler with a typed job lifecycle, singleflight
+// deduplication, and per-job cost accounting.
+//
+// Schema expansion is slow and expensive — a crowd job takes simulated
+// minutes and costs real dollars — so it must never run on a query
+// goroutine's critical path, and N concurrent queries touching the same
+// missing column must trigger exactly one crowd job. The scheduler is
+// deliberately generic: it runs opaque RunFuncs and knows nothing about
+// SQL, tables, or crowds. internal/core submits expansion closures; a
+// future PR can reuse the same pool for space re-training or cleaning
+// sweeps.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job lifecycle phase. Jobs move strictly forward:
+// queued → sampling → training → filling → done|failed. CROWD-method
+// expansions skip training (there is no model); failures may occur in any
+// phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateSampling State = "sampling"
+	StateTraining State = "training"
+	StateFilling  State = "filling"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Ledger accounts the crowd work charged to one job.
+type Ledger struct {
+	Judgments int
+	Cost      float64
+	Minutes   float64
+	Charges   int
+}
+
+// Ctl is handed to a running job so it can report phase transitions and
+// crowd spending without knowing about the scheduler.
+type Ctl struct{ job *Job }
+
+// Phase records a lifecycle transition. Terminal states are owned by the
+// scheduler and ignored here.
+func (c *Ctl) Phase(s State) {
+	if s.Terminal() {
+		return
+	}
+	c.job.mu.Lock()
+	defer c.job.mu.Unlock()
+	if !c.job.state.Terminal() {
+		c.job.state = s
+	}
+}
+
+// Charge adds crowd work to the job's ledger.
+func (c *Ctl) Charge(judgments int, cost, minutes float64) {
+	c.job.mu.Lock()
+	defer c.job.mu.Unlock()
+	c.job.ledger.Judgments += judgments
+	c.job.ledger.Cost += cost
+	c.job.ledger.Minutes += minutes
+	c.job.ledger.Charges++
+}
+
+// RunFunc performs the job's work. The result is opaque to the scheduler
+// (internal/core returns its *ExpansionReport through it).
+type RunFunc func(ctl *Ctl) (any, error)
+
+// Job is one scheduled unit of work. All fields are guarded by mu; readers
+// use Status for a consistent snapshot and Done/Wait for completion.
+type Job struct {
+	id      string
+	key     string
+	created time.Time
+	done    chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	result   any
+	err      error
+	ledger   Ledger
+}
+
+// ID returns the job's unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the singleflight key the job was submitted under.
+func (j *Job) Key() string { return j.key }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is cancelled, then returns the
+// job's result and error.
+func (j *Job) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Result returns the job's result and error; valid only after Done.
+func (j *Job) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Status is a point-in-time snapshot of a job, safe to serialize.
+type Status struct {
+	ID       string    `json:"id"`
+	Key      string    `json:"key"`
+	State    State     `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Error    string    `json:"error,omitempty"`
+	Ledger   Ledger    `json:"ledger"`
+	// Result carries the job's outcome once terminal (nil otherwise).
+	Result any `json:"result,omitempty"`
+}
+
+// Status returns a snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.id, Key: j.key, State: j.state,
+		Created: j.created, Started: j.started, Finished: j.finished,
+		Ledger: j.ledger,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state.Terminal() {
+		st.Result = j.result
+	}
+	return st
+}
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; callers should retry later (the HTTP layer maps it to 503).
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: scheduler closed")
+
+type task struct {
+	job *Job
+	run RunFunc
+}
+
+// Scheduler runs jobs on a fixed worker pool with a bounded queue.
+// Submissions are deduplicated by key while a job for that key is queued
+// or running (singleflight); once it finishes, the key is free again so
+// explicit re-expansion stays possible.
+type Scheduler struct {
+	queue chan task
+	wg    sync.WaitGroup
+
+	workers int
+
+	mu       sync.Mutex
+	started  bool
+	closed   bool
+	seq      int
+	inflight map[string]*Job // key → active job (singleflight window)
+	jobs     map[string]*Job // id → job, kept after completion for polling
+	order    []string        // job IDs in submission order
+}
+
+// NewScheduler creates a scheduler with the given worker-pool size and
+// queue depth. Non-positive values get modest defaults (2 workers, 64
+// queued jobs). Workers start lazily on first Submit, so constructing a
+// scheduler is free.
+func NewScheduler(workers, depth int) *Scheduler {
+	if workers <= 0 {
+		workers = 2
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	return &Scheduler{workers: workers, queue: make(chan task, depth)}
+}
+
+// Submit enqueues run under the singleflight key. If a job for key is
+// already queued or running, that job is returned with created=false and
+// run is discarded — this is how N concurrent queries on the same missing
+// column share one crowd job. Otherwise a new job is created (created=true).
+func (s *Scheduler) Submit(key string, run RunFunc) (job *Job, created bool, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		return j, false, nil
+	}
+	s.seq++
+	j := &Job{
+		id:      fmt.Sprintf("job-%d", s.seq),
+		key:     key,
+		created: time.Now(),
+		done:    make(chan struct{}),
+		state:   StateQueued,
+	}
+	if s.inflight == nil {
+		s.inflight = map[string]*Job{}
+		s.jobs = map[string]*Job{}
+	}
+	select {
+	case s.queue <- task{job: j, run: run}:
+	default:
+		s.seq--
+		s.mu.Unlock()
+		return nil, false, ErrQueueFull
+	}
+	s.inflight[key] = j
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	if !s.started {
+		s.started = true
+		for i := 0; i < s.workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	}
+	s.mu.Unlock()
+	return j, true, nil
+}
+
+// maxRetainedJobs bounds the completed-job history kept for polling; a
+// long-running server otherwise accumulates every report ever produced.
+// Active (non-terminal) jobs are never evicted.
+const maxRetainedJobs = 1024
+
+// evictLocked drops the oldest terminal jobs once the history exceeds
+// maxRetainedJobs. Caller holds s.mu.
+func (s *Scheduler) evictLocked() {
+	excess := len(s.order) - maxRetainedJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		evictable := excess > 0 && func() bool {
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			return j.state.Terminal()
+		}()
+		if evictable {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.execute(t)
+	}
+}
+
+func (s *Scheduler) execute(t task) {
+	j := t.job
+	j.mu.Lock()
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	result, err := s.runSafely(t)
+
+	j.mu.Lock()
+	j.result, j.err = result, err
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+	} else {
+		j.state = StateDone
+	}
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// runSafely converts a panicking RunFunc into a failed job instead of
+// killing the worker (a crashed expansion must not take the pool down).
+func (s *Scheduler) runSafely(t task) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job %s panicked: %v", t.job.id, r)
+		}
+	}()
+	return t.run(&Ctl{job: t.job})
+}
+
+// Get returns the job with the given ID, including finished ones.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns status snapshots of every retained job, in submission
+// order.
+func (s *Scheduler) Jobs() []Status {
+	s.mu.Lock()
+	list := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		list = append(list, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(list))
+	for _, j := range list {
+		out = append(out, j.Status())
+	}
+	return out
+}
+
+// Totals sums the per-job ledgers of all jobs.
+func (s *Scheduler) Totals() Ledger {
+	var sum Ledger
+	for _, st := range s.Jobs() {
+		sum.Judgments += st.Ledger.Judgments
+		sum.Cost += st.Ledger.Cost
+		sum.Minutes += st.Ledger.Minutes
+		sum.Charges += st.Ledger.Charges
+	}
+	return sum
+}
+
+// Close stops accepting new jobs, drains the queue, and waits for running
+// jobs to finish. Safe to call more than once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+	close(s.queue)
+	if started {
+		s.wg.Wait()
+	}
+}

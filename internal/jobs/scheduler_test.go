@@ -1,0 +1,274 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJobLifecycle(t *testing.T) {
+	s := NewScheduler(1, 4)
+	defer s.Close()
+
+	job, created, err := s.Submit("movies.comedy", func(ctl *Ctl) (any, error) {
+		ctl.Phase(StateSampling)
+		ctl.Charge(100, 0.25, 2.5)
+		ctl.Phase(StateTraining)
+		ctl.Phase(StateFilling)
+		return "report", nil
+	})
+	if err != nil || !created {
+		t.Fatalf("Submit: created=%v err=%v", created, err)
+	}
+	result, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != "report" {
+		t.Fatalf("result = %v", result)
+	}
+	st := job.Status()
+	if st.State != StateDone {
+		t.Fatalf("state = %s", st.State)
+	}
+	if st.Ledger.Judgments != 100 || st.Ledger.Cost != 0.25 || st.Ledger.Charges != 1 {
+		t.Fatalf("ledger = %+v", st.Ledger)
+	}
+	if st.Result != "report" {
+		t.Fatalf("status result = %v", st.Result)
+	}
+	if st.Started.IsZero() || st.Finished.IsZero() {
+		t.Fatal("missing timestamps")
+	}
+}
+
+func TestJobFailureAndPanic(t *testing.T) {
+	s := NewScheduler(1, 4)
+	defer s.Close()
+
+	boom := errors.New("boom")
+	job, _, err := s.Submit("a", func(ctl *Ctl) (any, error) { return nil, boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := job.Status(); st.State != StateFailed || st.Error == "" {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// A panicking job fails cleanly and the worker survives to run more.
+	pjob, _, err := s.Submit("b", func(ctl *Ctl) (any, error) { panic("kaboom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pjob.Wait(context.Background()); err == nil {
+		t.Fatal("panic must surface as an error")
+	}
+	after, _, err := s.Submit("c", func(ctl *Ctl) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := after.Wait(context.Background()); err != nil || v != 42 {
+		t.Fatalf("post-panic job: %v %v", v, err)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	s := NewScheduler(2, 16)
+	defer s.Close()
+
+	release := make(chan struct{})
+	var runs atomic.Int32
+	run := func(ctl *Ctl) (any, error) {
+		runs.Add(1)
+		<-release
+		return nil, nil
+	}
+
+	const n = 32
+	jobSet := make([]*Job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, _, err := s.Submit("movies.comedy", run)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			jobSet[i] = j
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+	for _, j := range jobSet {
+		if j != jobSet[0] {
+			t.Fatal("concurrent submits under one key must share one job")
+		}
+	}
+	jobSet[0].Wait(context.Background())
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("run executed %d times, want 1", got)
+	}
+
+	// After completion the key is free: a new submit creates a new job.
+	j2, created, err := s.Submit("movies.comedy", func(ctl *Ctl) (any, error) { return nil, nil })
+	if err != nil || !created {
+		t.Fatalf("resubmit: created=%v err=%v", created, err)
+	}
+	if j2 == jobSet[0] {
+		t.Fatal("finished job must not absorb new submissions")
+	}
+}
+
+func TestWaitContextCancel(t *testing.T) {
+	s := NewScheduler(1, 4)
+	defer s.Close()
+
+	release := make(chan struct{})
+	job, _, err := s.Submit("slow", func(ctl *Ctl) (any, error) { <-release; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := job.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	close(release)
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFullAndClose(t *testing.T) {
+	s := NewScheduler(1, 1)
+
+	release := make(chan struct{})
+	block := func(ctl *Ctl) (any, error) { <-release; return nil, nil }
+	first, _, err := s.Submit("k0", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single queue slot, possibly racing the worker dequeue of
+	// k0; submit until a distinct key sticks in the queue.
+	var queued *Job
+	for i := 1; queued == nil; i++ {
+		j, _, err := s.Submit(fmt.Sprintf("k%d", i), block)
+		if errors.Is(err, ErrQueueFull) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = j
+	}
+	// Now one more distinct key must bounce with ErrQueueFull.
+	bounced := false
+	for i := 100; i < 110; i++ {
+		if _, _, err := s.Submit(fmt.Sprintf("k%d", i), block); errors.Is(err, ErrQueueFull) {
+			bounced = true
+			break
+		}
+	}
+	if !bounced {
+		t.Fatal("bounded queue never reported ErrQueueFull")
+	}
+
+	close(release)
+	first.Wait(context.Background())
+	s.Close()
+	if _, _, err := s.Submit("late", block); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: err = %v", err)
+	}
+	// All accepted jobs finished at Close.
+	for _, st := range s.Jobs() {
+		if !st.State.Terminal() {
+			t.Fatalf("job %s left in state %s after Close", st.ID, st.State)
+		}
+	}
+}
+
+// TestJobsListRacesSubmit hammers Jobs()/Get() while submissions land —
+// a regression test for an unsynchronized map read in Jobs (run under
+// -race in CI).
+func TestJobsListRacesSubmit(t *testing.T) {
+	s := NewScheduler(2, 256)
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Jobs()
+			s.Get("job-1")
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, _, err := s.Submit(fmt.Sprintf("k%d", i), func(ctl *Ctl) (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestJobsOrderAndTotals(t *testing.T) {
+	s := NewScheduler(2, 16)
+	defer s.Close()
+
+	for i := 0; i < 3; i++ {
+		cost := float64(i + 1)
+		_, _, err := s.Submit(fmt.Sprintf("key-%d", i), func(ctl *Ctl) (any, error) {
+			ctl.Charge(1, cost, 0)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		done := 0
+		for _, st := range s.Jobs() {
+			if st.State.Terminal() {
+				done++
+			}
+		}
+		if done == 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("jobs did not finish")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	list := s.Jobs()
+	if len(list) != 3 {
+		t.Fatalf("len = %d", len(list))
+	}
+	for i, st := range list {
+		if st.Key != fmt.Sprintf("key-%d", i) {
+			t.Fatalf("order violated: %d → %s", i, st.Key)
+		}
+	}
+	tot := s.Totals()
+	if tot.Judgments != 3 || tot.Cost != 6 || tot.Charges != 3 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}

@@ -1,0 +1,306 @@
+// Package server exposes a crowd-enabled database over HTTP/JSON, making
+// the system network-servable: queries, async expansion-job polling,
+// schema introspection, and ledger accounting.
+//
+// Endpoints:
+//
+//	POST /query          {"sql": "...", "mode": "sync"|"async"}
+//	GET  /jobs           all expansion jobs, submission order
+//	GET  /jobs/{id}      one job (add ?wait=1 to block until terminal)
+//	GET  /schema         table names
+//	GET  /schema/{table} column inventory with kind/origin/perceptual
+//	GET  /ledger         cumulative crowd spend
+//	GET  /healthz        liveness
+//
+// Sync queries block until the answer is complete — including any crowd
+// expansion they trigger — which can take simulated crowd minutes; async
+// queries return 202 with a job handle instead. A bounded admission
+// semaphore sheds load with 503 + Retry-After once MaxInflight queries
+// are in flight, so a burst of expensive queries degrades loudly rather
+// than queueing without bound.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"crowddb/internal/core"
+	"crowddb/internal/jobs"
+	"crowddb/internal/storage"
+)
+
+// Config tunes the HTTP layer.
+type Config struct {
+	// MaxInflight bounds concurrently admitted /query requests
+	// (default 64). Excess requests receive 503 + Retry-After.
+	MaxInflight int
+	// WaitTimeout caps how long GET /jobs/{id}?wait=1 blocks
+	// (default 30s).
+	WaitTimeout time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.WaitTimeout <= 0 {
+		c.WaitTimeout = 30 * time.Second
+	}
+}
+
+// Server serves one crowd-enabled database over HTTP.
+type Server struct {
+	db   *core.DB
+	cfg  Config
+	sem  chan struct{}
+	mux  *http.ServeMux
+	http *http.Server
+}
+
+// New builds a server around db.
+func New(db *core.DB, cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		db:  db,
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInflight),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /schema", s.handleSchemaList)
+	s.mux.HandleFunc("GET /schema/{table}", s.handleSchema)
+	s.mux.HandleFunc("GET /ledger", s.handleLedger)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	// Built here, not in Serve, so a Shutdown racing (or preceding)
+	// Serve still closes the listener instead of silently no-opping.
+	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Handler returns the routing handler (exported for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.http.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the HTTP listener, letting in-flight requests
+// finish. The database (and its expansion scheduler) is owned by the
+// caller and is not closed here.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// --- handlers ---
+
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Mode is "sync" (default: block until the answer, expansions
+	// included) or "async" (return 202 + job when an expansion is
+	// needed).
+	Mode string `json:"mode"`
+}
+
+type queryResponse struct {
+	Columns   []string              `json:"columns,omitempty"`
+	Rows      [][]any               `json:"rows,omitempty"`
+	Affected  int                   `json:"affected"`
+	Message   string                `json:"message,omitempty"`
+	Expansion *core.ExpansionReport `json:"expansion,omitempty"`
+	Job       *jobs.Status          `json:"job,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server: admission queue full (%d in flight)", s.cfg.MaxInflight))
+		return
+	}
+
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, errors.New("server: empty sql"))
+		return
+	}
+
+	switch req.Mode {
+	case "", "sync":
+		res, report, err := s.db.ExecSQL(req.SQL)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, buildQueryResponse(res, report, nil))
+	case "async":
+		res, job, err := s.db.ExecSQLAsync(req.SQL)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		if job != nil {
+			st := job.Status()
+			writeJSON(w, http.StatusAccepted, buildQueryResponse(nil, nil, &st))
+			return
+		}
+		writeJSON(w, http.StatusOK, buildQueryResponse(res, nil, nil))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unknown mode %q", req.Mode))
+	}
+}
+
+func buildQueryResponse(res *core.Result, report *core.ExpansionReport, job *jobs.Status) queryResponse {
+	out := queryResponse{Expansion: report, Job: job}
+	if res == nil {
+		return out
+	}
+	out.Columns = res.Columns
+	out.Affected = res.Affected
+	out.Message = res.Message
+	out.Rows = make([][]any, len(res.Rows))
+	for i, row := range res.Rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = valueToJSON(v)
+		}
+		out.Rows[i] = vals
+	}
+	return out
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.db.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.URL.Query().Get("wait") != "" {
+		if job, ok := s.db.JobHandle(id); ok {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.WaitTimeout)
+			defer cancel()
+			// Result/error surface through the status below; a wait
+			// timeout simply returns the still-running snapshot.
+			_, _ = job.Wait(ctx)
+		}
+	}
+	st, ok := s.db.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSchemaList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.db.Catalog().Names()})
+}
+
+type columnInfo struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Perceptual bool   `json:"perceptual"`
+	Origin     string `json:"origin"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("table")
+	tbl, ok := s.db.Catalog().Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no table %q", name))
+		return
+	}
+	schema := tbl.Schema()
+	cols := make([]columnInfo, 0, schema.Len())
+	for i := 0; i < schema.Len(); i++ {
+		c := schema.Column(i)
+		cols = append(cols, columnInfo{
+			Name: c.Name, Kind: c.Kind.String(),
+			Perceptual: c.Perceptual, Origin: c.Origin.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":   tbl.Name(),
+		"rows":    tbl.NumRows(),
+		"columns": cols,
+	})
+}
+
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.db.Ledger())
+}
+
+// --- helpers ---
+
+func valueToJSON(v storage.Value) any {
+	switch v.Kind() {
+	case storage.KindBool:
+		b, _ := v.AsBool()
+		return b
+	case storage.KindInt:
+		i, _ := v.AsInt()
+		return i
+	case storage.KindFloat:
+		f, _ := v.AsFloat()
+		return f
+	case storage.KindText:
+		t, _ := v.AsText()
+		return t
+	default:
+		return nil
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeQueryError classifies a query failure: a full expansion queue is a
+// retryable overload (503), a failed crowd expansion is a server-side
+// fault (500); everything else (parse errors, unknown tables/columns) is
+// the client's query (400).
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, core.ErrExpansionFailed):
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
