@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench serve
+.PHONY: build test race vet fmt check cover bench serve
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet race
+# Fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: build fmt vet race
+
+# Coverage over every package, with a per-function summary; CI runs this.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # Reproduction + serving benchmarks (compact report; see DESIGN.md §5–§7).
 bench:

@@ -501,7 +501,7 @@ func nowNano() int64 { return time.Now().UnixNano() }
 func benchServeDB(b *testing.B) *crowddb.DB {
 	b.Helper()
 	db := crowddb.New(nil)
-	b.Cleanup(db.Close)
+	b.Cleanup(func() { _ = db.Close() })
 	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
 		b.Fatal(err)
 	}
@@ -575,7 +575,7 @@ func (s *sleepingService) Collect(question string, itemIDs []int, cfg crowd.JobC
 // flowing. The headline metric is reads completed per expansion window.
 func runSelectDuringExpansion(b *testing.B, gor int, serialize bool) {
 	db := crowddb.New(&sleepingService{latency: 20 * time.Millisecond})
-	b.Cleanup(db.Close)
+	b.Cleanup(func() { _ = db.Close() })
 	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
 		b.Fatal(err)
 	}
@@ -712,4 +712,57 @@ func BenchmarkServerQueryRoundTrip(b *testing.B) {
 	}
 	wg.Wait()
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "requests/s")
+}
+
+// BenchmarkWALReplay measures cold-start recovery: rebuilding a database
+// from a 10k-mutation WAL (no snapshot — the worst case). The acceptance
+// bar is well under 1s per replay; a snapshot makes it cheaper still.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	db, err := crowddb.Open(crowddb.Options{DataDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("movies")
+	const mutations = 10000
+	for i := 0; i < mutations; i++ {
+		switch {
+		case i%10 == 9: // every 10th mutation is a point update
+			if err := tbl.Set(i/2%1000, 1, storage.Text(fmt.Sprintf("renamed-%d", i))); err != nil {
+				b.Fatal(err)
+			}
+		default:
+			if err := tbl.Insert(storage.Int(int64(i)), storage.Text(fmt.Sprintf("movie-%d", i)), storage.Int(int64(1900+i%120))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	wantRows := tbl.NumRows()
+	if err := db.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		rdb, err := crowddb.Open(crowddb.Options{DataDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, ok := rdb.Catalog().Get("movies")
+		if !ok || rt.NumRows() != wantRows {
+			b.Fatalf("replay lost rows: %d", rt.NumRows())
+		}
+		if err := rdb.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perReplay := time.Since(start).Seconds() / float64(b.N)
+	b.ReportMetric(perReplay*1000, "ms/replay-10k")
+	if perReplay >= 1.0 {
+		b.Fatalf("replaying a 10k-mutation log took %.2fs, acceptance bar is <1s", perReplay)
+	}
 }

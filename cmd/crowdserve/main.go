@@ -6,18 +6,25 @@
 // marketplace), registers every genre as an expandable column, and then
 // serves queries:
 //
-//	crowdserve -addr :8080
+//	crowdserve -addr :8080 -data-dir /var/lib/crowdserve
 //
 //	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM movies"}'
 //	curl -s localhost:8080/query \
 //	    -d '{"sql":"SELECT name FROM movies WHERE Comedy = true LIMIT 5","mode":"async"}'
 //	curl -s localhost:8080/jobs/job-1?wait=1
 //	curl -s localhost:8080/ledger
+//	curl -s -X POST localhost:8080/admin/snapshot
 //
 // The async query returns 202 with a job handle while the crowd fills
 // the column on the expansion scheduler's worker pool; concurrent reads
 // keep flowing meanwhile. SIGINT/SIGTERM trigger a graceful shutdown:
 // the listener drains, then in-flight expansion jobs finish.
+//
+// With -data-dir set, every mutation — including crowd-expanded columns
+// and their cost ledger — is written to a WAL and recovered on the next
+// start, so a restart never re-elicits (or re-charges for) a column the
+// crowd already filled. POST /admin/snapshot compacts the log. -fsync
+// extends durability from process crashes to power loss.
 package main
 
 import (
@@ -39,6 +46,21 @@ import (
 	"crowddb/internal/storage"
 )
 
+// demoConfig collects everything buildDemoDB needs; the integration test
+// reuses it to boot twice against one data dir.
+type demoConfig struct {
+	seed             int64
+	items            int
+	dims             int
+	epochs           int
+	crowdWorkers     int
+	spammers         float64
+	dataDir          string
+	fsync            bool
+	expansionWorkers int
+	expansionQueue   int
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -49,14 +71,28 @@ func main() {
 		workers     = flag.Int("crowd-workers", 40, "simulated crowd population size")
 		spammers    = flag.Float64("spammers", 0, "spammer fraction of the crowd population")
 		maxInflight = flag.Int("max-inflight", 64, "admitted concurrent /query requests")
+
+		dataDir = flag.String("data-dir", "", "durability directory for WAL+snapshots (empty = in-memory)")
+		fsync   = flag.Bool("fsync", false, "fsync WAL batches (survive power loss, not just crashes)")
+		expWork = flag.Int("expansion-workers", 4, "expansion scheduler worker-pool size")
+		expQ    = flag.Int("expansion-queue", 64, "expansion scheduler admission-queue depth")
 	)
 	flag.Parse()
 
-	db, err := buildDemoDB(*seed, *items, *dims, *epochs, *workers, *spammers)
+	db, err := buildDemoDB(demoConfig{
+		seed: *seed, items: *items, dims: *dims, epochs: *epochs,
+		crowdWorkers: *workers, spammers: *spammers,
+		dataDir: *dataDir, fsync: *fsync,
+		expansionWorkers: *expWork, expansionQueue: *expQ,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Printf("crowdserve: close: %v", err)
+		}
+	}()
 
 	srv := server.New(db, server.Config{MaxInflight: *maxInflight})
 
@@ -64,7 +100,11 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	log.Printf("crowdserve: listening on %s (%d movies, %d-d space)", *addr, *items, *dims)
+	durability := "in-memory"
+	if *dataDir != "" {
+		durability = "durable at " + *dataDir
+	}
+	log.Printf("crowdserve: listening on %s (%d movies, %d-d space, %s)", *addr, *items, *dims, durability)
 
 	select {
 	case err := <-errc:
@@ -84,40 +124,59 @@ func main() {
 
 // buildDemoDB assembles the paper's running example: a movie table, a
 // perceptual space trained on the universe's ratings, a simulated crowd,
-// and one registered expandable column per genre.
-func buildDemoDB(seed int64, items, dims, epochs, workers int, spammers float64) (*core.DB, error) {
+// and one registered expandable column per genre. With a data dir, prior
+// state — rows, expanded columns, ledger, job history — is recovered
+// first and the demo data is only seeded into an empty catalog.
+func buildDemoDB(cfg demoConfig) (*core.DB, error) {
 	scale := dataset.ScaleTiny
-	if items > 0 {
-		scale.Items = items
+	if cfg.items > 0 {
+		scale.Items = cfg.items
 	}
-	u, err := dataset.Generate(dataset.Movies(scale, seed))
+	u, err := dataset.Generate(dataset.Movies(scale, cfg.seed))
 	if err != nil {
 		return nil, err
 	}
 
-	cfg := space.DefaultConfig()
-	cfg.Dims = dims
-	cfg.Epochs = epochs
-	model, _, err := space.TrainEuclidean(u.Ratings, cfg)
+	spaceCfg := space.DefaultConfig()
+	spaceCfg.Dims = cfg.dims
+	spaceCfg.Epochs = cfg.epochs
+	model, _, err := space.TrainEuclidean(u.Ratings, spaceCfg)
 	if err != nil {
 		return nil, err
 	}
 	sp := space.FromModel(model)
 
-	rng := rand.New(rand.NewSource(seed))
-	pop := crowd.NewPopulation(crowd.PopulationConfig{Workers: workers, SpammerFraction: spammers}, rng)
-	db := core.NewDB(core.NewSimulatedCrowd(pop, u.CrowdItems, rng))
-
-	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	pop := crowd.NewPopulation(crowd.PopulationConfig{Workers: cfg.crowdWorkers, SpammerFraction: cfg.spammers}, rng)
+	db, err := core.Open(core.Options{
+		Service: core.NewSimulatedCrowd(pop, u.CrowdItems, rng),
+		DataDir: cfg.dataDir,
+		Fsync:   cfg.fsync,
+		Workers: cfg.expansionWorkers, QueueDepth: cfg.expansionQueue,
+	})
+	if err != nil {
 		return nil, err
 	}
-	tbl, _ := db.Catalog().Get("movies")
-	for _, it := range u.Items {
-		if err := tbl.Insert(storage.Int(int64(it.ID)), storage.Text(it.Name), storage.Int(int64(it.Year))); err != nil {
+
+	// Recovery may have brought the table (and its paid-for expanded
+	// columns) back from the WAL; seed only a fresh database.
+	if _, recovered := db.Catalog().Get("movies"); !recovered {
+		if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
+			db.Close()
 			return nil, err
 		}
+		tbl, _ := db.Catalog().Get("movies")
+		for _, it := range u.Items {
+			if err := tbl.Insert(storage.Int(int64(it.ID)), storage.Text(it.Name), storage.Int(int64(it.Year))); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
 	}
+	// Binding and registry writes are idempotent; re-issuing them each
+	// boot keeps them current with the freshly trained space.
 	if err := db.AttachSpace("movies", "movie_id", sp); err != nil {
+		db.Close()
 		return nil, err
 	}
 	for name := range u.Categories {
@@ -125,6 +184,7 @@ func buildDemoDB(seed int64, items, dims, epochs, workers int, spammers float64)
 			core.ExpandOptions{SamplesPerClass: 40})
 	}
 	if len(u.Categories) == 0 {
+		db.Close()
 		return nil, fmt.Errorf("crowdserve: universe has no categories to register")
 	}
 	return db, nil

@@ -66,9 +66,23 @@ import (
 // DB is a crowd-enabled database (see package documentation).
 type DB = core.DB
 
-// New creates a crowd-enabled database using the given judgment service.
-// The service may be nil for databases that only use GoldFill.
+// New creates an in-memory crowd-enabled database using the given
+// judgment service. The service may be nil for databases that only use
+// GoldFill. For a database that survives restarts, use Open.
 func New(service JudgmentService) *DB { return core.NewDB(service) }
+
+// Options configures a database: judgment service, durability (DataDir,
+// Fsync, SegmentBytes), and expansion-scheduler sizing (Workers,
+// QueueDepth).
+type Options = core.Options
+
+// Open creates a crowd-enabled database. With Options.DataDir set, all
+// state — tables, crowd-expanded columns and their provenance, space
+// bindings, the expandable registry, ledger totals, and job history — is
+// persisted to a write-ahead log plus snapshots and recovered on the next
+// Open, so a restart never re-elicits (or re-charges for) a column the
+// crowd already filled. DB.Snapshot compacts the log; DB.Close flushes it.
+func Open(opts Options) (*DB, error) { return core.Open(opts) }
 
 // JudgmentService obtains human judgments for items; implement it to
 // connect a real crowd-sourcing platform, or use NewSimulatedCrowd.

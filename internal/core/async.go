@@ -69,7 +69,7 @@ func (db *DB) ExecAsync(stmt sqlparse.Statement) (*Result, *jobs.Job, error) {
 		}
 		return nil, job, nil
 	}
-	res, err := db.engine.Exec(stmt)
+	res, err := db.execEngine(stmt)
 	if err == nil {
 		return res, nil, nil
 	}

@@ -45,7 +45,7 @@ func (s *slowService) Collect(question string, itemIDs []int, cfg crowd.JobConfi
 func newAsyncDB(t testing.TB, service JudgmentService) *DB {
 	t.Helper()
 	db := NewDB(service)
-	t.Cleanup(db.Close)
+	t.Cleanup(func() { _ = db.Close() })
 	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
 		t.Fatal(err)
 	}

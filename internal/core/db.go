@@ -13,6 +13,7 @@ import (
 	"crowddb/internal/space"
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
+	"crowddb/internal/wal"
 )
 
 // ExpandOptions tunes one schema expansion.
@@ -128,28 +129,57 @@ type DB struct {
 	ledger  *Ledger
 	sched   *jobs.Scheduler
 
+	// wal is the durability log (nil when opened without a DataDir).
+	// gate serializes snapshots against journaled mutations: every
+	// mutation path holds gate.RLock across "apply + append", and
+	// Snapshot holds gate.Lock while capturing state — see persist.go.
+	wal  *wal.WAL
+	gate sync.RWMutex
+
 	mu          sync.RWMutex
 	bindings    map[string]*tableBinding             // table name (lower) → space
 	expandables map[string]map[string]expandableSpec // table → column → spec
 }
 
-// NewDB creates a crowd-enabled database. The judgment service may be nil
-// for a database that only uses pre-labeled gold samples.
+// NewDB creates an in-memory crowd-enabled database. The judgment service
+// may be nil for a database that only uses pre-labeled gold samples. For
+// a durable database, use Open with a DataDir.
 func NewDB(service JudgmentService) *DB {
-	return &DB{
-		engine:      engine.New(storage.NewCatalog()),
-		service:     service,
-		ledger:      &Ledger{},
-		sched:       jobs.NewScheduler(defaultExpansionWorkers, defaultExpansionQueue),
-		bindings:    map[string]*tableBinding{},
-		expandables: map[string]map[string]expandableSpec{},
-	}
+	db, _ := Open(Options{Service: service}) // no DataDir → no error paths
+	return db
 }
 
-// Close shuts down the expansion scheduler, waiting for in-flight jobs.
-// A DB that never expanded anything closes instantly (workers start
-// lazily).
-func (db *DB) Close() { db.sched.Close() }
+// Close shuts down the expansion scheduler, waiting for in-flight jobs,
+// then flushes and closes the WAL. The returned error reports any append
+// failure latched during operation — state that may not have reached disk.
+func (db *DB) Close() error {
+	db.sched.Close()
+	if db.wal == nil {
+		return nil
+	}
+	stickyErr := db.wal.Err()
+	if err := db.wal.Close(); err != nil {
+		return err
+	}
+	return stickyErr
+}
+
+// mutate runs fn (a storage mutation plus its WAL append) under the
+// snapshot gate. Never hold the gate across a crowd wait.
+func (db *DB) mutate(fn func() error) error {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	return fn()
+}
+
+// execEngine executes a statement under the snapshot gate, so DML lands
+// atomically with respect to Snapshot. SELECT-heavy workloads are not
+// serialized: the gate is an RWMutex and statements take the read side.
+func (db *DB) execEngine(stmt sqlparse.Statement) (*Result, error) {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	return db.engine.Exec(stmt)
+}
 
 // Engine exposes the underlying SQL engine (read-only use).
 func (db *DB) Engine() *engine.Engine { return db.engine }
@@ -176,9 +206,19 @@ func (db *DB) AttachSpace(table, idColumn string, sp *space.Space) error {
 	if schema.Column(idx).Kind != storage.KindInt {
 		return fmt.Errorf("core: id column %q must be INTEGER", idColumn)
 	}
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.bindings[strings.ToLower(table)] = &tableBinding{space: sp, idColumn: idColumn}
+	binding := &tableBinding{space: sp, idColumn: idColumn}
+	// Log before installing (same discipline as storage mutators): on an
+	// append failure the binding is neither durable nor active.
+	if db.wal != nil {
+		if _, err := db.wal.Append(recSpace, bindingToRecord(strings.ToLower(table), binding)); err != nil {
+			return err
+		}
+	}
+	db.bindings[strings.ToLower(table)] = binding
 	return nil
 }
 
@@ -188,6 +228,8 @@ func (db *DB) AttachSpace(table, idColumn string, sp *space.Space) error {
 // answer queries whether the data exists or not, but it still needs to
 // know the new attribute's type and elicitation parameters.
 func (db *DB) RegisterExpandable(table, column string, kind storage.Kind, opts ExpandOptions) {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	key := strings.ToLower(table)
@@ -195,6 +237,13 @@ func (db *DB) RegisterExpandable(table, column string, kind storage.Kind, opts E
 		db.expandables[key] = map[string]expandableSpec{}
 	}
 	db.expandables[key][strings.ToLower(column)] = expandableSpec{kind: kind, opts: opts}
+	if db.wal != nil {
+		// The signature cannot surface an append failure; the WAL latches
+		// it and Snapshot/Close reports it.
+		_, _ = db.wal.Append(recExpandable, expandableRecord{
+			Table: key, Column: strings.ToLower(column), Kind: kind, Opts: opts,
+		})
+	}
 }
 
 // binding returns the space binding for a table, if any.
@@ -249,7 +298,7 @@ func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 		return &Result{Message: msg}, report, nil
 	}
 
-	res, err := db.engine.Exec(stmt)
+	res, err := db.execEngine(stmt)
 	if err == nil {
 		return res, nil, nil
 	}
@@ -266,7 +315,7 @@ func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err = db.engine.Exec(stmt)
+	res, err = db.execEngine(stmt)
 	if err != nil {
 		return nil, report, err
 	}
@@ -326,9 +375,13 @@ func (db *DB) Expand(table, column string, kind storage.Kind, opts ExpandOptions
 
 	schema := tbl.Schema()
 	if _, exists := schema.Lookup(column); !exists {
-		if _, err := tbl.AddColumn(storage.Column{
-			Name: column, Kind: kind, Perceptual: true, Origin: storage.ColumnExpanded,
-		}); err != nil {
+		err := db.mutate(func() error {
+			_, err := tbl.AddColumn(storage.Column{
+				Name: column, Kind: kind, Perceptual: true, Origin: storage.ColumnExpanded,
+			})
+			return err
+		})
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -39,9 +39,13 @@ func (db *DB) GoldFill(table, column string, gold []GoldValue) (*ExpansionReport
 
 	schema := tbl.Schema()
 	if _, exists := schema.Lookup(column); !exists {
-		if _, err := tbl.AddColumn(storage.Column{
-			Name: column, Kind: storage.KindFloat, Perceptual: true, Origin: storage.ColumnExpanded,
-		}); err != nil {
+		err := db.mutate(func() error {
+			_, err := tbl.AddColumn(storage.Column{
+				Name: column, Kind: storage.KindFloat, Perceptual: true, Origin: storage.ColumnExpanded,
+			})
+			return err
+		})
+		if err != nil {
 			return nil, err
 		}
 	} else {
@@ -82,7 +86,7 @@ func (db *DB) GoldFill(table, column string, gold []GoldValue) (*ExpansionReport
 		vals[i] = storage.Float(model.Predict(sp.Vector(id)))
 		report.Filled++
 	}
-	if err := tbl.FillColumn(column, vals); err != nil {
+	if err := db.mutate(func() error { return tbl.FillColumn(column, vals) }); err != nil {
 		return nil, err
 	}
 	return report, nil

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"crowddb/internal/crowd"
+	"crowddb/internal/engine"
+	"crowddb/internal/jobs"
+	"crowddb/internal/space"
+	"crowddb/internal/storage"
+	"crowddb/internal/vecmath"
+	"crowddb/internal/wal"
+)
+
+// Durability: every state change — storage mutations, ledger charges,
+// space bindings, expandable registrations, job completions — flows
+// through the WAL, and Open reconstructs the database from snapshot +
+// replay. Expanded columns are the point: each one cost real crowd
+// dollars, and a restart must never charge for them again.
+//
+// Consistency model. Mutators hold db.gate.RLock around the mutation and
+// its log append; Snapshot holds db.gate.Lock while reading state and the
+// covering sequence number. An RWMutex writer excludes readers, so the
+// captured state reflects exactly the records up to the captured seq —
+// replay after restore neither double-applies nor drops a mutation. The
+// gate is never held across crowd waits (only around the storage/ledger
+// touch itself), so snapshots don't stall behind HIT latency.
+
+// Options configures a crowd-enabled database.
+type Options struct {
+	// Service obtains human judgments; may be nil for databases that only
+	// use GoldFill.
+	Service JudgmentService
+	// DataDir enables durability: WAL segments and snapshots live here,
+	// and Open recovers from them. Empty means in-memory only.
+	DataDir string
+	// Fsync makes WAL appends reach the platter (batched group commit);
+	// off, appends still reach the OS promptly and survive process
+	// crashes, but not power loss.
+	Fsync bool
+	// SegmentBytes is the WAL segment rotation threshold (default 8 MiB).
+	SegmentBytes int64
+	// Workers sizes the expansion scheduler's worker pool (default 4).
+	Workers int
+	// QueueDepth bounds the expansion admission queue (default 64).
+	QueueDepth int
+}
+
+// ErrNoDataDir is returned by Snapshot on a database opened without a
+// data directory.
+var ErrNoDataDir = errors.New("core: database has no data dir (durability disabled)")
+
+// WAL record types above the storage layer.
+const (
+	recOp         = "op"         // storage.Op — table/catalog mutation
+	recSpace      = "space"      // perceptual-space binding
+	recExpandable = "expandable" // expandable-column registration
+	recCharge     = "charge"     // crowd spend booked to the ledger
+	recJob        = "job"        // expansion job reached a terminal state
+)
+
+// spaceRecord persists one table↔space binding, coordinates included, so
+// SPACE/HYBRID strategies work immediately after recovery.
+type spaceRecord struct {
+	Table    string      `json:"table"`
+	IDColumn string      `json:"id_column"`
+	Vectors  [][]float64 `json:"vectors"`
+}
+
+// expandableRecord persists one RegisterExpandable declaration.
+// ExpandOptions' callbacks are unexported and skipped by encoding/json;
+// every tunable field survives.
+type expandableRecord struct {
+	Table  string        `json:"table"`
+	Column string        `json:"column"`
+	Kind   storage.Kind  `json:"kind"`
+	Opts   ExpandOptions `json:"opts"`
+}
+
+// chargeRecord persists one crowd run's cost, mirroring Ledger.add.
+type chargeRecord struct {
+	Judgments int     `json:"judgments"`
+	Cost      float64 `json:"cost"`
+	Minutes   float64 `json:"minutes"`
+}
+
+// jobRecord persists one terminal expansion job: its identity, outcome,
+// and per-job ledger — the completion record that proves an expansion was
+// paid for and must not be re-elicited.
+type jobRecord struct {
+	ID       string           `json:"id"`
+	Key      string           `json:"key"`
+	State    jobs.State       `json:"state"`
+	Created  time.Time        `json:"created"`
+	Started  time.Time        `json:"started,omitzero"`
+	Finished time.Time        `json:"finished,omitzero"`
+	Error    string           `json:"error,omitempty"`
+	Ledger   jobs.Ledger      `json:"ledger"`
+	Report   *ExpansionReport `json:"report,omitempty"`
+}
+
+// tableState is one table's full contents inside a snapshot. Columns keep
+// their Origin, so expanded columns recover as expanded.
+type tableState struct {
+	Name    string           `json:"name"`
+	Columns []storage.Column `json:"columns"`
+	Rows    []storage.Row    `json:"rows"`
+}
+
+// snapshotState is the complete durable state of a DB at one sequence
+// number.
+type snapshotState struct {
+	Tables      []tableState       `json:"tables"`
+	Bindings    []spaceRecord      `json:"bindings,omitempty"`
+	Expandables []expandableRecord `json:"expandables,omitempty"`
+	Ledger      LedgerTotals       `json:"ledger"`
+	Jobs        []jobRecord        `json:"jobs,omitempty"`
+}
+
+// walJournal adapts the WAL to storage.Journal: every storage mutation
+// becomes an "op" record. Append errors latch in the WAL and surface at
+// the next Snapshot/Close even when the mutator signature drops them.
+type walJournal struct{ db *DB }
+
+func (j walJournal) LogOp(op storage.Op) error {
+	_, err := j.db.wal.Append(recOp, op)
+	return err
+}
+
+// Open creates a crowd-enabled database. With a DataDir it first recovers
+// all prior state — tables, expanded columns with provenance, space
+// bindings, the expandable registry, ledger totals, and terminal job
+// history — from the latest snapshot plus WAL replay, then attaches the
+// journal so new mutations are logged.
+func Open(opts Options) (*DB, error) {
+	workers, depth := opts.Workers, opts.QueueDepth
+	if workers <= 0 {
+		workers = defaultExpansionWorkers
+	}
+	if depth <= 0 {
+		depth = defaultExpansionQueue
+	}
+	db := &DB{
+		engine:      engine.New(storage.NewCatalog()),
+		service:     opts.Service,
+		ledger:      &Ledger{},
+		sched:       jobs.NewScheduler(workers, depth),
+		bindings:    map[string]*tableBinding{},
+		expandables: map[string]map[string]expandableSpec{},
+	}
+	db.sched.OnTerminal = db.onJobTerminal
+	if opts.DataDir == "" {
+		return db, nil
+	}
+
+	w, err := wal.Open(opts.DataDir, wal.Options{SegmentBytes: opts.SegmentBytes, Fsync: opts.Fsync})
+	if err != nil {
+		return nil, err
+	}
+	restored := map[string]jobs.RestoredJob{}
+	var snap snapshotState
+	ok, err := w.LoadSnapshot(&snap)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	if ok {
+		if err := db.restoreSnapshot(&snap, restored); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("core: restoring snapshot: %w", err)
+		}
+	}
+	if err := w.Replay(func(rec wal.Record) error {
+		if err := db.applyRecord(rec, restored); err != nil {
+			return fmt.Errorf("core: replaying record %d (%s): %w", rec.Seq, rec.Type, err)
+		}
+		return nil
+	}); err != nil {
+		w.Close()
+		return nil, err
+	}
+	db.sched.Restore(sortRestored(restored))
+
+	// Recovery complete: from here on, mutations are journaled.
+	db.wal = w
+	db.Catalog().SetJournal(walJournal{db})
+	return db, nil
+}
+
+// Snapshot persists the full current state and truncates the WAL segments
+// it covers, returning the covered sequence number. Mutations are briefly
+// excluded while state is captured (see the consistency-model comment);
+// the file write happens outside the gate.
+func (db *DB) Snapshot() (uint64, error) {
+	if db.wal == nil {
+		return 0, ErrNoDataDir
+	}
+	if err := db.wal.Err(); err != nil {
+		return 0, fmt.Errorf("core: WAL is wedged, refusing to snapshot: %w", err)
+	}
+	db.gate.Lock()
+	state := db.collectState()
+	seq := db.wal.Seq()
+	db.gate.Unlock()
+	if err := db.wal.WriteSnapshot(seq, state); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// collectState captures the DB's durable state. Caller holds db.gate.Lock,
+// so no journaled mutation is mid-flight.
+func (db *DB) collectState() *snapshotState {
+	st := &snapshotState{Ledger: db.ledger.Snapshot()}
+	c := db.Catalog()
+	for _, name := range c.Names() {
+		tbl, ok := c.Get(name)
+		if !ok {
+			continue
+		}
+		ts := tableState{Name: tbl.Name(), Columns: tbl.Schema().Columns()}
+		tbl.Scan(func(i int, row storage.Row) bool {
+			ts.Rows = append(ts.Rows, row.Clone())
+			return true
+		})
+		st.Tables = append(st.Tables, ts)
+	}
+
+	db.mu.RLock()
+	for table, b := range db.bindings {
+		st.Bindings = append(st.Bindings, bindingToRecord(table, b))
+	}
+	for table, cols := range db.expandables {
+		for col, spec := range cols {
+			st.Expandables = append(st.Expandables, expandableRecord{
+				Table: table, Column: col, Kind: spec.kind, Opts: spec.opts,
+			})
+		}
+	}
+	db.mu.RUnlock()
+	sort.Slice(st.Bindings, func(i, j int) bool { return st.Bindings[i].Table < st.Bindings[j].Table })
+	sort.Slice(st.Expandables, func(i, j int) bool {
+		a, b := st.Expandables[i], st.Expandables[j]
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		return a.Column < b.Column
+	})
+
+	// Only terminal jobs are durable: a job still running has written no
+	// completion record, and after a crash it simply re-runs.
+	for _, js := range db.sched.Jobs() {
+		if !js.State.Terminal() {
+			continue
+		}
+		st.Jobs = append(st.Jobs, statusToJobRecord(js))
+	}
+	return st
+}
+
+// restoreSnapshot rebuilds the DB from a snapshot. The catalog has no
+// journal attached yet, so nothing here is re-logged.
+func (db *DB) restoreSnapshot(st *snapshotState, restored map[string]jobs.RestoredJob) error {
+	c := db.Catalog()
+	for _, ts := range st.Tables {
+		schema, err := storage.NewSchema(ts.Columns...)
+		if err != nil {
+			return fmt.Errorf("table %s: %w", ts.Name, err)
+		}
+		tbl, err := c.Create(ts.Name, schema)
+		if err != nil {
+			return err
+		}
+		for i, row := range ts.Rows {
+			if err := tbl.Insert(row...); err != nil {
+				return fmt.Errorf("table %s row %d: %w", ts.Name, i, err)
+			}
+		}
+	}
+	for _, b := range st.Bindings {
+		if err := db.applySpaceRecord(b); err != nil {
+			return err
+		}
+	}
+	for _, e := range st.Expandables {
+		db.RegisterExpandable(e.Table, e.Column, e.Kind, e.Opts)
+	}
+	db.ledger.restore(st.Ledger)
+	for _, jr := range st.Jobs {
+		restored[jr.ID] = jobRecordToRestored(jr)
+	}
+	return nil
+}
+
+// applyRecord applies one replayed WAL record.
+func (db *DB) applyRecord(rec wal.Record, restored map[string]jobs.RestoredJob) error {
+	switch rec.Type {
+	case recOp:
+		var op storage.Op
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return err
+		}
+		return db.applyOp(op)
+	case recSpace:
+		var sr spaceRecord
+		if err := json.Unmarshal(rec.Data, &sr); err != nil {
+			return err
+		}
+		return db.applySpaceRecord(sr)
+	case recExpandable:
+		var er expandableRecord
+		if err := json.Unmarshal(rec.Data, &er); err != nil {
+			return err
+		}
+		db.RegisterExpandable(er.Table, er.Column, er.Kind, er.Opts)
+		return nil
+	case recCharge:
+		var cr chargeRecord
+		if err := json.Unmarshal(rec.Data, &cr); err != nil {
+			return err
+		}
+		db.ledger.addRaw(cr.Judgments, cr.Cost, cr.Minutes)
+		return nil
+	case recJob:
+		var jr jobRecord
+		if err := json.Unmarshal(rec.Data, &jr); err != nil {
+			return err
+		}
+		restored[jr.ID] = jobRecordToRestored(jr)
+		return nil
+	default:
+		return fmt.Errorf("unknown record type %q", rec.Type)
+	}
+}
+
+// applyOp replays one storage mutation against the (journal-less) catalog.
+func (db *DB) applyOp(op storage.Op) error {
+	c := db.Catalog()
+	switch op.Kind {
+	case storage.OpCreateTable:
+		schema, err := storage.NewSchema(op.Columns...)
+		if err != nil {
+			return err
+		}
+		_, err = c.Create(op.Table, schema)
+		return err
+	case storage.OpDropTable:
+		c.Drop(op.Table)
+		return nil
+	}
+	tbl, ok := c.Get(op.Table)
+	if !ok {
+		return fmt.Errorf("op %s targets unknown table %q", op.Kind, op.Table)
+	}
+	switch op.Kind {
+	case storage.OpInsert:
+		return tbl.Insert(op.Values...)
+	case storage.OpSet:
+		if len(op.Values) != 1 {
+			return fmt.Errorf("set op carries %d values", len(op.Values))
+		}
+		return tbl.Set(op.Row, op.Col, op.Values[0])
+	case storage.OpAddColumn:
+		if op.Column == nil {
+			return fmt.Errorf("add_column op without column")
+		}
+		_, err := tbl.AddColumn(*op.Column)
+		return err
+	case storage.OpFillColumn:
+		return tbl.FillColumn(op.Name, op.Values)
+	case storage.OpDelete:
+		tbl.Delete(op.Rows)
+		return nil
+	default:
+		return fmt.Errorf("unknown op kind %q", op.Kind)
+	}
+}
+
+// applySpaceRecord rebuilds a perceptual space from persisted coordinates
+// and binds it, without logging (used by restore and replay).
+func (db *DB) applySpaceRecord(sr spaceRecord) error {
+	if len(sr.Vectors) == 0 {
+		return fmt.Errorf("space record for %q has no vectors", sr.Table)
+	}
+	m := vecmath.NewMatrix(len(sr.Vectors), len(sr.Vectors[0]))
+	for i, v := range sr.Vectors {
+		if len(v) != m.Cols {
+			return fmt.Errorf("space record for %q: ragged vector %d", sr.Table, i)
+		}
+		copy(m.Row(i), v)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.bindings[strings.ToLower(sr.Table)] = &tableBinding{
+		space: space.NewSpace(m), idColumn: sr.IDColumn,
+	}
+	return nil
+}
+
+func bindingToRecord(table string, b *tableBinding) spaceRecord {
+	sr := spaceRecord{Table: table, IDColumn: b.idColumn}
+	for i := 0; i < b.space.NumItems(); i++ {
+		sr.Vectors = append(sr.Vectors, append([]float64(nil), b.space.Vector(i)...))
+	}
+	return sr
+}
+
+func statusToJobRecord(st jobs.Status) jobRecord {
+	jr := jobRecord{
+		ID: st.ID, Key: st.Key, State: st.State,
+		Created: st.Created, Started: st.Started, Finished: st.Finished,
+		Error: st.Error, Ledger: st.Ledger,
+	}
+	if rep, ok := st.Result.(*ExpansionReport); ok {
+		jr.Report = rep
+	}
+	return jr
+}
+
+func jobRecordToRestored(jr jobRecord) jobs.RestoredJob {
+	r := jobs.RestoredJob{
+		ID: jr.ID, Key: jr.Key, State: jr.State,
+		Created: jr.Created, Started: jr.Started, Finished: jr.Finished,
+		Ledger: jr.Ledger,
+	}
+	if jr.Error != "" {
+		r.Err = fmt.Errorf("%w: %s", ErrExpansionFailed, jr.Error)
+	}
+	if jr.Report != nil {
+		r.Result = jr.Report
+	}
+	return r
+}
+
+// sortRestored orders recovered jobs by their numeric ID so /jobs keeps
+// submission order across restarts.
+func sortRestored(m map[string]jobs.RestoredJob) []jobs.RestoredJob {
+	out := make([]jobs.RestoredJob, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	num := func(id string) int {
+		var n int
+		if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+			return 1<<31 - 1
+		}
+		return n
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := num(out[i].ID), num(out[j].ID)
+		if a != b {
+			return a < b
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// onJobTerminal is the scheduler's completion hook: it durably records
+// that an expansion finished (and what it cost) before anyone can observe
+// the job as done and query the filled column.
+func (db *DB) onJobTerminal(st jobs.Status) {
+	if db.wal == nil {
+		return
+	}
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	// Synchronous append: losing a completion record means re-paying the
+	// crowd for a finished job after a crash.
+	_, _ = db.wal.AppendSync(recJob, statusToJobRecord(st))
+}
+
+// logCharge books crowd spend into the WAL; called by db.charge under the
+// gate.
+func (db *DB) logCharge(res *crowd.RunResult) {
+	if db.wal == nil {
+		return
+	}
+	_, _ = db.wal.Append(recCharge, chargeRecord{
+		Judgments: len(res.Records), Cost: res.TotalCost, Minutes: res.DurationMinutes,
+	})
+}
+
+// restore overwrites the ledger with recovered totals.
+func (l *Ledger) restore(t LedgerTotals) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.totals = t
+}
+
+// addRaw mirrors add for replayed charge records.
+func (l *Ledger) addRaw(judgments int, cost, minutes float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.totals.Judgments += judgments
+	l.totals.Cost += cost
+	l.totals.Minutes += minutes
+	l.totals.Jobs++
+}

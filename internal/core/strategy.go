@@ -12,10 +12,14 @@ import (
 	"crowddb/internal/svm"
 )
 
-// charge books one crowd run into the global ledger and, when the
-// expansion runs under a scheduled job, into that job's ledger too.
+// charge books one crowd run into the global ledger (and its WAL record,
+// under the snapshot gate so totals and log stay consistent) and, when
+// the expansion runs under a scheduled job, into that job's ledger too.
 func (db *DB) charge(res *crowd.RunResult, opts *ExpandOptions) {
+	db.gate.RLock()
 	db.ledger.add(res)
+	db.logCharge(res)
+	db.gate.RUnlock()
 	if opts.onCharge != nil {
 		opts.onCharge(res)
 	}
@@ -115,7 +119,7 @@ func (db *DB) expandDirectCrowd(tbl *storage.Table, column string, opts ExpandOp
 			report.Unfilled++
 		}
 	}
-	if err := tbl.FillColumn(column, vals); err != nil {
+	if err := db.mutate(func() error { return tbl.FillColumn(column, vals) }); err != nil {
 		return nil, err
 	}
 	return report, nil
@@ -212,7 +216,7 @@ func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptio
 		vals[i] = storage.Bool(model.Predict(sp.Vector(id)))
 		report.Filled++
 	}
-	if err := tbl.FillColumn(column, vals); err != nil {
+	if err := db.mutate(func() error { return tbl.FillColumn(column, vals) }); err != nil {
 		return nil, err
 	}
 	return report, nil
@@ -271,13 +275,19 @@ func (db *DB) expandHybrid(tbl *storage.Table, column string, opts ExpandOptions
 
 	schema := tbl.Schema()
 	colIdx, _ := schema.Lookup(column)
-	for _, r := range questionable {
-		id := rowToID[r]
-		if label, ok := requeryLabels[id]; ok {
-			if err := tbl.Set(r, colIdx, storage.Bool(label)); err != nil {
-				return nil, err
+	err = db.mutate(func() error {
+		for _, r := range questionable {
+			id := rowToID[r]
+			if label, ok := requeryLabels[id]; ok {
+				if err := tbl.Set(r, colIdx, storage.Bool(label)); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	report.Judgments += len(res.Records)
 	report.Cost += res.TotalCost

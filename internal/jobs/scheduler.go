@@ -177,6 +177,13 @@ type Scheduler struct {
 
 	workers int
 
+	// OnTerminal, when set, is invoked (on the worker goroutine) after a
+	// job reaches a terminal state and its Done channel is closed. The
+	// durability layer uses it to log a completion record so a finished
+	// expansion is never re-elicited after a restart. Set it before the
+	// first Submit; it is not synchronized afterwards.
+	OnTerminal func(Status)
+
 	mu       sync.Mutex
 	started  bool
 	closed   bool
@@ -308,7 +315,65 @@ func (s *Scheduler) execute(t task) {
 		delete(s.inflight, j.key)
 	}
 	s.mu.Unlock()
+	// The completion hook runs BEFORE Done is closed: a client woken by
+	// Done (and about to consume the expansion) must never observe a
+	// completion whose durable record hasn't been written yet — a crash
+	// in between would re-elicit work the client already consumed.
+	if s.OnTerminal != nil {
+		s.OnTerminal(j.Status())
+	}
 	close(j.done)
+}
+
+// RestoredJob describes one terminal job recovered from durable storage,
+// for Restore.
+type RestoredJob struct {
+	ID       string
+	Key      string
+	State    State
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Err      error
+	Result   any
+	Ledger   Ledger
+}
+
+// Restore repopulates the completed-job history (IDs, states, per-job
+// ledgers) from jobs recovered off the WAL, so polling and per-job cost
+// accounting survive a restart. Non-terminal entries are skipped — a job
+// that was mid-flight when the process died left no completion record and
+// simply re-runs via singleflight on the next query. Jobs whose ID is
+// already present are ignored. The internal ID sequence advances past
+// every restored ID so new jobs never collide.
+func (s *Scheduler) Restore(restored []RestoredJob) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs == nil {
+		s.inflight = map[string]*Job{}
+		s.jobs = map[string]*Job{}
+	}
+	for _, r := range restored {
+		if !r.State.Terminal() {
+			continue
+		}
+		if _, dup := s.jobs[r.ID]; dup {
+			continue
+		}
+		j := &Job{
+			id: r.ID, key: r.Key, created: r.Created, done: make(chan struct{}),
+			state: r.State, started: r.Started, finished: r.Finished,
+			result: r.Result, err: r.Err, ledger: r.Ledger,
+		}
+		close(j.done)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		var n int
+		if _, err := fmt.Sscanf(r.ID, "job-%d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	s.evictLocked()
 }
 
 // runSafely converts a panicking RunFunc into a failed job instead of

@@ -272,3 +272,81 @@ func TestJobsOrderAndTotals(t *testing.T) {
 		t.Fatalf("totals = %+v", tot)
 	}
 }
+
+// TestRestoreRepopulatesHistory verifies the restart path: terminal jobs
+// recovered from the WAL reappear in polling and ledger accounting, new
+// IDs do not collide with restored ones, and mid-flight (non-terminal)
+// records are dropped so singleflight can re-run them.
+func TestRestoreRepopulatesHistory(t *testing.T) {
+	s := NewScheduler(1, 4)
+	defer s.Close()
+	s.Restore([]RestoredJob{
+		{ID: "job-3", Key: "movies.comedy", State: StateDone,
+			Result: "report", Ledger: Ledger{Judgments: 100, Cost: 2.5, Minutes: 8, Charges: 1}},
+		{ID: "job-1", Key: "movies.horror", State: StateFailed, Err: errors.New("single-class sample")},
+		{ID: "job-2", Key: "movies.drama", State: StateFilling}, // mid-flight at crash: dropped
+		{ID: "job-3", Key: "movies.comedy", State: StateDone},   // duplicate: ignored
+	})
+
+	list := s.Jobs()
+	if len(list) != 2 {
+		t.Fatalf("restored %d jobs, want 2: %+v", len(list), list)
+	}
+	st, ok := s.Get("job-3")
+	if !ok {
+		t.Fatal("job-3 not restored")
+	}
+	got := st.Status()
+	if got.State != StateDone || got.Ledger.Cost != 2.5 || got.Result != "report" {
+		t.Fatalf("job-3 status = %+v", got)
+	}
+	// Wait must return instantly for a restored terminal job.
+	if res, err := st.Wait(context.Background()); err != nil || res != "report" {
+		t.Fatalf("Wait on restored job: %v, %v", res, err)
+	}
+	if fj, ok := s.Get("job-1"); !ok {
+		t.Fatal("failed job not restored")
+	} else if st := fj.Status(); st.State != StateFailed || st.Error == "" {
+		t.Fatalf("failed job status = %+v", st)
+	}
+	if totals := s.Totals(); totals.Cost != 2.5 || totals.Judgments != 100 {
+		t.Fatalf("totals = %+v", totals)
+	}
+
+	// A new submission must skip past restored IDs.
+	j, created, err := s.Submit("movies.scifi", func(ctl *Ctl) (any, error) { return nil, nil })
+	if err != nil || !created {
+		t.Fatalf("submit after restore: created=%v err=%v", created, err)
+	}
+	if j.ID() != "job-4" {
+		t.Fatalf("new job ID %s, want job-4", j.ID())
+	}
+}
+
+// TestOnTerminalFires: the completion hook sees the terminal snapshot,
+// after Done is observable.
+func TestOnTerminalFires(t *testing.T) {
+	s := NewScheduler(1, 4)
+	defer s.Close()
+	ch := make(chan Status, 2)
+	s.OnTerminal = func(st Status) { ch <- st }
+
+	j, _, err := s.Submit("a", func(ctl *Ctl) (any, error) {
+		ctl.Charge(10, 0.5, 1)
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := <-ch
+	if st.ID != j.ID() || st.State != StateDone || st.Ledger.Judgments != 10 {
+		t.Fatalf("OnTerminal status = %+v", st)
+	}
+	if _, _, err := s.Submit("b", func(ctl *Ctl) (any, error) { return nil, errors.New("boom") }); err != nil {
+		t.Fatal(err)
+	}
+	st = <-ch
+	if st.State != StateFailed || st.Error != "boom" {
+		t.Fatalf("OnTerminal failed-status = %+v", st)
+	}
+}

@@ -9,7 +9,8 @@
 //	GET  /jobs/{id}      one job (add ?wait=1 to block until terminal)
 //	GET  /schema         table names
 //	GET  /schema/{table} column inventory with kind/origin/perceptual
-//	GET  /ledger         cumulative crowd spend
+//	GET  /ledger         cumulative crowd spend + per-job breakdown
+//	POST /admin/snapshot persist a snapshot and truncate the WAL
 //	GET  /healthz        liveness
 //
 // Sync queries block until the answer is complete — including any crowd
@@ -77,6 +78,7 @@ func New(db *core.DB, cfg Config) *Server {
 	s.mux.HandleFunc("GET /schema", s.handleSchemaList)
 	s.mux.HandleFunc("GET /schema/{table}", s.handleSchema)
 	s.mux.HandleFunc("GET /ledger", s.handleLedger)
+	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -254,8 +256,50 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// jobCost is one job's line in the ledger breakdown.
+type jobCost struct {
+	ID        string     `json:"id"`
+	Key       string     `json:"key"`
+	State     jobs.State `json:"state"`
+	Judgments int        `json:"judgments"`
+	Cost      float64    `json:"cost"`
+	Minutes   float64    `json:"minutes"`
+	Charges   int        `json:"charges"`
+}
+
+// ledgerResponse extends the cumulative totals with a per-job cost
+// breakdown (every retained expansion job, submission order — restored
+// jobs included after a restart).
+type ledgerResponse struct {
+	core.LedgerTotals
+	PerJob []jobCost `json:"per_job"`
+}
+
 func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.db.Ledger())
+	resp := ledgerResponse{LedgerTotals: s.db.Ledger(), PerJob: []jobCost{}}
+	for _, st := range s.db.Jobs() {
+		resp.PerJob = append(resp.PerJob, jobCost{
+			ID: st.ID, Key: st.Key, State: st.State,
+			Judgments: st.Ledger.Judgments, Cost: st.Ledger.Cost,
+			Minutes: st.Ledger.Minutes, Charges: st.Ledger.Charges,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot persists a snapshot on demand — the operator's lever for
+// bounding recovery time (and WAL disk) between restarts.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	seq, err := s.db.Snapshot()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, core.ErrNoDataDir) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"seq": seq})
 }
 
 // --- helpers ---

@@ -47,7 +47,7 @@ func (s *fakeService) Collect(question string, itemIDs []int, cfg crowd.JobConfi
 func newTestServer(t *testing.T, svc core.JudgmentService, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	db := core.NewDB(svc)
-	t.Cleanup(db.Close)
+	t.Cleanup(func() { _ = db.Close() })
 	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
 		t.Fatal(err)
 	}
@@ -219,6 +219,91 @@ func TestSchemaAndLedgerEndpoints(t *testing.T) {
 	}
 	if led.Jobs != 1 || led.Judgments == 0 {
 		t.Fatalf("ledger = %+v", led)
+	}
+}
+
+// TestLedgerPerJobBreakdown: /ledger must itemize each expansion job's
+// spend alongside the cumulative totals, and the per-job costs must sum
+// to them.
+func TestLedgerPerJobBreakdown(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+
+	// Two distinct expansions → two billed jobs.
+	if code, _ := postQuery(t, ts.URL, `SELECT 1 FROM movies WHERE is_comedy = true`, "sync"); code != http.StatusOK {
+		t.Fatalf("first expansion code = %d", code)
+	}
+	if code, _ := postQuery(t, ts.URL, `EXPAND TABLE movies ADD COLUMN is_scary BOOLEAN USING CROWD`, "sync"); code != http.StatusOK {
+		t.Fatalf("second expansion code = %d", code)
+	}
+
+	var led ledgerResponse
+	if code := getJSON(t, ts.URL+"/ledger", &led); code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if len(led.PerJob) != 2 {
+		t.Fatalf("per_job has %d entries, want 2: %+v", len(led.PerJob), led.PerJob)
+	}
+	keys := map[string]bool{}
+	var sumCost float64
+	var sumJudgments int
+	for _, j := range led.PerJob {
+		if j.ID == "" || j.State != jobs.StateDone || j.Cost == 0 || j.Judgments == 0 {
+			t.Fatalf("job line = %+v", j)
+		}
+		keys[j.Key] = true
+		sumCost += j.Cost
+		sumJudgments += j.Judgments
+	}
+	if !keys["movies.is_comedy"] || !keys["movies.is_scary"] {
+		t.Fatalf("job keys = %v", keys)
+	}
+	if sumCost != led.Cost || sumJudgments != led.Judgments {
+		t.Fatalf("breakdown (%v, %d) does not sum to totals (%v, %d)",
+			sumCost, sumJudgments, led.Cost, led.Judgments)
+	}
+}
+
+// TestAdminSnapshot: on a durable DB the endpoint persists and reports
+// the covered sequence number; on an in-memory DB it is a 409.
+func TestAdminSnapshot(t *testing.T) {
+	db, err := core.Open(core.Options{Service: &fakeService{}, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	if _, _, err := db.ExecSQL(`CREATE TABLE t (a INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.ExecSQL(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db, Config{}).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Seq == 0 {
+		t.Fatalf("snapshot: code=%d seq=%d", resp.StatusCode, out.Seq)
+	}
+
+	// In-memory DB: snapshot is a conflict, not a crash.
+	_, tsMem := newTestServer(t, &fakeService{}, Config{})
+	resp, err = http.Post(tsMem.URL+"/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("in-memory snapshot code = %d, want 409", resp.StatusCode)
 	}
 }
 

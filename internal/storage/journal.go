@@ -1,0 +1,107 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// OpKind enumerates the typed mutation records a table or catalog emits.
+type OpKind string
+
+const (
+	OpCreateTable OpKind = "create_table"
+	OpDropTable   OpKind = "drop_table"
+	OpInsert      OpKind = "insert"
+	OpSet         OpKind = "set"
+	OpAddColumn   OpKind = "add_column"
+	OpFillColumn  OpKind = "fill_column"
+	OpDelete      OpKind = "delete"
+)
+
+// Op is one typed storage mutation — the unit a durability layer logs and
+// replays. Every field is wire-serializable; which fields are meaningful
+// depends on Kind:
+//
+//	create_table  Table, Columns
+//	drop_table    Table
+//	insert        Table, Values (one full row, post-coercion)
+//	set           Table, Row, Col, Values[0]
+//	add_column    Table, Column
+//	fill_column   Table, Name, Values (one per row, in row order)
+//	delete        Table, Rows (indices as passed to Delete)
+type Op struct {
+	Kind    OpKind   `json:"kind"`
+	Table   string   `json:"table"`
+	Columns []Column `json:"columns,omitempty"`
+	Column  *Column  `json:"column,omitempty"`
+	Name    string   `json:"name,omitempty"`
+	Row     int      `json:"row,omitempty"`
+	Col     int      `json:"col,omitempty"`
+	Rows    []int    `json:"rows,omitempty"`
+	Values  []Value  `json:"values,omitempty"`
+}
+
+// Journal receives every mutation applied to a catalog's tables, in apply
+// order (records for one table are emitted under that table's lock; DDL
+// under the catalog lock). Implementations must be safe for concurrent
+// use. A LogOp error is propagated to the mutating caller where the
+// method signature allows it (Insert, Set, AddColumn, FillColumn, Create);
+// Delete and Drop cannot surface it — durability layers latch such
+// failures internally (see wal.Err).
+type Journal interface {
+	LogOp(op Op) error
+}
+
+// SetJournal attaches j to the catalog and every current table; tables
+// created afterwards inherit it. Pass nil to detach (used during replay,
+// when mutations are re-applied and must not be re-logged).
+func (c *Catalog) SetJournal(j Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+	for _, t := range c.tables {
+		t.mu.Lock()
+		t.journal = j
+		t.mu.Unlock()
+	}
+}
+
+// valueJSON is Value's wire form. The kind tag disambiguates; absent
+// payload fields decode to the kind's zero value, which round-trips
+// correctly (e.g. Int(0) → {"k":2} → Int(0)).
+type valueJSON struct {
+	K Kind    `json:"k"`
+	B bool    `json:"b,omitempty"`
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+}
+
+// MarshalJSON encodes the value in a kind-tagged wire form that preserves
+// the int/float distinction JSON numbers would lose.
+func (v Value) MarshalJSON() ([]byte, error) {
+	return json.Marshal(valueJSON{K: v.kind, B: v.b, I: v.i, F: v.f, S: v.s})
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var w valueJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	switch w.K {
+	case KindNull:
+		*v = Null()
+	case KindBool:
+		*v = Bool(w.B)
+	case KindInt:
+		*v = Int(w.I)
+	case KindFloat:
+		*v = Float(w.F)
+	case KindText:
+		*v = Text(w.S)
+	default:
+		return fmt.Errorf("storage: unknown value kind %d", w.K)
+	}
+	return nil
+}

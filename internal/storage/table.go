@@ -58,15 +58,23 @@ func NewSchema(cols ...Column) (*Schema, error) {
 
 func normName(name string) string { return strings.ToLower(name) }
 
-func (s *Schema) add(c Column) error {
+// validate checks that c could be added without mutating anything —
+// split from add so AddColumn can validate before logging the mutation.
+func (s *Schema) validate(c Column) error {
 	if c.Name == "" {
 		return fmt.Errorf("storage: empty column name")
 	}
-	key := normName(c.Name)
-	if _, dup := s.index[key]; dup {
+	if _, dup := s.index[normName(c.Name)]; dup {
 		return fmt.Errorf("storage: duplicate column %q", c.Name)
 	}
-	s.index[key] = len(s.cols)
+	return nil
+}
+
+func (s *Schema) add(c Column) error {
+	if err := s.validate(c); err != nil {
+		return err
+	}
+	s.index[normName(c.Name)] = len(s.cols)
 	s.cols = append(s.cols, c)
 	return nil
 }
@@ -104,12 +112,27 @@ func (r Row) Clone() Row {
 //
 // The lock makes concurrent crowd fill-ins safe: the crowd simulator
 // completes HITs on goroutines while the engine keeps serving reads.
+//
+// When a Journal is attached (via Catalog.SetJournal), every mutation
+// emits a typed Op record before it is applied, under the same lock —
+// the write-ahead discipline the durability layer replays from.
 type Table struct {
 	name string
 
-	mu     sync.RWMutex
-	schema *Schema
-	rows   []Row
+	mu      sync.RWMutex
+	schema  *Schema
+	rows    []Row
+	journal Journal
+}
+
+// logOp emits op to the attached journal. Caller holds t.mu; validation
+// must already have passed, so applying after a successful log cannot
+// fail and the log never diverges from memory.
+func (t *Table) logOp(op Op) error {
+	if t.journal == nil {
+		return nil
+	}
+	return t.journal.LogOp(op)
 }
 
 // NewTable creates an empty table with the given schema.
@@ -158,6 +181,9 @@ func (t *Table) Insert(vals ...Value) error {
 		}
 		row[i] = cv
 	}
+	if err := t.logOp(Op{Kind: OpInsert, Table: t.name, Values: row}); err != nil {
+		return err
+	}
 	t.rows = append(t.rows, row)
 	return nil
 }
@@ -186,6 +212,9 @@ func (t *Table) Set(row, col int, v Value) error {
 	if err != nil {
 		return err
 	}
+	if err := t.logOp(Op{Kind: OpSet, Table: t.name, Row: row, Col: col, Values: []Value{cv}}); err != nil {
+		return err
+	}
 	t.rows[row][col] = cv
 	return nil
 }
@@ -208,6 +237,13 @@ func (t *Table) Value(row, col int) (Value, error) {
 func (t *Table) AddColumn(c Column) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Validate before logging so the journal never records a rejected op.
+	if err := t.schema.validate(c); err != nil {
+		return 0, err
+	}
+	if err := t.logOp(Op{Kind: OpAddColumn, Table: t.name, Column: &c}); err != nil {
+		return 0, err
+	}
 	if err := t.schema.add(c); err != nil {
 		return 0, err
 	}
@@ -231,11 +267,18 @@ func (t *Table) FillColumn(name string, vals []Value) error {
 		return fmt.Errorf("storage: FillColumn %s: %d values for %d rows", name, len(vals), len(t.rows))
 	}
 	kind := t.schema.Column(col).Kind
+	coerced := make([]Value, len(vals))
 	for i, v := range vals {
 		cv, err := v.Coerce(kind)
 		if err != nil {
 			return fmt.Errorf("storage: FillColumn %s row %d: %w", name, i, err)
 		}
+		coerced[i] = cv
+	}
+	if err := t.logOp(Op{Kind: OpFillColumn, Table: t.name, Name: name, Values: coerced}); err != nil {
+		return err
+	}
+	for i, cv := range coerced {
 		t.rows[i][col] = cv
 	}
 	return nil
@@ -273,6 +316,14 @@ func (t *Table) Delete(idx []int) int {
 	if len(kill) == 0 {
 		return 0
 	}
+	killed := make([]int, 0, len(kill))
+	for i := range kill {
+		killed = append(killed, i)
+	}
+	sort.Ints(killed)
+	// Delete's signature cannot surface a journal failure; the durability
+	// layer latches it (wal.Err) and reports at the next Snapshot/Close.
+	_ = t.logOp(Op{Kind: OpDelete, Table: t.name, Rows: killed})
 	out := t.rows[:0]
 	for i, r := range t.rows {
 		if !kill[i] {
@@ -286,8 +337,9 @@ func (t *Table) Delete(idx []int) int {
 
 // Catalog maps table names to tables, case-insensitively.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	journal Journal
 }
 
 // NewCatalog returns an empty catalog.
@@ -303,7 +355,13 @@ func (c *Catalog) Create(name string, schema *Schema) (*Table, error) {
 	if _, dup := c.tables[key]; dup {
 		return nil, fmt.Errorf("storage: table %q already exists", name)
 	}
+	if c.journal != nil {
+		if err := c.journal.LogOp(Op{Kind: OpCreateTable, Table: name, Columns: schema.Columns()}); err != nil {
+			return nil, err
+		}
+	}
 	t := NewTable(name, schema)
+	t.journal = c.journal
 	c.tables[key] = t
 	return t, nil
 }
@@ -322,6 +380,10 @@ func (c *Catalog) Drop(name string) bool {
 	defer c.mu.Unlock()
 	key := normName(name)
 	_, ok := c.tables[key]
+	if ok && c.journal != nil {
+		// Drop's signature cannot surface a journal failure; see Delete.
+		_ = c.journal.LogOp(Op{Kind: OpDropTable, Table: name})
+	}
 	delete(c.tables, key)
 	return ok
 }

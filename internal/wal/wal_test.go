@@ -1,0 +1,378 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	N int    `json:"n"`
+	S string `json:"s,omitempty"`
+}
+
+func appendN(t *testing.T, w *WAL, start, count int) {
+	t.Helper()
+	for i := start; i < start+count; i++ {
+		if _, err := w.Append("test", payload{N: i}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func collect(t *testing.T, w *WAL) []int {
+	t.Helper()
+	var out []int
+	err := w.Replay(func(r Record) error {
+		var p payload
+		if err := json.Unmarshal(r.Data, &p); err != nil {
+			return err
+		}
+		out = append(out, p.N)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 100)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := collect(t, w2)
+	if len(got) != 100 || got[0] != 0 || got[99] != 99 {
+		t.Fatalf("replayed %d records, first=%v last=%v", len(got), got[0], got[len(got)-1])
+	}
+	if w2.Seq() != 100 {
+		t.Fatalf("seq = %d, want 100", w2.Seq())
+	}
+}
+
+func TestSegmentRotationAndReplayOrder(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 200)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+
+	w2, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := collect(t, w2)
+	if len(got) != 200 {
+		t.Fatalf("replayed %d records, want 200", len(got))
+	}
+	for i, n := range got {
+		if n != i {
+			t.Fatalf("record %d out of order: %d", i, n)
+		}
+	}
+}
+
+// TestTruncatedTailRecovery chops a partial frame off the end of the log —
+// the signature of a crash mid-write — and verifies that recovery keeps
+// every complete record, truncates the garbage, and appends cleanly.
+func TestTruncatedTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 50)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(segs))
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-frame: remove 7 bytes, leaving a torn final record.
+	if err := os.Truncate(segs[0], fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after torn tail: %v", err)
+	}
+	got := collect(t, w2)
+	if len(got) != 49 {
+		t.Fatalf("replayed %d records after torn tail, want 49", len(got))
+	}
+	// The log must keep working: next append continues the sequence with
+	// no gap and no collision.
+	seq, err := w2.Append("test", payload{N: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 50 {
+		t.Fatalf("append after recovery got seq %d, want 50", seq)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	got = collect(t, w3)
+	if len(got) != 50 || got[49] != 999 {
+		t.Fatalf("after recovery+append: %d records, last=%d", len(got), got[len(got)-1])
+	}
+}
+
+// TestCorruptTailRecordDropped flips a byte inside the last record's
+// payload; the CRC must catch it and recovery must drop only that record.
+func TestCorruptTailRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	blob, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-3] ^= 0xff
+	if err := os.WriteFile(segs[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after corrupt tail: %v", err)
+	}
+	defer w2.Close()
+	got := collect(t, w2)
+	if len(got) != 9 {
+		t.Fatalf("replayed %d records after corrupt tail, want 9", len(got))
+	}
+}
+
+// TestCorruptMiddleSegmentFails: corruption before the tail segment is
+// unrecoverable data loss and must fail Open loudly, not silently skip.
+func TestCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 100)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(segs))
+	}
+	blob, _ := os.ReadFile(segs[0])
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded over a corrupt middle segment")
+	}
+}
+
+func TestSnapshotTruncatesAndSkipsReplayed(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 100)
+	if err := w.WriteSnapshot(w.Seq(), map[string]int{"upto": 100}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 100, 20)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var snap map[string]int
+	ok, err := w2.LoadSnapshot(&snap)
+	if err != nil || !ok {
+		t.Fatalf("LoadSnapshot: ok=%v err=%v", ok, err)
+	}
+	if snap["upto"] != 100 {
+		t.Fatalf("snapshot state = %v", snap)
+	}
+	got := collect(t, w2)
+	if len(got) != 20 || got[0] != 100 {
+		t.Fatalf("replay after snapshot: %d records, first=%v", len(got), got)
+	}
+	// Segments fully covered by the snapshot must be gone.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	for _, s := range segs {
+		lastSeq, _, err := scanSegment(s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastSeq != 0 && lastSeq <= 100 {
+			t.Fatalf("segment %s (lastSeq %d) survived snapshot truncation", s, lastSeq)
+		}
+	}
+}
+
+// TestCorruptSnapshotFallsBack: a bit-rotted newest snapshot must be
+// skipped in favor of the previous generation plus full log replay.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 10)
+	if err := w.WriteSnapshot(w.Seq(), map[string]int{"gen": 1}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 10, 10)
+	if err := w.WriteSnapshot(w.Seq(), map[string]int{"gen": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 2 {
+		t.Fatalf("want 2 snapshot generations, got %d", len(snaps))
+	}
+	newest := snaps[len(snaps)-1]
+	blob, _ := os.ReadFile(newest)
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(newest, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var snap map[string]int
+	ok, _ := w2.LoadSnapshot(&snap)
+	if !ok || snap["gen"] != 1 {
+		t.Fatalf("fallback snapshot: ok=%v state=%v", ok, snap)
+	}
+	// The records between generation 1 and generation 2 must still be in
+	// the log (pruning only truncates up to the OLDEST retained snapshot)
+	// — otherwise falling back would silently lose them.
+	got := collect(t, w2)
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("fallback replay lost records: %v", got)
+	}
+}
+
+func TestAppendSyncDurableWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5)
+	if _, err := w.AppendSync("test", payload{N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill: no Close, no flush. AppendSync must have pushed
+	// everything buffered before it to disk.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := collect(t, w2)
+	if len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(got))
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append("bench", payload{N: i, S: "some payload text"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay10k(b *testing.B) {
+	dir := b.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := w.Append("bench", payload{N: i, S: fmt.Sprintf("row-%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		if err := r.Replay(func(Record) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 10000 {
+			b.Fatalf("replayed %d", n)
+		}
+		r.Close()
+	}
+}
