@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check cover bench serve
+.PHONY: build test race vet fmt check cover bench bench-smoke serve
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ cover:
 # Reproduction + serving benchmarks (compact report; see DESIGN.md §5–§7).
 bench:
 	$(GO) test -bench . -benchmem .
+
+# One-shot run of the planner/executor benchmarks (DESIGN.md §10) so perf
+# regressions surface in PR logs without a full bench sweep. The TopN
+# number should stay well under the sort-everything baseline (≥5×).
+bench-smoke:
+	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect' -benchtime 1x -benchmem .
 
 # Run the HTTP server on :8080 with the demo movie universe.
 serve:

@@ -11,9 +11,16 @@
 //	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM movies"}'
 //	curl -s localhost:8080/query \
 //	    -d '{"sql":"SELECT name FROM movies WHERE Comedy = true LIMIT 5","mode":"async"}'
+//	curl -sN 'localhost:8080/query?stream=1' \
+//	    -d '{"sql":"SELECT name FROM movies ORDER BY year LIMIT 100"}'
+//	curl -s localhost:8080/query -d '{"sql":"EXPLAIN SELECT name FROM movies ORDER BY year LIMIT 5"}'
 //	curl -s localhost:8080/jobs/job-1?wait=1
 //	curl -s localhost:8080/ledger
 //	curl -s -X POST localhost:8080/admin/snapshot
+//
+// stream=1 serves SELECTs as NDJSON rows flushed while the scan runs;
+// EXPLAIN renders the planner's operator tree (scans with pushed-down
+// filters, hash joins, TopN) without executing the query.
 //
 // The async query returns 202 with a job handle while the crowd fills
 // the column on the expansion scheduler's worker pool; concurrent reads

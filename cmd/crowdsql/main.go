@@ -87,6 +87,7 @@ func main() {
 	fmt.Printf("crowdsql — %d movies loaded; expandable genres: %s\n",
 		len(universe.Items), strings.Join(universe.CategoryNames(), ", "))
 	fmt.Println(`try: SELECT name FROM movies WHERE Comedy = true LIMIT 5;   (\q to quit)`)
+	fmt.Println(`     EXPLAIN SELECT … shows the planner's operator tree; multi-table JOIN … ON is supported`)
 
 	repl(db, os.Stdin, os.Stdout)
 }

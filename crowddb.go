@@ -113,6 +113,12 @@ type LedgerTotals = core.LedgerTotals
 // Result is a query result set.
 type Result = core.Result
 
+// RowStream is a pull-based SELECT result (db.ExecSQLStream): rows are
+// produced on demand by the planner/iterator executor, with storage read
+// locks held only per scan batch. A query that triggers a schema
+// expansion completes the crowd job before the first row is produced.
+type RowStream = core.RowStream
+
 // Job is a handle on an asynchronous expansion job (Wait/Status/Done).
 type Job = jobs.Job
 

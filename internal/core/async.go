@@ -73,6 +73,10 @@ func (db *DB) ExecAsync(stmt sqlparse.Statement) (*Result, *jobs.Job, error) {
 	if err == nil {
 		return res, nil, nil
 	}
+	// EXPLAIN never triggers an expansion (see Exec).
+	if _, isExplain := stmt.(*sqlparse.ExplainStmt); isExplain {
+		return nil, nil, err
+	}
 	job, expErr := db.submitMissingColumn(err)
 	if expErr != nil {
 		return nil, nil, expErr

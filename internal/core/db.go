@@ -302,6 +302,11 @@ func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 	if err == nil {
 		return res, nil, nil
 	}
+	// EXPLAIN never runs (or pays for) an expansion: planning a query on
+	// a missing column reports the miss instead of eliciting it.
+	if _, isExplain := stmt.(*sqlparse.ExplainStmt); isExplain {
+		return nil, nil, err
+	}
 	// Implicit query-driven expansion: only registered columns qualify —
 	// a typo must stay an error, not a $20 crowd job.
 	job, expErr := db.submitMissingColumn(err)
@@ -324,21 +329,32 @@ func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 
 // submitMissingColumn inspects err; if it is a MissingColumnError on a
 // registered expandable column, the expansion is submitted (or joined, if
-// already in flight) and the job returned. A nil, nil return means err was
-// not an expandable miss and the caller should surface it unchanged.
+// already in flight) and the job returned. For an unqualified miss in a
+// multi-table query the planner cannot know the intended table, so every
+// candidate table's registry is consulted (FROM order). A nil, nil return
+// means err was not an expandable miss and the caller should surface it
+// unchanged.
 func (db *DB) submitMissingColumn(err error) (*jobs.Job, error) {
 	var missing *engine.MissingColumnError
 	if !errors.As(err, &missing) {
 		return nil, nil
 	}
-	spec, ok := db.expandableSpec(missing.Table, missing.Column)
+	table := missing.Table
+	spec, ok := db.expandableSpec(table, missing.Column)
+	for _, cand := range missing.Candidates {
+		if ok {
+			break
+		}
+		table = cand
+		spec, ok = db.expandableSpec(table, missing.Column)
+	}
 	if !ok {
 		return nil, nil
 	}
-	job, _, submitErr := db.submitExpansion(missing.Table, missing.Column, spec.kind, spec.opts, true)
+	job, _, submitErr := db.submitExpansion(table, missing.Column, spec.kind, spec.opts, true)
 	if submitErr != nil {
 		return nil, fmt.Errorf("core: query-driven expansion of %s.%s rejected: %w",
-			missing.Table, missing.Column, submitErr)
+			table, missing.Column, submitErr)
 	}
 	return job, nil
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"crowddb/internal/engine"
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// RowStream is a pull-based SELECT result over a crowd-enabled database.
+//
+// Unlike Exec, which materializes the whole answer under one read-side
+// acquisition of the snapshot gate, a RowStream re-acquires the gate per
+// Next call and the storage layer's table lock per scan batch — a client
+// slowly draining a large result never blocks snapshots or expansions
+// for the duration of the transfer.
+//
+// Rows may alias executor buffers and are valid only until the next call;
+// callers that retain rows must Clone them. Close must be called when
+// done (it is idempotent).
+type RowStream struct {
+	db     *DB
+	res    *engine.StreamResult
+	report *ExpansionReport
+	rows   int
+}
+
+// Columns returns the output column names.
+func (s *RowStream) Columns() []string { return s.res.Columns }
+
+// Expansion reports the schema expansion this query triggered, if any.
+func (s *RowStream) Expansion() *ExpansionReport { return s.report }
+
+// Rows returns the number of rows streamed so far.
+func (s *RowStream) Rows() int { return s.rows }
+
+// Next returns the next row, or ok=false at end of stream.
+func (s *RowStream) Next() (storage.Row, bool, error) {
+	s.db.gate.RLock()
+	defer s.db.gate.RUnlock()
+	row, ok, err := s.res.Next()
+	if ok {
+		s.rows++
+	}
+	return row, ok, err
+}
+
+// Close releases the stream's resources.
+func (s *RowStream) Close() error { return s.res.Close() }
+
+// ExecSQLStream parses sql and opens a streaming SELECT (see ExecStream).
+func (db *DB) ExecSQLStream(sql string) (*RowStream, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStream(stmt)
+}
+
+// ExecStream opens a SELECT for row-at-a-time consumption. Like Exec, a
+// query referencing a registered expandable column triggers (or joins)
+// the expansion job and blocks until it completes — the stream only
+// starts producing rows once the column is filled, so a client never
+// observes a half-expanded answer. Statements other than SELECT are not
+// streamable.
+func (db *DB) ExecStream(stmt sqlparse.Statement) (*RowStream, error) {
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: streaming supports SELECT statements only, got %T", stmt)
+	}
+
+	open := func() (*engine.StreamResult, error) {
+		// Planning validates columns and opens the iterators (blocking
+		// operators do their work here) under the gate's read side; row
+		// delivery re-acquires it per Next.
+		db.gate.RLock()
+		defer db.gate.RUnlock()
+		return db.engine.Stream(sel)
+	}
+
+	res, err := open()
+	if err == nil {
+		return &RowStream{db: db, res: res}, nil
+	}
+	// Plan-time detection of a missing expandable column: the job runs
+	// (or is joined) before a single row is produced.
+	job, expErr := db.submitMissingColumn(err)
+	if expErr != nil {
+		return nil, expErr
+	}
+	if job == nil {
+		return nil, err
+	}
+	report, err := waitReport(job)
+	if err != nil {
+		return nil, err
+	}
+	res, err = open()
+	if err != nil {
+		return nil, err
+	}
+	return &RowStream{db: db, res: res, report: report}, nil
+}

@@ -1,13 +1,33 @@
+// Package engine executes parsed SQL statements against the storage layer.
+//
+// Since the planner/executor split, the engine is a thin shell over two
+// subpackages: internal/engine/plan lowers SELECTs into a logical plan
+// tree (alias resolution, predicate/projection pushdown, join key
+// extraction, plan-time column validation), and internal/engine/exec runs
+// that tree as volcano-style iterators streaming rows off the storage
+// cursor. DDL and DML stay here (dml.go); SELECT, EXPLAIN and the
+// streaming entry point live in select.go.
+//
+// The engine deliberately knows nothing about crowds: when a query
+// references a column the schema lacks, planning fails with a
+// *MissingColumnError before any row is read. The crowd-enabled layer in
+// internal/core catches that error, performs schema expansion, and
+// re-runs the query — this is exactly the "query-driven" part of the
+// paper's title.
 package engine
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
+	"crowddb/internal/engine/plan"
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
 )
+
+// MissingColumnError reports that a query referenced a column that the
+// table's schema does not (yet) contain. It is produced at plan time and
+// re-exported here so callers keep matching it as engine.MissingColumnError.
+type MissingColumnError = plan.MissingColumnError
 
 // Result is the outcome of executing one statement.
 type Result struct {
@@ -49,6 +69,8 @@ func (e *Engine) Exec(stmt sqlparse.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.SelectStmt:
 		return e.execSelect(s)
+	case *sqlparse.ExplainStmt:
+		return e.execExplain(s)
 	case *sqlparse.CreateTableStmt:
 		return e.execCreate(s)
 	case *sqlparse.InsertStmt:
@@ -112,671 +134,4 @@ func (e *Engine) execCreate(s *sqlparse.CreateTableStmt) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("created table %s (%d columns)", s.Table, len(cols))}, nil
-}
-
-func (e *Engine) execInsert(s *sqlparse.InsertStmt) (*Result, error) {
-	tbl, ok := e.catalog.Get(s.Table)
-	if !ok {
-		return nil, fmt.Errorf("engine: no such table %q", s.Table)
-	}
-	schema := tbl.Schema()
-
-	// Map the statement's column list onto schema positions.
-	positions := make([]int, 0, schema.Len())
-	if s.Columns == nil {
-		for i := 0; i < schema.Len(); i++ {
-			positions = append(positions, i)
-		}
-	} else {
-		for _, name := range s.Columns {
-			idx, ok := schema.Lookup(name)
-			if !ok {
-				return nil, &MissingColumnError{Table: s.Table, Column: name}
-			}
-			positions = append(positions, idx)
-		}
-	}
-
-	inserted := 0
-	for _, rowExprs := range s.Rows {
-		if len(rowExprs) != len(positions) {
-			return nil, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(rowExprs), len(positions))
-		}
-		vals := make([]storage.Value, schema.Len())
-		for i := range vals {
-			vals[i] = storage.Null()
-		}
-		env := &rowEnv{table: s.Table, schema: schema, row: make(storage.Row, schema.Len())}
-		for i, expr := range rowExprs {
-			v, err := evalValue(expr, env)
-			if err != nil {
-				return nil, err
-			}
-			vals[positions[i]] = v
-		}
-		if err := tbl.Insert(vals...); err != nil {
-			return nil, err
-		}
-		inserted++
-	}
-	return &Result{Affected: inserted, Message: fmt.Sprintf("inserted %d rows", inserted)}, nil
-}
-
-func (e *Engine) execUpdate(s *sqlparse.UpdateStmt) (*Result, error) {
-	tbl, ok := e.catalog.Get(s.Table)
-	if !ok {
-		return nil, fmt.Errorf("engine: no such table %q", s.Table)
-	}
-	schema := tbl.Schema()
-
-	type change struct {
-		row, col int
-		val      storage.Value
-	}
-	var changes []change
-	var scanErr error
-	tbl.Scan(func(i int, row storage.Row) bool {
-		env := &rowEnv{table: s.Table, schema: schema, row: row}
-		if s.Where != nil {
-			t, err := evalPredicate(s.Where, env)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			if t != triTrue {
-				return true
-			}
-		}
-		for _, asg := range s.Set {
-			col, ok := schema.Lookup(asg.Column)
-			if !ok {
-				scanErr = &MissingColumnError{Table: s.Table, Column: asg.Column}
-				return false
-			}
-			v, err := evalValue(asg.Expr, env)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			changes = append(changes, change{row: i, col: col, val: v})
-		}
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
-	}
-	touched := map[int]bool{}
-	for _, c := range changes {
-		if err := tbl.Set(c.row, c.col, c.val); err != nil {
-			return nil, err
-		}
-		touched[c.row] = true
-	}
-	return &Result{Affected: len(touched), Message: fmt.Sprintf("updated %d rows", len(touched))}, nil
-}
-
-func (e *Engine) execDelete(s *sqlparse.DeleteStmt) (*Result, error) {
-	tbl, ok := e.catalog.Get(s.Table)
-	if !ok {
-		return nil, fmt.Errorf("engine: no such table %q", s.Table)
-	}
-	schema := tbl.Schema()
-	var doomed []int
-	var scanErr error
-	tbl.Scan(func(i int, row storage.Row) bool {
-		if s.Where == nil {
-			doomed = append(doomed, i)
-			return true
-		}
-		env := &rowEnv{table: s.Table, schema: schema, row: row}
-		t, err := evalPredicate(s.Where, env)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if t == triTrue {
-			doomed = append(doomed, i)
-		}
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
-	}
-	n := tbl.Delete(doomed)
-	return &Result{Affected: n, Message: fmt.Sprintf("deleted %d rows", n)}, nil
-}
-
-func (e *Engine) execSelect(s *sqlparse.SelectStmt) (*Result, error) {
-	tbl, ok := e.catalog.Get(s.Table)
-	if !ok {
-		return nil, fmt.Errorf("engine: no such table %q", s.Table)
-	}
-	schema := tbl.Schema()
-
-	// ORDER BY may reference select-list aliases (ORDER BY age for
-	// SELECT year - 1900 age …); rewrite those to the aliased expression
-	// before validation.
-	if len(s.OrderBy) > 0 {
-		aliases := map[string]sqlparse.Expr{}
-		for _, item := range s.Items {
-			if item.Alias != "" && item.Expr != nil && item.Agg == sqlparse.AggNone {
-				aliases[strings.ToLower(item.Alias)] = item.Expr
-			}
-		}
-		if len(aliases) > 0 {
-			rewritten := make([]sqlparse.OrderKey, len(s.OrderBy))
-			copy(rewritten, s.OrderBy)
-			changed := false
-			for i, key := range rewritten {
-				ref, ok := key.Expr.(*sqlparse.ColumnRef)
-				if !ok {
-					continue
-				}
-				// A real column of the same name wins over the alias.
-				if _, isCol := schema.Lookup(ref.Name); isCol {
-					continue
-				}
-				if e, isAlias := aliases[strings.ToLower(ref.Name)]; isAlias {
-					rewritten[i].Expr = e
-					changed = true
-				}
-			}
-			if changed {
-				clone := *s
-				clone.OrderBy = rewritten
-				s = &clone
-			}
-		}
-	}
-
-	// Validate column references up front so that schema expansion
-	// triggers before any work happens (and regardless of row contents).
-	if err := checkSelectColumns(s, schema); err != nil {
-		return nil, err
-	}
-
-	hasAgg := false
-	for _, item := range s.Items {
-		if item.Agg != sqlparse.AggNone {
-			hasAgg = true
-		}
-	}
-	if hasAgg || len(s.GroupBy) > 0 {
-		return e.execGrouped(s, tbl, schema)
-	}
-	if s.Having != nil {
-		return nil, fmt.Errorf("engine: HAVING requires GROUP BY or aggregates")
-	}
-
-	// Collect matching rows.
-	type matched struct {
-		idx int
-		row storage.Row
-	}
-	var rows []matched
-	var scanErr error
-	tbl.Scan(func(i int, row storage.Row) bool {
-		if s.Where != nil {
-			env := &rowEnv{table: s.Table, schema: schema, row: row}
-			t, err := evalPredicate(s.Where, env)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			if t != triTrue {
-				return true
-			}
-		}
-		rows = append(rows, matched{idx: i, row: row.Clone()})
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
-	}
-
-	// ORDER BY.
-	if len(s.OrderBy) > 0 {
-		var sortErr error
-		sort.SliceStable(rows, func(a, b int) bool {
-			for _, key := range s.OrderBy {
-				envA := &rowEnv{table: s.Table, schema: schema, row: rows[a].row}
-				envB := &rowEnv{table: s.Table, schema: schema, row: rows[b].row}
-				va, err := evalValue(key.Expr, envA)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				vb, err := evalValue(key.Expr, envB)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				// NULLs sort last regardless of direction.
-				switch {
-				case va.IsNull() && vb.IsNull():
-					continue
-				case va.IsNull():
-					return false
-				case vb.IsNull():
-					return true
-				}
-				c, err := va.Compare(vb)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				if c == 0 {
-					continue
-				}
-				if key.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		if sortErr != nil {
-			return nil, sortErr
-		}
-	}
-
-	// LIMIT. Under DISTINCT the limit applies to deduplicated output, so
-	// it is deferred to the projection loop below.
-	if !s.Distinct && s.Limit >= 0 && int64(len(rows)) > s.Limit {
-		rows = rows[:s.Limit]
-	}
-
-	// Projection.
-	outCols, project, err := buildProjection(s, schema)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Columns: outCols}
-	seen := map[string]bool{}
-	for _, m := range rows {
-		env := &rowEnv{table: s.Table, schema: schema, row: m.row}
-		out, err := project(env)
-		if err != nil {
-			return nil, err
-		}
-		if s.Distinct {
-			key := rowKey(out)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	// DISTINCT may have shrunk the row set below LIMIT expectations; the
-	// LIMIT above applied pre-projection, so re-apply it here.
-	if s.Distinct && s.Limit >= 0 && int64(len(res.Rows)) > s.Limit {
-		res.Rows = res.Rows[:s.Limit]
-	}
-	res.Affected = len(res.Rows)
-	return res, nil
-}
-
-// rowKey builds a deduplication key for DISTINCT and GROUP BY. The kind
-// tag keeps 1 and '1' distinct.
-func rowKey(row storage.Row) string {
-	var sb strings.Builder
-	for _, v := range row {
-		sb.WriteByte(byte(v.Kind()))
-		sb.WriteString(v.String())
-		sb.WriteByte(0x1f)
-	}
-	return sb.String()
-}
-
-// checkSelectColumns walks every base-table expression in the statement
-// and returns a MissingColumnError for the first unresolved column.
-// HAVING is excluded (it resolves against output columns), as is ORDER BY
-// for grouped queries.
-func checkSelectColumns(s *sqlparse.SelectStmt, schema *storage.Schema) error {
-	grouped := len(s.GroupBy) > 0
-	for _, item := range s.Items {
-		if item.Agg != sqlparse.AggNone {
-			grouped = true
-		}
-	}
-	var missing *MissingColumnError
-	check := func(e sqlparse.Expr) {
-		sqlparse.WalkColumns(e, func(c *sqlparse.ColumnRef) {
-			if missing != nil {
-				return
-			}
-			if _, ok := schema.Lookup(c.Name); !ok {
-				missing = &MissingColumnError{Table: s.Table, Column: c.Name}
-			}
-		})
-	}
-	for _, item := range s.Items {
-		if item.Expr != nil {
-			check(item.Expr)
-		}
-	}
-	check(s.Where)
-	for _, g := range s.GroupBy {
-		check(g)
-	}
-	if !grouped {
-		for _, key := range s.OrderBy {
-			check(key.Expr)
-		}
-	}
-	if missing != nil {
-		return missing
-	}
-	return nil
-}
-
-func buildProjection(s *sqlparse.SelectStmt, schema *storage.Schema) ([]string, func(*rowEnv) (storage.Row, error), error) {
-	var names []string
-	type projector func(*rowEnv) (storage.Value, error)
-	var projs []projector
-
-	for _, item := range s.Items {
-		switch {
-		case item.Star:
-			for i := 0; i < schema.Len(); i++ {
-				col := schema.Column(i)
-				idx := i
-				names = append(names, col.Name)
-				projs = append(projs, func(env *rowEnv) (storage.Value, error) {
-					return env.row[idx], nil
-				})
-			}
-		default:
-			name := item.Alias
-			if name == "" {
-				name = item.Expr.String()
-				if ref, ok := item.Expr.(*sqlparse.ColumnRef); ok {
-					name = ref.Name
-				}
-			}
-			names = append(names, name)
-			expr := item.Expr
-			projs = append(projs, func(env *rowEnv) (storage.Value, error) {
-				return evalValue(expr, env)
-			})
-		}
-	}
-	return names, func(env *rowEnv) (storage.Row, error) {
-		out := make(storage.Row, len(projs))
-		for i, p := range projs {
-			v, err := p(env)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		return out, nil
-	}, nil
-}
-
-// aggState accumulates one aggregate over one group.
-type aggState struct {
-	count   int
-	sum     float64
-	min     storage.Value
-	max     storage.Value
-	any     bool
-	numeric bool
-}
-
-func (st *aggState) observe(v storage.Value) {
-	if v.IsNull() {
-		return
-	}
-	st.count++
-	if f, ok := v.AsFloat(); ok {
-		st.sum += f
-		st.numeric = true
-	}
-	if !st.any {
-		st.min, st.max, st.any = v, v, true
-		return
-	}
-	if c, err := v.Compare(st.min); err == nil && c < 0 {
-		st.min = v
-	}
-	if c, err := v.Compare(st.max); err == nil && c > 0 {
-		st.max = v
-	}
-}
-
-func (st *aggState) finalize(agg sqlparse.AggFunc) storage.Value {
-	switch agg {
-	case sqlparse.AggCount:
-		return storage.Int(int64(st.count))
-	case sqlparse.AggSum:
-		if st.count == 0 || !st.numeric {
-			return storage.Null()
-		}
-		return storage.Float(st.sum)
-	case sqlparse.AggAvg:
-		if st.count == 0 || !st.numeric {
-			return storage.Null()
-		}
-		return storage.Float(st.sum / float64(st.count))
-	case sqlparse.AggMin:
-		if !st.any {
-			return storage.Null()
-		}
-		return st.min
-	case sqlparse.AggMax:
-		if !st.any {
-			return storage.Null()
-		}
-		return st.max
-	default:
-		return storage.Null()
-	}
-}
-
-// outputEnv resolves column references against a grouped query's output
-// row, for HAVING and ORDER BY.
-type outputEnv struct {
-	names map[string]int
-	row   storage.Row
-}
-
-func (env *outputEnv) lookup(name string) (storage.Value, error) {
-	if idx, ok := env.names[strings.ToLower(name)]; ok {
-		return env.row[idx], nil
-	}
-	return storage.Null(), fmt.Errorf("engine: HAVING/ORDER BY column %q is not in the grouped output", name)
-}
-
-// execGrouped executes SELECTs with aggregates and/or GROUP BY. Scalar
-// select items must textually appear in the GROUP BY list; HAVING and
-// ORDER BY resolve against the output columns (including aliases).
-func (e *Engine) execGrouped(s *sqlparse.SelectStmt, tbl *storage.Table, schema *storage.Schema) (*Result, error) {
-	if s.Distinct {
-		return nil, fmt.Errorf("engine: DISTINCT with aggregates/GROUP BY is not supported")
-	}
-	groupTexts := map[string]bool{}
-	for _, g := range s.GroupBy {
-		groupTexts[g.String()] = true
-	}
-	names := make([]string, len(s.Items))
-	for k, item := range s.Items {
-		if item.Star {
-			return nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregates/GROUP BY")
-		}
-		if item.Agg == sqlparse.AggNone && !groupTexts[item.Expr.String()] {
-			return nil, fmt.Errorf("engine: %s must appear in GROUP BY or an aggregate", item.Expr.String())
-		}
-		name := item.Alias
-		if name == "" {
-			if item.Agg == sqlparse.AggNone {
-				name = item.Expr.String()
-				if ref, ok := item.Expr.(*sqlparse.ColumnRef); ok {
-					name = ref.Name
-				}
-			} else {
-				arg := "*"
-				if item.Expr != nil {
-					arg = item.Expr.String()
-				}
-				name = strings.ToLower(string(item.Agg)) + "(" + arg + ")"
-			}
-		}
-		names[k] = name
-	}
-
-	type group struct {
-		firstRow storage.Row
-		states   []aggState
-	}
-	groups := map[string]*group{}
-	var order []string // group insertion order, for deterministic output
-
-	var scanErr error
-	tbl.Scan(func(i int, row storage.Row) bool {
-		env := &rowEnv{table: s.Table, schema: schema, row: row}
-		if s.Where != nil {
-			t, err := evalPredicate(s.Where, env)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			if t != triTrue {
-				return true
-			}
-		}
-		// Group key.
-		keyVals := make(storage.Row, len(s.GroupBy))
-		for gi, g := range s.GroupBy {
-			v, err := evalValue(g, env)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			keyVals[gi] = v
-		}
-		key := rowKey(keyVals)
-		grp, ok := groups[key]
-		if !ok {
-			grp = &group{firstRow: row.Clone(), states: make([]aggState, len(s.Items))}
-			groups[key] = grp
-			order = append(order, key)
-		}
-		for k, item := range s.Items {
-			if item.Agg == sqlparse.AggNone {
-				continue
-			}
-			if item.Expr == nil { // COUNT(*)
-				grp.states[k].count++
-				continue
-			}
-			v, err := evalValue(item.Expr, env)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			grp.states[k].observe(v)
-		}
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
-	}
-
-	// Aggregates without GROUP BY yield exactly one row, even for empty
-	// input (standard SQL).
-	if len(s.GroupBy) == 0 && len(order) == 0 {
-		key := "∅"
-		groups[key] = &group{states: make([]aggState, len(s.Items))}
-		order = append(order, key)
-	}
-
-	nameIdx := map[string]int{}
-	for k, n := range names {
-		lower := strings.ToLower(n)
-		if _, dup := nameIdx[lower]; !dup {
-			nameIdx[lower] = k
-		}
-	}
-
-	res := &Result{Columns: names}
-	for _, key := range order {
-		grp := groups[key]
-		out := make(storage.Row, len(s.Items))
-		for k, item := range s.Items {
-			if item.Agg != sqlparse.AggNone {
-				out[k] = grp.states[k].finalize(item.Agg)
-				continue
-			}
-			if grp.firstRow == nil {
-				out[k] = storage.Null()
-				continue
-			}
-			env := &rowEnv{table: s.Table, schema: schema, row: grp.firstRow}
-			v, err := evalValue(item.Expr, env)
-			if err != nil {
-				return nil, err
-			}
-			out[k] = v
-		}
-		if s.Having != nil {
-			t, err := evalPredicate(s.Having, &outputEnv{names: nameIdx, row: out})
-			if err != nil {
-				return nil, err
-			}
-			if t != triTrue {
-				continue
-			}
-		}
-		res.Rows = append(res.Rows, out)
-	}
-
-	// ORDER BY over output columns.
-	if len(s.OrderBy) > 0 {
-		var sortErr error
-		sort.SliceStable(res.Rows, func(a, b int) bool {
-			for _, keyExpr := range s.OrderBy {
-				va, err := evalValue(keyExpr.Expr, &outputEnv{names: nameIdx, row: res.Rows[a]})
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				vb, err := evalValue(keyExpr.Expr, &outputEnv{names: nameIdx, row: res.Rows[b]})
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				switch {
-				case va.IsNull() && vb.IsNull():
-					continue
-				case va.IsNull():
-					return false
-				case vb.IsNull():
-					return true
-				}
-				c, err := va.Compare(vb)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				if c == 0 {
-					continue
-				}
-				if keyExpr.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		if sortErr != nil {
-			return nil, sortErr
-		}
-	}
-	if s.Limit >= 0 && int64(len(res.Rows)) > s.Limit {
-		res.Rows = res.Rows[:s.Limit]
-	}
-	res.Affected = len(res.Rows)
-	return res, nil
 }

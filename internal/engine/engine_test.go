@@ -292,32 +292,5 @@ func TestExpandRejectedByPlainEngine(t *testing.T) {
 	}
 }
 
-func TestThreeValuedLogicTruthTable(t *testing.T) {
-	cases := []struct {
-		a, b, and, or tribool
-	}{
-		{triTrue, triTrue, triTrue, triTrue},
-		{triTrue, triFalse, triFalse, triTrue},
-		{triTrue, triUnknown, triUnknown, triTrue},
-		{triFalse, triFalse, triFalse, triFalse},
-		{triFalse, triUnknown, triFalse, triUnknown},
-		{triUnknown, triUnknown, triUnknown, triUnknown},
-	}
-	for _, c := range cases {
-		if got := c.a.and(c.b); got != c.and {
-			t.Errorf("%v AND %v = %v, want %v", c.a, c.b, got, c.and)
-		}
-		if got := c.b.and(c.a); got != c.and {
-			t.Errorf("AND must be symmetric")
-		}
-		if got := c.a.or(c.b); got != c.or {
-			t.Errorf("%v OR %v = %v, want %v", c.a, c.b, got, c.or)
-		}
-		if got := c.b.or(c.a); got != c.or {
-			t.Errorf("OR must be symmetric")
-		}
-	}
-	if triUnknown.not() != triUnknown || triTrue.not() != triFalse {
-		t.Fatal("NOT truth table broken")
-	}
-}
+// The three-valued-logic truth table lives with the evaluator now:
+// internal/engine/exec TestThreeValuedLogicTruthTable.

@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"crowddb/internal/engine/plan"
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count   int
+	sum     float64
+	min     storage.Value
+	max     storage.Value
+	any     bool
+	numeric bool
+}
+
+func (st *aggState) observe(v storage.Value) {
+	if v.IsNull() {
+		return
+	}
+	st.count++
+	if f, ok := v.AsFloat(); ok {
+		st.sum += f
+		st.numeric = true
+	}
+	if !st.any {
+		st.min, st.max, st.any = v, v, true
+		return
+	}
+	if c, err := v.Compare(st.min); err == nil && c < 0 {
+		st.min = v
+	}
+	if c, err := v.Compare(st.max); err == nil && c > 0 {
+		st.max = v
+	}
+}
+
+func (st *aggState) finalize(agg sqlparse.AggFunc) storage.Value {
+	switch agg {
+	case sqlparse.AggCount:
+		return storage.Int(int64(st.count))
+	case sqlparse.AggSum:
+		if st.count == 0 || !st.numeric {
+			return storage.Null()
+		}
+		return storage.Float(st.sum)
+	case sqlparse.AggAvg:
+		if st.count == 0 || !st.numeric {
+			return storage.Null()
+		}
+		return storage.Float(st.sum / float64(st.count))
+	case sqlparse.AggMin:
+		if !st.any {
+			return storage.Null()
+		}
+		return st.min
+	case sqlparse.AggMax:
+		if !st.any {
+			return storage.Null()
+		}
+		return st.max
+	default:
+		return storage.Null()
+	}
+}
+
+// aggIter implements HashAggregate: Open consumes the whole input,
+// hashing rows into groups and folding aggregate states; Next emits one
+// output row per group in first-seen order, with HAVING applied against
+// the output columns. Scalar (group-key) items evaluate against the
+// group's first row. Aggregates without GROUP BY yield exactly one row,
+// even for empty input (standard SQL).
+type aggIter struct {
+	input Iterator
+	node  *plan.Aggregate
+	env   rowEnv
+
+	out []storage.Row
+	pos int
+}
+
+type aggGroup struct {
+	firstRow storage.Row
+	states   []aggState
+}
+
+func (a *aggIter) Open() error {
+	if err := a.input.Open(); err != nil {
+		return err
+	}
+	a.env.layout = a.node.Layout
+	a.out, a.pos = nil, 0
+	s := a.node
+
+	groups := map[string]*aggGroup{}
+	var order []string // group insertion order, for deterministic output
+	for {
+		row, ok, err := a.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		a.env.row = row
+		keyVals := make(storage.Row, len(s.GroupBy))
+		for gi, g := range s.GroupBy {
+			v, err := EvalValue(g, &a.env)
+			if err != nil {
+				return err
+			}
+			keyVals[gi] = v
+		}
+		key := rowKey(keyVals)
+		grp, ok2 := groups[key]
+		if !ok2 {
+			grp = &aggGroup{firstRow: row.Clone(), states: make([]aggState, len(s.Items))}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for k, item := range s.Items {
+			if item.Agg == sqlparse.AggNone {
+				continue
+			}
+			if item.Expr == nil { // COUNT(*)
+				grp.states[k].count++
+				continue
+			}
+			v, err := EvalValue(item.Expr, &a.env)
+			if err != nil {
+				return err
+			}
+			grp.states[k].observe(v)
+		}
+	}
+
+	if len(s.GroupBy) == 0 && len(order) == 0 {
+		key := "∅"
+		groups[key] = &aggGroup{states: make([]aggState, len(s.Items))}
+		order = append(order, key)
+	}
+
+	havingEnv := newOutputEnv(s.Names)
+	for _, key := range order {
+		grp := groups[key]
+		out := make(storage.Row, len(s.Items))
+		for k, item := range s.Items {
+			if item.Agg != sqlparse.AggNone {
+				out[k] = grp.states[k].finalize(item.Agg)
+				continue
+			}
+			if grp.firstRow == nil {
+				out[k] = storage.Null()
+				continue
+			}
+			a.env.row = grp.firstRow
+			v, err := EvalValue(item.Expr, &a.env)
+			if err != nil {
+				return err
+			}
+			out[k] = v
+		}
+		if s.Having != nil {
+			havingEnv.row = out
+			t, err := EvalPredicate(s.Having, havingEnv)
+			if err != nil {
+				return err
+			}
+			if t != TriTrue {
+				continue
+			}
+		}
+		a.out = append(a.out, out)
+	}
+	return nil
+}
+
+func (a *aggIter) Next() (storage.Row, bool, error) {
+	if a.pos >= len(a.out) {
+		return nil, false, nil
+	}
+	row := a.out[a.pos]
+	a.pos++
+	return row, true, nil
+}
+
+func (a *aggIter) Close() error {
+	a.out = nil
+	return a.input.Close()
+}

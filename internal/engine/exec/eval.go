@@ -1,16 +1,14 @@
-// Package engine executes parsed SQL statements against the storage layer.
+// Package exec executes logical plans from internal/engine/plan as a tree
+// of volcano-style iterators: each operator pulls rows from its input via
+// Open/Next/Close, so results stream from the storage cursor to the
+// caller without materializing intermediate row sets (except where the
+// operator is inherently blocking: sort, aggregation, a join's build
+// side).
 //
-// It implements a straightforward single-table engine: full scans with
-// predicate filtering, projection, ORDER BY, LIMIT, and ungrouped
-// aggregates. WHERE predicates use SQL's three-valued logic (NULL
-// comparisons yield UNKNOWN, which filters the row out).
-//
-// The engine deliberately knows nothing about crowds: when a query
-// references a column the schema lacks, execution fails with a
-// *MissingColumnError. The crowd-enabled layer in internal/core catches
-// that error, performs schema expansion, and re-runs the query — this is
-// exactly the "query-driven" part of the paper's title.
-package engine
+// It also owns SQL expression evaluation under three-valued logic (NULL
+// comparisons yield UNKNOWN, which filters the row out), shared with the
+// engine's DML paths.
+package exec
 
 import (
 	"fmt"
@@ -19,97 +17,73 @@ import (
 	"crowddb/internal/storage"
 )
 
-// MissingColumnError reports that a query referenced a column that the
-// table's schema does not (yet) contain.
-type MissingColumnError struct {
-	Table  string
-	Column string
-}
-
-func (e *MissingColumnError) Error() string {
-	return fmt.Sprintf("engine: table %q has no column %q", e.Table, e.Column)
-}
-
-// tribool is SQL three-valued logic.
-type tribool uint8
+// Tribool is SQL three-valued logic.
+type Tribool uint8
 
 const (
-	triFalse tribool = iota
-	triTrue
-	triUnknown
+	TriFalse Tribool = iota
+	TriTrue
+	TriUnknown
 )
 
-func triOf(b bool) tribool {
+func triOf(b bool) Tribool {
 	if b {
-		return triTrue
+		return TriTrue
 	}
-	return triFalse
+	return TriFalse
 }
 
-func (t tribool) not() tribool {
+// Not is 3VL negation (UNKNOWN stays UNKNOWN).
+func (t Tribool) Not() Tribool {
 	switch t {
-	case triTrue:
-		return triFalse
-	case triFalse:
-		return triTrue
+	case TriTrue:
+		return TriFalse
+	case TriFalse:
+		return TriTrue
 	default:
-		return triUnknown
+		return TriUnknown
 	}
 }
 
-func (t tribool) and(o tribool) tribool {
-	if t == triFalse || o == triFalse {
-		return triFalse
+// And is 3VL conjunction.
+func (t Tribool) And(o Tribool) Tribool {
+	if t == TriFalse || o == TriFalse {
+		return TriFalse
 	}
-	if t == triUnknown || o == triUnknown {
-		return triUnknown
+	if t == TriUnknown || o == TriUnknown {
+		return TriUnknown
 	}
-	return triTrue
+	return TriTrue
 }
 
-func (t tribool) or(o tribool) tribool {
-	if t == triTrue || o == triTrue {
-		return triTrue
+// Or is 3VL disjunction.
+func (t Tribool) Or(o Tribool) Tribool {
+	if t == TriTrue || o == TriTrue {
+		return TriTrue
 	}
-	if t == triUnknown || o == triUnknown {
-		return triUnknown
+	if t == TriUnknown || o == TriUnknown {
+		return TriUnknown
 	}
-	return triFalse
+	return TriFalse
 }
 
-// valueEnv resolves column references during expression evaluation.
-// rowEnv resolves against a table row; outputEnv (engine.go) resolves
-// against a grouped query's output columns for HAVING and ORDER BY.
-type valueEnv interface {
-	lookup(name string) (storage.Value, error)
+// Env resolves column references during expression evaluation. The table
+// qualifier is empty for unqualified references.
+type Env interface {
+	Lookup(table, name string) (storage.Value, error)
 }
 
-// rowEnv resolves column references for one row.
-type rowEnv struct {
-	table  string
-	schema *storage.Schema
-	row    storage.Row
-}
-
-func (env *rowEnv) lookup(name string) (storage.Value, error) {
-	idx, ok := env.schema.Lookup(name)
-	if !ok {
-		return storage.Null(), &MissingColumnError{Table: env.table, Column: name}
-	}
-	return env.row[idx], nil
-}
-
-// evalValue computes a scalar expression for the row.
-func evalValue(e sqlparse.Expr, env valueEnv) (storage.Value, error) {
+// EvalValue computes a scalar expression for one row.
+func EvalValue(e sqlparse.Expr, env Env) (storage.Value, error) {
 	switch n := e.(type) {
 	case *sqlparse.Literal:
 		return literalValue(n), nil
 	case *sqlparse.ColumnRef:
-		return env.lookup(n.Name)
+		return env.Lookup(n.Table, n.Name)
 	case *sqlparse.UnaryExpr:
 		switch n.Op {
 		case "-":
-			v, err := evalValue(n.Expr, env)
+			v, err := EvalValue(n.Expr, env)
 			if err != nil {
 				return storage.Null(), err
 			}
@@ -124,7 +98,7 @@ func evalValue(e sqlparse.Expr, env valueEnv) (storage.Value, error) {
 			}
 			return storage.Null(), fmt.Errorf("engine: cannot negate %s value", v.Kind())
 		case "NOT":
-			t, err := evalPredicate(n, env)
+			t, err := EvalPredicate(n, env)
 			if err != nil {
 				return storage.Null(), err
 			}
@@ -134,7 +108,7 @@ func evalValue(e sqlparse.Expr, env valueEnv) (storage.Value, error) {
 	case *sqlparse.BinaryExpr:
 		switch n.Op {
 		case "AND", "OR", "=", "!=", "<", "<=", ">", ">=":
-			t, err := evalPredicate(n, env)
+			t, err := EvalPredicate(n, env)
 			if err != nil {
 				return storage.Null(), err
 			}
@@ -144,7 +118,7 @@ func evalValue(e sqlparse.Expr, env valueEnv) (storage.Value, error) {
 		}
 		return storage.Null(), fmt.Errorf("engine: unknown binary operator %q", n.Op)
 	case *sqlparse.IsNullExpr:
-		t, err := evalPredicate(n, env)
+		t, err := EvalPredicate(n, env)
 		if err != nil {
 			return storage.Null(), err
 		}
@@ -154,11 +128,11 @@ func evalValue(e sqlparse.Expr, env valueEnv) (storage.Value, error) {
 	}
 }
 
-func triValue(t tribool) storage.Value {
+func triValue(t Tribool) storage.Value {
 	switch t {
-	case triTrue:
+	case TriTrue:
 		return storage.Bool(true)
-	case triFalse:
+	case TriFalse:
 		return storage.Bool(false)
 	default:
 		return storage.Null()
@@ -182,12 +156,12 @@ func literalValue(l *sqlparse.Literal) storage.Value {
 	}
 }
 
-func evalArith(n *sqlparse.BinaryExpr, env valueEnv) (storage.Value, error) {
-	l, err := evalValue(n.Left, env)
+func evalArith(n *sqlparse.BinaryExpr, env Env) (storage.Value, error) {
+	l, err := EvalValue(n.Left, env)
 	if err != nil {
 		return storage.Null(), err
 	}
-	r, err := evalValue(n.Right, env)
+	r, err := EvalValue(n.Right, env)
 	if err != nil {
 		return storage.Null(), err
 	}
@@ -231,42 +205,42 @@ func evalArith(n *sqlparse.BinaryExpr, env valueEnv) (storage.Value, error) {
 	return storage.Null(), fmt.Errorf("engine: unknown arithmetic operator %q", n.Op)
 }
 
-// evalPredicate computes a boolean expression under three-valued logic.
-func evalPredicate(e sqlparse.Expr, env valueEnv) (tribool, error) {
+// EvalPredicate computes a boolean expression under three-valued logic.
+func EvalPredicate(e sqlparse.Expr, env Env) (Tribool, error) {
 	switch n := e.(type) {
 	case *sqlparse.Literal:
 		if n.Kind == sqlparse.LitNull {
-			return triUnknown, nil
+			return TriUnknown, nil
 		}
 		if n.Kind == sqlparse.LitBool {
 			return triOf(n.Bool), nil
 		}
-		return triFalse, fmt.Errorf("engine: %s literal used as predicate", n.String())
+		return TriFalse, fmt.Errorf("engine: %s literal used as predicate", n.String())
 	case *sqlparse.ColumnRef:
-		v, err := env.lookup(n.Name)
+		v, err := env.Lookup(n.Table, n.Name)
 		if err != nil {
-			return triFalse, err
+			return TriFalse, err
 		}
 		if v.IsNull() {
-			return triUnknown, nil
+			return TriUnknown, nil
 		}
 		if b, ok := v.AsBool(); ok {
 			return triOf(b), nil
 		}
-		return triFalse, fmt.Errorf("engine: column %q is not boolean", n.Name)
+		return TriFalse, fmt.Errorf("engine: column %q is not boolean", n.Name)
 	case *sqlparse.UnaryExpr:
 		if n.Op == "NOT" {
-			t, err := evalPredicate(n.Expr, env)
+			t, err := EvalPredicate(n.Expr, env)
 			if err != nil {
-				return triFalse, err
+				return TriFalse, err
 			}
-			return t.not(), nil
+			return t.Not(), nil
 		}
-		return triFalse, fmt.Errorf("engine: %q used as predicate", n.Op)
+		return TriFalse, fmt.Errorf("engine: %q used as predicate", n.Op)
 	case *sqlparse.IsNullExpr:
-		v, err := evalValue(n.Expr, env)
+		v, err := EvalValue(n.Expr, env)
 		if err != nil {
-			return triFalse, err
+			return TriFalse, err
 		}
 		isNull := v.IsNull()
 		if n.Negate {
@@ -276,36 +250,36 @@ func evalPredicate(e sqlparse.Expr, env valueEnv) (tribool, error) {
 	case *sqlparse.BinaryExpr:
 		switch n.Op {
 		case "AND":
-			l, err := evalPredicate(n.Left, env)
+			l, err := EvalPredicate(n.Left, env)
 			if err != nil {
-				return triFalse, err
+				return TriFalse, err
 			}
-			r, err := evalPredicate(n.Right, env)
+			r, err := EvalPredicate(n.Right, env)
 			if err != nil {
-				return triFalse, err
+				return TriFalse, err
 			}
-			return l.and(r), nil
+			return l.And(r), nil
 		case "OR":
-			l, err := evalPredicate(n.Left, env)
+			l, err := EvalPredicate(n.Left, env)
 			if err != nil {
-				return triFalse, err
+				return TriFalse, err
 			}
-			r, err := evalPredicate(n.Right, env)
+			r, err := EvalPredicate(n.Right, env)
 			if err != nil {
-				return triFalse, err
+				return TriFalse, err
 			}
-			return l.or(r), nil
+			return l.Or(r), nil
 		case "=", "!=", "<", "<=", ">", ">=":
-			l, err := evalValue(n.Left, env)
+			l, err := EvalValue(n.Left, env)
 			if err != nil {
-				return triFalse, err
+				return TriFalse, err
 			}
-			r, err := evalValue(n.Right, env)
+			r, err := EvalValue(n.Right, env)
 			if err != nil {
-				return triFalse, err
+				return TriFalse, err
 			}
 			if l.IsNull() || r.IsNull() {
-				return triUnknown, nil
+				return TriUnknown, nil
 			}
 			switch n.Op {
 			case "=":
@@ -315,7 +289,7 @@ func evalPredicate(e sqlparse.Expr, env valueEnv) (tribool, error) {
 			default:
 				c, err := l.Compare(r)
 				if err != nil {
-					return triFalse, err
+					return TriFalse, err
 				}
 				switch n.Op {
 				case "<":
@@ -329,8 +303,8 @@ func evalPredicate(e sqlparse.Expr, env valueEnv) (tribool, error) {
 				}
 			}
 		}
-		return triFalse, fmt.Errorf("engine: operator %q used as predicate", n.Op)
+		return TriFalse, fmt.Errorf("engine: operator %q used as predicate", n.Op)
 	default:
-		return triFalse, fmt.Errorf("engine: unsupported predicate %T", e)
+		return TriFalse, fmt.Errorf("engine: unsupported predicate %T", e)
 	}
 }

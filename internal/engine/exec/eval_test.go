@@ -1,0 +1,33 @@
+package exec
+
+import "testing"
+
+func TestThreeValuedLogicTruthTable(t *testing.T) {
+	cases := []struct {
+		a, b, and, or Tribool
+	}{
+		{TriTrue, TriTrue, TriTrue, TriTrue},
+		{TriTrue, TriFalse, TriFalse, TriTrue},
+		{TriTrue, TriUnknown, TriUnknown, TriTrue},
+		{TriFalse, TriFalse, TriFalse, TriFalse},
+		{TriFalse, TriUnknown, TriFalse, TriUnknown},
+		{TriUnknown, TriUnknown, TriUnknown, TriUnknown},
+	}
+	for _, c := range cases {
+		if got := c.a.And(c.b); got != c.and {
+			t.Errorf("%v AND %v = %v, want %v", c.a, c.b, got, c.and)
+		}
+		if got := c.b.And(c.a); got != c.and {
+			t.Errorf("AND must be symmetric")
+		}
+		if got := c.a.Or(c.b); got != c.or {
+			t.Errorf("%v OR %v = %v, want %v", c.a, c.b, got, c.or)
+		}
+		if got := c.b.Or(c.a); got != c.or {
+			t.Errorf("OR must be symmetric")
+		}
+	}
+	if TriUnknown.Not() != TriUnknown || TriTrue.Not() != TriFalse {
+		t.Fatal("NOT truth table broken")
+	}
+}

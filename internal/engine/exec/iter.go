@@ -1,0 +1,187 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"crowddb/internal/engine/plan"
+	"crowddb/internal/storage"
+)
+
+// Iterator is the volcano row-pull contract every operator implements.
+//
+// Open prepares the operator (blocking operators consume their whole
+// input here); Next returns the next row, reporting ok=false at end of
+// stream; Close releases resources. Rows returned by Next may alias
+// internal buffers and are valid only until the following Next call —
+// callers that retain rows must Clone them. Operators that construct
+// fresh rows (Project, Aggregate, HashJoin output) hand over ownership.
+type Iterator interface {
+	Open() error
+	Next() (storage.Row, bool, error)
+	Close() error
+}
+
+// Build lowers a plan node into its iterator tree.
+func Build(n plan.Node) (Iterator, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return &scanIter{node: t}, nil
+	case *plan.Filter:
+		in, err := Build(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{input: in, node: t}, nil
+	case *plan.HashJoin:
+		left, err := Build(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinIter{left: left, right: right, node: t}, nil
+	case *plan.Project:
+		in, err := Build(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{input: in, node: t}, nil
+	case *plan.Aggregate:
+		in, err := Build(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &aggIter{input: in, node: t}, nil
+	case *plan.Sort:
+		in, err := Build(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &sortIter{input: in, keys: t.Keys, env: keyEnv(t.Layout, t.ByOutput)}, nil
+	case *plan.TopN:
+		in, err := Build(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &topNIter{input: in, keys: t.Keys, n: t.N, env: keyEnv(t.Layout, t.ByOutput)}, nil
+	case *plan.Distinct:
+		in, err := Build(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{input: in}, nil
+	case *plan.Limit:
+		in, err := Build(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{input: in, n: t.N}, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported plan node %T", n)
+	}
+}
+
+// rowEnv resolves references against a base (layout-shaped) row. The row
+// field is repointed per row, so one env serves a whole scan.
+type rowEnv struct {
+	layout *plan.Layout
+	row    storage.Row
+}
+
+func (e *rowEnv) Lookup(table, name string) (storage.Value, error) {
+	idx, err := e.layout.Resolve(table, name)
+	if err != nil {
+		return storage.Null(), err
+	}
+	return e.row[idx], nil
+}
+
+// outputEnv resolves references against named output columns (a grouped
+// query's result shape), for HAVING and grouped ORDER BY.
+type outputEnv struct {
+	names map[string]int
+	row   storage.Row
+}
+
+// newOutputEnv indexes names; on duplicates the first occurrence wins.
+func newOutputEnv(names []string) *outputEnv {
+	idx := map[string]int{}
+	for i, n := range names {
+		lower := strings.ToLower(n)
+		if _, dup := idx[lower]; !dup {
+			idx[lower] = i
+		}
+	}
+	return &outputEnv{names: idx}
+}
+
+func (e *outputEnv) Lookup(table, name string) (storage.Value, error) {
+	if table == "" {
+		if i, ok := e.names[strings.ToLower(name)]; ok {
+			return e.row[i], nil
+		}
+	}
+	return storage.Null(), fmt.Errorf("engine: HAVING/ORDER BY column %q is not in the grouped output", name)
+}
+
+// bindEnv is the repointable env shared by sort/topN key evaluation: one
+// of layout or byOutput is set, matching the plan node.
+type bindEnv interface {
+	Env
+	bind(row storage.Row)
+}
+
+func (e *rowEnv) bind(row storage.Row)    { e.row = row }
+func (e *outputEnv) bind(row storage.Row) { e.row = row }
+
+func keyEnv(layout *plan.Layout, byOutput []string) bindEnv {
+	if layout != nil {
+		return &rowEnv{layout: layout}
+	}
+	return newOutputEnv(byOutput)
+}
+
+// rowKey builds a deduplication key for DISTINCT and GROUP BY. The kind
+// tag keeps 1 and '1' distinct; values are length-prefixed so text
+// containing separator or kind-tag bytes cannot forge a collision
+// between different rows.
+func rowKey(row storage.Row) string {
+	var sb strings.Builder
+	for _, v := range row {
+		s := v.String()
+		sb.WriteByte(byte(v.Kind()))
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
+		sb.WriteByte(0x1f)
+	}
+	return sb.String()
+}
+
+// Drain runs an iterator to completion, returning all rows. It does NOT
+// clone: the caller must ensure the tree's root owns the rows it emits
+// (every root the planner produces — Project, Aggregate, or an operator
+// above them — does; a hand-built tree rooted at Scan or Filter would
+// return rows aliasing the reused batch buffer).
+func Drain(it Iterator) ([]storage.Row, error) {
+	if err := it.Open(); err != nil {
+		_ = it.Close()
+		return nil, err
+	}
+	defer it.Close()
+	var out []storage.Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

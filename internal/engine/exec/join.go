@@ -1,0 +1,161 @@
+package exec
+
+import (
+	"strconv"
+	"strings"
+
+	"crowddb/internal/engine/plan"
+	"crowddb/internal/storage"
+)
+
+// hashJoinIter is an inner equi-join: Open drains the right (build) input
+// into a hash table keyed on the join columns; Next streams the left
+// (probe) input, emitting one combined row per match. Rows with a NULL
+// join key never match (NULL = anything is UNKNOWN under three-valued
+// logic), so they are dropped on both sides. Residual (non-equi) ON
+// conjuncts filter the combined rows.
+//
+// With no keys, the single hash bucket degenerates into a cross join,
+// filtered by the residual.
+type hashJoinIter struct {
+	left, right Iterator
+	node        *plan.HashJoin
+
+	table    map[string][]storage.Row // build side, keyed by join key
+	leftEnv  rowEnv
+	rightEnv rowEnv
+	outEnv   rowEnv
+
+	// Probe state: the current left row's pending matches.
+	leftRow storage.Row
+	matches []storage.Row
+	mi      int
+}
+
+// joinKey encodes key values for hashing with the same equality semantics
+// as the `=` operator: numeric values compare across int/float, so both
+// hash through their float form. Text is length-prefixed so values
+// containing separator bytes cannot forge a multi-key collision (a key
+// list is equal iff every component is). ok=false when any value is NULL.
+func joinKey(vals []storage.Value) (string, bool) {
+	var sb strings.Builder
+	for _, v := range vals {
+		switch v.Kind() {
+		case storage.KindNull:
+			return "", false
+		case storage.KindBool:
+			b, _ := v.AsBool()
+			if b {
+				sb.WriteString("b1")
+			} else {
+				sb.WriteString("b0")
+			}
+		case storage.KindInt, storage.KindFloat:
+			f, _ := v.AsFloat()
+			sb.WriteByte('n')
+			sb.WriteString(storage.Float(f).String())
+		case storage.KindText:
+			t, _ := v.AsText()
+			sb.WriteByte('t')
+			sb.WriteString(strconv.Itoa(len(t)))
+			sb.WriteByte(':')
+			sb.WriteString(t)
+		}
+		sb.WriteByte(0x1f)
+	}
+	return sb.String(), true
+}
+
+func (j *hashJoinIter) Open() error {
+	j.leftEnv.layout = j.node.LeftLayout
+	j.rightEnv.layout = j.node.RightLayout
+	j.outEnv.layout = j.node.Layout
+	j.table = map[string][]storage.Row{}
+	j.leftRow, j.matches, j.mi = nil, nil, 0
+
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	// Build phase: hash the right input. Rows are cloned — the scan
+	// beneath reuses its batch buffer.
+	for {
+		row, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.rightEnv.row = row
+		vals := make([]storage.Value, len(j.node.RightKeys))
+		for i, e := range j.node.RightKeys {
+			v, err := EvalValue(e, &j.rightEnv)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		key, ok := joinKey(vals)
+		if !ok {
+			continue
+		}
+		j.table[key] = append(j.table[key], row.Clone())
+	}
+	return nil
+}
+
+func (j *hashJoinIter) Next() (storage.Row, bool, error) {
+	for {
+		for j.mi < len(j.matches) {
+			right := j.matches[j.mi]
+			j.mi++
+			combined := make(storage.Row, 0, len(j.leftRow)+len(right))
+			combined = append(append(combined, j.leftRow...), right...)
+			if j.node.Residual != nil {
+				j.outEnv.row = combined
+				t, err := EvalPredicate(j.node.Residual, &j.outEnv)
+				if err != nil {
+					return nil, false, err
+				}
+				if t != TriTrue {
+					continue
+				}
+			}
+			return combined, true, nil
+		}
+
+		row, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.leftEnv.row = row
+		vals := make([]storage.Value, len(j.node.LeftKeys))
+		for i, e := range j.node.LeftKeys {
+			v, err := EvalValue(e, &j.leftEnv)
+			if err != nil {
+				return nil, false, err
+			}
+			vals[i] = v
+		}
+		key, keyOK := joinKey(vals)
+		if !keyOK {
+			continue
+		}
+		// No clone: each emitted row copies the left values, and the scan
+		// buffer beneath is only recycled on the next left pull.
+		j.matches, j.mi, j.leftRow = j.table[key], 0, row
+	}
+}
+
+func (j *hashJoinIter) Close() error {
+	j.table = nil
+	errL := j.left.Close()
+	errR := j.right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}

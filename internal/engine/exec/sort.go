@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"sort"
+
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// keyedRow is a retained row with its precomputed sort keys and input
+// sequence number (the stability tie-break).
+type keyedRow struct {
+	row  storage.Row
+	keys []storage.Value
+	seq  int
+}
+
+// compareKeyed orders two rows under the ORDER BY keys: NULLs sort last
+// regardless of direction, DESC flips the comparison, ties fall through
+// to the next key and finally to input order (stable).
+func compareKeyed(a, b *keyedRow, keys []sqlparse.OrderKey) (int, error) {
+	for i, key := range keys {
+		va, vb := a.keys[i], b.keys[i]
+		switch {
+		case va.IsNull() && vb.IsNull():
+			continue
+		case va.IsNull():
+			return 1, nil
+		case vb.IsNull():
+			return -1, nil
+		}
+		c, err := va.Compare(vb)
+		if err != nil {
+			return 0, err
+		}
+		if c == 0 {
+			continue
+		}
+		if key.Desc {
+			return -c, nil
+		}
+		return c, nil
+	}
+	return a.seq - b.seq, nil
+}
+
+// evalKeysInto computes the ORDER BY key values for one row into dst,
+// so hot paths (TopN candidate rejection) can reuse one buffer.
+func evalKeysInto(keys []sqlparse.OrderKey, env bindEnv, row storage.Row, dst []storage.Value) error {
+	env.bind(row)
+	for i, key := range keys {
+		v, err := EvalValue(key.Expr, env)
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+// evalKeys computes the ORDER BY key values for one row.
+func evalKeys(keys []sqlparse.OrderKey, env bindEnv, row storage.Row) ([]storage.Value, error) {
+	out := make([]storage.Value, len(keys))
+	if err := evalKeysInto(keys, env, row, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sortIter fully sorts its input (blocking). Input rows are cloned, since
+// upstream operators may reuse their buffers.
+type sortIter struct {
+	input Iterator
+	keys  []sqlparse.OrderKey
+	env   bindEnv
+	rows  []keyedRow
+	pos   int
+}
+
+func (s *sortIter) Open() error {
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	s.rows, s.pos = nil, 0
+	for seq := 0; ; seq++ {
+		row, ok, err := s.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		kv, err := evalKeys(s.keys, s.env, row)
+		if err != nil {
+			return err
+		}
+		s.rows = append(s.rows, keyedRow{row: row.Clone(), keys: kv, seq: seq})
+	}
+	var cmpErr error
+	sort.Slice(s.rows, func(a, b int) bool {
+		c, err := compareKeyed(&s.rows[a], &s.rows[b], s.keys)
+		if err != nil && cmpErr == nil {
+			cmpErr = err
+		}
+		return c < 0
+	})
+	return cmpErr
+}
+
+func (s *sortIter) Next() (storage.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos].row
+	s.pos++
+	return row, true, nil
+}
+
+func (s *sortIter) Close() error {
+	s.rows = nil
+	return s.input.Close()
+}
+
+// topNIter keeps the n best rows under the sort keys with a bounded
+// binary max-heap (worst kept row at the root): ORDER BY + LIMIT without
+// sorting — or even retaining — the full input. Including the sequence
+// number in the comparison makes the result identical to a stable full
+// sort followed by truncation.
+type topNIter struct {
+	input Iterator
+	keys  []sqlparse.OrderKey
+	n     int64
+	env   bindEnv
+	heap  []keyedRow // max-heap while filling, sorted ascending for output
+	pos   int
+}
+
+func (t *topNIter) Open() error {
+	if err := t.input.Open(); err != nil {
+		return err
+	}
+	t.heap, t.pos = nil, 0
+	if t.n <= 0 {
+		return nil
+	}
+	// Candidate keys evaluate into one reused buffer: a row the heap
+	// rejects — the overwhelmingly common case once the heap is warm —
+	// costs zero allocations. Keys (and the row) are cloned only on
+	// insertion.
+	keyBuf := make([]storage.Value, len(t.keys))
+	for seq := 0; ; seq++ {
+		row, ok, err := t.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := evalKeysInto(t.keys, t.env, row, keyBuf); err != nil {
+			return err
+		}
+		cand := keyedRow{keys: keyBuf, seq: seq}
+		if int64(len(t.heap)) >= t.n {
+			// Replace the worst kept row only when strictly better; an
+			// equal row arrived later and loses the stable tie-break.
+			c, err := compareKeyed(&cand, &t.heap[0], t.keys)
+			if err != nil {
+				return err
+			}
+			if c >= 0 {
+				continue
+			}
+		}
+		kept := keyedRow{
+			row:  row.Clone(),
+			keys: append(make([]storage.Value, 0, len(keyBuf)), keyBuf...),
+			seq:  seq,
+		}
+		if int64(len(t.heap)) < t.n {
+			t.heap = append(t.heap, kept)
+			if err := t.siftUp(len(t.heap) - 1); err != nil {
+				return err
+			}
+			continue
+		}
+		t.heap[0] = kept
+		if err := t.siftDown(0); err != nil {
+			return err
+		}
+	}
+	var cmpErr error
+	sort.Slice(t.heap, func(a, b int) bool {
+		c, err := compareKeyed(&t.heap[a], &t.heap[b], t.keys)
+		if err != nil && cmpErr == nil {
+			cmpErr = err
+		}
+		return c < 0
+	})
+	return cmpErr
+}
+
+func (t *topNIter) less(a, b int) (bool, error) {
+	c, err := compareKeyed(&t.heap[a], &t.heap[b], t.keys)
+	return c < 0, err
+}
+
+func (t *topNIter) siftUp(i int) error {
+	for i > 0 {
+		parent := (i - 1) / 2
+		// Max-heap: the parent must not be less than the child.
+		lt, err := t.less(parent, i)
+		if err != nil {
+			return err
+		}
+		if !lt {
+			return nil
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+	return nil
+}
+
+func (t *topNIter) siftDown(i int) error {
+	for {
+		largest := i
+		for _, child := range []int{2*i + 1, 2*i + 2} {
+			if child < len(t.heap) {
+				lt, err := t.less(largest, child)
+				if err != nil {
+					return err
+				}
+				if lt {
+					largest = child
+				}
+			}
+		}
+		if largest == i {
+			return nil
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+func (t *topNIter) Next() (storage.Row, bool, error) {
+	if t.pos >= len(t.heap) {
+		return nil, false, nil
+	}
+	row := t.heap[t.pos].row
+	t.pos++
+	return row, true, nil
+}
+
+func (t *topNIter) Close() error {
+	t.heap = nil
+	return t.input.Close()
+}

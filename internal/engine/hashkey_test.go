@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+// Hash keys (join keys, DISTINCT/GROUP BY row keys) concatenate several
+// values into one string; these regressions pin down that text values
+// containing the encoding's separator or kind-tag bytes cannot forge a
+// collision between different rows.
+
+func TestJoinKeyNoSeparatorForgery(t *testing.T) {
+	e := New(storage.NewCatalog())
+	mustExec(t, e, `CREATE TABLE a (x TEXT, y TEXT)`)
+	mustExec(t, e, `CREATE TABLE b (x TEXT, y TEXT)`)
+	ta, _ := e.Catalog().Get("a")
+	tb, _ := e.Catalog().Get("b")
+	// Under a naive "value ␟ value" encoding both rows hash identically
+	// even though neither component matches.
+	if err := ta.Insert(storage.Text("p"), storage.Text("q\x1ftr")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(storage.Text("p\x1ftq"), storage.Text("r")); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, e, `SELECT a.x FROM a JOIN b ON a.x = b.x AND a.y = b.y`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("forged join emitted %d rows", len(res.Rows))
+	}
+	// Genuinely equal multi-part keys still match, separators included.
+	if err := ta.Insert(storage.Text("same\x1f"), storage.Text("key")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(storage.Text("same\x1f"), storage.Text("key")); err != nil {
+		t.Fatal(err)
+	}
+	res = mustExec(t, e, `SELECT a.x FROM a JOIN b ON a.x = b.x AND a.y = b.y`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("equal keys with separator bytes matched %d times", len(res.Rows))
+	}
+}
+
+func TestDistinctKeyNoForgery(t *testing.T) {
+	e := New(storage.NewCatalog())
+	mustExec(t, e, `CREATE TABLE d (x TEXT, y TEXT)`)
+	td, _ := e.Catalog().Get("d")
+	// ("a␟Tb", "c") vs ("a", "b␟Tc") — where T is the text kind tag —
+	// collide under a kind-tag ␟-separated encoding without length
+	// prefixes.
+	tag := string([]byte{byte(storage.KindText)})
+	if err := td.Insert(storage.Text("a\x1f"+tag+"b"), storage.Text("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := td.Insert(storage.Text("a"), storage.Text("b\x1f"+tag+"c")); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, e, `SELECT DISTINCT x, y FROM d`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("distinct collapsed %d different rows", 2-len(res.Rows)+1)
+	}
+}

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+// NULL three-valued logic across the new executor operators: filter,
+// hash-join keys, DISTINCT, and TopN comparisons (the satellite coverage
+// item of the planner/executor split).
+
+func nullEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(storage.NewCatalog())
+	mustExec(t, e, `CREATE TABLE l (id INTEGER, k INTEGER, v TEXT)`)
+	mustExec(t, e, `INSERT INTO l VALUES
+		(1, 10, 'a'), (2, NULL, 'b'), (3, 20, 'c'), (4, NULL, 'd'), (5, 10, 'e')`)
+	mustExec(t, e, `CREATE TABLE r (rid INTEGER, k INTEGER, w TEXT)`)
+	mustExec(t, e, `INSERT INTO r VALUES
+		(1, 10, 'x'), (2, NULL, 'y'), (3, 30, 'z')`)
+	return e
+}
+
+func TestNullFilterOperator(t *testing.T) {
+	e := nullEngine(t)
+	// UNKNOWN filters the row out; OR can rescue it, AND cannot.
+	if res := mustExec(t, e, `SELECT id FROM l WHERE k = 10`); len(res.Rows) != 2 {
+		t.Fatalf("k = 10 rows = %d", len(res.Rows))
+	}
+	if res := mustExec(t, e, `SELECT id FROM l WHERE NOT k = 10`); len(res.Rows) != 1 {
+		t.Fatalf("NOT k = 10 must keep only k=20, got %d", len(res.Rows))
+	}
+	if res := mustExec(t, e, `SELECT id FROM l WHERE k = 10 OR k IS NULL`); len(res.Rows) != 4 {
+		t.Fatalf("OR IS NULL rows = %d", len(res.Rows))
+	}
+	if res := mustExec(t, e, `SELECT id FROM l WHERE k > 0 AND v = 'b'`); len(res.Rows) != 0 {
+		t.Fatalf("UNKNOWN AND TRUE must not match, got %d rows", len(res.Rows))
+	}
+}
+
+// Rows with a NULL join key must never match — on either side — because
+// NULL = anything is UNKNOWN.
+func TestNullJoinKeys(t *testing.T) {
+	e := nullEngine(t)
+	res := mustExec(t, e, `SELECT l.id, r.rid FROM l JOIN r ON l.k = r.k`)
+	// Matches: l1(k=10)–r1, l5(k=10)–r1. NULL keys on l2, l4, r2 drop out;
+	// k=20/k=30 have no partner.
+	if len(res.Rows) != 2 {
+		t.Fatalf("join rows = %v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		rid, _ := row[1].AsInt()
+		if rid != 1 {
+			t.Fatalf("unexpected match %v", row)
+		}
+	}
+	// The same holds when the NULL side is the probe side (swap tables).
+	res = mustExec(t, e, `SELECT r.rid, l.id FROM r JOIN l ON r.k = l.k`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("swapped join rows = %v", res.Rows)
+	}
+}
+
+// A NULL in a non-equi residual ON conjunct also drops the pair.
+func TestNullJoinResidual(t *testing.T) {
+	e := nullEngine(t)
+	res := mustExec(t, e, `SELECT l.id FROM l JOIN r ON l.k = r.k AND l.k > r.rid`)
+	// l1/l5 (k=10) vs r1 (rid=1): 10 > 1 TRUE → both survive.
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, e, `SELECT l.id FROM l JOIN r ON l.id = r.rid AND l.k > r.k`)
+	// Pairs by id: (1,1): 10>10 F; (2,2): NULL>NULL UNKNOWN; (3,3): 20>30 F.
+	if len(res.Rows) != 0 {
+		t.Fatalf("UNKNOWN residual must drop the pair, got %v", res.Rows)
+	}
+}
+
+// DISTINCT treats NULLs as duplicates of each other (standard SQL).
+func TestNullDistinct(t *testing.T) {
+	e := nullEngine(t)
+	res := mustExec(t, e, `SELECT DISTINCT k FROM l ORDER BY k`)
+	// Values 10, 20, NULL — two NULL rows collapse into one.
+	if len(res.Rows) != 3 {
+		t.Fatalf("distinct rows = %v", res.Rows)
+	}
+	if !res.Rows[2][0].IsNull() {
+		t.Fatalf("NULL must sort last: %v", res.Rows)
+	}
+	// But NULL stays distinct from values of any kind.
+	if v, _ := res.Rows[0][0].AsInt(); v != 10 {
+		t.Fatalf("first = %v", res.Rows[0][0])
+	}
+}
+
+// TopN must order NULL keys last regardless of direction — exactly like a
+// full sort followed by LIMIT.
+func TestNullTopN(t *testing.T) {
+	e := nullEngine(t)
+	asc := mustExec(t, e, `SELECT id FROM l ORDER BY k LIMIT 3`)
+	wantIDs(t, asc, 1, 5, 3) // k=10 (ids 1,5 stable), k=20
+	desc := mustExec(t, e, `SELECT id FROM l ORDER BY k DESC LIMIT 3`)
+	wantIDs(t, desc, 3, 1, 5) // k=20, then k=10 in insertion order
+	// When the limit reaches into the NULL tail, NULL rows appear —
+	// after every non-NULL key, in insertion order.
+	tail := mustExec(t, e, `SELECT id FROM l ORDER BY k LIMIT 5`)
+	wantIDs(t, tail, 1, 5, 3, 2, 4)
+	// The heap path and the full-sort path agree.
+	full := mustExec(t, e, `SELECT id FROM l ORDER BY k`)
+	wantIDs(t, full, 1, 5, 3, 2, 4)
+}
+
+func wantIDs(t *testing.T, res *Result, want ...int64) {
+	t.Helper()
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(want))
+	}
+	for i, w := range want {
+		got, _ := res.Rows[i][0].AsInt()
+		if got != w {
+			t.Fatalf("row %d id = %d, want %d (all: %v)", i, got, w, res.Rows)
+		}
+	}
+}
+
+// Aggregation over joined rows with NULLs: COUNT skips NULL, SUM/AVG
+// ignore them, and grouped keys treat NULL as one group.
+func TestNullAggregateOverJoin(t *testing.T) {
+	e := nullEngine(t)
+	res := mustExec(t, e, `SELECT COUNT(k), COUNT(*) FROM l`)
+	if n, _ := res.Rows[0][0].AsInt(); n != 3 {
+		t.Fatalf("COUNT(k) = %d", n)
+	}
+	if n, _ := res.Rows[0][1].AsInt(); n != 5 {
+		t.Fatalf("COUNT(*) = %d", n)
+	}
+	res = mustExec(t, e, `SELECT k, COUNT(*) n FROM l GROUP BY k ORDER BY n DESC`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+}

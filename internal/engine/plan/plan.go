@@ -1,0 +1,323 @@
+// Package plan lowers parsed SELECT statements into a logical plan tree.
+//
+// The planner is the engine's front half: it resolves tables and aliases,
+// validates every column reference (so a missing expandable column is
+// detected *before* any row work — the hook query-driven schema expansion
+// relies on), rewrites ORDER BY aliases, splits WHERE into conjuncts and
+// pushes single-table predicates below joins into the scans, and extracts
+// equi-join keys from ON conditions. The resulting tree is executed by
+// the volcano-style iterators in internal/engine/exec.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// MissingColumnError reports that a query referenced a column that the
+// table's schema does not (yet) contain. internal/core catches it and, if
+// the column is registered as expandable, routes the query to the crowd
+// instead of failing it.
+type MissingColumnError struct {
+	Table  string
+	Column string
+	// Candidates lists every other table in scope that also lacks the
+	// column. It is set for unqualified references in multi-table
+	// queries, where the planner cannot know which table the user (or an
+	// expandable registration) meant — core tries each candidate's
+	// registry before giving up.
+	Candidates []string
+}
+
+func (e *MissingColumnError) Error() string {
+	return fmt.Sprintf("engine: table %q has no column %q", e.Table, e.Column)
+}
+
+// Segment is one base table's slice of an executor row.
+type Segment struct {
+	Binding string // resolution name: alias if given, else table name (lower)
+	Table   string // real table name, for error messages and expansion
+	Schema  *storage.Schema
+	Start   int // offset of this segment's first column in the combined row
+}
+
+// Layout maps column references onto positions in an executor row, which
+// is the concatenation of one segment per joined table.
+type Layout struct {
+	Segs  []Segment
+	Width int
+}
+
+// NewLayout builds a layout from segments, assigning offsets.
+func NewLayout(segs ...Segment) *Layout {
+	l := &Layout{}
+	for _, s := range segs {
+		s.Start = l.Width
+		l.Width += s.Schema.Len()
+		l.Segs = append(l.Segs, s)
+	}
+	return l
+}
+
+// Resolve returns the combined-row index of table.name (table may be
+// empty for an unqualified reference). Unqualified names present in more
+// than one segment are ambiguous; names found nowhere yield a
+// *MissingColumnError attributed to the primary table, with the other
+// tables in scope listed as candidates (an expandable registration on
+// any of them can still trigger implicit expansion).
+func (l *Layout) Resolve(table, name string) (int, error) {
+	if table != "" {
+		key := strings.ToLower(table)
+		for _, s := range l.Segs {
+			if s.Binding == key {
+				if idx, ok := s.Schema.Lookup(name); ok {
+					return s.Start + idx, nil
+				}
+				return 0, &MissingColumnError{Table: s.Table, Column: name}
+			}
+		}
+		return 0, fmt.Errorf("engine: unknown table or alias %q in reference %s.%s", table, table, name)
+	}
+	found, hits := -1, 0
+	for _, s := range l.Segs {
+		if idx, ok := s.Schema.Lookup(name); ok {
+			found = s.Start + idx
+			hits++
+		}
+	}
+	switch hits {
+	case 1:
+		return found, nil
+	case 0:
+		var candidates []string
+		for _, s := range l.Segs[1:] {
+			candidates = append(candidates, s.Table)
+		}
+		return 0, &MissingColumnError{Table: l.Segs[0].Table, Column: name, Candidates: candidates}
+	default:
+		return 0, fmt.Errorf("engine: column reference %q is ambiguous (qualify it with a table name)", name)
+	}
+}
+
+// ---------- plan nodes ----------
+
+// Node is one operator of a logical plan tree.
+type Node interface {
+	node()
+	// Describe renders the operator's own line of EXPLAIN output.
+	Describe() string
+}
+
+// Scan reads one table through the storage cursor, evaluating the
+// pushed-down Filter during batch refill so non-matching rows are never
+// copied out of the table.
+type Scan struct {
+	Table   *storage.Table
+	Name    string // table name
+	Binding string
+	Filter  sqlparse.Expr // nil when nothing was pushed down
+	Layout  *Layout       // single-segment layout of this scan's rows
+}
+
+// Filter drops rows whose predicate is not TRUE (three-valued logic).
+type Filter struct {
+	Input  Node
+	Pred   sqlparse.Expr
+	Layout *Layout
+}
+
+// HashJoin is an inner equi-join: the right input is built into a hash
+// table on RightKeys, the left input probes with LeftKeys, and Residual
+// (non-equi ON conjuncts) filters the combined rows. With no keys it
+// degenerates into a filtered cross join.
+type HashJoin struct {
+	Left, Right                     Node
+	LeftKeys, RightKeys             []sqlparse.Expr
+	Residual                        sqlparse.Expr
+	LeftLayout, RightLayout, Layout *Layout
+}
+
+// Project evaluates the select list into fresh output rows.
+type Project struct {
+	Input  Node
+	Names  []string
+	Exprs  []sqlparse.Expr
+	Layout *Layout
+}
+
+// Aggregate implements GROUP BY / aggregate queries: it hashes input rows
+// by the group keys, folds aggregate states, applies HAVING against the
+// output columns, and emits one row per surviving group in first-seen
+// order.
+type Aggregate struct {
+	Input   Node
+	Layout  *Layout // input row layout
+	Items   []sqlparse.SelectItem
+	GroupBy []sqlparse.Expr
+	Having  sqlparse.Expr
+	Names   []string // output column names
+}
+
+// Sort fully sorts its input. Exactly one of Layout (keys evaluate
+// against base rows) or ByOutput (keys resolve against output column
+// names, the grouped path) is set.
+type Sort struct {
+	Input    Node
+	Keys     []sqlparse.OrderKey
+	Layout   *Layout
+	ByOutput []string
+}
+
+// TopN keeps the N smallest rows under the sort keys using a bounded
+// heap — ORDER BY + LIMIT without sorting (or even retaining) the full
+// input. Tie-breaking by input order reproduces a stable full sort
+// followed by truncation.
+type TopN struct {
+	Input    Node
+	Keys     []sqlparse.OrderKey
+	N        int64
+	Layout   *Layout
+	ByOutput []string
+}
+
+// Distinct drops duplicate rows (kind-tagged equality, so 1 and '1' stay
+// distinct).
+type Distinct struct{ Input Node }
+
+// Limit passes through at most N rows.
+type Limit struct {
+	Input Node
+	N     int64
+}
+
+func (*Scan) node()      {}
+func (*Filter) node()    {}
+func (*HashJoin) node()  {}
+func (*Project) node()   {}
+func (*Aggregate) node() {}
+func (*Sort) node()      {}
+func (*TopN) node()      {}
+func (*Distinct) node()  {}
+func (*Limit) node()     {}
+
+func (s *Scan) Describe() string {
+	b := s.Name
+	if s.Binding != strings.ToLower(s.Name) {
+		b += " " + s.Binding
+	}
+	if s.Filter != nil {
+		return fmt.Sprintf("Scan(%s, filter=%s)", b, s.Filter.String())
+	}
+	return fmt.Sprintf("Scan(%s)", b)
+}
+
+func (f *Filter) Describe() string { return fmt.Sprintf("Filter(%s)", f.Pred.String()) }
+
+func (j *HashJoin) Describe() string {
+	if len(j.LeftKeys) == 0 {
+		if j.Residual != nil {
+			return fmt.Sprintf("NestedJoin(on=%s)", j.Residual.String())
+		}
+		return "CrossJoin"
+	}
+	var keys []string
+	for i := range j.LeftKeys {
+		keys = append(keys, j.LeftKeys[i].String()+" = "+j.RightKeys[i].String())
+	}
+	d := fmt.Sprintf("HashJoin(%s)", strings.Join(keys, " AND "))
+	if j.Residual != nil {
+		d += fmt.Sprintf(" residual=%s", j.Residual.String())
+	}
+	return d
+}
+
+func (p *Project) Describe() string {
+	return fmt.Sprintf("Project(%s)", strings.Join(p.Names, ", "))
+}
+
+func (a *Aggregate) Describe() string {
+	if len(a.GroupBy) == 0 {
+		return fmt.Sprintf("HashAggregate(%s)", strings.Join(a.Names, ", "))
+	}
+	var keys []string
+	for _, g := range a.GroupBy {
+		keys = append(keys, g.String())
+	}
+	return fmt.Sprintf("HashAggregate(by=%s → %s)", strings.Join(keys, ", "), strings.Join(a.Names, ", "))
+}
+
+func orderKeyList(keys []sqlparse.OrderKey) string {
+	var out []string
+	for _, k := range keys {
+		s := k.Expr.String()
+		if k.Desc {
+			s += " DESC"
+		}
+		out = append(out, s)
+	}
+	return strings.Join(out, ", ")
+}
+
+func (s *Sort) Describe() string { return fmt.Sprintf("Sort(%s)", orderKeyList(s.Keys)) }
+func (t *TopN) Describe() string {
+	return fmt.Sprintf("TopN(n=%d, %s)", t.N, orderKeyList(t.Keys))
+}
+func (*Distinct) Describe() string { return "Distinct" }
+func (l *Limit) Describe() string  { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Children returns a node's inputs in display order.
+func Children(n Node) []Node {
+	switch t := n.(type) {
+	case *Scan:
+		return nil
+	case *Filter:
+		return []Node{t.Input}
+	case *HashJoin:
+		return []Node{t.Left, t.Right}
+	case *Project:
+		return []Node{t.Input}
+	case *Aggregate:
+		return []Node{t.Input}
+	case *Sort:
+		return []Node{t.Input}
+	case *TopN:
+		return []Node{t.Input}
+	case *Distinct:
+		return []Node{t.Input}
+	case *Limit:
+		return []Node{t.Input}
+	default:
+		return nil
+	}
+}
+
+// SelectPlan is a planned SELECT: the operator tree plus the output
+// column names.
+type SelectPlan struct {
+	Root    Node
+	Columns []string
+}
+
+// Explain renders the plan tree, one operator per line, children indented
+// under their parent.
+func (p *SelectPlan) Explain() []string {
+	var lines []string
+	var walk func(n Node, prefix string, childPrefix string)
+	walk = func(n Node, prefix, childPrefix string) {
+		lines = append(lines, prefix+n.Describe())
+		kids := Children(n)
+		for i, k := range kids {
+			last := i == len(kids)-1
+			connector, cont := "├─ ", "│  "
+			if last {
+				connector, cont = "└─ ", "   "
+			}
+			walk(k, childPrefix+connector, childPrefix+cont)
+		}
+	}
+	walk(p.Root, "", "")
+	return lines
+}

@@ -1,0 +1,221 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+func testCatalog(t *testing.T) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	mkTable := func(name string, cols ...storage.Column) {
+		schema, err := storage.NewSchema(cols...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cat.Create(name, schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkTable("movies",
+		storage.Column{Name: "movie_id", Kind: storage.KindInt},
+		storage.Column{Name: "name", Kind: storage.KindText},
+		storage.Column{Name: "year", Kind: storage.KindInt},
+	)
+	mkTable("credits",
+		storage.Column{Name: "credit_id", Kind: storage.KindInt},
+		storage.Column{Name: "movie", Kind: storage.KindInt},
+		storage.Column{Name: "role", Kind: storage.KindText},
+	)
+	return cat
+}
+
+func buildPlan(t *testing.T, cat *storage.Catalog, sql string) *SelectPlan {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(stmt.(*sqlparse.SelectStmt), cat)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", sql, err)
+	}
+	return p
+}
+
+func explainText(p *SelectPlan) string { return strings.Join(p.Explain(), "\n") }
+
+func TestPushdownBelowJoin(t *testing.T) {
+	cat := testCatalog(t)
+	p := buildPlan(t, cat, `SELECT m.name FROM movies m JOIN credits c ON m.movie_id = c.movie
+		WHERE m.year >= 1995 AND c.role = 'director'`)
+	text := explainText(p)
+	for _, want := range []string{
+		"HashJoin(m.movie_id = c.movie)",
+		"Scan(movies m, filter=(m.year >= 1995))",
+		"Scan(credits c, filter=(c.role = 'director'))",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "Filter(") {
+		t.Fatalf("single-table conjuncts must be fully pushed:\n%s", text)
+	}
+}
+
+func TestCrossTablePredicateStaysResidual(t *testing.T) {
+	cat := testCatalog(t)
+	p := buildPlan(t, cat, `SELECT m.name FROM movies m JOIN credits c ON m.movie_id = c.movie
+		WHERE m.year + c.credit_id > 2000`)
+	text := explainText(p)
+	if !strings.Contains(text, "Filter(((m.year + c.credit_id) > 2000))") {
+		t.Fatalf("cross-table conjunct must stay above the join:\n%s", text)
+	}
+}
+
+func TestNonEquiOnConditionBecomesResidual(t *testing.T) {
+	cat := testCatalog(t)
+	p := buildPlan(t, cat, `SELECT m.name FROM movies m JOIN credits c
+		ON m.movie_id = c.movie AND m.year > c.credit_id`)
+	text := explainText(p)
+	if !strings.Contains(text, "HashJoin(m.movie_id = c.movie) residual=(m.year > c.credit_id)") {
+		t.Fatalf("non-equi ON conjunct must become the join residual:\n%s", text)
+	}
+}
+
+func TestTopNOnlyWithOrderByAndLimit(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		sql       string
+		want, not string
+	}{
+		{`SELECT name FROM movies ORDER BY year LIMIT 10`, "TopN(n=10, year)", "Sort"},
+		{`SELECT name FROM movies ORDER BY year`, "Sort(year)", "TopN"},
+		{`SELECT name FROM movies LIMIT 10`, "Limit(10)", "TopN"},
+		{`SELECT DISTINCT name FROM movies ORDER BY year LIMIT 10`, "Sort(year)", "TopN"},
+	}
+	for _, c := range cases {
+		text := explainText(buildPlan(t, cat, c.sql))
+		if !strings.Contains(text, c.want) {
+			t.Errorf("%q: missing %q:\n%s", c.sql, c.want, text)
+		}
+		if strings.Contains(text, c.not) {
+			t.Errorf("%q: unexpected %q:\n%s", c.sql, c.not, text)
+		}
+	}
+}
+
+// Satellite regression: ORDER BY must resolve select-list aliases even
+// when the alias appears *inside* an expression, not just as a bare
+// reference.
+func TestOrderByAliasInsideExpression(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := sqlparse.Parse(`SELECT name, year - 1900 age FROM movies ORDER BY age + 1 DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(stmt.(*sqlparse.SelectStmt), cat)
+	if err != nil {
+		t.Fatalf("alias inside ORDER BY expression must plan: %v", err)
+	}
+	text := explainText(p)
+	if !strings.Contains(text, "Sort(((year - 1900) + 1) DESC)") {
+		t.Fatalf("alias not rewritten inside the expression:\n%s", text)
+	}
+}
+
+// A real column of the same name shadows the alias — inside expressions
+// too.
+func TestOrderByAliasShadowedByRealColumn(t *testing.T) {
+	cat := testCatalog(t)
+	p := buildPlan(t, cat, `SELECT name, movie_id year FROM movies ORDER BY year + 1`)
+	text := explainText(p)
+	if !strings.Contains(text, "Sort((year + 1))") {
+		t.Fatalf("real column must win over alias:\n%s", text)
+	}
+}
+
+func TestPlanTimeMissingColumn(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		sql          string
+		table, colum string
+	}{
+		{`SELECT humor FROM movies`, "movies", "humor"},
+		{`SELECT name FROM movies WHERE humor > 1`, "movies", "humor"},
+		{`SELECT name FROM movies ORDER BY humor`, "movies", "humor"},
+		{`SELECT m.humor FROM movies m JOIN credits c ON m.movie_id = c.movie`, "movies", "humor"},
+		{`SELECT c.humor FROM movies m JOIN credits c ON m.movie_id = c.movie`, "credits", "humor"},
+		// Unqualified misses in a join are attributed to the primary
+		// table (where implicit expansion would create the column).
+		{`SELECT humor FROM movies m JOIN credits c ON m.movie_id = c.movie`, "movies", "humor"},
+	}
+	for _, c := range cases {
+		stmt, err := sqlparse.Parse(c.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Build(stmt.(*sqlparse.SelectStmt), cat)
+		var missing *MissingColumnError
+		if !errors.As(err, &missing) {
+			t.Fatalf("%q: err = %v, want MissingColumnError", c.sql, err)
+		}
+		if missing.Table != c.table || missing.Column != c.colum {
+			t.Fatalf("%q: missing = %+v", c.sql, missing)
+		}
+	}
+}
+
+func TestAmbiguousAndUnknownReferences(t *testing.T) {
+	cat := testCatalog(t)
+	// movie_id is only in movies; credit_id only in credits — but both
+	// tables lack "both", and an identically named column in both tables
+	// is ambiguous when unqualified.
+	schema, _ := storage.NewSchema(storage.Column{Name: "name", Kind: storage.KindText})
+	if _, err := cat.Create("other", schema); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		`SELECT name FROM movies m JOIN other o ON m.movie_id = 1`,   // ambiguous name
+		`SELECT x.name FROM movies m JOIN other o ON m.movie_id = 1`, // unknown alias x
+		`SELECT name FROM movies m JOIN movies x ON 1 = 1 WHERE nosuch.y = 1`,
+	} {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Build(stmt.(*sqlparse.SelectStmt), cat); err == nil {
+			t.Errorf("%q must fail to plan", sql)
+		}
+	}
+	// Duplicate binding without alias is rejected.
+	stmt, _ := sqlparse.Parse(`SELECT * FROM movies JOIN movies ON 1 = 1`)
+	if _, err := Build(stmt.(*sqlparse.SelectStmt), cat); err == nil ||
+		!strings.Contains(err.Error(), "duplicate table binding") {
+		t.Fatalf("self-join without alias: err = %v", err)
+	}
+}
+
+func TestGroupedPlanShape(t *testing.T) {
+	cat := testCatalog(t)
+	p := buildPlan(t, cat, `SELECT year, COUNT(*) n FROM movies WHERE year > 1950
+		GROUP BY year HAVING n > 1 ORDER BY n DESC LIMIT 5`)
+	text := explainText(p)
+	for _, want := range []string{
+		"TopN(n=5, n DESC)",
+		"HashAggregate(by=year → year, n)",
+		"Scan(movies, filter=(year > 1950))",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	if p.Columns[0] != "year" || p.Columns[1] != "n" {
+		t.Fatalf("columns = %v", p.Columns)
+	}
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"fmt"
+
+	"crowddb/internal/engine/exec"
+	"crowddb/internal/engine/plan"
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// execSelect plans and executes a SELECT, materializing the full result.
+// Column validation happens at plan time, so schema expansion triggers
+// before any row work (and regardless of row contents).
+func (e *Engine) execSelect(s *sqlparse.SelectStmt) (*Result, error) {
+	p, err := plan.Build(s, e.catalog)
+	if err != nil {
+		return nil, err
+	}
+	it, err := exec.Build(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: p.Columns, Rows: rows, Affected: len(rows)}, nil
+}
+
+// execExplain plans the wrapped statement without executing it and
+// returns the plan tree, one operator per row.
+func (e *Engine) execExplain(x *sqlparse.ExplainStmt) (*Result, error) {
+	sel, ok := x.Stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT statements only, got %T", x.Stmt)
+	}
+	p, err := plan.Build(sel, e.catalog)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range p.Explain() {
+		res.Rows = append(res.Rows, storage.Row{storage.Text(line)})
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+// StreamResult is a pull-based SELECT result: rows are produced on demand
+// by the iterator tree, with the storage read lock held only per scan
+// batch. Rows may alias internal buffers and are valid until the next
+// call; Close must be called when done.
+type StreamResult struct {
+	// Columns are the output column names.
+	Columns []string
+	it      exec.Iterator
+	done    bool
+}
+
+// Stream plans and opens a SELECT for row-at-a-time consumption.
+// Blocking operators (sort, aggregation, a join's build side) still do
+// their work inside this call; pure scan/filter/project/limit pipelines
+// stream end to end.
+func (e *Engine) Stream(s *sqlparse.SelectStmt) (*StreamResult, error) {
+	p, err := plan.Build(s, e.catalog)
+	if err != nil {
+		return nil, err
+	}
+	it, err := exec.Build(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		_ = it.Close()
+		return nil, err
+	}
+	return &StreamResult{Columns: p.Columns, it: it}, nil
+}
+
+// Next returns the next row, or ok=false at end of stream.
+func (r *StreamResult) Next() (storage.Row, bool, error) {
+	if r.done {
+		return nil, false, nil
+	}
+	row, ok, err := r.it.Next()
+	if err != nil || !ok {
+		r.done = true
+	}
+	return row, ok, err
+}
+
+// Close releases the stream's resources (idempotent).
+func (r *StreamResult) Close() error {
+	if r.it == nil {
+		return nil
+	}
+	it := r.it
+	r.it, r.done = nil, true
+	return it.Close()
+}

@@ -5,6 +5,7 @@
 // Endpoints:
 //
 //	POST /query          {"sql": "...", "mode": "sync"|"async"}
+//	POST /query?stream=1 NDJSON row streaming for SELECTs (sync only)
 //	GET  /jobs           all expansion jobs, submission order
 //	GET  /jobs/{id}      one job (add ?wait=1 to block until terminal)
 //	GET  /schema         table names
@@ -155,6 +156,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		if req.Mode == "async" {
+			writeError(w, http.StatusBadRequest, errors.New("server: stream=1 is incompatible with mode=async"))
+			return
+		}
+		s.streamQuery(w, r, req.SQL)
+		return
+	}
+
 	switch req.Mode {
 	case "", "sync":
 		res, report, err := s.db.ExecSQL(req.SQL)
@@ -178,6 +188,70 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unknown mode %q", req.Mode))
 	}
+}
+
+// streamQuery serves a SELECT as NDJSON (one JSON object per line):
+// a header line {"columns": […]}, then {"row": […]} per result row, and
+// finally a trailer {"done": true, "rows": n, "expansion": …} — or
+// {"error": "…"} at whatever point the query failed. The response is
+// flushed as rows are produced, so a client sees data while the scan is
+// still running; the engine holds its read locks only per batch, never
+// for the duration of the transfer.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, sql string) {
+	stream, err := s.db.ExecSQLStream(sql)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	defer stream.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	_ = enc.Encode(map[string]any{"columns": stream.Columns()})
+	flush()
+	// Flush every flushEvery rows: responsive without one syscall per row.
+	const flushEvery = 64
+	ctx := r.Context()
+	for {
+		// A disconnected client must stop the scan, not leave it running
+		// to exhaustion against a dead connection.
+		if ctx.Err() != nil {
+			return
+		}
+		row, ok, err := stream.Next()
+		if err != nil {
+			_ = enc.Encode(map[string]any{"error": err.Error()})
+			flush()
+			return
+		}
+		if !ok {
+			break
+		}
+		vals := make([]any, len(row))
+		for i, v := range row {
+			vals[i] = valueToJSON(v)
+		}
+		if err := enc.Encode(map[string]any{"row": vals}); err != nil {
+			return // write failed: the client is gone
+		}
+		if stream.Rows()%flushEvery == 0 {
+			flush()
+		}
+	}
+	trailer := map[string]any{"done": true, "rows": stream.Rows()}
+	if rep := stream.Expansion(); rep != nil {
+		trailer["expansion"] = rep
+	}
+	_ = enc.Encode(trailer)
+	flush()
 }
 
 func buildQueryResponse(res *core.Result, report *core.ExpansionReport, job *jobs.Status) queryResponse {

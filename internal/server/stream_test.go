@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crowddb/internal/core"
+)
+
+// joinServer builds a two-table database: movies plus a credits table
+// keyed by movie id.
+func joinServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	db := core.NewDB(nil)
+	t.Cleanup(func() { _ = db.Close() })
+	mustSQL := func(sql string) {
+		if _, _, err := db.ExecSQL(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`)
+	mustSQL(`CREATE TABLE credits (credit_id INTEGER, movie INTEGER, role TEXT)`)
+	for i := 0; i < 10; i++ {
+		mustSQL(fmt.Sprintf(`INSERT INTO movies VALUES (%d, 'movie-%02d', %d)`, i, i, 1990+i))
+		mustSQL(fmt.Sprintf(`INSERT INTO credits VALUES (%d, %d, 'director'), (%d, %d, 'writer')`,
+			2*i, i, 2*i+1, i))
+	}
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts.URL
+}
+
+// TestJoinEndToEndOverHTTP exercises the acceptance query shape:
+// SELECT a.x, b.y FROM a JOIN b ON … WHERE … ORDER BY … LIMIT n.
+func TestJoinEndToEndOverHTTP(t *testing.T) {
+	_, url := joinServer(t)
+	code, res := postQuery(t, url,
+		`SELECT m.name, c.role FROM movies m JOIN credits c ON m.movie_id = c.movie
+		 WHERE m.year >= 1995 AND c.role = 'director'
+		 ORDER BY m.year DESC LIMIT 3`, "sync")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "name" || res.Columns[1] != "role" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Years 1999, 1998, 1997 → movies 9, 8, 7; one director row each.
+	if res.Rows[0][0] != "movie-09" || res.Rows[2][0] != "movie-07" {
+		t.Fatalf("order wrong: %v", res.Rows)
+	}
+}
+
+// TestExplainOverHTTPShowsPushdownBelowJoin asserts the planner pushed
+// the single-table WHERE conjuncts below the hash join, into the scans.
+func TestExplainOverHTTPShowsPushdownBelowJoin(t *testing.T) {
+	_, url := joinServer(t)
+	code, res := postQuery(t, url,
+		`EXPLAIN SELECT m.name, c.role FROM movies m JOIN credits c ON m.movie_id = c.movie
+		 WHERE m.year >= 1995 AND c.role = 'director'
+		 ORDER BY m.year DESC LIMIT 3`, "sync")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %+v", code, res)
+	}
+	var lines []string
+	for _, row := range res.Rows {
+		lines = append(lines, row[0].(string))
+	}
+	text := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"TopN(n=3",
+		"HashJoin(m.movie_id = c.movie)",
+		"Scan(movies m, filter=(m.year >= 1995))",
+		"Scan(credits c, filter=(c.role = 'director'))",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, text)
+		}
+	}
+	// Pushdown means no residual Filter node remains above the join.
+	if strings.Contains(text, "Filter(") {
+		t.Fatalf("expected fully pushed-down predicates:\n%s", text)
+	}
+}
+
+// streamLines POSTs a streaming query and parses the NDJSON lines.
+func streamLines(t *testing.T, url, sql string) (int, []map[string]any) {
+	t.Helper()
+	body, _ := json.Marshal(queryRequest{SQL: sql})
+	resp, err := http.Post(url+"/query?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, obj)
+	}
+	return resp.StatusCode, out
+}
+
+func TestStreamingSelectNDJSON(t *testing.T) {
+	_, url := joinServer(t)
+	code, lines := streamLines(t, url, `SELECT name FROM movies WHERE year < 1995 ORDER BY year`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(lines) != 7 { // header + 5 rows + trailer
+		t.Fatalf("lines = %d: %v", len(lines), lines)
+	}
+	cols, ok := lines[0]["columns"].([]any)
+	if !ok || len(cols) != 1 || cols[0] != "name" {
+		t.Fatalf("header = %v", lines[0])
+	}
+	first, _ := lines[1]["row"].([]any)
+	if len(first) != 1 || first[0] != "movie-00" {
+		t.Fatalf("first row = %v", lines[1])
+	}
+	trailer := lines[len(lines)-1]
+	if trailer["done"] != true || trailer["rows"] != float64(5) {
+		t.Fatalf("trailer = %v", trailer)
+	}
+}
+
+func TestStreamingRejectsNonSelectAndAsync(t *testing.T) {
+	_, url := joinServer(t)
+	code, lines := streamLines(t, url, `DELETE FROM movies`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("DML stream status = %d %v", code, lines)
+	}
+
+	body, _ := json.Marshal(queryRequest{SQL: "SELECT name FROM movies", Mode: "async"})
+	resp, err := http.Post(url+"/query?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("async stream status = %d", resp.StatusCode)
+	}
+}
+
+// Streaming on an unexpanded registered column must complete the crowd
+// job before the first row arrives — the header and rows reflect the
+// filled column.
+func TestStreamingWaitsForExpansion(t *testing.T) {
+	svc := &fakeService{}
+	_, ts := newTestServer(t, svc, Config{})
+	code, lines := streamLines(t, ts.URL, `SELECT name FROM movies WHERE is_comedy = true ORDER BY name`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %v", code, lines)
+	}
+	trailer := lines[len(lines)-1]
+	if trailer["done"] != true {
+		t.Fatalf("trailer = %v", trailer)
+	}
+	if trailer["expansion"] == nil {
+		t.Fatal("trailer must carry the expansion report")
+	}
+	// fakeService marks even ids positive → 10 of 20 movies match.
+	if trailer["rows"] != float64(10) {
+		t.Fatalf("rows = %v", trailer["rows"])
+	}
+	if svc.calls.Load() == 0 {
+		t.Fatal("expansion never reached the crowd service")
+	}
+}

@@ -60,11 +60,21 @@ func (l *Literal) String() string {
 	}
 }
 
-// ColumnRef references a column by name.
-type ColumnRef struct{ Name string }
+// ColumnRef references a column by name, optionally qualified by a table
+// name or alias (`movies.year`). An empty Table means the reference is
+// unqualified and resolves against every table in scope.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
 
-func (*ColumnRef) expr()            {}
-func (c *ColumnRef) String() string { return c.Name }
+func (*ColumnRef) expr() {}
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
 
 // BinaryExpr applies an infix operator: comparison (=, !=, <, <=, >, >=),
 // logic (AND, OR) or arithmetic (+, -, *, /).
@@ -135,13 +145,27 @@ type OrderKey struct {
 	Desc bool
 }
 
-// SelectStmt is a single-table SELECT.
+// JoinClause is one `[INNER] JOIN table [alias] ON cond` clause. Only
+// inner joins are supported; the planner extracts equi-join keys from the
+// ON condition and evaluates the rest as a residual filter.
+type JoinClause struct {
+	Table string
+	Alias string // empty when the table name itself is the binding
+	On    Expr
+}
+
+// SelectStmt is a SELECT over one table, optionally inner-joined with
+// more tables.
 type SelectStmt struct {
 	Items    []SelectItem
 	Distinct bool
-	Table    string
-	Where    Expr   // nil when absent
-	GroupBy  []Expr // nil when absent
+	// Table is the primary FROM table; TableAlias is its optional
+	// binding name (empty = the table name).
+	Table      string
+	TableAlias string
+	Joins      []JoinClause
+	Where      Expr   // nil when absent
+	GroupBy    []Expr // nil when absent
 	// Having filters grouped output rows; it may reference select-list
 	// aliases and group columns (not raw aggregate calls).
 	Having  Expr
@@ -236,6 +260,14 @@ type ExpandStmt struct {
 }
 
 func (*ExpandStmt) stmt() {}
+
+// ---------- EXPLAIN ----------
+
+// ExplainStmt is `EXPLAIN <statement>`: the wrapped statement is planned
+// but not executed, and the plan tree is returned as the result rows.
+type ExplainStmt struct{ Stmt Statement }
+
+func (*ExplainStmt) stmt() {}
 
 // WalkColumns calls f for every ColumnRef in the expression tree.
 // The engine uses it to discover which columns a query touches, which is

@@ -1,0 +1,125 @@
+package sqlparse
+
+import "testing"
+
+func TestParseQualifiedColumnRef(t *testing.T) {
+	stmt, err := Parse(`SELECT m.name FROM movies m WHERE m.year > 1980`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	ref, ok := sel.Items[0].Expr.(*ColumnRef)
+	if !ok || ref.Table != "m" || ref.Name != "name" {
+		t.Fatalf("item = %#v", sel.Items[0].Expr)
+	}
+	if sel.Table != "movies" || sel.TableAlias != "m" {
+		t.Fatalf("from = %q alias %q", sel.Table, sel.TableAlias)
+	}
+	if ref.String() != "m.name" {
+		t.Fatalf("String() = %q", ref.String())
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	stmt, err := Parse(`SELECT a.x, b.y FROM a JOIN b ON a.id = b.aid
+		INNER JOIN c cc ON b.id = cc.bid AND cc.kind = 'k'
+		WHERE a.x > 0 ORDER BY b.y LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	if len(sel.Joins) != 2 {
+		t.Fatalf("joins = %d", len(sel.Joins))
+	}
+	j0 := sel.Joins[0]
+	if j0.Table != "b" || j0.Alias != "" {
+		t.Fatalf("join0 = %+v", j0)
+	}
+	if j0.On.String() != "(a.id = b.aid)" {
+		t.Fatalf("on0 = %s", j0.On.String())
+	}
+	j1 := sel.Joins[1]
+	if j1.Table != "c" || j1.Alias != "cc" {
+		t.Fatalf("join1 = %+v", j1)
+	}
+	if sel.Limit != 5 || len(sel.OrderBy) != 1 {
+		t.Fatalf("tail clauses: limit=%d orderBy=%d", sel.Limit, len(sel.OrderBy))
+	}
+}
+
+func TestParseJoinErrors(t *testing.T) {
+	for _, sql := range []string{
+		`SELECT * FROM a JOIN`,             // missing table
+		`SELECT * FROM a JOIN b`,           // missing ON
+		`SELECT * FROM a JOIN b ON`,        // missing condition
+		`SELECT * FROM a INNER b ON a = b`, // INNER without JOIN
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("%q must fail", sql)
+		}
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse(`EXPLAIN SELECT name FROM movies WHERE year > 1980`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", stmt)
+	}
+	if _, ok := ex.Stmt.(*SelectStmt); !ok {
+		t.Fatalf("inner = %T", ex.Stmt)
+	}
+	// Any statement can be wrapped; nesting cannot.
+	if _, err := Parse(`EXPLAIN DELETE FROM movies`); err != nil {
+		t.Fatalf("EXPLAIN DELETE: %v", err)
+	}
+	if _, err := Parse(`EXPLAIN EXPLAIN SELECT * FROM t`); err == nil {
+		t.Fatal("nested EXPLAIN must fail")
+	}
+}
+
+// Qualified references round-trip through String() like every other
+// expression (extends the property test in roundtrip_test.go to the new
+// syntax).
+func TestQualifiedRefRoundTrip(t *testing.T) {
+	exprs := []Expr{
+		&BinaryExpr{Op: "=", Left: &ColumnRef{Table: "a", Name: "id"}, Right: &ColumnRef{Table: "b", Name: "aid"}},
+		&BinaryExpr{Op: "+", Left: &ColumnRef{Table: "t", Name: "x"}, Right: &Literal{Kind: LitInt, Int: 1}},
+		&IsNullExpr{Expr: &ColumnRef{Table: "m", Name: "flag"}},
+	}
+	for _, e := range exprs {
+		text := e.String()
+		stmt, err := Parse("SELECT * FROM t WHERE " + text)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", text, err)
+		}
+		again := stmt.(*SelectStmt).Where.String()
+		if again != text {
+			t.Fatalf("round-trip mismatch: %q → %q", text, again)
+		}
+	}
+}
+
+// A full JOIN statement re-parses structurally: same tables, aliases and
+// ON text.
+func TestJoinStatementRoundTrip(t *testing.T) {
+	sql := `SELECT m.name, c.role FROM movies m JOIN credits c ON m.movie_id = c.movie WHERE m.year >= 1995 ORDER BY m.year DESC LIMIT 3`
+	s1, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s1.(*SelectStmt)
+	rebuilt := `SELECT m.name, c.role FROM movies m JOIN credits c ON ` + sel.Joins[0].On.String() +
+		` WHERE ` + sel.Where.String() + ` ORDER BY m.year DESC LIMIT 3`
+	s2, err := Parse(rebuilt)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", rebuilt, err)
+	}
+	sel2 := s2.(*SelectStmt)
+	if sel2.Joins[0].On.String() != sel.Joins[0].On.String() || sel2.Where.String() != sel.Where.String() {
+		t.Fatalf("round trip drifted: %s vs %s", sel2.Joins[0].On.String(), sel.Joins[0].On.String())
+	}
+}

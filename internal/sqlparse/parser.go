@@ -129,6 +129,16 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseDropTable()
 	case "EXPAND":
 		return p.parseExpand()
+	case "EXPLAIN":
+		p.next()
+		if p.peek().Type == TokKeyword && p.peek().Text == "EXPLAIN" {
+			return nil, p.errorf("EXPLAIN cannot be nested")
+		}
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Stmt: inner}, nil
 	default:
 		return nil, p.errorf("unsupported statement %s", t)
 	}
@@ -164,6 +174,29 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 		return nil, err
 	}
 	stmt.Table = tbl
+	stmt.TableAlias = p.parseOptionalAlias()
+
+	for {
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		join := JoinClause{}
+		if join.Table, err = p.parseIdent(); err != nil {
+			return nil, err
+		}
+		join.Alias = p.parseOptionalAlias()
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		if join.On, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, join)
+	}
 
 	if p.acceptKeyword("WHERE") {
 		w, err := p.parseExpr()
@@ -445,6 +478,14 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		return &Literal{Kind: LitString, Str: t.Text}, nil
 	case TokIdent:
 		p.next()
+		// Qualified reference: table.column.
+		if p.acceptSymbol(".") {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.Text, Name: col}, nil
+		}
 		return &ColumnRef{Name: t.Text}, nil
 	case TokKeyword:
 		switch t.Text {

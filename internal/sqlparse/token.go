@@ -3,7 +3,9 @@
 //
 // The dialect covers the statements the paper's scenarios need —
 // CREATE TABLE (with a PERCEPTUAL column modifier), INSERT, SELECT with
-// WHERE/ORDER BY/LIMIT and simple aggregates, UPDATE, and DELETE. The
+// WHERE/ORDER BY/LIMIT, inner `JOIN … ON` (with table aliases and
+// qualified `table.column` references), simple aggregates, EXPLAIN,
+// UPDATE, and DELETE. The
 // distinguishing feature is not syntax but semantics: a SELECT may
 // reference columns that do not exist yet, and the engine layer decides
 // whether that is an error or a schema-expansion trigger.
@@ -71,6 +73,7 @@ var keywords = map[string]bool{
 	"CROWD": true, "SPACE": true, "HYBRID": true, "WITH": true,
 	"BUDGET": true, "SAMPLES": true, "ADD": true, "COLUMN": true,
 	"GROUP": true, "HAVING": true, "DISTINCT": true,
+	"JOIN": true, "INNER": true, "ON": true, "EXPLAIN": true,
 }
 
 // IsKeyword reports whether upper-cased s is reserved.

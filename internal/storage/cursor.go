@@ -1,0 +1,116 @@
+package storage
+
+// Cursor reads a table in batches without per-row allocation: each refill
+// copies up to batchSize rows' values into one reusable buffer while the
+// table's read lock is held, then releases the lock so writers (and crowd
+// fill-ins) are blocked only for the duration of a batch, not a whole
+// query. This is the executor's scan primitive; the old Scan callback
+// holds the lock for the entire iteration.
+//
+// Consistency: each batch is an atomic snapshot, but the cursor tracks
+// its position by row index across lock releases, so the whole scan is
+// weaker than the old whole-table Scan (which held the lock throughout):
+// rows updated between refills are observed in their new state, and a
+// concurrent Delete's in-place compaction shifts indices, which can make
+// the scan skip (or re-read) rows near the deletion point. The serving
+// workload is append + fill — deletes racing long scans are expected to
+// be rare; callers that need a stable view should snapshot (core's gate)
+// or avoid concurrent deletes.
+//
+// The Row returned by Next aliases the cursor's internal buffer and is
+// valid only until the following Next call; callers that retain rows
+// (sorts, hash builds) must Clone them.
+type Cursor struct {
+	t     *Table
+	width int // column count fixed at cursor creation
+	next  int // next table row index to read
+	// filter, when set, is evaluated under the lock during refill; rows
+	// failing it are never copied. A filter error stops the scan.
+	filter func(Row) (bool, error)
+
+	buf  []Value // batch backing array, reused across refills
+	hdrs []Row   // row headers into buf, reused across refills
+	n    int     // rows in the current batch
+	pos  int     // consumed rows of the current batch
+	err  error
+	done bool
+}
+
+// DefaultBatchSize is the cursor batch size used when 0 is passed.
+const DefaultBatchSize = 256
+
+// NewCursor creates a batched cursor over the table's current rows.
+func (t *Table) NewCursor(batchSize int) *Cursor {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	t.mu.RLock()
+	width := t.schema.Len()
+	t.mu.RUnlock()
+	return &Cursor{
+		t:     t,
+		width: width,
+		buf:   make([]Value, batchSize*width),
+		hdrs:  make([]Row, batchSize),
+	}
+}
+
+// SetFilter installs a predicate evaluated during refill, under the read
+// lock, before a row is copied into the batch: non-matching rows cost no
+// copy at all. The Row passed to f aliases table storage and must not be
+// retained or mutated.
+func (c *Cursor) SetFilter(f func(Row) (bool, error)) { c.filter = f }
+
+// Next returns the next matching row, or ok=false at the end of the scan
+// (check Err afterwards). The returned Row is valid until the next call.
+func (c *Cursor) Next() (Row, bool) {
+	for c.pos >= c.n {
+		if c.err != nil || c.done {
+			return nil, false
+		}
+		c.refill()
+	}
+	row := c.hdrs[c.pos]
+	c.pos++
+	return row, true
+}
+
+// Err returns the first filter error encountered, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// refill copies the next batch of (matching) rows under one read-lock
+// acquisition.
+func (c *Cursor) refill() {
+	t := c.t
+	batch := len(c.hdrs)
+	c.n, c.pos = 0, 0
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for c.n < batch && c.next < len(t.rows) {
+		row := t.rows[c.next]
+		c.next++
+		if len(row) < c.width {
+			// Cannot happen today (columns are only added), but guard
+			// against short rows rather than panic mid-scan.
+			continue
+		}
+		if c.filter != nil {
+			ok, err := c.filter(row[:c.width])
+			if err != nil {
+				c.err = err
+				return
+			}
+			if !ok {
+				continue
+			}
+		}
+		dst := c.buf[c.n*c.width : (c.n+1)*c.width]
+		copy(dst, row[:c.width])
+		c.hdrs[c.n] = dst
+		c.n++
+	}
+	if c.next >= len(t.rows) {
+		c.done = true
+	}
+}
