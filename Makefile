@@ -3,7 +3,17 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check cover bench bench-smoke serve
+# Minimum total statement coverage (percent) `make cover` enforces.
+COVER_FLOOR ?= 70
+# Where bench-guard writes the measured numbers (the CI artifact). Point
+# it at BENCH_baseline.json to refresh the committed baseline.
+BENCH_GUARD_OUT ?= bench-current.json
+# Allowed fractional slowdown vs BENCH_baseline.json. The committed
+# baseline encodes one machine class; after a runner/hardware change,
+# refresh the baseline (see BENCH_GUARD_OUT) rather than widening this.
+BENCH_GUARD_THRESHOLD ?= 0.30
+
+.PHONY: build test race vet fmt check cover bench bench-smoke bench-guard staticcheck serve
 
 build:
 	$(GO) build ./...
@@ -23,20 +33,43 @@ fmt:
 
 check: build fmt vet race
 
-# Coverage over every package, with a per-function summary; CI runs this.
+# Coverage over every package; fails below COVER_FLOOR% total statement
+# coverage so the wall only ever moves up. CI runs this.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
-	$(GO) tool cover -func=coverage.out | tail -n 1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	ok=$$(awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { print (t+0 >= f+0) ? 1 : 0 }'); \
+	if [ "$$ok" != "1" ]; then echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; fi
 
 # Reproduction + serving benchmarks (compact report; see DESIGN.md §5–§7).
 bench:
 	$(GO) test -bench . -benchmem .
 
-# One-shot run of the planner/executor benchmarks (DESIGN.md §10) so perf
-# regressions surface in PR logs without a full bench sweep. The TopN
-# number should stay well under the sort-everything baseline (≥5×).
+# One-shot run of the planner/executor and batching benchmarks
+# (DESIGN.md §10–§11) so perf regressions surface in PR logs without a
+# full bench sweep. The TopN number should stay well under the
+# sort-everything baseline (≥5×); BatchedElicitation should report a ≥2×
+# charge reduction.
 bench-smoke:
-	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect|BatchedElicitation' -benchtime 1x -benchmem .
+
+# Bench-regression wall: run the guarded benchmarks with enough
+# repetitions for a stable minimum, emit the numbers as JSON
+# ($(BENCH_GUARD_OUT), uploaded as a CI artifact), and fail if
+# BenchmarkTopNSelect or BenchmarkWALReplay regressed >30% against the
+# committed BENCH_baseline.json.
+bench-guard:
+	$(GO) test -run xxx -bench 'BenchmarkTopNSelect$$|BenchmarkWALReplay$$' -benchtime 5x -count 3 . | tee bench-guard.txt
+	$(GO) run ./cmd/benchguard -input bench-guard.txt -baseline BENCH_baseline.json \
+		-out $(BENCH_GUARD_OUT) -require BenchmarkTopNSelect,BenchmarkWALReplay \
+		-threshold $(BENCH_GUARD_THRESHOLD)
+
+# Static analysis beyond go vet; pinned in CI (see ci.yml), best-effort
+# locally if the binary is on PATH.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; CI runs the pinned version"; fi
 
 # Run the HTTP server on :8080 with the demo movie universe.
 serve:

@@ -1,0 +1,162 @@
+// Command benchguard is the CI bench-regression wall: it parses `go test
+// -bench` output, emits the measured numbers as a JSON artifact, and
+// fails (exit 1) when a guarded benchmark's ns/op regresses beyond a
+// threshold against a committed baseline.
+//
+//	go test -run xxx -bench 'BenchmarkTopNSelect$|BenchmarkWALReplay$' -count 3 . | tee bench.txt
+//	benchguard -input bench.txt -baseline BENCH_baseline.json -out bench-current.json \
+//	    -require BenchmarkTopNSelect,BenchmarkWALReplay -threshold 0.30
+//
+// With -count N the minimum ns/op per benchmark is used — the minimum is
+// the least noisy estimator of a benchmark's true cost on a shared CI
+// runner. To refresh the baseline after an intentional perf change, run
+// the same bench command and commit the -out file as BENCH_baseline.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's headline number.
+type Measurement struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Baseline is the committed reference file format.
+type Baseline struct {
+	// Note documents provenance (machine, date, refresh command).
+	Note       string                 `json:"note,omitempty"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+// benchLine matches standard `go test -bench` result lines, e.g.
+//
+//	BenchmarkTopNSelect-8   	      14	  73334423 ns/op	...
+//
+// capturing the name (GOMAXPROCS suffix stripped) and ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts the minimum ns/op per benchmark name from bench
+// output (minimum across -count repetitions).
+func parseBench(r io.Reader) (map[string]Measurement, error) {
+	out := map[string]Measurement{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchguard: bad ns/op on line %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev.NsPerOp {
+			out[m[1]] = Measurement{NsPerOp: ns}
+		}
+	}
+	return out, sc.Err()
+}
+
+// compare returns one failure message per guarded benchmark that is
+// missing from the run, missing from the baseline, or slower than
+// baseline*(1+threshold).
+func compare(current, baseline map[string]Measurement, require []string, threshold float64) []string {
+	var failures []string
+	for _, name := range require {
+		cur, okCur := current[name]
+		base, okBase := baseline[name]
+		switch {
+		case !okCur:
+			failures = append(failures, fmt.Sprintf("%s: not found in bench output", name))
+		case !okBase:
+			failures = append(failures, fmt.Sprintf("%s: not found in baseline", name))
+		case cur.NsPerOp > base.NsPerOp*(1+threshold):
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.0f%%, limit +%.0f%%)",
+				name, cur.NsPerOp, base.NsPerOp,
+				100*(cur.NsPerOp/base.NsPerOp-1), 100*threshold))
+		}
+	}
+	return failures
+}
+
+func run(input io.Reader, baselinePath, outPath, requireList string, threshold float64, stdout io.Writer) error {
+	current, err := parseBench(input)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		artifact := Baseline{Benchmarks: current}
+		data, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("benchguard: reading baseline: %w", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchguard: parsing baseline: %w", err)
+	}
+	var require []string
+	for _, name := range strings.Split(requireList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			require = append(require, name)
+		}
+	}
+	for _, name := range require {
+		if cur, ok := current[name]; ok {
+			if b, okB := base.Benchmarks[name]; okB {
+				fmt.Fprintf(stdout, "benchguard: %s %.0f ns/op (baseline %.0f, %+.1f%%)\n",
+					name, cur.NsPerOp, b.NsPerOp, 100*(cur.NsPerOp/b.NsPerOp-1))
+			}
+		}
+	}
+	if failures := compare(current, base.Benchmarks, require, threshold); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(stdout, "benchguard: REGRESSION %s\n", f)
+		}
+		return fmt.Errorf("benchguard: %d benchmark regression(s)", len(failures))
+	}
+	fmt.Fprintln(stdout, "benchguard: ok")
+	return nil
+}
+
+func main() {
+	var (
+		input     = flag.String("input", "", "bench output file (default stdin)")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+		out       = flag.String("out", "", "write the measured numbers as JSON (the CI artifact)")
+		require   = flag.String("require", "", "comma-separated benchmark names that must be present and within threshold")
+		threshold = flag.Float64("threshold", 0.30, "allowed fractional slowdown vs baseline")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, *baseline, *out, *require, *threshold, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: crowddb
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWALReplay  	       1	  89661321 ns/op	        89.66 ms/replay-10k	28446048 B/op	  498166 allocs/op
+BenchmarkWALReplay  	       1	  80123456 ns/op	        80.12 ms/replay-10k	28446048 B/op	  498166 allocs/op
+BenchmarkTopNSelect-8 	      14	  73334423 ns/op	   1000000 rows-scanned/op
+PASS
+ok  	crowddb	0.561s
+`
+
+func TestParseBenchTakesMinAndStripsSuffix(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkWALReplay"].NsPerOp != 80123456 {
+		t.Fatalf("WALReplay = %v, want min 80123456", got["BenchmarkWALReplay"])
+	}
+	if got["BenchmarkTopNSelect"].NsPerOp != 73334423 {
+		t.Fatalf("TopNSelect = %v (GOMAXPROCS suffix not stripped?)", got["BenchmarkTopNSelect"])
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	base := map[string]Measurement{
+		"BenchmarkA": {NsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 100},
+	}
+	current := map[string]Measurement{
+		"BenchmarkA": {NsPerOp: 129}, // +29%: inside the 30% fence
+		"BenchmarkB": {NsPerOp: 131}, // +31%: regression
+	}
+	fails := compare(current, base, []string{"BenchmarkA", "BenchmarkB"}, 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkB") {
+		t.Fatalf("failures = %v, want exactly BenchmarkB", fails)
+	}
+	// Missing on either side is a failure, not a silent pass.
+	fails = compare(current, base, []string{"BenchmarkC"}, 0.30)
+	if len(fails) != 1 {
+		t.Fatalf("missing benchmark not flagged: %v", fails)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	out := filepath.Join(dir, "current.json")
+	if err := os.WriteFile(baseline, []byte(`{"benchmarks":{"BenchmarkTopNSelect":{"ns_per_op":70000000},"BenchmarkWALReplay":{"ns_per_op":85000000}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	err := run(strings.NewReader(sampleOutput), baseline, out,
+		"BenchmarkTopNSelect,BenchmarkWALReplay", 0.30, &report)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, report.String())
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	// Tighten the fence so WALReplay (80.1ms vs 85ms baseline is fine,
+	// but TopN 73.3ms vs 70ms is +4.8%) trips at 2%.
+	err = run(strings.NewReader(sampleOutput), baseline, "",
+		"BenchmarkTopNSelect", 0.02, &report)
+	if err == nil {
+		t.Fatal("tight threshold did not trip")
+	}
+}

@@ -32,6 +32,19 @@
 // start, so a restart never re-elicits (or re-charges for) a column the
 // crowd already filled. POST /admin/snapshot compacts the log. -fsync
 // extends durability from process crashes to power loss.
+//
+// Cost controls: -batch-window merges expansions of the same table that
+// arrive within the window into shared HIT groups (one crowd charge for
+// N columns); -default-budget caps each API key's crowd spend, enforced
+// before HITs are issued. Caps can also be set per key via
+//
+//	curl -s localhost:8080/admin/expand \
+//	    -d '{"table":"movies","column":"Comedy","key":"team-a","budget":2.50}'
+//	curl -s localhost:8080/budgets
+//
+// which pre-warms a column explicitly; a request the key's budget cannot
+// cover is rejected with 402, and both the cap and the spend survive
+// restarts.
 package main
 
 import (
@@ -66,6 +79,8 @@ type demoConfig struct {
 	fsync            bool
 	expansionWorkers int
 	expansionQueue   int
+	batchWindow      time.Duration
+	defaultBudget    float64
 }
 
 func main() {
@@ -83,6 +98,11 @@ func main() {
 		fsync   = flag.Bool("fsync", false, "fsync WAL batches (survive power loss, not just crashes)")
 		expWork = flag.Int("expansion-workers", 4, "expansion scheduler worker-pool size")
 		expQ    = flag.Int("expansion-queue", 64, "expansion scheduler admission-queue depth")
+
+		batchWindow = flag.Duration("batch-window", 25*time.Millisecond,
+			"batching window for merging same-table expansions into shared HIT groups (0 = every expansion is its own crowd job)")
+		defaultBudget = flag.Float64("default-budget", 0,
+			"default per-API-key crowd budget cap in dollars for keys without an explicit cap (0 = uncapped)")
 	)
 	flag.Parse()
 
@@ -91,6 +111,7 @@ func main() {
 		crowdWorkers: *workers, spammers: *spammers,
 		dataDir: *dataDir, fsync: *fsync,
 		expansionWorkers: *expWork, expansionQueue: *expQ,
+		batchWindow: *batchWindow, defaultBudget: *defaultBudget,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -160,6 +181,8 @@ func buildDemoDB(cfg demoConfig) (*core.DB, error) {
 		DataDir: cfg.dataDir,
 		Fsync:   cfg.fsync,
 		Workers: cfg.expansionWorkers, QueueDepth: cfg.expansionQueue,
+		BatchWindow:   cfg.batchWindow,
+		DefaultBudget: cfg.defaultBudget,
 	})
 	if err != nil {
 		return nil, err

@@ -98,6 +98,22 @@ func NewSimulatedCrowd(pop *crowd.Population, items core.ItemModelFunc, rng *ran
 	return core.NewSimulatedCrowd(pop, items, rng)
 }
 
+// BatchJudgmentService is the optional batching extension of
+// JudgmentService: one call elicits several questions in ONE shared HIT
+// group (see Options.BatchWindow). SimulatedCrowd implements it.
+type BatchJudgmentService = core.BatchJudgmentService
+
+// BatchRequest is one elicitation's share of a shared HIT group.
+type BatchRequest = core.BatchRequest
+
+// BudgetStatus is one API key's budget cap and cumulative crowd spend
+// (see DB.SetBudget / DB.Budgets and Options.DefaultBudget).
+type BudgetStatus = core.BudgetStatus
+
+// ErrBudgetExceeded marks an expansion rejected because its API key's
+// budget cap cannot cover the projected crowd cost.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
 // ExpandOptions tunes one schema expansion.
 type ExpandOptions = core.ExpandOptions
 

@@ -1,3 +1,7 @@
 module crowddb
 
-go 1.24
+// Kept at 1.23 so the CI matrix (1.23, 1.24) genuinely exercises both
+// toolchains. Note: the `omitzero` JSON tag is honored by encoding/json
+// from Go 1.24 and harmlessly ignored on 1.23 (zero timestamps are then
+// serialized instead of omitted) — nothing asserts on that shape.
+go 1.23

@@ -17,6 +17,14 @@ import (
 // layer maps it to a 5xx status.
 var ErrExpansionFailed = errors.New("core: expansion failed")
 
+// ErrExpansionInFlight marks an explicit expansion rejected because the
+// same column's expansion is already queued or running (HTTP 409: the
+// statement's own options would be discarded by a silent join).
+var ErrExpansionInFlight = errors.New("core: expansion already in flight")
+
+// ErrNoSuchTable marks a request against an unknown table (HTTP 404).
+var ErrNoSuchTable = errors.New("core: no such table")
+
 // Expansion scheduler sizing. Crowd jobs spend their time waiting on
 // (simulated) humans, not on CPU, so a small pool is plenty; the queue is
 // deep enough that a burst of distinct expandable columns does not bounce.
@@ -99,7 +107,18 @@ func expansionKey(table, column string) string {
 // resubmitted after the original job finished. Explicit EXPAND statements
 // pass implicit=false: re-expanding an existing column re-elicits it by
 // design.
+//
+// With batching enabled (Options.BatchWindow), the expansion routes
+// through the coalescer instead of straight onto the worker pool:
+// expansions of the same table submitted within one window merge their
+// sampling phases into shared HIT groups (see batch.go). Singleflight
+// semantics are identical on both paths.
 func (db *DB) submitExpansion(table, column string, kind storage.Kind, opts ExpandOptions, implicit bool) (*jobs.Job, bool, error) {
+	if db.coalescer != nil {
+		return db.coalescer.Submit(batchGroupKey(table), expansionKey(table, column), expansionWork{
+			table: table, column: column, kind: kind, opts: opts, implicit: implicit,
+		})
+	}
 	return db.sched.Submit(expansionKey(table, column), func(ctl *jobs.Ctl) (any, error) {
 		if implicit && db.columnFilled(table, column) {
 			return nil, nil
@@ -136,8 +155,48 @@ func (db *DB) submitExpandStmt(ex *sqlparse.ExpandStmt) (*jobs.Job, error) {
 		return nil, err
 	}
 	if !created {
-		return nil, fmt.Errorf("core: expansion of %s.%s already in flight (%s); retry after it completes",
-			ex.Table, ex.Column.Name, job.ID())
+		return nil, fmt.Errorf("%w: %s.%s (%s); retry after it completes",
+			ErrExpansionInFlight, ex.Table, ex.Column.Name, job.ID())
+	}
+	return job, nil
+}
+
+// SubmitExpand schedules an explicit expansion programmatically — the
+// POST /admin/expand path: pre-warm a column before queries need it,
+// attributed to an API key whose budget cap is checked up front. The
+// projected sampling cost is reserved against opts.APIKey at submission
+// (ErrBudgetExceeded maps to 402 at the HTTP layer); the job re-checks
+// authoritatively before issuing HITs. Like EXPAND statements, a same-
+// column expansion already in flight is an error, not a silent join.
+func (db *DB) SubmitExpand(table, column string, kind storage.Kind, opts ExpandOptions) (*jobs.Job, error) {
+	tbl, ok := db.Catalog().Get(table)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	// Pre-flight budget check on a submission-time plan. Best-effort: a
+	// plan that cannot be built yet (HYBRID's two rounds, missing space)
+	// defers entirely to the run-time check inside the job.
+	pre := opts
+	defaultMethod := sqlparse.ExpandCrowd
+	if db.binding(table) != nil {
+		defaultMethod = sqlparse.ExpandSpace
+	}
+	pre.fillDefaults(defaultMethod)
+	if pre.Method == sqlparse.ExpandHybrid {
+		pre.Method = sqlparse.ExpandCrowd // estimate HYBRID by its first round
+	}
+	if e, err := db.planElicitation(tbl, column, pre); err == nil {
+		if err := db.checkBudget(pre.APIKey, e.projected()); err != nil {
+			return nil, err
+		}
+	}
+	job, created, err := db.submitExpansion(table, column, kind, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	if !created {
+		return nil, fmt.Errorf("%w: %s.%s (%s); retry after it completes",
+			ErrExpansionInFlight, table, column, job.ID())
 	}
 	return job, nil
 }

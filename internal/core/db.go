@@ -40,6 +40,10 @@ type ExpandOptions struct {
 	// [32]/[33]. Most useful when spammer contamination is expected but
 	// not dominant.
 	WeightedVote bool
+	// APIKey attributes the expansion's crowd spend to a per-key budget
+	// (see SetBudget). Empty means unattributed: no cap applies unless
+	// the database was opened with a DefaultBudget.
+	APIKey string `json:"api_key,omitempty"`
 
 	// onPhase and onCharge are set by the job scheduler so that an
 	// expansion running on a worker goroutine can report lifecycle
@@ -129,6 +133,15 @@ type DB struct {
 	ledger  *Ledger
 	sched   *jobs.Scheduler
 
+	// coalescer, when non-nil, batches same-table expansions submitted
+	// within a short window into shared HIT groups (see batch.go). Nil
+	// means every expansion runs as its own crowd job.
+	coalescer *jobs.Coalescer
+
+	// budgets holds per-API-key spending caps and cumulative spend,
+	// enforced before HITs are issued and persisted via the WAL.
+	budgets budgetBook
+
 	// wal is the durability log (nil when opened without a DataDir).
 	// gate serializes snapshots against journaled mutations: every
 	// mutation path holds gate.RLock across "apply + append", and
@@ -149,10 +162,14 @@ func NewDB(service JudgmentService) *DB {
 	return db
 }
 
-// Close shuts down the expansion scheduler, waiting for in-flight jobs,
-// then flushes and closes the WAL. The returned error reports any append
-// failure latched during operation — state that may not have reached disk.
+// Close shuts down the batching coalescer (flushing pending batches) and
+// the expansion scheduler, waiting for in-flight jobs, then flushes and
+// closes the WAL. The returned error reports any append failure latched
+// during operation — state that may not have reached disk.
 func (db *DB) Close() error {
+	if db.coalescer != nil {
+		db.coalescer.Close()
+	}
 	db.sched.Close()
 	if db.wal == nil {
 		return nil
@@ -370,10 +387,10 @@ func waitReport(job *jobs.Job) (*ExpansionReport, error) {
 	return report, nil
 }
 
-// Expand adds the column to the table (if absent) and fills it with the
-// selected strategy. It is idempotent on the column: re-expanding an
-// existing column re-elicits its values.
-func (db *DB) Expand(table, column string, kind storage.Kind, opts ExpandOptions) (*ExpansionReport, error) {
+// prepareExpansion is the shared pre-sampling phase of Expand and of the
+// batch runner: resolve defaults, validate the kind, and add the column
+// to the table if absent. opts is updated in place with its defaults.
+func (db *DB) prepareExpansion(table, column string, kind storage.Kind, opts *ExpandOptions) (*storage.Table, error) {
 	tbl, ok := db.Catalog().Get(table)
 	if !ok {
 		return nil, fmt.Errorf("core: no such table %q", table)
@@ -400,6 +417,17 @@ func (db *DB) Expand(table, column string, kind storage.Kind, opts ExpandOptions
 		if err != nil {
 			return nil, err
 		}
+	}
+	return tbl, nil
+}
+
+// Expand adds the column to the table (if absent) and fills it with the
+// selected strategy. It is idempotent on the column: re-expanding an
+// existing column re-elicits its values.
+func (db *DB) Expand(table, column string, kind storage.Kind, opts ExpandOptions) (*ExpansionReport, error) {
+	tbl, err := db.prepareExpansion(table, column, kind, &opts)
+	if err != nil {
+		return nil, err
 	}
 
 	switch opts.Method {

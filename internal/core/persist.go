@@ -49,6 +49,15 @@ type Options struct {
 	Workers int
 	// QueueDepth bounds the expansion admission queue (default 64).
 	QueueDepth int
+	// BatchWindow, when positive, enables batched HIT elicitation:
+	// expansions of the same table submitted within this window merge
+	// their sampling phases into shared HIT groups, charged once. Zero
+	// disables batching (every expansion is its own crowd job).
+	BatchWindow time.Duration
+	// DefaultBudget, when positive, caps the crowd spend of every API
+	// key that has no explicit SetBudget cap. Zero leaves unknown keys
+	// uncapped.
+	DefaultBudget float64
 }
 
 // ErrNoDataDir is returned by Snapshot on a database opened without a
@@ -57,11 +66,13 @@ var ErrNoDataDir = errors.New("core: database has no data dir (durability disabl
 
 // WAL record types above the storage layer.
 const (
-	recOp         = "op"         // storage.Op — table/catalog mutation
-	recSpace      = "space"      // perceptual-space binding
-	recExpandable = "expandable" // expandable-column registration
-	recCharge     = "charge"     // crowd spend booked to the ledger
-	recJob        = "job"        // expansion job reached a terminal state
+	recOp          = "op"           // storage.Op — table/catalog mutation
+	recSpace       = "space"        // perceptual-space binding
+	recExpandable  = "expandable"   // expandable-column registration
+	recCharge      = "charge"       // crowd spend booked to the ledger
+	recJob         = "job"          // expansion job reached a terminal state
+	recBudgetCap   = "budget_cap"   // per-API-key budget cap installed
+	recBudgetSpend = "budget_spend" // crowd spend debited against a key
 )
 
 // spaceRecord persists one table↔space binding, coordinates included, so
@@ -120,6 +131,9 @@ type snapshotState struct {
 	Expandables []expandableRecord `json:"expandables,omitempty"`
 	Ledger      LedgerTotals       `json:"ledger"`
 	Jobs        []jobRecord        `json:"jobs,omitempty"`
+	// Budgets carries every API key's cap and cumulative spend: money
+	// state, as durable as the ledger itself.
+	Budgets []BudgetStatus `json:"budgets,omitempty"`
 }
 
 // walJournal adapts the WAL to storage.Journal: every storage mutation
@@ -154,6 +168,10 @@ func Open(opts Options) (*DB, error) {
 		expandables: map[string]map[string]expandableSpec{},
 	}
 	db.sched.OnTerminal = db.onJobTerminal
+	db.budgets.defaultCap = opts.DefaultBudget
+	if opts.BatchWindow > 0 {
+		db.coalescer = jobs.NewCoalescer(db.sched, opts.BatchWindow, db.runExpansionBatch)
+	}
 	if opts.DataDir == "" {
 		return db, nil
 	}
@@ -260,6 +278,7 @@ func (db *DB) collectState() *snapshotState {
 		}
 		st.Jobs = append(st.Jobs, statusToJobRecord(js))
 	}
+	st.Budgets = db.Budgets()
 	return st
 }
 
@@ -291,6 +310,10 @@ func (db *DB) restoreSnapshot(st *snapshotState, restored map[string]jobs.Restor
 		db.RegisterExpandable(e.Table, e.Column, e.Kind, e.Opts)
 	}
 	db.ledger.restore(st.Ledger)
+	for _, b := range st.Budgets {
+		db.budgets.setCap(b.Key, b.Cap)
+		db.budgets.addSpend(b.Key, b.Spent)
+	}
 	for _, jr := range st.Jobs {
 		restored[jr.ID] = jobRecordToRestored(jr)
 	}
@@ -332,6 +355,20 @@ func (db *DB) applyRecord(rec wal.Record, restored map[string]jobs.RestoredJob) 
 			return err
 		}
 		restored[jr.ID] = jobRecordToRestored(jr)
+		return nil
+	case recBudgetCap:
+		var br budgetCapRecord
+		if err := json.Unmarshal(rec.Data, &br); err != nil {
+			return err
+		}
+		db.budgets.setCap(br.Key, br.Cap)
+		return nil
+	case recBudgetSpend:
+		var br budgetSpendRecord
+		if err := json.Unmarshal(rec.Data, &br); err != nil {
+			return err
+		}
+		db.budgets.addSpend(br.Key, br.Amount)
 		return nil
 	default:
 		return fmt.Errorf("unknown record type %q", rec.Type)

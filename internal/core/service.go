@@ -35,6 +35,25 @@ type JudgmentService interface {
 	Collect(question string, itemIDs []int, cfg crowd.JobConfig) (*crowd.RunResult, error)
 }
 
+// BatchRequest is one elicitation's share of a shared HIT group: a yes/no
+// question over a set of item IDs.
+type BatchRequest struct {
+	Question string
+	ItemIDs  []int
+}
+
+// BatchJudgmentService is the optional batching extension of
+// JudgmentService: one call runs ONE crowd job whose HITs interleave
+// several questions, so N pending elicitations engage (and charge) the
+// marketplace once instead of N times. Services that do not implement it
+// fall back to per-question Collect calls.
+type BatchJudgmentService interface {
+	// CollectBatch merges the requests into a single shared HIT group
+	// and returns the combined run plus its per-question split (indexed
+	// like reqs).
+	CollectBatch(reqs []BatchRequest, cfg crowd.JobConfig) (*crowd.BatchResult, error)
+}
+
 // ItemModelFunc supplies the simulator's behavioural item models for a
 // question (latent truth, popularity, ambiguity), keyed by item ID.
 // dataset.Universe.CrowdItems provides exactly this shape.
@@ -84,6 +103,40 @@ func (s *SimulatedCrowd) Collect(question string, itemIDs []int, cfg crowd.JobCo
 		cfg.GoldFailureLimit = s.GoldFailureLimit
 	}
 	return crowd.RunJob(s.population, selected, cfg, s.rng)
+}
+
+// CollectBatch implements BatchJudgmentService: the requests' items are
+// merged into one simulated crowd job (shared HIT group, shared worker
+// pass, one wall-clock window) and the judgment log is split back per
+// question.
+func (s *SimulatedCrowd) CollectBatch(reqs []BatchRequest, cfg crowd.JobConfig) (*crowd.BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	batch := make([]crowd.BatchRequest, 0, len(reqs))
+	for _, req := range reqs {
+		models, err := s.items(req.Question)
+		if err != nil {
+			return nil, err
+		}
+		byID := make(map[int]crowd.Item, len(models))
+		for _, m := range models {
+			byID[m.ID] = m
+		}
+		selected := make([]crowd.Item, 0, len(req.ItemIDs))
+		for _, id := range req.ItemIDs {
+			m, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("core: no crowd item model for id %d (question %q)", id, req.Question)
+			}
+			selected = append(selected, m)
+		}
+		batch = append(batch, crowd.BatchRequest{Question: req.Question, Items: selected})
+	}
+	if len(s.Gold) > 0 && len(cfg.GoldItems) == 0 {
+		cfg.GoldItems = s.Gold
+		cfg.GoldFailureLimit = s.GoldFailureLimit
+	}
+	return crowd.RunBatchJob(s.population, batch, cfg, s.rng)
 }
 
 // LedgerTotals is a point-in-time snapshot of crowd-sourcing spend.

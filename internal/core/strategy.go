@@ -13,15 +13,38 @@ import (
 )
 
 // charge books one crowd run into the global ledger (and its WAL record,
-// under the snapshot gate so totals and log stay consistent) and, when
-// the expansion runs under a scheduled job, into that job's ledger too.
+// under the snapshot gate so totals and log stay consistent), debits the
+// attributed API key's budget, and, when the expansion runs under a
+// scheduled job, books into that job's ledger too.
 func (db *DB) charge(res *crowd.RunResult, opts *ExpandOptions) {
 	db.gate.RLock()
 	db.ledger.add(res)
 	db.logCharge(res)
+	db.spendBudget(opts.APIKey, res.TotalCost)
 	db.gate.RUnlock()
 	if opts.onCharge != nil {
 		opts.onCharge(res)
+	}
+}
+
+// chargeCombined books ONE combined (batched) crowd run into the global
+// ledger: N merged elicitations cost the requester a single charge.
+func (db *DB) chargeCombined(res *crowd.RunResult) {
+	db.gate.RLock()
+	db.ledger.add(res)
+	db.logCharge(res)
+	db.gate.RUnlock()
+}
+
+// chargeMemberShare books one member's split of a combined run: the
+// member's API-key budget and its per-job ledger see exactly its share,
+// while the global ledger saw the batch once via chargeCombined.
+func (db *DB) chargeMemberShare(share *crowd.RunResult, opts *ExpandOptions) {
+	db.gate.RLock()
+	db.spendBudget(opts.APIKey, share.TotalCost)
+	db.gate.RUnlock()
+	if opts.onCharge != nil {
+		opts.onCharge(share)
 	}
 }
 
@@ -81,9 +104,31 @@ func aggregateVotes(records []crowd.Record, opts ExpandOptions) map[int]bool {
 	return crowd.MajorityVote(records).Label
 }
 
-// expandDirectCrowd is the paper's baseline: judge every tuple, majority
-// vote, write the result (Experiments 1–3).
-func (db *DB) expandDirectCrowd(tbl *storage.Table, column string, opts ExpandOptions) (*ExpansionReport, error) {
+// elicitation is the planned sampling phase of one expansion, split off
+// from the collect/finish phases so that the batching layer can merge the
+// sampling of several pending expansions into one shared HIT group: plan
+// each member, issue ONE crowd job for all of them, then finish each
+// member from its share of the judgment log.
+type elicitation struct {
+	tbl    *storage.Table
+	column string
+	method sqlparse.ExpandMethod
+	opts   ExpandOptions
+	// rows/ids cover the whole table; judgeIDs is the subset of ids sent
+	// to the crowd (everything for CROWD, the training sample for SPACE).
+	rows, ids []int
+	judgeIDs  []int
+}
+
+// projected is the elicitation's up-front cost estimate, the number the
+// per-key budget cap is checked against before any HIT is issued.
+func (e *elicitation) projected() float64 {
+	return projectedCost(len(e.judgeIDs), &e.opts)
+}
+
+// planCrowd plans the paper's baseline: judge every tuple (Experiments
+// 1–3), capped by the per-expansion dollar budget.
+func (db *DB) planCrowd(tbl *storage.Table, column string, opts ExpandOptions) (*elicitation, error) {
 	if db.service == nil {
 		return nil, fmt.Errorf("core: direct crowd expansion requires a JudgmentService")
 	}
@@ -95,40 +140,15 @@ func (db *DB) expandDirectCrowd(tbl *storage.Table, column string, opts ExpandOp
 	if len(judgeIDs) == 0 {
 		return nil, fmt.Errorf("core: budget $%.2f cannot cover a single tuple", opts.Budget)
 	}
-
-	opts.phase(jobs.StateSampling)
-	res, err := db.service.Collect(column, judgeIDs, opts.Job)
-	if err != nil {
-		return nil, err
-	}
-	db.charge(res, &opts)
-
-	opts.phase(jobs.StateFilling)
-	labels := aggregateVotes(res.Records, opts)
-	report := &ExpansionReport{
-		Table: tbl.Name(), Column: column, Method: sqlparse.ExpandCrowd,
-		Judgments: len(res.Records), Cost: res.TotalCost, Minutes: res.DurationMinutes,
-	}
-	vals := make([]storage.Value, len(rows))
-	for i := range rows {
-		if label, ok := labels[ids[i]]; ok {
-			vals[i] = storage.Bool(label)
-			report.Filled++
-		} else {
-			vals[i] = storage.Null()
-			report.Unfilled++
-		}
-	}
-	if err := db.mutate(func() error { return tbl.FillColumn(column, vals) }); err != nil {
-		return nil, err
-	}
-	return report, nil
+	return &elicitation{
+		tbl: tbl, column: column, method: sqlparse.ExpandCrowd, opts: opts,
+		rows: rows, ids: ids, judgeIDs: judgeIDs,
+	}, nil
 }
 
-// expandViaSpace is the paper's contribution: crowd-source a small
-// training sample, train an RBF-SVM on the perceptual space, predict
-// everything (Experiments 4–6, §4.3).
-func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptions) (*ExpansionReport, error) {
+// planSpace plans the paper's contribution: crowd-source only a small
+// training sample (Experiments 4–6, §4.3).
+func (db *DB) planSpace(tbl *storage.Table, column string, opts ExpandOptions) (*elicitation, error) {
 	binding := db.binding(tbl.Name())
 	if binding == nil {
 		return nil, fmt.Errorf("core: SPACE expansion of %q requires AttachSpace", tbl.Name())
@@ -163,15 +183,73 @@ func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptio
 	if len(sampleIDs) == 0 {
 		return nil, fmt.Errorf("core: budget $%.2f cannot cover a training sample", opts.Budget)
 	}
+	return &elicitation{
+		tbl: tbl, column: column, method: sqlparse.ExpandSpace, opts: opts,
+		rows: rows, ids: ids, judgeIDs: sampleIDs,
+	}, nil
+}
 
-	opts.phase(jobs.StateSampling)
-	res, err := db.service.Collect(column, sampleIDs, opts.Job)
-	if err != nil {
+// planElicitation dispatches on the (defaulted) method. HYBRID has no
+// plannable single sampling phase — it runs two rounds — and returns an
+// error; callers route it through expandHybrid instead.
+func (db *DB) planElicitation(tbl *storage.Table, column string, opts ExpandOptions) (*elicitation, error) {
+	switch opts.Method {
+	case sqlparse.ExpandCrowd:
+		return db.planCrowd(tbl, column, opts)
+	case sqlparse.ExpandSpace:
+		return db.planSpace(tbl, column, opts)
+	default:
+		return nil, fmt.Errorf("core: method %q has no single-phase elicitation plan", opts.Method)
+	}
+}
+
+// finishElicitation turns a judgment log (the elicitation's share of a
+// crowd run) into column values and a report, per the planned method.
+func (db *DB) finishElicitation(e *elicitation, res *crowd.RunResult) (*ExpansionReport, error) {
+	switch e.method {
+	case sqlparse.ExpandCrowd:
+		return db.finishCrowd(e, res)
+	case sqlparse.ExpandSpace:
+		return db.finishSpace(e, res)
+	default:
+		return nil, fmt.Errorf("core: cannot finish method %q", e.method)
+	}
+}
+
+// finishCrowd majority-votes the log and writes the result.
+func (db *DB) finishCrowd(e *elicitation, res *crowd.RunResult) (*ExpansionReport, error) {
+	e.opts.phase(jobs.StateFilling)
+	labels := aggregateVotes(res.Records, e.opts)
+	report := &ExpansionReport{
+		Table: e.tbl.Name(), Column: e.column, Method: sqlparse.ExpandCrowd,
+		Judgments: len(res.Records), Cost: res.TotalCost, Minutes: res.DurationMinutes,
+	}
+	vals := make([]storage.Value, len(e.rows))
+	for i := range e.rows {
+		if label, ok := labels[e.ids[i]]; ok {
+			vals[i] = storage.Bool(label)
+			report.Filled++
+		} else {
+			vals[i] = storage.Null()
+			report.Unfilled++
+		}
+	}
+	if err := db.mutate(func() error { return e.tbl.FillColumn(e.column, vals) }); err != nil {
 		return nil, err
 	}
-	db.charge(res, &opts)
-	opts.phase(jobs.StateTraining)
-	voteLabels := aggregateVotes(res.Records, opts)
+	return report, nil
+}
+
+// finishSpace trains an RBF-SVM on the voted sample over the perceptual
+// space and predicts every tuple.
+func (db *DB) finishSpace(e *elicitation, res *crowd.RunResult) (*ExpansionReport, error) {
+	binding := db.binding(e.tbl.Name())
+	if binding == nil {
+		return nil, fmt.Errorf("core: space binding for %q vanished mid-expansion", e.tbl.Name())
+	}
+	sp := binding.space
+	e.opts.phase(jobs.StateTraining)
+	voteLabels := aggregateVotes(res.Records, e.opts)
 
 	// Train on every sampled item that reached a majority, with whatever
 	// class balance the crowd produced — the Experiment 4–6 protocol.
@@ -180,7 +258,7 @@ func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptio
 	var X [][]float64
 	var y []bool
 	perClass := map[bool]int{}
-	for _, id := range sampleIDs {
+	for _, id := range e.judgeIDs {
 		label, ok := voteLabels[id]
 		if !ok {
 			continue
@@ -190,13 +268,13 @@ func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptio
 		y = append(y, label)
 	}
 	report := &ExpansionReport{
-		Table: tbl.Name(), Column: column, Method: sqlparse.ExpandSpace,
+		Table: e.tbl.Name(), Column: e.column, Method: sqlparse.ExpandSpace,
 		Judgments: len(res.Records), Cost: res.TotalCost, Minutes: res.DurationMinutes,
 		TrainingSize: len(X),
 	}
 	if perClass[true] == 0 || perClass[false] == 0 {
 		return nil, fmt.Errorf("core: crowd training sample for %s is single-class (pos=%d, neg=%d)",
-			column, perClass[true], perClass[false])
+			e.column, perClass[true], perClass[false])
 	}
 
 	model, err := svm.TrainSVC(X, y, svm.SVCConfig{C: 2})
@@ -204,10 +282,10 @@ func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptio
 		return nil, err
 	}
 
-	opts.phase(jobs.StateFilling)
-	vals := make([]storage.Value, len(rows))
-	for i := range rows {
-		id := ids[i]
+	e.opts.phase(jobs.StateFilling)
+	vals := make([]storage.Value, len(e.rows))
+	for i := range e.rows {
+		id := e.ids[i]
 		if id < 0 || id >= sp.NumItems() {
 			vals[i] = storage.Null()
 			report.Unfilled++
@@ -216,15 +294,57 @@ func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptio
 		vals[i] = storage.Bool(model.Predict(sp.Vector(id)))
 		report.Filled++
 	}
-	if err := db.mutate(func() error { return tbl.FillColumn(column, vals) }); err != nil {
+	if err := db.mutate(func() error { return e.tbl.FillColumn(e.column, vals) }); err != nil {
 		return nil, err
 	}
 	return report, nil
 }
 
+// runElicitation is the solo (unbatched) collect step: budget
+// reservation, one crowd job for this elicitation alone, one charge.
+func (db *DB) runElicitation(e *elicitation) (*ExpansionReport, error) {
+	release, err := db.reserveBudget(e.opts.APIKey, e.projected())
+	if err != nil {
+		return nil, err
+	}
+	// Released after charge books the actual spend (or on error), so a
+	// concurrent same-key elicitation never sees the cap headroom free
+	// while this one's HITs are in flight.
+	defer release()
+	e.opts.phase(jobs.StateSampling)
+	res, err := db.service.Collect(e.column, e.judgeIDs, e.opts.Job)
+	if err != nil {
+		return nil, err
+	}
+	db.charge(res, &e.opts)
+	return db.finishElicitation(e, res)
+}
+
+// expandDirectCrowd is the paper's baseline: judge every tuple, majority
+// vote, write the result (Experiments 1–3).
+func (db *DB) expandDirectCrowd(tbl *storage.Table, column string, opts ExpandOptions) (*ExpansionReport, error) {
+	e, err := db.planCrowd(tbl, column, opts)
+	if err != nil {
+		return nil, err
+	}
+	return db.runElicitation(e)
+}
+
+// expandViaSpace is the paper's contribution: crowd-source a small
+// training sample, train an RBF-SVM on the perceptual space, predict
+// everything (Experiments 4–6, §4.3).
+func (db *DB) expandViaSpace(tbl *storage.Table, column string, opts ExpandOptions) (*ExpansionReport, error) {
+	e, err := db.planSpace(tbl, column, opts)
+	if err != nil {
+		return nil, err
+	}
+	return db.runElicitation(e)
+}
+
 // expandHybrid crowd-sources everything, then uses the space to flag and
 // re-elicit questionable responses (§4.4): direct crowd quality at a
-// fraction of the re-verification cost.
+// fraction of the re-verification cost. Two crowd rounds, so it never
+// joins a shared HIT batch.
 func (db *DB) expandHybrid(tbl *storage.Table, column string, opts ExpandOptions) (*ExpansionReport, error) {
 	binding := db.binding(tbl.Name())
 	if binding == nil {
@@ -266,6 +386,11 @@ func (db *DB) expandHybrid(tbl *storage.Table, column string, opts ExpandOptions
 	reOpts := opts
 	reOpts.Assignments = opts.Assignments * 3
 	reOpts.Job.AssignmentsPerItem = reOpts.Assignments
+	release, err := db.reserveBudget(opts.APIKey, projectedCost(len(reIDs), &reOpts))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	res, err := db.service.Collect(column, reIDs, reOpts.Job)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,130 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Batched HIT issuing: several pending elicitations — typically different
+// perceptual attributes of the same table whose expansions happen to be in
+// flight together — are merged into ONE crowd job. Workers see a single
+// HIT group whose items interleave every question, so the marketplace is
+// engaged once: one posting, one worker pass, one charge. The requester
+// pays the combined judgment volume, but the fixed per-job overhead
+// (posting, worker ramp-up, wall-clock) is shared, and the accounting
+// layer books a single charge instead of one per attribute.
+
+// BatchRequest is one pending elicitation joining a shared HIT group: a
+// yes/no question over a set of items. Item IDs only need to be unique
+// within one request; the same tuple may appear under several questions.
+type BatchRequest struct {
+	Question string
+	Items    []Item
+}
+
+// BatchResult is the outcome of one shared HIT group that served several
+// questions at once.
+type BatchResult struct {
+	// Combined is the shared job as the marketplace saw it: the full
+	// judgment timeline over the merged item set, total cost, total
+	// duration. Item IDs in Combined.Records are the batch's internal
+	// (question, item) slot IDs, not the callers' item IDs — use
+	// PerQuestion for anything per-item.
+	Combined *RunResult
+	// PerQuestion has one entry per request, in request order: the
+	// records of that question's items (original item IDs restored),
+	// the question's proportional share of the total cost, and the
+	// SHARED wall-clock duration — the whole point of batching is that
+	// N questions complete in one job's time, not N jobs' time.
+	PerQuestion []*RunResult
+}
+
+// RunBatchJob executes several elicitation requests as one simulated
+// crowd job. Each (question, item) pair is remapped onto a unique slot ID,
+// the merged slot list runs through RunJob — so worker behaviour, gold
+// screening, and marketplace dynamics are exactly those of a single job —
+// and the judgment log is split back per question afterwards.
+//
+// The combined cost is split across questions proportionally to the
+// judgments each question's items received; overhead judgments (gold
+// questions, discarded work from excluded workers) are distributed the
+// same way, so the per-question costs sum to the combined total.
+func RunBatchJob(pop *Population, reqs []BatchRequest, cfg JobConfig, rng *rand.Rand) (*BatchResult, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("crowd: empty batch")
+	}
+
+	// Remap every (question, item) pair onto a dense non-negative slot ID.
+	// Gold items use negative IDs by convention, so slots cannot collide
+	// with them.
+	type origin struct {
+		req int
+		id  int
+	}
+	var merged []Item
+	var origins []origin
+	for ri, req := range reqs {
+		for _, it := range req.Items {
+			slot := it
+			slot.ID = len(merged)
+			merged = append(merged, slot)
+			origins = append(origins, origin{req: ri, id: it.ID})
+		}
+	}
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("crowd: batch has no items")
+	}
+
+	combined, err := RunJob(pop, merged, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split the timeline back per question, restoring original item IDs.
+	per := make([]*RunResult, len(reqs))
+	for i := range per {
+		per[i] = &RunResult{DurationMinutes: combined.DurationMinutes}
+	}
+	workersSeen := make([]map[int]bool, len(reqs))
+	for i := range workersSeen {
+		workersSeen[i] = map[int]bool{}
+	}
+	kept := 0
+	for _, rec := range combined.Records {
+		if rec.Gold {
+			continue // screening questions belong to the whole batch
+		}
+		o := origins[rec.ItemID]
+		rec.ItemID = o.id
+		per[o.req].Records = append(per[o.req].Records, rec)
+		workersSeen[o.req][rec.WorkerID] = true
+		kept++
+	}
+
+	// Proportional cost split; the remainder from rounding overhead onto
+	// shares is folded into the last non-empty question so the split sums
+	// exactly to the combined charge.
+	assigned := 0.0
+	last := -1
+	for i, r := range per {
+		r.DistinctWorkers = len(workersSeen[i])
+		r.ExcludedWorkers = append([]int(nil), combined.ExcludedWorkers...)
+		if kept > 0 {
+			r.TotalCost = combined.TotalCost * float64(len(r.Records)) / float64(kept)
+		} else {
+			r.TotalCost = combined.TotalCost / float64(len(per))
+		}
+		assigned += r.TotalCost
+		if len(r.Records) > 0 || kept == 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		per[last].TotalCost += combined.TotalCost - assigned
+	}
+	for _, r := range per {
+		sort.SliceStable(r.Records, func(i, j int) bool { return r.Records[i].Time < r.Records[j].Time })
+	}
+	return &BatchResult{Combined: combined, PerQuestion: per}, nil
+}

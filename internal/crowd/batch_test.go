@@ -1,0 +1,125 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRunBatchJobSplitsPerQuestion checks the core batching invariants:
+// every (question, item) pair gets its full assignment count, original
+// item IDs are restored per question, costs split to the combined total,
+// and every question shares one job's wall-clock.
+func TestRunBatchJobSplitsPerQuestion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pop := NewPopulation(PopulationConfig{Workers: 60}, rng)
+	// Two questions over overlapping item IDs: the same tuples judged for
+	// two different attributes.
+	itemsA := makeItems(30, rng)
+	itemsB := makeItems(30, rng)
+	cfg := defaultJob()
+	cfg.AllowDontKnow = false
+
+	res, err := RunBatchJob(pop, []BatchRequest{
+		{Question: "comedy", Items: itemsA},
+		{Question: "drama", Items: itemsB},
+	}, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerQuestion) != 2 {
+		t.Fatalf("PerQuestion = %d, want 2", len(res.PerQuestion))
+	}
+
+	wantTotal := (len(itemsA) + len(itemsB)) * cfg.AssignmentsPerItem
+	if len(res.Combined.Records) != wantTotal {
+		t.Fatalf("combined records = %d, want %d", len(res.Combined.Records), wantTotal)
+	}
+
+	for qi, q := range res.PerQuestion {
+		items := itemsA
+		if qi == 1 {
+			items = itemsB
+		}
+		if len(q.Records) != len(items)*cfg.AssignmentsPerItem {
+			t.Fatalf("question %d records = %d, want %d", qi, len(q.Records), len(items)*cfg.AssignmentsPerItem)
+		}
+		// Original IDs restored: every record's ItemID is a known item and
+		// each item got exactly AssignmentsPerItem judgments.
+		counts := map[int]int{}
+		for _, rec := range q.Records {
+			counts[rec.ItemID]++
+		}
+		for _, it := range items {
+			if counts[it.ID] != cfg.AssignmentsPerItem {
+				t.Fatalf("question %d item %d got %d judgments, want %d", qi, it.ID, counts[it.ID], cfg.AssignmentsPerItem)
+			}
+		}
+		if q.DurationMinutes != res.Combined.DurationMinutes {
+			t.Fatalf("question %d duration %v, want shared %v", qi, q.DurationMinutes, res.Combined.DurationMinutes)
+		}
+		// Timeline stays sorted after the split.
+		for i := 1; i < len(q.Records); i++ {
+			if q.Records[i].Time < q.Records[i-1].Time {
+				t.Fatalf("question %d records not sorted by time", qi)
+			}
+		}
+	}
+
+	sum := 0.0
+	for _, q := range res.PerQuestion {
+		sum += q.TotalCost
+	}
+	if math.Abs(sum-res.Combined.TotalCost) > 1e-9 {
+		t.Fatalf("per-question costs sum to %.6f, combined charge is %.6f", sum, res.Combined.TotalCost)
+	}
+}
+
+// TestRunBatchJobMajoritiesMatchSingleJobs: with an honest, fully-informed
+// population the majorities recovered from a batch must match the items'
+// latent truth, question by question — merging must not leak judgments
+// across questions even when item IDs overlap.
+func TestRunBatchJobMajoritiesMatchSingleJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pop := NewPopulation(PopulationConfig{Workers: 80, LookupFraction: 1}, rng)
+	cfg := defaultJob()
+	cfg.AllowDontKnow = false
+	cfg.AssignmentsPerItem = 9
+
+	// Same IDs, opposite truths: any cross-question leakage flips votes.
+	var a, b []Item
+	for i := 0; i < 20; i++ {
+		a = append(a, Item{ID: i, Truth: i%2 == 0, Popularity: 1})
+		b = append(b, Item{ID: i, Truth: i%2 != 0, Popularity: 1})
+	}
+	res, err := RunBatchJob(pop, []BatchRequest{
+		{Question: "q-a", Items: a},
+		{Question: "q-b", Items: b},
+	}, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, items := range [][]Item{a, b} {
+		votes := MajorityVote(res.PerQuestion[qi].Records)
+		for _, it := range items {
+			label, ok := votes.Label[it.ID]
+			if !ok {
+				t.Fatalf("question %d item %d unclassified", qi, it.ID)
+			}
+			if label != it.Truth {
+				t.Fatalf("question %d item %d voted %v, truth %v", qi, it.ID, label, it.Truth)
+			}
+		}
+	}
+}
+
+func TestRunBatchJobRejectsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pop := NewPopulation(PopulationConfig{Workers: 5}, rng)
+	if _, err := RunBatchJob(pop, nil, defaultJob(), rng); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := RunBatchJob(pop, []BatchRequest{{Question: "q"}}, defaultJob(), rng); err == nil {
+		t.Fatal("itemless batch accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Coalescer batches submissions that arrive close together in time.
+//
+// Schema expansions of the same table tend to arrive in bursts — a
+// dashboard query touching four missing genre columns fires four
+// expansions within milliseconds — and each one that runs alone pays the
+// crowd marketplace's fixed per-job overhead. The coalescer holds
+// submissions of the same GROUP (e.g. the table) open for a short batching
+// window; when the window closes, the whole group is sealed and handed to
+// one BatchRunFunc, which can merge the members' sampling phases into
+// shared HIT groups and charge the marketplace once.
+//
+// Every member still gets its own *Job — polling, per-job ledgers, and
+// singleflight deduplication work exactly as for scheduler-run jobs; only
+// execution is shared. The coalescer stays as ignorant of SQL, tables,
+// and crowds as the scheduler: groups are opaque strings and payloads are
+// opaque values.
+
+// BatchMember is one submission inside a sealed batch.
+type BatchMember struct {
+	// Payload is the opaque value passed to Submit.
+	Payload any
+
+	job      *Job
+	sched    *Scheduler
+	finished atomic.Bool
+}
+
+// Job returns the member's job handle.
+func (m *BatchMember) Job() *Job { return m.job }
+
+// Ctl returns the member's control handle for phase/charge reporting.
+func (m *BatchMember) Ctl() *Ctl { return &Ctl{job: m.job} }
+
+// Finish completes the member's job with the given result or error.
+// Only the first call has effect; the batch runner uses this to complete
+// members one by one as their shares of the batch resolve.
+func (m *BatchMember) Finish(result any, err error) {
+	if !m.finished.CompareAndSwap(false, true) {
+		return
+	}
+	m.sched.finish(m.job, result, err)
+}
+
+// Finished reports whether Finish has been called.
+func (m *BatchMember) Finished() bool { return m.finished.Load() }
+
+// BatchRunFunc executes one sealed batch. It must call Finish on every
+// member (members it leaves unfinished are failed by the coalescer); a
+// panic fails every unfinished member rather than killing the process.
+type BatchRunFunc func(members []*BatchMember)
+
+// Coalescer groups submissions into batches by key and time window.
+//
+// The scheduler's resource bounds carry over: at most as many batches
+// execute concurrently as the scheduler has pool workers (sem), and at
+// most queue-depth members may be admitted-but-not-yet-running before
+// Submit sheds load with ErrQueueFull — so enabling batching never
+// bypasses the backpressure the worker pool provides.
+type Coalescer struct {
+	sched  *Scheduler
+	window time.Duration
+	run    BatchRunFunc
+	sem    chan struct{} // bounds concurrently-executing batches
+	depth  int           // admission bound on pending members
+
+	mu      sync.Mutex
+	closed  bool
+	pending int // members admitted but whose batch has not started
+	groups  map[string]*batchGroup
+	wg      sync.WaitGroup
+}
+
+type batchGroup struct {
+	members []*BatchMember
+	timer   *time.Timer
+	sealed  bool
+}
+
+// NewCoalescer wires a batching window onto a scheduler. Jobs created
+// through the coalescer share the scheduler's ID space, history, and
+// singleflight map with directly-submitted jobs. A non-positive window
+// gets a modest default (25ms): long enough to catch a burst of queries,
+// short enough to be invisible next to simulated crowd minutes.
+func NewCoalescer(sched *Scheduler, window time.Duration, run BatchRunFunc) *Coalescer {
+	if window <= 0 {
+		window = 25 * time.Millisecond
+	}
+	return &Coalescer{
+		sched: sched, window: window, run: run,
+		sem:    make(chan struct{}, sched.workers),
+		depth:  cap(sched.queue),
+		groups: map[string]*batchGroup{},
+	}
+}
+
+// Window returns the batching window.
+func (c *Coalescer) Window() time.Duration { return c.window }
+
+// Submit enqueues payload under the batch group and the singleflight key.
+// If a job for key is already queued, batched, or running, that job is
+// returned with created=false (the submission joins it); otherwise a new
+// job joins the group's open batch, creating one — and starting its
+// window timer — if none is open. When the admission bound is reached
+// (too many members waiting on batch starts), Submit returns
+// ErrQueueFull like the scheduler's own admission queue would.
+func (c *Coalescer) Submit(group, key string, payload any) (job *Job, created bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, false, ErrClosed
+	}
+	if c.pending >= c.depth {
+		return nil, false, ErrQueueFull
+	}
+	j, created, err := c.sched.adopt(key)
+	if err != nil || !created {
+		return j, created, err
+	}
+	c.pending++
+	g := c.groups[group]
+	if g == nil {
+		g = &batchGroup{}
+		c.groups[group] = g
+		grp := group
+		g.timer = time.AfterFunc(c.window, func() { c.flush(grp) })
+	}
+	g.members = append(g.members, &BatchMember{Payload: payload, job: j, sched: c.sched})
+	return j, true, nil
+}
+
+// flush seals the named group and runs its batch on a fresh goroutine.
+func (c *Coalescer) flush(group string) {
+	c.mu.Lock()
+	g := c.groups[group]
+	if g == nil || g.sealed {
+		c.mu.Unlock()
+		return
+	}
+	g.sealed = true
+	delete(c.groups, group)
+	members := g.members
+	c.wg.Add(1)
+	c.mu.Unlock()
+
+	go c.runBatch(members)
+}
+
+func (c *Coalescer) runBatch(members []*BatchMember) {
+	defer c.wg.Done()
+	// Gate on the worker-pool-sized semaphore: sealed batches beyond the
+	// pool size wait here instead of engaging the crowd all at once.
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+	c.mu.Lock()
+	c.pending -= len(members)
+	c.mu.Unlock()
+
+	now := time.Now()
+	for _, m := range members {
+		m.job.mu.Lock()
+		m.job.started = now
+		m.job.mu.Unlock()
+	}
+	defer func() {
+		r := recover()
+		for _, m := range members {
+			if !m.Finished() {
+				if r != nil {
+					m.Finish(nil, fmt.Errorf("jobs: batch run panicked: %v", r))
+				} else {
+					m.Finish(nil, fmt.Errorf("jobs: batch run ended without finishing job %s", m.job.id))
+				}
+			}
+		}
+	}()
+	c.run(members)
+}
+
+// Flush seals and runs every open group immediately (without waiting for
+// their windows) and blocks until all running batches finish.
+func (c *Coalescer) Flush() {
+	c.mu.Lock()
+	var names []string
+	for name, g := range c.groups {
+		g.timer.Stop()
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+	for _, name := range names {
+		c.flush(name)
+	}
+	c.wg.Wait()
+}
+
+// Close flushes all pending batches, waits for running ones, and rejects
+// further submissions. Safe to call more than once.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.Flush()
+}

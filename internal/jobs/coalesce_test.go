@@ -1,0 +1,264 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectBatches wires a Coalescer whose run func records every sealed
+// batch (as payload slices) and finishes each member with its payload.
+func collectBatches(sched *Scheduler, window time.Duration) (*Coalescer, *[][]any, *sync.Mutex) {
+	var mu sync.Mutex
+	var batches [][]any
+	c := NewCoalescer(sched, window, func(members []*BatchMember) {
+		var payloads []any
+		for _, m := range members {
+			payloads = append(payloads, m.Payload)
+		}
+		mu.Lock()
+		batches = append(batches, payloads)
+		mu.Unlock()
+		for _, m := range members {
+			m.Ctl().Phase(StateSampling)
+			m.Finish(m.Payload, nil)
+		}
+	})
+	return c, &batches, &mu
+}
+
+// TestCoalescerMergesWindow: members submitted within one window for the
+// same group run as ONE batch; each still gets its own job and result.
+func TestCoalescerMergesWindow(t *testing.T) {
+	sched := NewScheduler(2, 16)
+	defer sched.Close()
+	c, batches, mu := collectBatches(sched, 40*time.Millisecond)
+	defer c.Close()
+
+	var jobsList []*Job
+	for i := 0; i < 4; i++ {
+		j, created, err := c.Submit("movies", fmt.Sprintf("movies.col%d", i), i)
+		if err != nil || !created {
+			t.Fatalf("submit %d: created=%v err=%v", i, created, err)
+		}
+		jobsList = append(jobsList, j)
+	}
+	for i, j := range jobsList {
+		res, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if res != i {
+			t.Fatalf("job %d result = %v, want %d", i, res, i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*batches) != 1 {
+		t.Fatalf("ran %d batches, want 1 (window failed to merge)", len(*batches))
+	}
+	if len((*batches)[0]) != 4 {
+		t.Fatalf("batch had %d members, want 4", len((*batches)[0]))
+	}
+}
+
+// TestCoalescerGroupIsolation: different groups never share a batch.
+func TestCoalescerGroupIsolation(t *testing.T) {
+	sched := NewScheduler(2, 16)
+	defer sched.Close()
+	c, batches, mu := collectBatches(sched, 30*time.Millisecond)
+	defer c.Close()
+
+	j1, _, _ := c.Submit("movies", "movies.a", "a")
+	j2, _, _ := c.Submit("books", "books.a", "b")
+	if _, err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*batches) != 2 {
+		t.Fatalf("ran %d batches, want 2 (groups merged)", len(*batches))
+	}
+}
+
+// TestCoalescerSingleflight: re-submitting a key while its job is pending
+// joins the existing job — across the coalescer AND the plain scheduler.
+func TestCoalescerSingleflight(t *testing.T) {
+	sched := NewScheduler(2, 16)
+	defer sched.Close()
+	c, _, _ := collectBatches(sched, 30*time.Millisecond)
+	defer c.Close()
+
+	j1, created1, _ := c.Submit("movies", "movies.a", 1)
+	j2, created2, _ := c.Submit("movies", "movies.a", 2)
+	if !created1 || created2 {
+		t.Fatalf("created = %v/%v, want true/false", created1, created2)
+	}
+	if j1 != j2 {
+		t.Fatal("duplicate key produced a second job")
+	}
+	// The scheduler's own Submit must also see the batched job in flight.
+	j3, created3, err := sched.Submit("movies.a", func(ctl *Ctl) (any, error) { return 3, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created3 || j3 != j1 {
+		t.Fatal("scheduler Submit did not join the batched job")
+	}
+	if res, err := j1.Wait(context.Background()); err != nil || res != 1 {
+		t.Fatalf("res=%v err=%v, want 1/nil", res, err)
+	}
+}
+
+// TestCoalescerFailsUnfinishedMembers: a run func that forgets members or
+// panics must still complete every job (with an error), never hang them.
+func TestCoalescerFailsUnfinishedMembers(t *testing.T) {
+	sched := NewScheduler(2, 16)
+	defer sched.Close()
+	var calls atomic.Int32
+	c := NewCoalescer(sched, 10*time.Millisecond, func(members []*BatchMember) {
+		if calls.Add(1) == 2 {
+			panic("boom")
+		}
+		// First batch: finish nobody.
+	})
+	defer c.Close()
+
+	j1, _, _ := c.Submit("g1", "g1.a", nil)
+	if _, err := j1.Wait(context.Background()); err == nil {
+		t.Fatal("unfinished member completed without error")
+	}
+	j2, _, _ := c.Submit("g2", "g2.a", nil)
+	if _, err := j2.Wait(context.Background()); err == nil {
+		t.Fatal("panicked batch left member without error")
+	}
+	if st := j2.Status(); st.State != StateFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+}
+
+// TestCoalescerCloseFlushes: Close runs pending batches instead of
+// dropping them, then rejects new submissions.
+func TestCoalescerCloseFlushes(t *testing.T) {
+	sched := NewScheduler(2, 16)
+	defer sched.Close()
+	c, batches, mu := collectBatches(sched, time.Hour) // window never fires on its own
+	j, _, _ := c.Submit("movies", "movies.a", "x")
+	c.Close()
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Close returned with batch still unfinished")
+	}
+	mu.Lock()
+	n := len(*batches)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("ran %d batches, want 1", n)
+	}
+	if _, _, err := c.Submit("movies", "movies.b", "y"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestCoalescerBackpressure: admissions beyond the scheduler's queue
+// depth are shed with ErrQueueFull — batching must not bypass the
+// bounded-admission contract the HTTP layer's 503 path relies on.
+func TestCoalescerBackpressure(t *testing.T) {
+	sched := NewScheduler(1, 2)
+	defer sched.Close()
+	block := make(chan struct{})
+	c := NewCoalescer(sched, time.Hour, func(members []*BatchMember) {
+		<-block
+		for _, m := range members {
+			m.Finish(nil, nil)
+		}
+	})
+	if _, _, err := c.Submit("g", "g.a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Submit("g", "g.b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Submit("g", "g.c", nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull at depth 2", err)
+	}
+	close(block)
+	c.Close()
+}
+
+// TestCoalescerBoundsConcurrentBatches: no more batches execute at once
+// than the scheduler has pool workers.
+func TestCoalescerBoundsConcurrentBatches(t *testing.T) {
+	sched := NewScheduler(1, 16)
+	defer sched.Close()
+	var running, maxRunning atomic.Int32
+	c := NewCoalescer(sched, 5*time.Millisecond, func(members []*BatchMember) {
+		cur := running.Add(1)
+		for {
+			old := maxRunning.Load()
+			if cur <= old || maxRunning.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		running.Add(-1)
+		for _, m := range members {
+			m.Finish(nil, nil)
+		}
+	})
+	defer c.Close()
+	var handles []*Job
+	for i := 0; i < 4; i++ {
+		j, created, err := c.Submit(fmt.Sprintf("g%d", i), fmt.Sprintf("g%d.a", i), nil)
+		if err != nil || !created {
+			t.Fatalf("submit %d: created=%v err=%v", i, created, err)
+		}
+		handles = append(handles, j)
+	}
+	for i, j := range handles {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if got := maxRunning.Load(); got != 1 {
+		t.Fatalf("max concurrent batches = %d, want 1 (pool size)", got)
+	}
+}
+
+// TestCoalescerLedgerAndHistory: batched jobs appear in the scheduler's
+// history and their Ctl charges land in per-job ledgers and Totals.
+func TestCoalescerLedgerAndHistory(t *testing.T) {
+	sched := NewScheduler(2, 16)
+	defer sched.Close()
+	c := NewCoalescer(sched, 10*time.Millisecond, func(members []*BatchMember) {
+		for i, m := range members {
+			m.Ctl().Charge(10*(i+1), float64(i+1), 1)
+			m.Finish(nil, nil)
+		}
+	})
+	defer c.Close()
+
+	ja, _, _ := c.Submit("movies", "movies.a", nil)
+	jb, _, _ := c.Submit("movies", "movies.b", nil)
+	_, _ = ja.Wait(context.Background())
+	_, _ = jb.Wait(context.Background())
+
+	if len(sched.Jobs()) != 2 {
+		t.Fatalf("history has %d jobs, want 2", len(sched.Jobs()))
+	}
+	tot := sched.Totals()
+	if tot.Judgments != 30 || tot.Cost != 3 || tot.Charges != 2 {
+		t.Fatalf("totals = %+v, want 30 judgments, $3, 2 charges", tot)
+	}
+	if st := ja.Status(); st.Ledger.Judgments != 10 {
+		t.Fatalf("job a ledger = %+v, want 10 judgments", st.Ledger)
+	}
+}

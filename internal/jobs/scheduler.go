@@ -221,18 +221,7 @@ func (s *Scheduler) Submit(key string, run RunFunc) (job *Job, created bool, err
 		s.mu.Unlock()
 		return j, false, nil
 	}
-	s.seq++
-	j := &Job{
-		id:      fmt.Sprintf("job-%d", s.seq),
-		key:     key,
-		created: time.Now(),
-		done:    make(chan struct{}),
-		state:   StateQueued,
-	}
-	if s.inflight == nil {
-		s.inflight = map[string]*Job{}
-		s.jobs = map[string]*Job{}
-	}
+	j := s.newJobLocked(key)
 	select {
 	case s.queue <- task{job: j, run: run}:
 	default:
@@ -240,10 +229,7 @@ func (s *Scheduler) Submit(key string, run RunFunc) (job *Job, created bool, err
 		s.mu.Unlock()
 		return nil, false, ErrQueueFull
 	}
-	s.inflight[key] = j
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	s.evictLocked()
+	s.registerLocked(j)
 	if !s.started {
 		s.started = true
 		for i := 0; i < s.workers; i++ {
@@ -253,6 +239,32 @@ func (s *Scheduler) Submit(key string, run RunFunc) (job *Job, created bool, err
 	}
 	s.mu.Unlock()
 	return j, true, nil
+}
+
+// newJobLocked allocates the next job for key. Caller holds s.mu and must
+// either registerLocked the job or roll s.seq back.
+func (s *Scheduler) newJobLocked(key string) *Job {
+	s.seq++
+	return &Job{
+		id:      fmt.Sprintf("job-%d", s.seq),
+		key:     key,
+		created: time.Now(),
+		done:    make(chan struct{}),
+		state:   StateQueued,
+	}
+}
+
+// registerLocked installs a new job into the singleflight map, the ID
+// index, and the history. Caller holds s.mu.
+func (s *Scheduler) registerLocked(j *Job) {
+	if s.inflight == nil {
+		s.inflight = map[string]*Job{}
+		s.jobs = map[string]*Job{}
+	}
+	s.inflight[j.key] = j
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
 }
 
 // maxRetainedJobs bounds the completed-job history kept for polling; a
@@ -299,7 +311,14 @@ func (s *Scheduler) execute(t task) {
 	j.mu.Unlock()
 
 	result, err := s.runSafely(t)
+	s.finish(j, result, err)
+}
 
+// finish drives a job to its terminal state: it records the outcome,
+// releases the singleflight key, runs the completion hook, and closes
+// Done. Shared by worker-executed jobs and externally-driven (batched)
+// ones, so both get identical completion semantics.
+func (s *Scheduler) finish(j *Job, result any, err error) {
 	j.mu.Lock()
 	j.result, j.err = result, err
 	j.finished = time.Now()
@@ -323,6 +342,25 @@ func (s *Scheduler) execute(t task) {
 		s.OnTerminal(j.Status())
 	}
 	close(j.done)
+}
+
+// adopt creates and registers a job whose execution is driven externally
+// (by a Coalescer batch) instead of by the worker pool. It shares the
+// singleflight map with Submit: if a job for key is already queued,
+// batched, or running, that job is returned with created=false. The
+// caller owns completion via finish.
+func (s *Scheduler) adopt(key string) (job *Job, created bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	if j, ok := s.inflight[key]; ok {
+		return j, false, nil
+	}
+	j := s.newJobLocked(key)
+	s.registerLocked(j)
+	return j, true, nil
 }
 
 // RestoredJob describes one terminal job recovered from durable storage,

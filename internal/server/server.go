@@ -11,6 +11,8 @@
 //	GET  /schema         table names
 //	GET  /schema/{table} column inventory with kind/origin/perceptual
 //	GET  /ledger         cumulative crowd spend + per-job breakdown
+//	GET  /budgets        per-API-key budget caps and spend
+//	POST /admin/expand   explicit pre-warm expansion with budget/key
 //	POST /admin/snapshot persist a snapshot and truncate the WAL
 //	GET  /healthz        liveness
 //
@@ -29,10 +31,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"crowddb/internal/core"
 	"crowddb/internal/jobs"
+	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
 )
 
@@ -79,6 +83,8 @@ func New(db *core.DB, cfg Config) *Server {
 	s.mux.HandleFunc("GET /schema", s.handleSchemaList)
 	s.mux.HandleFunc("GET /schema/{table}", s.handleSchema)
 	s.mux.HandleFunc("GET /ledger", s.handleLedger)
+	s.mux.HandleFunc("GET /budgets", s.handleBudgets)
+	s.mux.HandleFunc("POST /admin/expand", s.handleAdminExpand)
 	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -361,6 +367,94 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// adminExpandRequest is the POST /admin/expand body: an explicit
+// pre-warm expansion attributed to an API key, with an optional budget
+// cap installed for that key in the same call.
+type adminExpandRequest struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	// Kind is the column type; only BOOLEAN is crowd-expandable.
+	// Defaults to BOOLEAN.
+	Kind string `json:"kind,omitempty"`
+	// Method is CROWD, SPACE, or HYBRID; empty picks the table default.
+	Method string `json:"method,omitempty"`
+	// Samples overrides SamplesPerClass for SPACE expansions.
+	Samples int `json:"samples,omitempty"`
+	// Key attributes the crowd spend to a per-key budget.
+	Key string `json:"key,omitempty"`
+	// Budget, with Key, installs (or replaces) the key's dollar cap
+	// before the expansion is considered.
+	Budget float64 `json:"budget,omitempty"`
+}
+
+// handleAdminExpand schedules an explicit pre-warm expansion. The
+// projected crowd cost is checked against the key's budget cap BEFORE
+// any HIT is issued; a request the cap cannot cover is rejected with
+// 402 Payment Required (cap and recorded spend are durable, so the
+// rejection is reproducible across restarts). Success returns 202 with
+// the job handle to poll.
+func (s *Server) handleAdminExpand(w http.ResponseWriter, r *http.Request) {
+	var req adminExpandRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		return
+	}
+	if req.Table == "" || req.Column == "" {
+		writeError(w, http.StatusBadRequest, errors.New("server: expand requires table and column"))
+		return
+	}
+	switch req.Kind {
+	case "", "BOOLEAN", "boolean", "BOOL", "bool":
+		// KindBool — the only crowd-expandable kind.
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unsupported kind %q (only BOOLEAN is crowd-expandable)", req.Kind))
+		return
+	}
+	if req.Budget > 0 && req.Key == "" {
+		// A budget with no key to bind it to would silently run the
+		// expansion uncapped — the opposite of what the caller asked.
+		writeError(w, http.StatusBadRequest, errors.New("server: budget requires a key to attribute it to"))
+		return
+	}
+	if req.Budget > 0 {
+		if err := s.db.SetBudget(req.Key, req.Budget); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	opts := core.ExpandOptions{
+		Method: sqlparse.ExpandMethod(strings.ToUpper(req.Method)),
+		APIKey: req.Key,
+	}
+	if req.Samples > 0 {
+		opts.SamplesPerClass = req.Samples
+	}
+	job, err := s.db.SubmitExpand(req.Table, req.Column, storage.KindBool, opts)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrBudgetExceeded):
+			writeError(w, http.StatusPaymentRequired, err)
+		case errors.Is(err, jobs.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, core.ErrExpansionInFlight):
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, core.ErrNoSuchTable):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	st := job.Status()
+	writeJSON(w, http.StatusAccepted, buildQueryResponse(nil, nil, &st))
+}
+
+// handleBudgets lists every API key's cap and cumulative spend.
+func (s *Server) handleBudgets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"budgets": s.db.Budgets()})
+}
+
 // handleSnapshot persists a snapshot on demand — the operator's lever for
 // bounding recovery time (and WAL disk) between restarts.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -408,14 +502,17 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 // writeQueryError classifies a query failure: a full expansion queue is a
-// retryable overload (503), a failed crowd expansion is a server-side
-// fault (500); everything else (parse errors, unknown tables/columns) is
-// the client's query (400).
+// retryable overload (503), a budget-capped expansion is a payment
+// problem (402), a failed crowd expansion is a server-side fault (500);
+// everything else (parse errors, unknown tables/columns) is the client's
+// query (400).
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, core.ErrBudgetExceeded):
+		writeError(w, http.StatusPaymentRequired, err)
 	case errors.Is(err, core.ErrExpansionFailed):
 		writeError(w, http.StatusInternalServerError, err)
 	default:
