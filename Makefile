@@ -52,17 +52,18 @@ bench:
 # sort-everything baseline (≥5×); BatchedElicitation should report a ≥2×
 # charge reduction.
 bench-smoke:
-	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect|BatchedElicitation' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect|BatchedElicitation|PointLookup|RangeScan' -benchtime 1x -benchmem .
 
 # Bench-regression wall: run the guarded benchmarks with enough
 # repetitions for a stable minimum, emit the numbers as JSON
 # ($(BENCH_GUARD_OUT), uploaded as a CI artifact), and fail if
-# BenchmarkTopNSelect or BenchmarkWALReplay regressed >30% against the
-# committed BENCH_baseline.json.
+# BenchmarkTopNSelect, BenchmarkWALReplay, BenchmarkPointLookup or
+# BenchmarkRangeScan regressed >30% against the committed
+# BENCH_baseline.json.
 bench-guard:
-	$(GO) test -run xxx -bench 'BenchmarkTopNSelect$$|BenchmarkWALReplay$$' -benchtime 5x -count 3 . | tee bench-guard.txt
+	$(GO) test -run xxx -bench 'BenchmarkTopNSelect$$|BenchmarkWALReplay$$|BenchmarkPointLookup$$|BenchmarkRangeScan$$' -benchtime 5x -count 3 . | tee bench-guard.txt
 	$(GO) run ./cmd/benchguard -input bench-guard.txt -baseline BENCH_baseline.json \
-		-out $(BENCH_GUARD_OUT) -require BenchmarkTopNSelect,BenchmarkWALReplay \
+		-out $(BENCH_GUARD_OUT) -require BenchmarkTopNSelect,BenchmarkWALReplay,BenchmarkPointLookup,BenchmarkRangeScan \
 		-threshold $(BENCH_GUARD_THRESHOLD)
 
 # Static analysis beyond go vet; pinned in CI (see ci.yml), best-effort

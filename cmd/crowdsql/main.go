@@ -10,7 +10,8 @@
 //
 // triggers a crowd-sourced schema expansion mid-query. Meta commands:
 //
-//	\d            describe the movies table (expanded columns marked)
+//	\d            describe the movies table (expanded columns marked,
+//	              secondary indexes listed)
 //	\ledger       show cumulative crowd spending
 //	\expand NAME METHOD   explicitly expand a genre (CROWD|SPACE|HYBRID)
 //	\quit         exit
@@ -88,6 +89,7 @@ func main() {
 		len(universe.Items), strings.Join(universe.CategoryNames(), ", "))
 	fmt.Println(`try: SELECT name FROM movies WHERE Comedy = true LIMIT 5;   (\q to quit)`)
 	fmt.Println(`     EXPLAIN SELECT … shows the planner's operator tree; multi-table JOIN … ON is supported`)
+	fmt.Println(`     CREATE INDEX idx ON movies (year) [USING HASH|ORDERED]; indexed predicates plan as IndexScan/IndexRange`)
 
 	repl(db, os.Stdin, os.Stdout)
 }
@@ -173,6 +175,12 @@ func describe(db *crowddb.DB, out io.Writer) {
 			flags += " (expanded at query time)"
 		}
 		fmt.Fprintf(out, "  %-16s %s%s\n", c.Name, c.Kind, flags)
+	}
+	if metas := tbl.IndexMetas(); len(metas) > 0 {
+		fmt.Fprintln(out, "indexes:")
+		for _, m := range metas {
+			fmt.Fprintf(out, "  %-16s %s on %s (%d entries)\n", m.Name, m.Kind(), m.Column, m.Entries)
+		}
 	}
 }
 

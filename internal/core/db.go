@@ -195,6 +195,11 @@ func (db *DB) mutate(fn func() error) error {
 func (db *DB) execEngine(stmt sqlparse.Statement) (*Result, error) {
 	db.gate.RLock()
 	defer db.gate.RUnlock()
+	// CREATE INDEX takes a detour for the virtual-column check and its
+	// durability record (see indexes.go).
+	if ci, ok := stmt.(*sqlparse.CreateIndexStmt); ok {
+		return db.execCreateIndex(ci)
+	}
 	return db.engine.Exec(stmt)
 }
 

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// ErrIndexOnVirtualColumn marks a CREATE INDEX against a column that is
+// registered for query-driven expansion but has not been materialized
+// yet: there is nothing to index until the crowd fills it. The HTTP layer
+// maps it to 400 — it is the client's sequencing mistake, not a server
+// fault, and it must never trigger (or charge for) the expansion itself.
+var ErrIndexOnVirtualColumn = errors.New("core: cannot index a not-yet-expanded column")
+
+// execCreateIndex handles CREATE INDEX on the crowd-enabled layer: it
+// rejects indexes on virtual (registered-but-unexpanded) columns with a
+// typed error, delegates the build to the engine, and journals a
+// create_index record so the index is rebuilt on recovery. Caller holds
+// db.gate.RLock (the execEngine path), so the record lands atomically
+// with respect to Snapshot.
+func (db *DB) execCreateIndex(ci *sqlparse.CreateIndexStmt) (*Result, error) {
+	if tbl, ok := db.Catalog().Get(ci.Table); ok {
+		if _, exists := tbl.Schema().Lookup(ci.Column); !exists {
+			if _, registered := db.expandableSpec(ci.Table, ci.Column); registered {
+				return nil, fmt.Errorf("%w: %s.%s is registered for query-driven expansion but holds no data yet; EXPAND it (or query it) first",
+					ErrIndexOnVirtualColumn, ci.Table, ci.Column)
+			}
+		}
+	}
+	res, err := db.engine.Exec(ci)
+	if err != nil {
+		return nil, err
+	}
+	if db.wal != nil {
+		// Logged after a successful attach: the record describes derived
+		// state (rebuildable from rows), so a crash in the window loses
+		// only the index, never data. An append failure latches in the WAL
+		// and surfaces at the next Snapshot/Close.
+		_, _ = db.wal.Append(recIndex, indexRecord{
+			Name: ci.Name, Table: ci.Table, Column: ci.Column, Kind: ci.Kind,
+		})
+	}
+	return res, nil
+}
+
+// applyIndexRecord rebuilds one persisted index from the (already
+// restored or replayed) table rows. Used by snapshot restore and WAL
+// replay; the journal is not attached yet, so nothing is re-logged.
+func (db *DB) applyIndexRecord(ir indexRecord) error {
+	_, err := db.engine.Exec(&sqlparse.CreateIndexStmt{
+		Name: ir.Name, Table: ir.Table, Column: ir.Column, Kind: ir.Kind,
+	})
+	return err
+}
+
+// TableIndexes returns the index inventory of one table — a convenience
+// for embedders and tests. The HTTP and REPL surfaces hold the *Table
+// already and read tbl.IndexMetas() directly.
+func (db *DB) TableIndexes(table string) []storage.IndexMeta {
+	tbl, ok := db.Catalog().Get(table)
+	if !ok {
+		return nil
+	}
+	return tbl.IndexMetas()
+}

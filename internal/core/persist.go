@@ -73,6 +73,7 @@ const (
 	recJob         = "job"          // expansion job reached a terminal state
 	recBudgetCap   = "budget_cap"   // per-API-key budget cap installed
 	recBudgetSpend = "budget_spend" // crowd spend debited against a key
+	recIndex       = "create_index" // secondary index created on a table
 )
 
 // spaceRecord persists one table↔space binding, coordinates included, so
@@ -115,6 +116,17 @@ type jobRecord struct {
 	Report   *ExpansionReport `json:"report,omitempty"`
 }
 
+// indexRecord persists one CREATE INDEX. Only the definition is durable:
+// index contents are derived data, rebuilt from the recovered rows by
+// re-running the attach during restore/replay — no entry payload to keep
+// consistent with the row log.
+type indexRecord struct {
+	Name   string `json:"name"`
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Kind   string `json:"kind"` // "hash" or "ordered"
+}
+
 // tableState is one table's full contents inside a snapshot. Columns keep
 // their Origin, so expanded columns recover as expanded.
 type tableState struct {
@@ -134,6 +146,9 @@ type snapshotState struct {
 	// Budgets carries every API key's cap and cumulative spend: money
 	// state, as durable as the ledger itself.
 	Budgets []BudgetStatus `json:"budgets,omitempty"`
+	// Indexes carries every secondary-index definition; contents are
+	// rebuilt from Tables during restore.
+	Indexes []indexRecord `json:"indexes,omitempty"`
 }
 
 // walJournal adapts the WAL to storage.Journal: every storage mutation
@@ -247,6 +262,11 @@ func (db *DB) collectState() *snapshotState {
 			return true
 		})
 		st.Tables = append(st.Tables, ts)
+		for _, im := range tbl.IndexMetas() {
+			st.Indexes = append(st.Indexes, indexRecord{
+				Name: im.Name, Table: tbl.Name(), Column: im.Column, Kind: im.Kind(),
+			})
+		}
 	}
 
 	db.mu.RLock()
@@ -299,6 +319,11 @@ func (db *DB) restoreSnapshot(st *snapshotState, restored map[string]jobs.Restor
 			if err := tbl.Insert(row...); err != nil {
 				return fmt.Errorf("table %s row %d: %w", ts.Name, i, err)
 			}
+		}
+	}
+	for _, ir := range st.Indexes {
+		if err := db.applyIndexRecord(ir); err != nil {
+			return fmt.Errorf("index %s on %s: %w", ir.Name, ir.Table, err)
 		}
 	}
 	for _, b := range st.Bindings {
@@ -370,6 +395,12 @@ func (db *DB) applyRecord(rec wal.Record, restored map[string]jobs.RestoredJob) 
 		}
 		db.budgets.addSpend(br.Key, br.Amount)
 		return nil
+	case recIndex:
+		var ir indexRecord
+		if err := json.Unmarshal(rec.Data, &ir); err != nil {
+			return err
+		}
+		return db.applyIndexRecord(ir)
 	default:
 		return fmt.Errorf("unknown record type %q", rec.Type)
 	}

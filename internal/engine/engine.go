@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"crowddb/internal/engine/plan"
+	"crowddb/internal/index"
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
 )
@@ -73,6 +74,8 @@ func (e *Engine) Exec(stmt sqlparse.Statement) (*Result, error) {
 		return e.execExplain(s)
 	case *sqlparse.CreateTableStmt:
 		return e.execCreate(s)
+	case *sqlparse.CreateIndexStmt:
+		return e.execCreateIndex(s)
 	case *sqlparse.InsertStmt:
 		return e.execInsert(s)
 	case *sqlparse.UpdateStmt:
@@ -115,6 +118,28 @@ func ColumnDefToStorage(def sqlparse.ColumnDef, origin storage.ColumnOrigin) (st
 		return storage.Column{}, err
 	}
 	return storage.Column{Name: def.Name, Kind: kind, Perceptual: def.Perceptual, Origin: origin}, nil
+}
+
+// execCreateIndex builds the requested secondary index and bulk-loads it
+// from the table's current rows, under the table's write lock. The error
+// for a missing column is deliberately NOT a *MissingColumnError: CREATE
+// INDEX must never trigger (and pay for) an implicit crowd expansion —
+// the crowd-enabled layer adds its own typed rejection for
+// registered-but-unexpanded columns before delegating here.
+func (e *Engine) execCreateIndex(s *sqlparse.CreateIndexStmt) (*Result, error) {
+	tbl, ok := e.catalog.Get(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table %q", s.Table)
+	}
+	idx, err := index.New(index.Kind(s.Kind), s.Name, s.Column)
+	if err != nil {
+		return nil, err
+	}
+	if err := tbl.AttachIndex(idx); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created %s index %s on %s (%s), %d entries",
+		s.Kind, s.Name, s.Table, s.Column, idx.Entries())}, nil
 }
 
 func (e *Engine) execCreate(s *sqlparse.CreateTableStmt) (*Result, error) {

@@ -13,6 +13,7 @@ package exec
 import (
 	"fmt"
 
+	"crowddb/internal/engine/plan"
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
 )
@@ -139,22 +140,10 @@ func triValue(t Tribool) storage.Value {
 	}
 }
 
-func literalValue(l *sqlparse.Literal) storage.Value {
-	switch l.Kind {
-	case sqlparse.LitNull:
-		return storage.Null()
-	case sqlparse.LitBool:
-		return storage.Bool(l.Bool)
-	case sqlparse.LitInt:
-		return storage.Int(l.Int)
-	case sqlparse.LitFloat:
-		return storage.Float(l.Float)
-	case sqlparse.LitString:
-		return storage.Text(l.Str)
-	default:
-		return storage.Null()
-	}
-}
+// literalValue delegates to the planner's single authoritative
+// Literal→Value switch, so the evaluator and the index-probe paths can
+// never disagree about a literal's storage value.
+func literalValue(l *sqlparse.Literal) storage.Value { return plan.LitValue(l) }
 
 func evalArith(n *sqlparse.BinaryExpr, env Env) (storage.Value, error) {
 	l, err := EvalValue(n.Left, env)

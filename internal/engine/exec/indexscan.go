@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"crowddb/internal/engine/plan"
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// indexIter streams the rows an index probe selects, through the storage
+// layer's batched index cursor: matching row IDs come from the index
+// under the table's read lock, and only those rows are copied out, batch
+// by batch — the scan primitive for IndexScan (point probe) and
+// IndexRange (bound probe) plan nodes. The residual predicate runs inside
+// the refill like a pushed-down scan filter, so rows it rejects are never
+// copied at all. Rows returned by Next alias the cursor's batch buffer.
+type indexIter struct {
+	table    *storage.Table
+	index    string
+	probe    storage.IndexProbe
+	residual sqlparse.Expr
+	layout   *plan.Layout
+
+	cur *storage.IndexCursor
+	env rowEnv
+}
+
+// newIndexScanIter builds the iterator for an equality point probe.
+func newIndexScanIter(n *plan.IndexScan) *indexIter {
+	v := plan.LitValue(n.Key)
+	return &indexIter{
+		table: n.Table, index: n.Index,
+		probe:    storage.IndexProbe{Point: &v},
+		residual: n.Residual, layout: n.Layout,
+	}
+}
+
+// newIndexRangeIter builds the iterator for a bound probe.
+func newIndexRangeIter(n *plan.IndexRange) *indexIter {
+	probe := storage.IndexProbe{LoInc: n.LoInc, HiInc: n.HiInc}
+	if n.Lo != nil {
+		v := plan.LitValue(n.Lo)
+		probe.Lo = &v
+	}
+	if n.Hi != nil {
+		v := plan.LitValue(n.Hi)
+		probe.Hi = &v
+	}
+	return &indexIter{
+		table: n.Table, index: n.Index,
+		probe:    probe,
+		residual: n.Residual, layout: n.Layout,
+	}
+}
+
+func (s *indexIter) Open() error {
+	cur, err := s.table.NewIndexCursor(s.index, s.probe, 0)
+	if err != nil {
+		return err
+	}
+	s.cur = cur
+	s.env.layout = s.layout
+	if s.residual != nil {
+		pred := s.residual
+		s.cur.SetFilter(func(row storage.Row) (bool, error) {
+			s.env.row = row
+			t, err := EvalPredicate(pred, &s.env)
+			return t == TriTrue, err
+		})
+	}
+	return nil
+}
+
+func (s *indexIter) Next() (storage.Row, bool, error) {
+	row, ok := s.cur.Next()
+	if !ok {
+		return nil, false, s.cur.Err()
+	}
+	return row, true, nil
+}
+
+func (s *indexIter) Close() error { return nil }

@@ -28,6 +28,10 @@ func Build(n plan.Node) (Iterator, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return &scanIter{node: t}, nil
+	case *plan.IndexScan:
+		return newIndexScanIter(t), nil
+	case *plan.IndexRange:
+		return newIndexRangeIter(t), nil
 	case *plan.Filter:
 		in, err := Build(t.Input)
 		if err != nil {

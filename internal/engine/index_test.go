@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+// indexedEngine builds a table with enough shape to exercise every access
+// path: an int id, a float score (with some NULLs), and a text tier.
+func indexedEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(storage.NewCatalog())
+	mustExec := func(sql string) *Result {
+		t.Helper()
+		res, err := e.ExecSQL(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return res
+	}
+	mustExec(`CREATE TABLE items (id INTEGER, score FLOAT, tier TEXT)`)
+	tbl, _ := e.Catalog().Get("items")
+	for i := 0; i < 500; i++ {
+		score := storage.Value(storage.Float(float64((i * 37) % 250)))
+		if i%50 == 0 {
+			score = storage.Null() // NULL keys must never be indexed
+		}
+		if err := tbl.Insert(storage.Int(int64(i)), score, storage.Text(fmt.Sprintf("t%d", i%5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(`CREATE INDEX idx_id ON items (id) USING HASH`)
+	mustExec(`CREATE INDEX idx_score ON items (score)`)
+	return e
+}
+
+func explainLines(t *testing.T, e *Engine, sql string) []string {
+	t.Helper()
+	res, err := e.ExecSQL("EXPLAIN " + sql)
+	if err != nil {
+		t.Fatalf("EXPLAIN %s: %v", sql, err)
+	}
+	var out []string
+	for _, row := range res.Rows {
+		s, _ := row[0].AsText()
+		out = append(out, s)
+	}
+	return out
+}
+
+func planText(t *testing.T, e *Engine, sql string) string {
+	return strings.Join(explainLines(t, e, sql), "\n")
+}
+
+func TestExplainChoosesIndexScanForIndexedEquality(t *testing.T) {
+	e := indexedEngine(t)
+	p := planText(t, e, `SELECT id, tier FROM items WHERE id = 42`)
+	if !strings.Contains(p, "IndexScan(idx_id, id=42)") {
+		t.Fatalf("plan does not use the hash index:\n%s", p)
+	}
+	// An unindexed column still plans a plain Scan.
+	p = planText(t, e, `SELECT id FROM items WHERE tier = 't1'`)
+	if !strings.Contains(p, "Scan(items") || strings.Contains(p, "IndexScan") {
+		t.Fatalf("unindexed equality should full-scan:\n%s", p)
+	}
+}
+
+func TestExplainChoosesIndexRangeForRangeConjuncts(t *testing.T) {
+	e := indexedEngine(t)
+	p := planText(t, e, `SELECT id FROM items WHERE score > 100 AND score <= 200`)
+	if !strings.Contains(p, "IndexRange(idx_score, 100..200)") {
+		t.Fatalf("plan does not use the ordered index:\n%s", p)
+	}
+	// Residual conjuncts render on the probe node.
+	p = planText(t, e, `SELECT id FROM items WHERE score > 100 AND tier = 't1'`)
+	if !strings.Contains(p, "IndexRange(idx_score, score > 100) filter=") {
+		t.Fatalf("residual missing from IndexRange:\n%s", p)
+	}
+	// A range on a hash-indexed-only column cannot use the index.
+	p = planText(t, e, `SELECT id FROM items WHERE id > 400`)
+	if strings.Contains(p, "Index") {
+		t.Fatalf("hash index must not answer a range probe:\n%s", p)
+	}
+}
+
+// TestIndexAnswersMatchScan runs the same queries with and without
+// indexes and requires identical results — the index is an access path,
+// never a semantics change.
+func TestIndexAnswersMatchScan(t *testing.T) {
+	indexed := indexedEngine(t)
+	plain := New(storage.NewCatalog())
+	if _, err := plain.ExecSQL(`CREATE TABLE items (id INTEGER, score FLOAT, tier TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := indexed.Catalog().Get("items")
+	dst, _ := plain.Catalog().Get("items")
+	src.Scan(func(i int, row storage.Row) bool {
+		if err := dst.Insert(row...); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+
+	queries := []string{
+		`SELECT id, score, tier FROM items WHERE id = 42`,
+		`SELECT id FROM items WHERE id = -1`,
+		`SELECT id FROM items WHERE 42 = id`,
+		`SELECT id, score FROM items WHERE score > 100 AND score <= 200 ORDER BY id`,
+		`SELECT id FROM items WHERE score >= 0 ORDER BY id`,
+		`SELECT id FROM items WHERE score > 100 AND tier = 't1' ORDER BY id`,
+		`SELECT id FROM items WHERE id = 10 AND score IS NULL`,
+		`SELECT id, score FROM items WHERE score > 50 ORDER BY score LIMIT 7`,
+		`SELECT id, score FROM items WHERE score > 50 ORDER BY score`,
+		`SELECT id, score FROM items ORDER BY score LIMIT 9`,
+		`SELECT id, score FROM items ORDER BY score DESC LIMIT 9`,
+		`SELECT id, score FROM items ORDER BY score`,
+		`SELECT count(*) c FROM items WHERE score > 100`,
+	}
+	for _, q := range queries {
+		want, err := plain.ExecSQL(q)
+		if err != nil {
+			t.Fatalf("%s (plain): %v", q, err)
+		}
+		got, err := indexed.ExecSQL(q)
+		if err != nil {
+			t.Fatalf("%s (indexed): %v", q, err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%s: %d rows indexed vs %d plain", q, len(got.Rows), len(want.Rows))
+		}
+		for i := range want.Rows {
+			for j := range want.Rows[i] {
+				g, w := got.Rows[i][j], want.Rows[i][j]
+				if g.String() != w.String() || g.Kind() != w.Kind() {
+					t.Fatalf("%s: row %d col %d = %v, want %v", q, i, j, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestOrderByNullsStayLast covers the elision guard: ORDER BY over a
+// column with NULLs must keep NULL rows (sorted last), even when an
+// ordered index on that column exists.
+func TestOrderByNullsStayLast(t *testing.T) {
+	e := indexedEngine(t)
+	res, err := e.ExecSQL(`SELECT id, score FROM items ORDER BY score`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 500 {
+		t.Fatalf("rows = %d, want all 500 (NULL scores must not vanish)", len(res.Rows))
+	}
+	tail := res.Rows[len(res.Rows)-10]
+	if !tail[1].IsNull() {
+		t.Fatalf("NULL scores should sort last, tail row = %v", tail)
+	}
+}
+
+// TestOrderByLimitUsesIndexOrder checks the TopN-to-Limit rewrite: a bare
+// ORDER BY key LIMIT n over an ordered index becomes an index-ordered
+// Limit with no TopN operator.
+func TestOrderByLimitUsesIndexOrder(t *testing.T) {
+	e := indexedEngine(t)
+	p := planText(t, e, `SELECT id, score FROM items ORDER BY score LIMIT 9`)
+	if !strings.Contains(p, "IndexRange(idx_score, score)") || strings.Contains(p, "TopN") {
+		t.Fatalf("ORDER BY+LIMIT should ride the ordered index:\n%s", p)
+	}
+	// DESC cannot use ascending index order.
+	p = planText(t, e, `SELECT id, score FROM items ORDER BY score DESC LIMIT 9`)
+	if !strings.Contains(p, "TopN") {
+		t.Fatalf("DESC must keep the TopN heap:\n%s", p)
+	}
+	// A bounded range already in index order drops the sort entirely.
+	p = planText(t, e, `SELECT id, score FROM items WHERE score > 50 ORDER BY score`)
+	if strings.Contains(p, "Sort") || !strings.Contains(p, "IndexRange") {
+		t.Fatalf("bounded range should elide the sort:\n%s", p)
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	e := indexedEngine(t)
+	if _, err := e.ExecSQL(`CREATE INDEX idx_id ON items (id)`); err == nil || !strings.Contains(err.Error(), "already has an index") {
+		t.Fatalf("duplicate index name: %v", err)
+	}
+	if _, err := e.ExecSQL(`CREATE INDEX idx_x ON items (nope)`); err == nil || !strings.Contains(err.Error(), "no column") {
+		t.Fatalf("missing column: %v", err)
+	}
+	var missing *MissingColumnError
+	if _, err := e.ExecSQL(`CREATE INDEX idx_x ON items (nope)`); errors.As(err, &missing) {
+		t.Fatal("CREATE INDEX must not raise MissingColumnError (it would trigger a crowd expansion)")
+	}
+	if _, err := e.ExecSQL(`CREATE INDEX idx_y ON ghosts (id)`); err == nil || !strings.Contains(err.Error(), "no such table") {
+		t.Fatalf("missing table: %v", err)
+	}
+}
+
+// TestIndexMaintainedAcrossDML checks that inserts, updates, and deletes
+// keep index answers correct.
+func TestIndexMaintainedAcrossDML(t *testing.T) {
+	e := New(storage.NewCatalog())
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := e.ExecSQL(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec(`CREATE TABLE kv (k INTEGER, v TEXT)`)
+	mustExec(`CREATE INDEX kv_k ON kv (k) USING HASH`)
+	mustExec(`CREATE INDEX kv_k_ord ON kv (k)`)
+	for i := 0; i < 100; i++ {
+		mustExec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'v%d')`, i%10, i))
+	}
+	count := func(sql string) int {
+		t.Helper()
+		res, err := e.ExecSQL(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return len(res.Rows)
+	}
+	if n := count(`SELECT v FROM kv WHERE k = 3`); n != 10 {
+		t.Fatalf("k=3 rows = %d, want 10", n)
+	}
+	mustExec(`UPDATE kv SET k = 99 WHERE v = 'v3'`) // one row leaves k=3
+	if n := count(`SELECT v FROM kv WHERE k = 3`); n != 9 {
+		t.Fatalf("after update, k=3 rows = %d, want 9", n)
+	}
+	if n := count(`SELECT v FROM kv WHERE k = 99`); n != 1 {
+		t.Fatalf("after update, k=99 rows = %d, want 1", n)
+	}
+	mustExec(`DELETE FROM kv WHERE k = 4`)
+	if n := count(`SELECT v FROM kv WHERE k = 4`); n != 0 {
+		t.Fatalf("after delete, k=4 rows = %d, want 0", n)
+	}
+	// Delete compacted row IDs; every other key must still answer.
+	if n := count(`SELECT v FROM kv WHERE k = 5`); n != 10 {
+		t.Fatalf("after delete, k=5 rows = %d, want 10", n)
+	}
+	if n := count(`SELECT v FROM kv WHERE k >= 8 AND k <= 9`); n != 20 {
+		t.Fatalf("range after delete = %d, want 20", n)
+	}
+}
+
+// TestIndexScanInJoin verifies the access path composes under a join:
+// the probe side of the join still picks up an index for its pushed-down
+// equality.
+func TestIndexScanInJoin(t *testing.T) {
+	e := indexedEngine(t)
+	if _, err := e.ExecSQL(`CREATE TABLE tags (item INTEGER, tag TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := e.ExecSQL(fmt.Sprintf(`INSERT INTO tags VALUES (%d, 'tag%d')`, i*10, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := planText(t, e, `SELECT g.tag FROM items i JOIN tags g ON i.id = g.item WHERE i.id = 420`)
+	if !strings.Contains(p, "IndexScan(idx_id, id=420)") {
+		t.Fatalf("join input should use the index:\n%s", p)
+	}
+	res, err := e.ExecSQL(`SELECT g.tag FROM items i JOIN tags g ON i.id = g.item WHERE i.id = 420`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("join rows = %d, want 1", len(res.Rows))
+	}
+	if tag, _ := res.Rows[0][0].AsText(); tag != "tag42" {
+		t.Fatalf("tag = %q", tag)
+	}
+}

@@ -1,0 +1,302 @@
+package plan
+
+import (
+	"strings"
+
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// Access-path selection: given the conjuncts pushed down to one table,
+// pick an index probe instead of a full scan when the predicate shape
+// allows it.
+//
+// Selection rules (see DESIGN.md §12):
+//
+//  1. An equality conjunct `col = literal` (either operand order) on an
+//     indexed column becomes an IndexScan point probe. Any index kind
+//     answers equality — hash is preferred. The literal may be of any
+//     non-NULL type: Value.Equal never errors, and a probe of a foreign
+//     type simply selects nothing, exactly like the filter would.
+//  2. Otherwise, range conjuncts (<, <=, >, >=) on an ordered-indexed
+//     column are folded into one bound probe (IndexRange), keeping the
+//     tightest bound per side. Range probes require the literal's type
+//     class to match the column's (numeric/text/bool): a mismatched
+//     comparison is a runtime error in the evaluator, and the scan must
+//     stay the one to raise it.
+//  3. Everything not consumed by the probe stays as a residual filter,
+//     evaluated during batch refill like a pushed-down scan filter.
+//
+// NULL literals never select an index: `col = NULL` is never TRUE under
+// three-valued logic and the filter path already returns zero rows.
+
+// eqProbe matches `col = literal` with col bound to seg, returning the
+// column name and literal.
+func eqProbe(e sqlparse.Expr, seg Segment) (string, *sqlparse.Literal, bool) {
+	bin, ok := e.(*sqlparse.BinaryExpr)
+	if !ok || bin.Op != "=" {
+		return "", nil, false
+	}
+	if col, lit, ok := colLiteral(bin.Left, bin.Right, seg); ok {
+		return col, lit, true
+	}
+	return colLiteral(bin.Right, bin.Left, seg)
+}
+
+// rangeProbe matches `col OP literal` (or the flipped literal OP col) for
+// a range operator, returning the operator normalized to the column on
+// the left.
+func rangeProbe(e sqlparse.Expr, seg Segment) (col string, op string, lit *sqlparse.Literal, ok bool) {
+	bin, isBin := e.(*sqlparse.BinaryExpr)
+	if !isBin {
+		return "", "", nil, false
+	}
+	var flip string
+	switch bin.Op {
+	case "<":
+		flip = ">"
+	case "<=":
+		flip = ">="
+	case ">":
+		flip = "<"
+	case ">=":
+		flip = "<="
+	default:
+		return "", "", nil, false
+	}
+	if c, l, match := colLiteral(bin.Left, bin.Right, seg); match {
+		return c, bin.Op, l, true
+	}
+	if c, l, match := colLiteral(bin.Right, bin.Left, seg); match {
+		return c, flip, l, true
+	}
+	return "", "", nil, false
+}
+
+// colLiteral matches (ColumnRef-of-seg, Literal) across the two operands.
+func colLiteral(a, b sqlparse.Expr, seg Segment) (string, *sqlparse.Literal, bool) {
+	ref, ok := a.(*sqlparse.ColumnRef)
+	if !ok {
+		return "", nil, false
+	}
+	lit, ok := b.(*sqlparse.Literal)
+	if !ok {
+		return "", nil, false
+	}
+	if ref.Table != "" && strings.ToLower(ref.Table) != seg.Binding {
+		return "", nil, false
+	}
+	if _, ok := seg.Schema.Lookup(ref.Name); !ok {
+		return "", nil, false
+	}
+	return ref.Name, lit, true
+}
+
+// LitValue converts a parse-tree literal into a storage value. It is the
+// one authoritative Literal→Value switch: the evaluator and the index
+// probes (internal/engine/exec) delegate here, so a future literal kind
+// cannot silently diverge between the scan and index paths.
+func LitValue(l *sqlparse.Literal) storage.Value {
+	switch l.Kind {
+	case sqlparse.LitBool:
+		return storage.Bool(l.Bool)
+	case sqlparse.LitInt:
+		return storage.Int(l.Int)
+	case sqlparse.LitFloat:
+		return storage.Float(l.Float)
+	case sqlparse.LitString:
+		return storage.Text(l.Str)
+	default:
+		return storage.Null()
+	}
+}
+
+// classCompatible reports whether a range comparison between the literal
+// and a column of kind k evaluates without a type error (numeric↔numeric,
+// text↔text, bool↔bool — mirroring storage.Value.Compare).
+func classCompatible(l *sqlparse.Literal, k storage.Kind) bool {
+	switch l.Kind {
+	case sqlparse.LitInt, sqlparse.LitFloat:
+		return k == storage.KindInt || k == storage.KindFloat
+	case sqlparse.LitString:
+		return k == storage.KindText
+	case sqlparse.LitBool:
+		return k == storage.KindBool
+	default:
+		return false
+	}
+}
+
+// rangeBounds accumulates the tightest lo/hi bounds for one column.
+type rangeBounds struct {
+	lo, hi       *sqlparse.Literal
+	loInc, hiInc bool
+	used         int // conjunct count consumed into the bounds
+}
+
+// tightenLo keeps the larger lower bound (exclusive beats inclusive on a
+// tie).
+func (r *rangeBounds) tightenLo(lit *sqlparse.Literal, inc bool) {
+	r.used++
+	if r.lo == nil {
+		r.lo, r.loInc = lit, inc
+		return
+	}
+	c, err := LitValue(lit).Compare(LitValue(r.lo))
+	if err != nil {
+		return // mixed numeric/text bounds on one column: keep the first
+	}
+	if c > 0 || (c == 0 && r.loInc && !inc) {
+		r.lo, r.loInc = lit, inc
+	}
+}
+
+// tightenHi keeps the smaller upper bound (exclusive beats inclusive on a
+// tie).
+func (r *rangeBounds) tightenHi(lit *sqlparse.Literal, inc bool) {
+	r.used++
+	if r.hi == nil {
+		r.hi, r.hiInc = lit, inc
+		return
+	}
+	c, err := LitValue(lit).Compare(LitValue(r.hi))
+	if err != nil {
+		return
+	}
+	if c < 0 || (c == 0 && r.hiInc && !inc) {
+		r.hi, r.hiInc = lit, inc
+	}
+}
+
+// accessPath builds segment i's access node from its pushed-down
+// conjuncts: an IndexScan for an indexed equality, an IndexRange for
+// indexed range bounds, or the plain Scan.
+func (b *builder) accessPath(i int, cs []sqlparse.Expr) Node {
+	tbl := b.tables[i]
+	seg := b.segs[i]
+	layout := b.singleLayout(i)
+
+	// 1. Equality point probe.
+	for k, c := range cs {
+		col, lit, ok := eqProbe(c, seg)
+		if !ok || lit.Kind == sqlparse.LitNull {
+			continue
+		}
+		meta, found := tbl.IndexOn(col, false)
+		if !found {
+			continue
+		}
+		rest := make([]sqlparse.Expr, 0, len(cs)-1)
+		rest = append(rest, cs[:k]...)
+		rest = append(rest, cs[k+1:]...)
+		return &IndexScan{
+			Table: tbl, Name: seg.Table, Binding: seg.Binding,
+			Index: meta.Name, Column: col, Key: lit,
+			Residual: conjoin(rest), Layout: layout,
+		}
+	}
+
+	// 2. Range probe on an ordered index: fold every usable bound on the
+	// first ordered-indexed column that has one.
+	var (
+		rangeCol  string
+		rangeMeta storage.IndexMeta
+		bounds    rangeBounds
+		rest      []sqlparse.Expr
+	)
+	for _, c := range cs {
+		col, op, lit, ok := rangeProbe(c, seg)
+		if ok && rangeCol == "" {
+			if idx, found := seg.Schema.Lookup(col); found && classCompatible(lit, seg.Schema.Column(idx).Kind) {
+				if meta, has := tbl.IndexOn(col, true); has {
+					rangeCol, rangeMeta = col, meta
+				}
+			}
+		}
+		if ok && rangeCol != "" && strings.EqualFold(col, rangeCol) {
+			ci, _ := seg.Schema.Lookup(col)
+			if classCompatible(lit, seg.Schema.Column(ci).Kind) {
+				switch op {
+				case ">":
+					bounds.tightenLo(lit, false)
+				case ">=":
+					bounds.tightenLo(lit, true)
+				case "<":
+					bounds.tightenHi(lit, false)
+				case "<=":
+					bounds.tightenHi(lit, true)
+				}
+				continue
+			}
+		}
+		rest = append(rest, c)
+	}
+	if bounds.used > 0 {
+		return &IndexRange{
+			Table: tbl, Name: seg.Table, Binding: seg.Binding,
+			Index: rangeMeta.Name, Column: rangeCol,
+			Lo: bounds.lo, Hi: bounds.hi, LoInc: bounds.loInc, HiInc: bounds.hiInc,
+			Residual: conjoin(rest), Layout: layout,
+		}
+	}
+
+	return &Scan{
+		Table: tbl, Name: seg.Table, Binding: seg.Binding,
+		Filter: conjoin(cs), Layout: layout,
+	}
+}
+
+// tryIndexOrder attempts to satisfy ORDER BY from index order, returning
+// the (possibly replaced) access node and whether the sort can be elided.
+//
+// Index order is ascending by key with ties in table order — identical to
+// a stable ASC sort — but the index holds no NULL keys, and the sorter
+// places NULL keys last. Elision is therefore only legal when NULL-keyed
+// rows provably cannot appear in the output:
+//
+//   - above an IndexScan/IndexRange on the ORDER BY column, whose
+//     equality/range predicate already rejects NULL keys (3VL), or
+//   - converting a bare unfiltered Scan when a LIMIT is present and the
+//     index holds at least LIMIT entries at plan time, so the NULL tail
+//     can never be reached. (Entries can shrink under a concurrent
+//     delete — the same weak-consistency window the batched cursor
+//     already documents.)
+func (b *builder) tryIndexOrder(node Node, orderBy []sqlparse.OrderKey, limit int64, distinct bool) (Node, bool) {
+	if len(b.segs) != 1 || len(orderBy) != 1 || orderBy[0].Desc {
+		return node, false
+	}
+	ref, ok := orderBy[0].Expr.(*sqlparse.ColumnRef)
+	if !ok {
+		return node, false
+	}
+	seg := b.segs[0]
+	if ref.Table != "" && strings.ToLower(ref.Table) != seg.Binding {
+		return node, false
+	}
+	if _, ok := seg.Schema.Lookup(ref.Name); !ok {
+		return node, false
+	}
+
+	switch t := node.(type) {
+	case *IndexScan:
+		// A single-key point probe emits rows in table order; every key is
+		// equal and non-NULL, so any order is a stable ASC order.
+		return node, strings.EqualFold(t.Column, ref.Name)
+	case *IndexRange:
+		return node, strings.EqualFold(t.Column, ref.Name)
+	case *Scan:
+		if t.Filter != nil || distinct || limit < 0 {
+			return node, false
+		}
+		meta, has := t.Table.IndexOn(ref.Name, true)
+		if !has || int64(meta.Entries) < limit {
+			return node, false
+		}
+		return &IndexRange{
+			Table: t.Table, Name: t.Name, Binding: t.Binding,
+			Index: meta.Name, Column: ref.Name, Layout: t.Layout,
+		}, true
+	default:
+		return node, false
+	}
+}

@@ -270,17 +270,10 @@ func (b *builder) buildJoinTree() (Node, error) {
 		residual = append(residual, c)
 	}
 
-	scan := func(i int) *Scan {
-		return &Scan{
-			Table:   b.tables[i],
-			Name:    b.segs[i].Table,
-			Binding: b.segs[i].Binding,
-			Filter:  conjoin(pushed[b.segs[i].Binding]),
-			Layout:  b.singleLayout(i),
-		}
-	}
-
-	var node Node = scan(0)
+	// accessPath turns each table's pushed-down conjuncts into a Scan or,
+	// when an indexed equality/range conjunct is among them, an
+	// IndexScan/IndexRange probe (see access.go).
+	node := b.accessPath(0, pushed[b.segs[0].Binding])
 	leftBindings := map[string]bool{b.segs[0].Binding: true}
 	for ji := range b.stmt.Joins {
 		ri := ji + 1 // segment index of the joined table
@@ -314,8 +307,7 @@ func (b *builder) buildJoinTree() (Node, error) {
 			}
 		}
 
-		right := scan(ri)
-		right.Filter = conjoin(append(pushed[rightBinding], rightExtra...))
+		right := b.accessPath(ri, append(pushed[rightBinding], rightExtra...))
 		if extra := conjoin(leftExtra); extra != nil {
 			node = &Filter{Input: node, Pred: extra, Layout: b.prefixLayout(ri)}
 		}
@@ -324,7 +316,7 @@ func (b *builder) buildJoinTree() (Node, error) {
 			LeftKeys: leftKeys, RightKeys: rightKeys,
 			Residual:    conjoin(joinResidual),
 			LeftLayout:  b.prefixLayout(ri),
-			RightLayout: right.Layout,
+			RightLayout: b.singleLayout(ri),
 			Layout:      b.prefixLayout(ri + 1),
 		}
 		leftBindings[rightBinding] = true
@@ -383,10 +375,16 @@ func (b *builder) finishPlain(node Node, orderBy []sqlparse.OrderKey) (*SelectPl
 	}
 
 	// ORDER BY evaluates against base rows (pre-projection), so it sits
-	// below Project. ORDER BY + LIMIT without DISTINCT collapses into a
-	// TopN heap; LIMIT under DISTINCT applies to deduplicated output and
-	// stays above it.
+	// below Project. An ordered-index access path already emitting rows in
+	// key order satisfies the ORDER BY by itself (tryIndexOrder), reducing
+	// TopN to a plain Limit. Otherwise ORDER BY + LIMIT without DISTINCT
+	// collapses into a TopN heap; LIMIT under DISTINCT applies to
+	// deduplicated output and stays above it.
+	ordered := false
 	if len(orderBy) > 0 {
+		node, ordered = b.tryIndexOrder(node, orderBy, s.Limit, s.Distinct)
+	}
+	if len(orderBy) > 0 && !ordered {
 		if !s.Distinct && s.Limit >= 0 {
 			node = &TopN{Input: node, Keys: orderBy, N: s.Limit, Layout: b.layout}
 		} else {

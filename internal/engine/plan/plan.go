@@ -122,6 +122,39 @@ type Scan struct {
 	Layout  *Layout       // single-segment layout of this scan's rows
 }
 
+// IndexScan answers an equality predicate on an indexed column through a
+// point probe: the index yields the matching row IDs under the table's
+// read lock and only those rows are ever copied out. Residual carries the
+// remaining pushed-down conjuncts, evaluated during batch refill.
+type IndexScan struct {
+	Table    *storage.Table
+	Name     string // table name
+	Binding  string
+	Index    string // index name
+	Column   string // indexed column
+	Key      *sqlparse.Literal
+	Residual sqlparse.Expr // nil when the equality was the whole filter
+	Layout   *Layout
+}
+
+// IndexRange answers range conjuncts on an ordered-indexed column with a
+// bound probe. Rows come back in index order — ascending by key, ties in
+// table order — which is exactly a stable ORDER BY on the key, letting
+// the planner elide a Sort/TopN above it (see finishPlain).
+type IndexRange struct {
+	Table   *storage.Table
+	Name    string
+	Binding string
+	Index   string
+	Column  string
+	// Lo/Hi are the range bounds; nil means open on that side (a fully
+	// open probe is an index-ordered scan of the whole table).
+	Lo, Hi       *sqlparse.Literal
+	LoInc, HiInc bool
+	Residual     sqlparse.Expr
+	Layout       *Layout
+}
+
 // Filter drops rows whose predicate is not TRUE (three-valued logic).
 type Filter struct {
 	Input  Node
@@ -193,15 +226,17 @@ type Limit struct {
 	N     int64
 }
 
-func (*Scan) node()      {}
-func (*Filter) node()    {}
-func (*HashJoin) node()  {}
-func (*Project) node()   {}
-func (*Aggregate) node() {}
-func (*Sort) node()      {}
-func (*TopN) node()      {}
-func (*Distinct) node()  {}
-func (*Limit) node()     {}
+func (*Scan) node()       {}
+func (*IndexScan) node()  {}
+func (*IndexRange) node() {}
+func (*Filter) node()     {}
+func (*HashJoin) node()   {}
+func (*Project) node()    {}
+func (*Aggregate) node()  {}
+func (*Sort) node()       {}
+func (*TopN) node()       {}
+func (*Distinct) node()   {}
+func (*Limit) node()      {}
 
 func (s *Scan) Describe() string {
 	b := s.Name
@@ -212,6 +247,39 @@ func (s *Scan) Describe() string {
 		return fmt.Sprintf("Scan(%s, filter=%s)", b, s.Filter.String())
 	}
 	return fmt.Sprintf("Scan(%s)", b)
+}
+
+func (s *IndexScan) Describe() string {
+	d := fmt.Sprintf("IndexScan(%s, %s=%s)", s.Index, s.Column, s.Key.String())
+	if s.Residual != nil {
+		d += fmt.Sprintf(" filter=%s", s.Residual.String())
+	}
+	return d
+}
+
+func (s *IndexRange) Describe() string {
+	bound := s.Column
+	switch {
+	case s.Lo != nil && s.Hi != nil:
+		bound = fmt.Sprintf("%s..%s", s.Lo.String(), s.Hi.String())
+	case s.Lo != nil:
+		op := ">"
+		if s.LoInc {
+			op = ">="
+		}
+		bound = fmt.Sprintf("%s %s %s", s.Column, op, s.Lo.String())
+	case s.Hi != nil:
+		op := "<"
+		if s.HiInc {
+			op = "<="
+		}
+		bound = fmt.Sprintf("%s %s %s", s.Column, op, s.Hi.String())
+	}
+	d := fmt.Sprintf("IndexRange(%s, %s)", s.Index, bound)
+	if s.Residual != nil {
+		d += fmt.Sprintf(" filter=%s", s.Residual.String())
+	}
+	return d
 }
 
 func (f *Filter) Describe() string { return fmt.Sprintf("Filter(%s)", f.Pred.String()) }
@@ -272,6 +340,10 @@ func (l *Limit) Describe() string  { return fmt.Sprintf("Limit(%d)", l.N) }
 func Children(n Node) []Node {
 	switch t := n.(type) {
 	case *Scan:
+		return nil
+	case *IndexScan:
+		return nil
+	case *IndexRange:
 		return nil
 	case *Filter:
 		return []Node{t.Input}

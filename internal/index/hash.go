@@ -1,0 +1,92 @@
+package index
+
+import (
+	"sort"
+
+	"crowddb/internal/storage"
+)
+
+// Hash is an equality index: canonical key → row IDs. Point lookups are
+// O(1) regardless of table size; it cannot answer range probes.
+type Hash struct {
+	name   string
+	column string
+	m      map[hashKey][]int
+	n      int // total entries; kept incrementally — Entries() sits on the planner's hot path
+}
+
+// NewHash creates an empty hash index over column.
+func NewHash(name, column string) *Hash {
+	return &Hash{name: name, column: column, m: make(map[hashKey][]int)}
+}
+
+// Name returns the index name.
+func (h *Hash) Name() string { return h.name }
+
+// Column returns the indexed column's name.
+func (h *Hash) Column() string { return h.column }
+
+// Ordered reports whether the index supports range probes.
+func (h *Hash) Ordered() bool { return false }
+
+// Entries returns the number of indexed (non-NULL) rows.
+func (h *Hash) Entries() int { return h.n }
+
+// Add indexes v for rowID. NULLs are skipped.
+func (h *Hash) Add(rowID int, v storage.Value) {
+	k, ok := keyOf(v)
+	if !ok {
+		return
+	}
+	h.m[k] = append(h.m[k], rowID)
+	h.n++
+}
+
+// Replace swaps rowID's entry from oldV to newV (the Set hook).
+func (h *Hash) Replace(rowID int, oldV, newV storage.Value) {
+	if k, ok := keyOf(oldV); ok {
+		ids := h.m[k]
+		for i, id := range ids {
+			if id == rowID {
+				ids = append(ids[:i], ids[i+1:]...)
+				h.n--
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(h.m, k)
+		} else {
+			h.m[k] = ids
+		}
+	}
+	h.Add(rowID, newV)
+}
+
+// Rebuild reindexes from scratch: vals[i] is row i's value.
+func (h *Hash) Rebuild(vals []storage.Value) {
+	h.m = make(map[hashKey][]int, len(vals))
+	h.n = 0
+	for i, v := range vals {
+		h.Add(i, v)
+	}
+}
+
+// Lookup returns the row IDs whose value equals v (storage.Value.Equal
+// semantics), in ascending row order.
+func (h *Hash) Lookup(v storage.Value) []int {
+	k, ok := keyOf(v)
+	if !ok {
+		return nil
+	}
+	ids := h.m[k]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int, len(ids))
+	copy(out, ids)
+	sort.Ints(out)
+	return out
+}
+
+// Range is unsupported on a hash index; the planner never asks.
+func (h *Hash) Range(lo, hi *storage.Value, loInc, hiInc bool) []int { return nil }

@@ -1,0 +1,140 @@
+// Package index implements the secondary-index structures of the storage
+// layer: a hash index for equality point lookups and an ordered
+// (sorted-run) index for range predicates and index-ordered iteration.
+//
+// Indexes hold no locks of their own. Every structure in this package is
+// mutated and probed exclusively under the owning table's mutex, through
+// the storage.ColumnIndex maintenance hooks: the table calls Add/Replace/
+// Rebuild while applying a mutation (Insert, Set, FillColumn, Delete
+// compaction, crowd fill of an expanded column) and Lookup/Range while
+// serving an index cursor batch. That keeps the index exactly as fresh as
+// the rows it describes without a second lock hierarchy.
+//
+// NULL values are never indexed: under three-valued logic an equality or
+// range predicate is never TRUE for a NULL operand, so a NULL entry could
+// never be returned anyway. A freshly expanded column (all NULLs until
+// the crowd fills it) therefore indexes as empty and grows as judgments
+// land.
+package index
+
+import (
+	"crowddb/internal/storage"
+)
+
+// Kind names an index implementation.
+type Kind string
+
+const (
+	KindHash    Kind = "hash"
+	KindOrdered Kind = "ordered"
+)
+
+// New constructs an index of the given kind over column, named name.
+func New(kind Kind, name, column string) (storage.ColumnIndex, error) {
+	switch kind {
+	case KindHash:
+		return NewHash(name, column), nil
+	case KindOrdered:
+		return NewOrdered(name, column), nil
+	default:
+		return nil, &UnknownKindError{Kind: string(kind)}
+	}
+}
+
+// UnknownKindError reports an unrecognized index kind in CREATE INDEX.
+type UnknownKindError struct{ Kind string }
+
+func (e *UnknownKindError) Error() string {
+	return "index: unknown index kind " + e.Kind + " (want HASH or ORDERED)"
+}
+
+// hashKey is the canonical equality key of a value. It must agree exactly
+// with storage.Value.Equal: two values are mapped to the same key iff
+// Equal reports true. Numerics (int and float) compare through float64
+// there, so both normalize to a float64 key here — Int(2) and Float(2.0)
+// collide by design. Cross-class values (text vs int, bool vs float)
+// never Equal, and their keys differ in class.
+type hashKey struct {
+	class byte // 'b' bool, 'n' numeric, 's' text
+	b     bool
+	f     float64
+	s     string
+}
+
+// keyOf normalizes v; ok=false for NULL (never indexed, never probed).
+func keyOf(v storage.Value) (hashKey, bool) {
+	switch v.Kind() {
+	case storage.KindNull:
+		return hashKey{}, false
+	case storage.KindBool:
+		b, _ := v.AsBool()
+		return hashKey{class: 'b', b: b}, true
+	case storage.KindText:
+		s, _ := v.AsText()
+		return hashKey{class: 's', s: s}, true
+	default:
+		f, _ := v.AsFloat()
+		return hashKey{class: 'n', f: f}, true
+	}
+}
+
+// classRank orders value classes for the ordered index, so entries of a
+// mixed-kind probe land in an empty region instead of a wrong one.
+// Columns are homogeneous (values are coerced on write), so within one
+// index only probes can introduce a foreign class.
+func classRank(v storage.Value) int {
+	switch v.Kind() {
+	case storage.KindBool:
+		return 0
+	case storage.KindText:
+		return 2
+	default:
+		return 1 // numeric
+	}
+}
+
+// compare orders two non-NULL values the way storage.Value.Compare does,
+// extended with a deterministic cross-class order (bool < numeric < text)
+// instead of an error — the ordered index must be able to place any
+// probe.
+func compare(a, b storage.Value) int {
+	ra, rb := classRank(a), classRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch ra {
+	case 0:
+		ab, _ := a.AsBool()
+		bb, _ := b.AsBool()
+		switch {
+		case ab == bb:
+			return 0
+		case ab:
+			return 1
+		default:
+			return -1
+		}
+	case 2:
+		as, _ := a.AsText()
+		bs, _ := b.AsText()
+		switch {
+		case as < bs:
+			return -1
+		case as > bs:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+func TestHashLookupEqualSemantics(t *testing.T) {
+	h := NewHash("ix", "c")
+	h.Add(0, storage.Int(2))
+	h.Add(1, storage.Float(2.0))
+	h.Add(2, storage.Float(2.5))
+	h.Add(3, storage.Text("2"))
+	h.Add(4, storage.Null())
+	h.Add(5, storage.Bool(true))
+
+	// Int and integral Float collide (Value.Equal compares numerics via
+	// float64); text "2" and bool stay apart; NULL is never indexed.
+	if got := h.Lookup(storage.Int(2)); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Lookup(2) = %v", got)
+	}
+	if got := h.Lookup(storage.Float(2.5)); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("Lookup(2.5) = %v", got)
+	}
+	if got := h.Lookup(storage.Text("2")); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("Lookup('2') = %v", got)
+	}
+	if got := h.Lookup(storage.Null()); got != nil {
+		t.Fatalf("Lookup(NULL) = %v", got)
+	}
+	if h.Entries() != 5 {
+		t.Fatalf("Entries = %d, want 5 (NULL skipped)", h.Entries())
+	}
+}
+
+func TestHashReplace(t *testing.T) {
+	h := NewHash("ix", "c")
+	h.Add(0, storage.Int(1))
+	h.Add(1, storage.Int(1))
+	h.Replace(0, storage.Int(1), storage.Int(9))
+	if got := h.Lookup(storage.Int(1)); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Lookup(1) = %v", got)
+	}
+	if got := h.Lookup(storage.Int(9)); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Lookup(9) = %v", got)
+	}
+	// NULL → value transition (the crowd-fill Set path).
+	h.Replace(2, storage.Null(), storage.Int(9))
+	if got := h.Lookup(storage.Int(9)); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Lookup(9) after NULL fill = %v", got)
+	}
+}
+
+// TestOrderedMatchesSortReference drives the ordered index through enough
+// random inserts to force delta merges and checks every range shape
+// against a brute-force reference.
+func TestOrderedMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	o := NewOrdered("ix", "c")
+	const n = 5000
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = float64(rng.Intn(200)) // heavy duplication
+		o.Add(i, storage.Float(vals[i]))
+	}
+	ref := func(pred func(float64) bool) []int {
+		type pair struct {
+			v   float64
+			row int
+		}
+		var ps []pair
+		for i, v := range vals {
+			if pred(v) {
+				ps = append(ps, pair{v, i})
+			}
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].v != ps[j].v {
+				return ps[i].v < ps[j].v
+			}
+			return ps[i].row < ps[j].row
+		})
+		out := make([]int, len(ps))
+		for i, p := range ps {
+			out[i] = p.row
+		}
+		return out
+	}
+	lo, hi := storage.Float(50), storage.Float(150)
+	cases := []struct {
+		name string
+		got  []int
+		want []int
+	}{
+		{"closed", o.Range(&lo, &hi, true, true), ref(func(v float64) bool { return v >= 50 && v <= 150 })},
+		{"open", o.Range(&lo, &hi, false, false), ref(func(v float64) bool { return v > 50 && v < 150 })},
+		{"lo only", o.Range(&lo, nil, true, false), ref(func(v float64) bool { return v >= 50 })},
+		{"hi only", o.Range(nil, &hi, false, false), ref(func(v float64) bool { return v < 150 })},
+		{"full", o.Range(nil, nil, false, false), ref(func(v float64) bool { return true })},
+	}
+	for _, c := range cases {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Fatalf("%s: got %d ids, want %d (first-diff check)", c.name, len(c.got), len(c.want))
+		}
+	}
+	point := storage.Float(77)
+	if got, want := o.Lookup(point), ref(func(v float64) bool { return v == 77 }); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Lookup(77): got %d ids, want %d", len(got), len(want))
+	}
+}
+
+func TestOrderedReplaceAndRebuild(t *testing.T) {
+	o := NewOrdered("ix", "c")
+	o.Rebuild([]storage.Value{storage.Int(3), storage.Int(1), storage.Null(), storage.Int(2)})
+	if o.Entries() != 3 {
+		t.Fatalf("Entries = %d", o.Entries())
+	}
+	if got := o.Range(nil, nil, false, false); !reflect.DeepEqual(got, []int{1, 3, 0}) {
+		t.Fatalf("full range = %v, want key order [1 3 0]", got)
+	}
+	o.Replace(2, storage.Null(), storage.Int(0)) // fill the NULL
+	o.Replace(0, storage.Int(3), storage.Int(5))
+	if got := o.Range(nil, nil, false, false); !reflect.DeepEqual(got, []int{2, 1, 3, 0}) {
+		t.Fatalf("after replace = %v", got)
+	}
+	lo := storage.Int(2)
+	if got := o.Range(&lo, nil, true, false); !reflect.DeepEqual(got, []int{3, 0}) {
+		t.Fatalf(">=2 = %v", got)
+	}
+}
+
+func TestOrderedCrossKindProbe(t *testing.T) {
+	o := NewOrdered("ix", "c")
+	o.Rebuild([]storage.Value{storage.Int(10), storage.Int(20)})
+	// An int probe against (conceptually float-typed) numeric entries
+	// matches through float comparison; a text probe lands in an empty
+	// class region.
+	if got := o.Lookup(storage.Float(10.0)); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Lookup(10.0) = %v", got)
+	}
+	if got := o.Lookup(storage.Text("10")); got != nil {
+		t.Fatalf("Lookup('10') = %v, want nil", got)
+	}
+}
+
+func TestNewKinds(t *testing.T) {
+	if idx, err := New(KindHash, "a", "c"); err != nil || idx.Ordered() {
+		t.Fatalf("New hash: %v %v", idx, err)
+	}
+	if idx, err := New(KindOrdered, "a", "c"); err != nil || !idx.Ordered() {
+		t.Fatalf("New ordered: %v %v", idx, err)
+	}
+	if _, err := New(Kind("btree"), "a", "c"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

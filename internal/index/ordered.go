@@ -1,0 +1,202 @@
+package index
+
+import (
+	"sort"
+
+	"crowddb/internal/storage"
+)
+
+// entry is one indexed (value, row) pair.
+type entry struct {
+	v   storage.Value
+	row int
+}
+
+// deltaMax bounds the ordered index's insert buffer. Inserts are O(delta)
+// memmoves until the buffer fills, then one linear merge folds it into
+// the base run — the classic sorted-run compromise between skiplist
+// pointer soup and O(table) per-insert memmoves.
+const deltaMax = 1024
+
+// Ordered is a two-run ordered index: a large sorted base plus a small
+// sorted delta buffer that absorbs inserts and is merged into the base
+// when full. Both runs are sorted by (value, rowID), so equal keys come
+// back in table order — exactly the tie-break a stable ORDER BY produces,
+// which is what lets the planner drop a Sort in favor of index order.
+type Ordered struct {
+	name   string
+	column string
+	base   []entry
+	delta  []entry
+}
+
+// NewOrdered creates an empty ordered index over column.
+func NewOrdered(name, column string) *Ordered {
+	return &Ordered{name: name, column: column}
+}
+
+// Name returns the index name.
+func (o *Ordered) Name() string { return o.name }
+
+// Column returns the indexed column's name.
+func (o *Ordered) Column() string { return o.column }
+
+// Ordered reports whether the index supports range probes.
+func (o *Ordered) Ordered() bool { return true }
+
+// Entries returns the number of indexed (non-NULL) rows.
+func (o *Ordered) Entries() int { return len(o.base) + len(o.delta) }
+
+// less orders entries by (value, rowID).
+func less(a, b entry) bool {
+	if c := compare(a.v, b.v); c != 0 {
+		return c < 0
+	}
+	return a.row < b.row
+}
+
+// insertPos is the first position in run not less than e.
+func insertPos(run []entry, e entry) int {
+	return sort.Search(len(run), func(i int) bool { return !less(run[i], e) })
+}
+
+// Add indexes v for rowID. NULLs are skipped.
+func (o *Ordered) Add(rowID int, v storage.Value) {
+	if v.IsNull() {
+		return
+	}
+	e := entry{v: v, row: rowID}
+	i := insertPos(o.delta, e)
+	o.delta = append(o.delta, entry{})
+	copy(o.delta[i+1:], o.delta[i:])
+	o.delta[i] = e
+	if len(o.delta) >= deltaMax {
+		o.mergeDelta()
+	}
+}
+
+// mergeDelta folds the delta buffer into the base run (linear merge).
+func (o *Ordered) mergeDelta() {
+	merged := make([]entry, 0, len(o.base)+len(o.delta))
+	i, j := 0, 0
+	for i < len(o.base) && j < len(o.delta) {
+		if less(o.delta[j], o.base[i]) {
+			merged = append(merged, o.delta[j])
+			j++
+		} else {
+			merged = append(merged, o.base[i])
+			i++
+		}
+	}
+	merged = append(merged, o.base[i:]...)
+	merged = append(merged, o.delta[j:]...)
+	o.base, o.delta = merged, o.delta[:0]
+}
+
+// remove drops the entry (v, rowID) from whichever run holds it.
+func (o *Ordered) remove(rowID int, v storage.Value) {
+	if v.IsNull() {
+		return
+	}
+	e := entry{v: v, row: rowID}
+	for _, run := range []*[]entry{&o.base, &o.delta} {
+		r := *run
+		i := insertPos(r, e)
+		if i < len(r) && r[i].row == rowID && compare(r[i].v, v) == 0 {
+			*run = append(r[:i], r[i+1:]...)
+			return
+		}
+	}
+}
+
+// Replace swaps rowID's entry from oldV to newV (the Set hook).
+func (o *Ordered) Replace(rowID int, oldV, newV storage.Value) {
+	o.remove(rowID, oldV)
+	o.Add(rowID, newV)
+}
+
+// Rebuild reindexes from scratch: vals[i] is row i's value. One sort —
+// the bulk-load path CREATE INDEX, FillColumn, and Delete compaction use.
+func (o *Ordered) Rebuild(vals []storage.Value) {
+	base := make([]entry, 0, len(vals))
+	for i, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		base = append(base, entry{v: v, row: i})
+	}
+	sort.Slice(base, func(i, j int) bool { return less(base[i], base[j]) })
+	o.base, o.delta = base, nil
+}
+
+// bounds returns the half-open [from, to) window of run covered by the
+// probe. A nil bound is open on that side.
+func bounds(run []entry, lo, hi *storage.Value, loInc, hiInc bool) (int, int) {
+	from, to := 0, len(run)
+	if lo != nil {
+		from = sort.Search(len(run), func(i int) bool {
+			c := compare(run[i].v, *lo)
+			if loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	if hi != nil {
+		to = sort.Search(len(run), func(i int) bool {
+			c := compare(run[i].v, *hi)
+			if hiInc {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if to < from {
+		to = from
+	}
+	return from, to
+}
+
+// mergeIDs merges two (value, rowID)-sorted entry slices into the row-ID
+// stream the cursor consumes, preserving index order.
+func mergeIDs(a, b []entry) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(a[i], b[j]) {
+			out = append(out, a[i].row)
+			i++
+		} else {
+			out = append(out, b[j].row)
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = append(out, a[i].row)
+	}
+	for ; j < len(b); j++ {
+		out = append(out, b[j].row)
+	}
+	return out
+}
+
+// Range returns the row IDs whose value falls in the probe window, in
+// index order: ascending by value, ties by row ID. Nil bounds are open.
+func (o *Ordered) Range(lo, hi *storage.Value, loInc, hiInc bool) []int {
+	bf, bt := bounds(o.base, lo, hi, loInc, hiInc)
+	df, dt := bounds(o.delta, lo, hi, loInc, hiInc)
+	return mergeIDs(o.base[bf:bt], o.delta[df:dt])
+}
+
+// Lookup returns the row IDs whose value equals v, ascending by row ID —
+// equality through the ordered runs is the closed range [v, v].
+func (o *Ordered) Lookup(v storage.Value) []int {
+	if v.IsNull() {
+		return nil
+	}
+	ids := o.Range(&v, &v, true, true)
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids
+}

@@ -313,6 +313,14 @@ type columnInfo struct {
 	Origin     string `json:"origin"`
 }
 
+// indexInfo is one secondary index in the schema inventory.
+type indexInfo struct {
+	Name    string `json:"name"`
+	Column  string `json:"column"`
+	Kind    string `json:"kind"` // "hash" or "ordered"
+	Entries int    `json:"entries"`
+}
+
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("table")
 	tbl, ok := s.db.Catalog().Get(name)
@@ -329,10 +337,18 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 			Perceptual: c.Perceptual, Origin: c.Origin.String(),
 		})
 	}
+	metas := tbl.IndexMetas()
+	indexes := make([]indexInfo, 0, len(metas))
+	for _, m := range metas {
+		indexes = append(indexes, indexInfo{
+			Name: m.Name, Column: m.Column, Kind: m.Kind(), Entries: m.Entries,
+		})
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"table":   tbl.Name(),
 		"rows":    tbl.NumRows(),
 		"columns": cols,
+		"indexes": indexes,
 	})
 }
 
@@ -504,8 +520,10 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // writeQueryError classifies a query failure: a full expansion queue is a
 // retryable overload (503), a budget-capped expansion is a payment
 // problem (402), a failed crowd expansion is a server-side fault (500);
-// everything else (parse errors, unknown tables/columns) is the client's
-// query (400).
+// CREATE INDEX on a registered-but-unexpanded column is the client's
+// sequencing mistake (400, explicitly — it must never fall into the 500
+// bucket); everything else (parse errors, unknown tables/columns) is the
+// client's query (400).
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
@@ -513,6 +531,8 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, core.ErrBudgetExceeded):
 		writeError(w, http.StatusPaymentRequired, err)
+	case errors.Is(err, core.ErrIndexOnVirtualColumn):
+		writeError(w, http.StatusBadRequest, err)
 	case errors.Is(err, core.ErrExpansionFailed):
 		writeError(w, http.StatusInternalServerError, err)
 	default:

@@ -233,6 +233,27 @@ type DropTableStmt struct{ Table string }
 
 func (*DropTableStmt) stmt() {}
 
+// ---------- CREATE INDEX ----------
+
+// CreateIndexStmt is the secondary-index DDL:
+//
+//	CREATE INDEX idx_year ON movies (year)              -- ordered (default)
+//	CREATE INDEX idx_id   ON movies (movie_id) USING HASH
+//
+// Ordered indexes answer equality and range predicates (and index-ordered
+// scans); hash indexes answer equality only, in O(1). The column must
+// already exist in the schema — indexing a registered-but-not-yet-expanded
+// column is rejected by the crowd-enabled layer with a typed error.
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+	// Kind is "hash" or "ordered" (the default when USING is absent).
+	Kind string
+}
+
+func (*CreateIndexStmt) stmt() {}
+
 // ---------- EXPAND (schema expansion DDL) ----------
 
 // ExpandMethod selects the fill strategy for an explicit EXPAND statement.

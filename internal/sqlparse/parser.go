@@ -118,7 +118,7 @@ func (p *Parser) parseStatement() (Statement, error) {
 	case "SELECT":
 		return p.parseSelect()
 	case "CREATE":
-		return p.parseCreateTable()
+		return p.parseCreate()
 	case "INSERT":
 		return p.parseInsert()
 	case "UPDATE":
@@ -568,10 +568,66 @@ func (p *Parser) parseColumnType() (string, error) {
 	return "", p.errorf("expected column type, found %s", t)
 }
 
-func (p *Parser) parseCreateTable() (*CreateTableStmt, error) {
+// parseCreate dispatches CREATE TABLE vs CREATE INDEX.
+func (p *Parser) parseCreate() (Statement, error) {
 	if err := p.expectKeyword("CREATE"); err != nil {
 		return nil, err
 	}
+	if p.acceptKeyword("INDEX") {
+		return p.parseCreateIndex()
+	}
+	return p.parseCreateTable()
+}
+
+// parseCreateIndex parses the tail of
+//
+//	CREATE INDEX name ON table (column) [USING HASH|ORDERED]
+//
+// with CREATE INDEX already consumed.
+func (p *Parser) parseCreateIndex() (*CreateIndexStmt, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	column, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol(",") {
+		return nil, p.errorf("composite indexes are not supported (one column per index)")
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	stmt := &CreateIndexStmt{Name: name, Table: table, Column: column, Kind: "ordered"}
+	if p.acceptKeyword("USING") {
+		// HASH and ORDERED are not reserved words; they arrive as plain
+		// identifiers here.
+		kind, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(kind) {
+		case "hash", "ordered":
+			stmt.Kind = strings.ToLower(kind)
+		default:
+			return nil, p.errorf("expected HASH or ORDERED after USING, found %q", kind)
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseCreateTable() (*CreateTableStmt, error) {
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
 	}

@@ -74,6 +74,7 @@ var keywords = map[string]bool{
 	"BUDGET": true, "SAMPLES": true, "ADD": true, "COLUMN": true,
 	"GROUP": true, "HAVING": true, "DISTINCT": true,
 	"JOIN": true, "INNER": true, "ON": true, "EXPLAIN": true,
+	"INDEX": true,
 }
 
 // IsKeyword reports whether upper-cased s is reserved.

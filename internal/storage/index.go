@@ -1,0 +1,337 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColumnIndex is the maintenance-and-probe contract a secondary index
+// (internal/index) implements over one column of a table.
+//
+// Every method is invoked under the owning table's mutex — mutators under
+// the write lock while a mutation is applied, probes under the read lock
+// while an index cursor refills a batch — so implementations need no
+// locking of their own. Row IDs are the table's current row positions;
+// when Delete compacts positions the table rebuilds every index rather
+// than patching them.
+type ColumnIndex interface {
+	// Name is the index's unique (per table, case-insensitive) name.
+	Name() string
+	// Column is the indexed column.
+	Column() string
+	// Ordered reports whether Range probes are supported (and whether
+	// Range returns IDs in key order, the planner's sort-elision hook).
+	Ordered() bool
+	// Entries is the number of indexed (non-NULL) rows, for
+	// introspection.
+	Entries() int
+
+	// Add indexes row rowID's value v (NULLs are skipped).
+	Add(rowID int, v Value)
+	// Replace swaps rowID's entry from oldV to newV.
+	Replace(rowID int, oldV, newV Value)
+	// Rebuild reindexes from scratch; vals[i] is row i's value.
+	Rebuild(vals []Value)
+
+	// Lookup returns the row IDs whose value equals v (Value.Equal
+	// semantics), ascending by row ID.
+	Lookup(v Value) []int
+	// Range returns the row IDs in the bound window (nil = open side),
+	// in key order. Hash indexes return nil.
+	Range(lo, hi *Value, loInc, hiInc bool) []int
+}
+
+// IndexMeta describes one attached index for planning and introspection.
+type IndexMeta struct {
+	Name    string `json:"name"`
+	Column  string `json:"column"`
+	Ordered bool   `json:"ordered"`
+	Entries int    `json:"entries"`
+}
+
+// Kind renders the index implementation name for humans and JSON.
+func (m IndexMeta) Kind() string {
+	if m.Ordered {
+		return "ordered"
+	}
+	return "hash"
+}
+
+// AttachIndex registers idx with the table and bulk-builds it from the
+// current rows under the write lock. The index name must be unique on the
+// table and the column must exist in the schema (a registered-but-not-yet
+// -expanded column is rejected by the layer above with a typed error;
+// here it is simply unknown).
+func (t *Table) AttachIndex(idx ColumnIndex) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	name := normName(idx.Name())
+	if name == "" {
+		return fmt.Errorf("storage: empty index name")
+	}
+	if _, dup := t.indexes[name]; dup {
+		return fmt.Errorf("storage: table %s already has an index named %q", t.name, idx.Name())
+	}
+	col, ok := t.schema.Lookup(idx.Column())
+	if !ok {
+		return fmt.Errorf("storage: table %s has no column %q to index", t.name, idx.Column())
+	}
+	idx.Rebuild(t.columnValues(col))
+	if t.indexes == nil {
+		t.indexes = map[string]ColumnIndex{}
+	}
+	t.indexes[name] = idx
+	return nil
+}
+
+// columnValues snapshots column col of every row. Caller holds t.mu.
+func (t *Table) columnValues(col int) []Value {
+	vals := make([]Value, len(t.rows))
+	for i, r := range t.rows {
+		vals[i] = r[col]
+	}
+	return vals
+}
+
+// indexesOn returns the indexes over the named column. Caller holds t.mu.
+func (t *Table) indexesOn(col string) []ColumnIndex {
+	var out []ColumnIndex
+	for _, idx := range t.indexes {
+		if normName(idx.Column()) == normName(col) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// rebuildIndexes reindexes every attached index from the current rows
+// (the Delete-compaction path: positions shifted, patching is not worth
+// the complexity for a rare operation). Caller holds t.mu.
+func (t *Table) rebuildIndexes() {
+	for _, idx := range t.indexes {
+		if col, ok := t.schema.Lookup(idx.Column()); ok {
+			idx.Rebuild(t.columnValues(col))
+		}
+	}
+}
+
+// IndexMetas returns the attached indexes' metadata, sorted by name.
+func (t *Table) IndexMetas() []IndexMeta {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]IndexMeta, 0, len(t.indexes))
+	for _, idx := range t.indexes {
+		out = append(out, IndexMeta{
+			Name: idx.Name(), Column: idx.Column(),
+			Ordered: idx.Ordered(), Entries: idx.Entries(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return normName(out[i].Name) < normName(out[j].Name) })
+	return out
+}
+
+// IndexOn returns the metadata of an index over the named column,
+// preferring a hash index when wantOrdered is false (equality probes) and
+// requiring an ordered one when true (range probes / index order).
+func (t *Table) IndexOn(column string, wantOrdered bool) (IndexMeta, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var best ColumnIndex
+	for _, idx := range t.indexes {
+		if normName(idx.Column()) != normName(column) {
+			continue
+		}
+		if wantOrdered {
+			if !idx.Ordered() {
+				continue
+			}
+			if best == nil || normName(idx.Name()) < normName(best.Name()) {
+				best = idx
+			}
+			continue
+		}
+		// Equality: any index answers; prefer hash, tie-break by name for
+		// plan stability.
+		switch {
+		case best == nil:
+			best = idx
+		case best.Ordered() && !idx.Ordered():
+			best = idx
+		case best.Ordered() == idx.Ordered() && normName(idx.Name()) < normName(best.Name()):
+			best = idx
+		}
+	}
+	if best == nil {
+		return IndexMeta{}, false
+	}
+	return IndexMeta{Name: best.Name(), Column: best.Column(), Ordered: best.Ordered(), Entries: best.Entries()}, true
+}
+
+// IndexProbe selects index entries for a cursor: Point for an equality
+// lookup, otherwise the (possibly half-open) Lo/Hi range.
+type IndexProbe struct {
+	Point  *Value
+	Lo, Hi *Value
+	LoInc  bool
+	HiInc  bool
+}
+
+// IndexCursor streams the rows an index probe selects, in probe order
+// (ascending row ID for point lookups, key order for ranges), batching
+// row copies under per-batch read locks exactly like Cursor. The
+// matching row IDs are resolved once, under the first batch's lock, and
+// every row is re-checked against the probe at copy time (matches, see
+// refill), so a row updated out of the predicate between batches is
+// dropped — the same guarantee the scan cursor's filter gives. The
+// concurrent-delete caveat of Cursor still applies: IDs compacted away
+// after resolution are skipped or may alias a shifted row.
+type IndexCursor struct {
+	t     *Table
+	idx   ColumnIndex
+	probe IndexProbe
+	col   int // schema position of the indexed column
+	width int
+
+	ids      []int
+	resolved bool
+	next     int // next position in ids
+
+	filter func(Row) (bool, error)
+
+	buf  []Value
+	hdrs []Row
+	n    int
+	pos  int
+	err  error
+	done bool
+}
+
+// NewIndexCursor creates a batched cursor over the rows the named index
+// selects for probe. The index must exist; a range probe requires an
+// ordered index.
+func (t *Table) NewIndexCursor(indexName string, probe IndexProbe, batchSize int) (*IndexCursor, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[normName(indexName)]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %s has no index %q", t.name, indexName)
+	}
+	if probe.Point == nil && !idx.Ordered() {
+		return nil, fmt.Errorf("storage: index %q on %s is not ordered; range probes need an ordered index", indexName, t.name)
+	}
+	col, ok := t.schema.Lookup(idx.Column())
+	if !ok {
+		return nil, fmt.Errorf("storage: indexed column %q vanished from %s", idx.Column(), t.name)
+	}
+	width := t.schema.Len()
+	return &IndexCursor{
+		t: t, idx: idx, probe: probe, col: col, width: width,
+		buf:  make([]Value, batchSize*width),
+		hdrs: make([]Row, batchSize),
+	}, nil
+}
+
+// SetFilter installs a residual predicate evaluated during refill, under
+// the read lock, before a row is copied out (same contract as
+// Cursor.SetFilter).
+func (c *IndexCursor) SetFilter(f func(Row) (bool, error)) { c.filter = f }
+
+// Next returns the next matching row, or ok=false at the end (check Err).
+// The returned Row is valid until the next call.
+func (c *IndexCursor) Next() (Row, bool) {
+	for c.pos >= c.n {
+		if c.err != nil || c.done {
+			return nil, false
+		}
+		c.refill()
+	}
+	row := c.hdrs[c.pos]
+	c.pos++
+	return row, true
+}
+
+// Err returns the first filter error encountered, if any.
+func (c *IndexCursor) Err() error { return c.err }
+
+// matches re-evaluates the probe against a row's current key value. The
+// IDs were resolved at the first refill; a concurrent Set can move a row
+// out of the predicate between batches, and without this check the
+// cursor would return a row violating the query's own WHERE clause —
+// something the scan path (filter under the lock at copy time) can never
+// do. Point probes use Value.Equal (the `=` semantics the planner
+// consumed); range probes use Value.Compare, treating an incomparable
+// value as a non-match. NULL keys never match.
+func (c *IndexCursor) matches(v Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	if c.probe.Point != nil {
+		return v.Equal(*c.probe.Point)
+	}
+	if c.probe.Lo != nil {
+		cmp, err := v.Compare(*c.probe.Lo)
+		if err != nil || cmp < 0 || (cmp == 0 && !c.probe.LoInc) {
+			return false
+		}
+	}
+	if c.probe.Hi != nil {
+		cmp, err := v.Compare(*c.probe.Hi)
+		if err != nil || cmp > 0 || (cmp == 0 && !c.probe.HiInc) {
+			return false
+		}
+	}
+	return true
+}
+
+// refill resolves the probe (first call) and copies the next batch of
+// matching rows under one read-lock acquisition.
+func (c *IndexCursor) refill() {
+	t := c.t
+	batch := len(c.hdrs)
+	c.n, c.pos = 0, 0
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if !c.resolved {
+		if c.probe.Point != nil {
+			c.ids = c.idx.Lookup(*c.probe.Point)
+		} else {
+			c.ids = c.idx.Range(c.probe.Lo, c.probe.Hi, c.probe.LoInc, c.probe.HiInc)
+		}
+		c.resolved = true
+	}
+	for c.n < batch && c.next < len(c.ids) {
+		id := c.ids[c.next]
+		c.next++
+		if id < 0 || id >= len(t.rows) {
+			continue // compacted away since resolution
+		}
+		row := t.rows[id]
+		if len(row) < c.width {
+			continue
+		}
+		if !c.matches(row[c.col]) {
+			continue
+		}
+		if c.filter != nil {
+			ok, err := c.filter(row[:c.width])
+			if err != nil {
+				c.err = err
+				return
+			}
+			if !ok {
+				continue
+			}
+		}
+		dst := c.buf[c.n*c.width : (c.n+1)*c.width]
+		copy(dst, row[:c.width])
+		c.hdrs[c.n] = dst
+		c.n++
+	}
+	if c.next >= len(c.ids) {
+		c.done = true
+	}
+}

@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeIndex is a minimal ColumnIndex capturing maintenance calls, for
+// testing the table-side hooks without importing internal/index (which
+// would cycle).
+type fakeIndex struct {
+	name, col string
+	byVal     map[string][]int
+}
+
+func newFakeIndex(name, col string) *fakeIndex {
+	return &fakeIndex{name: name, col: col, byVal: map[string][]int{}}
+}
+
+func (f *fakeIndex) Name() string   { return f.name }
+func (f *fakeIndex) Column() string { return f.col }
+func (f *fakeIndex) Ordered() bool  { return false }
+func (f *fakeIndex) Entries() int {
+	n := 0
+	for _, ids := range f.byVal {
+		n += len(ids)
+	}
+	return n
+}
+
+func (f *fakeIndex) Add(rowID int, v Value) {
+	if v.IsNull() {
+		return
+	}
+	f.byVal[v.String()] = append(f.byVal[v.String()], rowID)
+}
+
+func (f *fakeIndex) Replace(rowID int, oldV, newV Value) {
+	if !oldV.IsNull() {
+		ids := f.byVal[oldV.String()]
+		for i, id := range ids {
+			if id == rowID {
+				f.byVal[oldV.String()] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+	}
+	f.Add(rowID, newV)
+}
+
+func (f *fakeIndex) Rebuild(vals []Value) {
+	f.byVal = map[string][]int{}
+	for i, v := range vals {
+		f.Add(i, v)
+	}
+}
+
+func (f *fakeIndex) Lookup(v Value) []int {
+	return append([]int(nil), f.byVal[v.String()]...)
+}
+
+func (f *fakeIndex) Range(lo, hi *Value, loInc, hiInc bool) []int { return nil }
+
+func indexedTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	schema, err := NewSchema(Column{Name: "k", Kind: KindInt}, Column{Name: "v", Kind: KindText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable("t", schema)
+	for i := 0; i < rows; i++ {
+		if err := tbl.Insert(Int(int64(i%10)), Text(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.AttachIndex(newFakeIndex("ik", "k")); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestAttachIndexBulkLoadsAndMaintains(t *testing.T) {
+	tbl := indexedTable(t, 100)
+	meta, ok := tbl.IndexOn("K", false) // case-insensitive
+	if !ok || meta.Entries != 100 {
+		t.Fatalf("IndexOn = %+v %v", meta, ok)
+	}
+	if err := tbl.Insert(Int(3), Text("extra")); err != nil {
+		t.Fatal(err)
+	}
+	point := Int(3)
+	cur, err := tbl.NewIndexCursor("ik", IndexProbe{Point: &point}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if got, _ := row[0].AsInt(); got != 3 {
+			t.Fatalf("row k = %d", got)
+		}
+		n++
+	}
+	if cur.Err() != nil {
+		t.Fatal(cur.Err())
+	}
+	if n != 11 {
+		t.Fatalf("k=3 rows = %d, want 11", n)
+	}
+}
+
+func TestIndexCursorResidualFilter(t *testing.T) {
+	tbl := indexedTable(t, 100)
+	point := Int(7)
+	cur, err := tbl.NewIndexCursor("ik", IndexProbe{Point: &point}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.SetFilter(func(r Row) (bool, error) {
+		s, _ := r[1].AsText()
+		return s == "v7", nil
+	})
+	n := 0
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("filtered rows = %d, want 1", n)
+	}
+}
+
+func TestRangeProbeOnUnorderedIndexRejected(t *testing.T) {
+	tbl := indexedTable(t, 10)
+	lo := Int(1)
+	if _, err := tbl.NewIndexCursor("ik", IndexProbe{Lo: &lo}, 0); err == nil {
+		t.Fatal("range probe on a hash-like index must be rejected")
+	}
+	if _, err := tbl.NewIndexCursor("ghost", IndexProbe{Point: &lo}, 0); err == nil {
+		t.Fatal("unknown index must be rejected")
+	}
+}
+
+func TestDeleteRebuildsIndex(t *testing.T) {
+	tbl := indexedTable(t, 50)
+	// Delete all k=0 rows (ids 0,10,20,30,40) — compaction shifts IDs.
+	tbl.Delete([]int{0, 10, 20, 30, 40})
+	point := Int(9)
+	cur, err := tbl.NewIndexCursor("ik", IndexProbe{Point: &point}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if got, _ := row[0].AsInt(); got != 9 {
+			t.Fatalf("row k = %d after compaction", got)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("k=9 rows after delete = %d, want 5", n)
+	}
+}
+
+// TestIndexCursorDropsRowUpdatedOutOfPredicate: the matching IDs are
+// frozen at the first refill, but a row updated out of the predicate
+// between batches must NOT be returned — the cursor re-checks the key at
+// copy time, matching the guarantee of the scan path's filter.
+func TestIndexCursorDropsRowUpdatedOutOfPredicate(t *testing.T) {
+	tbl := indexedTable(t, 100) // ten rows per key 0..9
+	point := Int(6)
+	cur, err := tbl.NewIndexCursor("ik", IndexProbe{Point: &point}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for i := 0; i < 2; i++ { // drain the first batch only
+		row, ok := cur.Next()
+		if !ok {
+			t.Fatalf("batch 1 ended after %d rows", got)
+		}
+		if k, _ := row[0].AsInt(); k != 6 {
+			t.Fatalf("row k = %d", k)
+		}
+		got++
+	}
+	// Move every remaining k=6 row out of the predicate while the cursor
+	// is parked between batches.
+	for i := 0; i < 100; i++ {
+		if v, err := tbl.Value(i, 0); err == nil {
+			if k, _ := v.AsInt(); k == 6 && i > 26 { // rows 6,16 already emitted
+				if err := tbl.Set(i, 0, Int(99)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if k, _ := row[0].AsInt(); k != 6 {
+			t.Fatalf("cursor returned k=%d, violating its own predicate", k)
+		}
+		got++
+	}
+	if cur.Err() != nil {
+		t.Fatal(cur.Err())
+	}
+	// 10 matched at resolution; 2 emitted before the update; row 26 was
+	// still k=6; the other 7 were updated away and must be dropped.
+	if got != 3 {
+		t.Fatalf("emitted %d rows, want 3 (stale matches must be dropped)", got)
+	}
+}
+
+// TestIndexProbesUnderConcurrentInserts hammers point probes while rows
+// land, for the race detector: every probe must see a consistent batch.
+func TestIndexProbesUnderConcurrentInserts(t *testing.T) {
+	tbl := indexedTable(t, 100)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 100; i < 2000; i++ {
+			if err := tbl.Insert(Int(int64(i%10)), Text("w")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				point := Int(4)
+				cur, err := tbl.NewIndexCursor("ik", IndexProbe{Point: &point}, 8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for {
+					row, ok := cur.Next()
+					if !ok {
+						break
+					}
+					if got, _ := row[0].AsInt(); got != 4 {
+						t.Errorf("probe saw k=%d", got)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -123,6 +123,11 @@ type Table struct {
 	schema  *Schema
 	rows    []Row
 	journal Journal
+	// indexes maps index name (lower) → attached secondary index. Indexes
+	// are maintained synchronously under mu by every mutator below —
+	// including bulk crowd fills of expanded columns — so a probe is never
+	// stale relative to the rows (see index.go).
+	indexes map[string]ColumnIndex
 }
 
 // logOp emits op to the attached journal. Caller holds t.mu; validation
@@ -185,6 +190,12 @@ func (t *Table) Insert(vals ...Value) error {
 		return err
 	}
 	t.rows = append(t.rows, row)
+	rowID := len(t.rows) - 1
+	for _, idx := range t.indexes {
+		if col, ok := t.schema.Lookup(idx.Column()); ok {
+			idx.Add(rowID, row[col])
+		}
+	}
 	return nil
 }
 
@@ -215,7 +226,11 @@ func (t *Table) Set(row, col int, v Value) error {
 	if err := t.logOp(Op{Kind: OpSet, Table: t.name, Row: row, Col: col, Values: []Value{cv}}); err != nil {
 		return err
 	}
+	old := t.rows[row][col]
 	t.rows[row][col] = cv
+	for _, idx := range t.indexesOn(t.schema.Column(col).Name) {
+		idx.Replace(row, old, cv)
+	}
 	return nil
 }
 
@@ -281,6 +296,11 @@ func (t *Table) FillColumn(name string, vals []Value) error {
 	for i, cv := range coerced {
 		t.rows[i][col] = cv
 	}
+	// Bulk rebuild beats len(rows) incremental Replace calls — this is
+	// the crowd-fill landing path for expanded columns.
+	for _, idx := range t.indexesOn(name) {
+		idx.Rebuild(coerced)
+	}
 	return nil
 }
 
@@ -332,6 +352,11 @@ func (t *Table) Delete(idx []int) int {
 	}
 	n := len(t.rows) - len(out)
 	t.rows = out
+	if n > 0 {
+		// Compaction shifted row IDs; rebuilding is simpler than patching
+		// and deletes are rare in the append+fill serving workload.
+		t.rebuildIndexes()
+	}
 	return n
 }
 
