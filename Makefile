@@ -46,24 +46,26 @@ cover:
 bench:
 	$(GO) test -bench . -benchmem .
 
-# One-shot run of the planner/executor and batching benchmarks
-# (DESIGN.md §10–§11) so perf regressions surface in PR logs without a
-# full bench sweep. The TopN number should stay well under the
-# sort-everything baseline (≥5×); BatchedElicitation should report a ≥2×
-# charge reduction.
+# One-shot run of the planner/executor, batching, and workload-subsystem
+# benchmarks (DESIGN.md §10–§11, §13) so perf regressions surface in PR
+# logs without a full bench sweep. The TopN number should stay well under
+# the sort-everything baseline (≥5×); BatchedElicitation should report a
+# ≥2× charge reduction; CachedSelect should sit ≥20× under the uncached
+# baseline; SpeculativeHitMerge should report columns-per-charge of 2.
 bench-smoke:
-	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect|BatchedElicitation|PointLookup|RangeScan' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect|BatchedElicitation|PointLookup|RangeScan|CachedSelect|UncachedSelectBaseline|SpeculativeHitMerge' -benchtime 1x -benchmem .
 
 # Bench-regression wall: run the guarded benchmarks with enough
 # repetitions for a stable minimum, emit the numbers as JSON
 # ($(BENCH_GUARD_OUT), uploaded as a CI artifact), and fail if
-# BenchmarkTopNSelect, BenchmarkWALReplay, BenchmarkPointLookup or
-# BenchmarkRangeScan regressed >30% against the committed
+# BenchmarkTopNSelect, BenchmarkWALReplay, BenchmarkPointLookup,
+# BenchmarkRangeScan, BenchmarkCachedSelect or
+# BenchmarkSpeculativeHitMerge regressed >30% against the committed
 # BENCH_baseline.json.
 bench-guard:
-	$(GO) test -run xxx -bench 'BenchmarkTopNSelect$$|BenchmarkWALReplay$$|BenchmarkPointLookup$$|BenchmarkRangeScan$$' -benchtime 5x -count 3 . | tee bench-guard.txt
+	$(GO) test -run xxx -bench 'BenchmarkTopNSelect$$|BenchmarkWALReplay$$|BenchmarkPointLookup$$|BenchmarkRangeScan$$|BenchmarkCachedSelect$$|BenchmarkSpeculativeHitMerge$$' -benchtime 5x -count 3 . | tee bench-guard.txt
 	$(GO) run ./cmd/benchguard -input bench-guard.txt -baseline BENCH_baseline.json \
-		-out $(BENCH_GUARD_OUT) -require BenchmarkTopNSelect,BenchmarkWALReplay,BenchmarkPointLookup,BenchmarkRangeScan \
+		-out $(BENCH_GUARD_OUT) -require BenchmarkTopNSelect,BenchmarkWALReplay,BenchmarkPointLookup,BenchmarkRangeScan,BenchmarkCachedSelect,BenchmarkSpeculativeHitMerge \
 		-threshold $(BENCH_GUARD_THRESHOLD)
 
 # Static analysis beyond go vet; pinned in CI (see ci.yml), best-effort

@@ -45,6 +45,17 @@
 // which pre-warms a column explicitly; a request the key's budget cannot
 // cover is rejected with 402, and both the cap and the spend survive
 // restarts.
+//
+// Workload-aware serving: every query feeds a durable co-access model
+// (inspect it via GET /workload). -speculative-budget lets the server
+// pre-expand the column the model predicts will be demanded next, inside
+// the same batch window as the demand expansion — so the speculative
+// HITs merge into the demand job's crowd charge; the dollar cap bounds
+// total speculative spend and speculation never displaces demand work.
+// SELECT results are served from a semantic result cache keyed on the
+// normalized plan and invalidated by any table mutation; -cache-bytes
+// sizes it (-1 disables), and ?nocache=1 on POST /query bypasses it per
+// request.
 package main
 
 import (
@@ -69,18 +80,20 @@ import (
 // demoConfig collects everything buildDemoDB needs; the integration test
 // reuses it to boot twice against one data dir.
 type demoConfig struct {
-	seed             int64
-	items            int
-	dims             int
-	epochs           int
-	crowdWorkers     int
-	spammers         float64
-	dataDir          string
-	fsync            bool
-	expansionWorkers int
-	expansionQueue   int
-	batchWindow      time.Duration
-	defaultBudget    float64
+	seed              int64
+	items             int
+	dims              int
+	epochs            int
+	crowdWorkers      int
+	spammers          float64
+	dataDir           string
+	fsync             bool
+	expansionWorkers  int
+	expansionQueue    int
+	batchWindow       time.Duration
+	defaultBudget     float64
+	speculativeBudget float64
+	cacheBytes        int64
 }
 
 func main() {
@@ -103,6 +116,10 @@ func main() {
 			"batching window for merging same-table expansions into shared HIT groups (0 = every expansion is its own crowd job)")
 		defaultBudget = flag.Float64("default-budget", 0,
 			"default per-API-key crowd budget cap in dollars for keys without an explicit cap (0 = uncapped)")
+		speculativeBudget = flag.Float64("speculative-budget", 0,
+			"dollar cap for workload-predicted pre-expansions (0 = speculation off); requires -batch-window > 0 to merge with demand HIT groups")
+		cacheBytes = flag.Int64("cache-bytes", 0,
+			"semantic result cache size in bytes (0 = default 64 MiB, negative = cache disabled)")
 	)
 	flag.Parse()
 
@@ -112,6 +129,7 @@ func main() {
 		dataDir: *dataDir, fsync: *fsync,
 		expansionWorkers: *expWork, expansionQueue: *expQ,
 		batchWindow: *batchWindow, defaultBudget: *defaultBudget,
+		speculativeBudget: *speculativeBudget, cacheBytes: *cacheBytes,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -181,8 +199,10 @@ func buildDemoDB(cfg demoConfig) (*core.DB, error) {
 		DataDir: cfg.dataDir,
 		Fsync:   cfg.fsync,
 		Workers: cfg.expansionWorkers, QueueDepth: cfg.expansionQueue,
-		BatchWindow:   cfg.batchWindow,
-		DefaultBudget: cfg.defaultBudget,
+		BatchWindow:       cfg.batchWindow,
+		DefaultBudget:     cfg.defaultBudget,
+		SpeculativeBudget: cfg.speculativeBudget,
+		CacheBytes:        cfg.cacheBytes,
 	})
 	if err != nil {
 		return nil, err

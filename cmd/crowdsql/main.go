@@ -90,6 +90,7 @@ func main() {
 	fmt.Println(`try: SELECT name FROM movies WHERE Comedy = true LIMIT 5;   (\q to quit)`)
 	fmt.Println(`     EXPLAIN SELECT … shows the planner's operator tree; multi-table JOIN … ON is supported`)
 	fmt.Println(`     CREATE INDEX idx ON movies (year) [USING HASH|ORDERED]; indexed predicates plan as IndexScan/IndexRange`)
+	fmt.Println(`     DROP INDEX idx ON movies; removes it again (\d movies lists a table's indexes)`)
 
 	repl(db, os.Stdin, os.Stdout)
 }

@@ -61,6 +61,7 @@ import (
 	"crowddb/internal/jobs"
 	"crowddb/internal/space"
 	"crowddb/internal/storage"
+	"crowddb/internal/workload"
 )
 
 // DB is a crowd-enabled database (see package documentation).
@@ -167,6 +168,24 @@ func BuildSpace(data *RatingDataset, cfg SpaceConfig) (*Space, error) {
 	}
 	return space.FromModel(model), nil
 }
+
+// WorkloadStats is the workload subsystem's observable state (DB.Workload
+// and GET /workload): durable co-access counters, the recent observation
+// trace, result-cache effectiveness, and the speculative budget account.
+// See Options.SpeculativeBudget / Options.CacheBytes and DESIGN.md §13.
+type WorkloadStats = core.WorkloadStats
+
+// WorkloadObservation is one workload event — a query's footprint on one
+// table. DB.RecordObservation accepts these to warm the co-access model
+// from an external query log.
+type WorkloadObservation = workload.Observation
+
+// Workload observation kinds.
+const (
+	WorkloadAccess = workload.KindAccess
+	WorkloadMiss   = workload.KindMiss
+	WorkloadExpand = workload.KindExpand
+)
 
 // Value kinds for RegisterExpandable.
 const (

@@ -10,6 +10,7 @@ import (
 	"crowddb/internal/jobs"
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
+	"crowddb/internal/workload"
 )
 
 // ErrExpansionFailed marks errors from an expansion job's execution (as
@@ -114,26 +115,47 @@ func expansionKey(table, column string) string {
 // sampling phases into shared HIT groups (see batch.go). Singleflight
 // semantics are identical on both paths.
 func (db *DB) submitExpansion(table, column string, kind storage.Kind, opts ExpandOptions, implicit bool) (*jobs.Job, bool, error) {
+	if opts.Origin == "" {
+		opts.Origin = OriginDemand
+	}
+	var job *jobs.Job
+	var created bool
+	var err error
 	if db.coalescer != nil {
-		return db.coalescer.Submit(batchGroupKey(table), expansionKey(table, column), expansionWork{
+		job, created, err = db.coalescer.Submit(batchGroupKey(table), expansionKey(table, column), expansionWork{
 			table: table, column: column, kind: kind, opts: opts, implicit: implicit,
 		})
+	} else {
+		job, created, err = db.sched.Submit(expansionKey(table, column), func(ctl *jobs.Ctl) (any, error) {
+			if implicit && db.columnFilled(table, column) {
+				return nil, nil
+			}
+			runOpts := opts
+			runOpts.onPhase = ctl.Phase
+			runOpts.onCharge = func(res *crowd.RunResult) {
+				ctl.Charge(len(res.Records), res.TotalCost, res.DurationMinutes)
+			}
+			report, err := db.Expand(table, column, kind, runOpts)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s.%s: %w", ErrExpansionFailed, table, column, err)
+			}
+			return report, nil
+		})
 	}
-	return db.sched.Submit(expansionKey(table, column), func(ctl *jobs.Ctl) (any, error) {
-		if implicit && db.columnFilled(table, column) {
-			return nil, nil
-		}
-		runOpts := opts
-		runOpts.onPhase = ctl.Phase
-		runOpts.onCharge = func(res *crowd.RunResult) {
-			ctl.Charge(len(res.Records), res.TotalCost, res.DurationMinutes)
-		}
-		report, err := db.Expand(table, column, kind, runOpts)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s.%s: %w", ErrExpansionFailed, table, column, err)
-		}
-		return report, nil
-	})
+	if err != nil || !created {
+		return job, created, err
+	}
+	job.SetOrigin(opts.Origin)
+	db.observe(workload.Observation{Table: table, Columns: []string{column}, Kind: workload.KindExpand})
+	// A freshly admitted demand expansion is the predictor's trigger:
+	// speculate NOW, while the table's batch window is still open, so
+	// speculative members merge into the demand member's HIT group. The
+	// origin guard stops speculation from cascading off itself (and off
+	// admin pre-warms, which carry no "a user will query next" signal).
+	if opts.Origin == OriginDemand {
+		db.speculate(table, column)
+	}
+	return job, created, nil
 }
 
 // submitExpandStmt schedules an explicit EXPAND statement. An expansion

@@ -14,6 +14,8 @@ import (
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
 	"crowddb/internal/wal"
+	"crowddb/internal/workload"
+	rescache "crowddb/internal/workload/cache"
 )
 
 // ExpandOptions tunes one schema expansion.
@@ -44,6 +46,11 @@ type ExpandOptions struct {
 	// (see SetBudget). Empty means unattributed: no cap applies unless
 	// the database was opened with a DefaultBudget.
 	APIKey string `json:"api_key,omitempty"`
+	// Origin tags the expansion's provenance (OriginDemand, OriginAdmin,
+	// OriginSpeculative; see workload.go). Empty defaults to demand at
+	// submission. The tag rides the job for spend auditing and guards the
+	// predictor against speculating on its own speculations.
+	Origin string `json:"origin,omitempty"`
 
 	// onPhase and onCharge are set by the job scheduler so that an
 	// expansion running on a worker goroutine can report lifecycle
@@ -142,6 +149,18 @@ type DB struct {
 	// enforced before HITs are issued and persisted via the WAL.
 	budgets budgetBook
 
+	// tracker records every query's column footprint and misses — the
+	// co-access model behind predictive pre-expansion (always present).
+	tracker *workload.Tracker
+	// rcache is the semantic result cache (nil when disabled via
+	// Options.CacheBytes < 0). Invalidation is seq-based: the storage
+	// observer bumps a per-table sequence on every journaled mutation,
+	// and core bumps it explicitly for index DDL, which emits no Op.
+	rcache *rescache.Cache
+	// specBudget caps total speculative crowd spend (dollars booked under
+	// SpeculativeBudgetKey); non-positive disables speculation entirely.
+	specBudget float64
+
 	// wal is the durability log (nil when opened without a DataDir).
 	// gate serializes snapshots against journaled mutations: every
 	// mutation path holds gate.RLock across "apply + append", and
@@ -193,12 +212,24 @@ func (db *DB) mutate(fn func() error) error {
 // atomically with respect to Snapshot. SELECT-heavy workloads are not
 // serialized: the gate is an RWMutex and statements take the read side.
 func (db *DB) execEngine(stmt sqlparse.Statement) (*Result, error) {
+	return db.execEngineOpt(stmt, false)
+}
+
+// execEngineOpt is execEngine with the result cache optionally bypassed
+// for this statement (the ?nocache=1 escape hatch).
+func (db *DB) execEngineOpt(stmt sqlparse.Statement, nocache bool) (*Result, error) {
 	db.gate.RLock()
 	defer db.gate.RUnlock()
-	// CREATE INDEX takes a detour for the virtual-column check and its
-	// durability record (see indexes.go).
-	if ci, ok := stmt.(*sqlparse.CreateIndexStmt); ok {
-		return db.execCreateIndex(ci)
+	switch s := stmt.(type) {
+	// Index DDL takes a detour for the virtual-column check, its
+	// durability record, and cache invalidation (see indexes.go).
+	case *sqlparse.CreateIndexStmt:
+		return db.execCreateIndex(s)
+	case *sqlparse.DropIndexStmt:
+		return db.execDropIndex(s)
+	// SELECTs route through the workload tracker and result cache.
+	case *sqlparse.SelectStmt:
+		return db.execSelectStmt(s, nocache)
 	}
 	return db.engine.Exec(stmt)
 }
@@ -301,11 +332,27 @@ func (db *DB) ExecSQL(sql string) (*Result, *ExpansionReport, error) {
 	return db.Exec(stmt)
 }
 
+// ExecSQLNoCache is ExecSQL with the semantic result cache bypassed for
+// this statement: neither served from nor stored into the cache. The
+// escape hatch behind POST /query?nocache=1 — for verifying a cached
+// answer or benchmarking the executor.
+func (db *DB) ExecSQLNoCache(sql string) (*Result, *ExpansionReport, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.exec(stmt, true)
+}
+
 // Exec executes a parsed statement (see ExecSQL). The caller blocks until
 // the answer is complete, but the expansion itself runs on the job
 // scheduler: concurrent queries hitting the same missing column join one
 // shared job (singleflight) instead of each paying for its own crowd run.
 func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
+	return db.exec(stmt, false)
+}
+
+func (db *DB) exec(stmt sqlparse.Statement, nocache bool) (*Result, *ExpansionReport, error) {
 	if ex, ok := stmt.(*sqlparse.ExpandStmt); ok {
 		job, err := db.submitExpandStmt(ex)
 		if err != nil {
@@ -320,7 +367,7 @@ func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 		return &Result{Message: msg}, report, nil
 	}
 
-	res, err := db.execEngine(stmt)
+	res, err := db.execEngineOpt(stmt, nocache)
 	if err == nil {
 		return res, nil, nil
 	}
@@ -342,7 +389,7 @@ func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err = db.execEngine(stmt)
+	res, err = db.execEngineOpt(stmt, nocache)
 	if err != nil {
 		return nil, report, err
 	}
@@ -373,6 +420,12 @@ func (db *DB) submitMissingColumn(err error) (*jobs.Job, error) {
 	if !ok {
 		return nil, nil
 	}
+	// The miss is a workload signal in its own right: it feeds the
+	// co-access model (a miss IS a demand for the column) and the
+	// /workload miss counters operators watch.
+	db.observe(workload.Observation{
+		Table: table, Columns: []string{missing.Column}, Kind: workload.KindMiss,
+	})
 	job, _, submitErr := db.submitExpansion(table, missing.Column, spec.kind, spec.opts, true)
 	if submitErr != nil {
 		return nil, fmt.Errorf("core: query-driven expansion of %s.%s rejected: %w",

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
@@ -34,6 +35,13 @@ func (db *DB) execCreateIndex(ci *sqlparse.CreateIndexStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Index DDL emits no storage.Op, so the result cache's observer never
+	// fires — bump the table's sequence here. (Strictly the rows are
+	// unchanged, but the ISSUE's invalidation contract is "any mutation
+	// bumps the seq", and a plan-shape change is cheap to over-invalidate.)
+	if db.rcache != nil {
+		db.rcache.InvalidateTable(strings.ToLower(ci.Table))
+	}
 	if db.wal != nil {
 		// Logged after a successful attach: the record describes derived
 		// state (rebuildable from rows), so a crash in the window loses
@@ -42,6 +50,25 @@ func (db *DB) execCreateIndex(ci *sqlparse.CreateIndexStmt) (*Result, error) {
 		_, _ = db.wal.Append(recIndex, indexRecord{
 			Name: ci.Name, Table: ci.Table, Column: ci.Column, Kind: ci.Kind,
 		})
+	}
+	return res, nil
+}
+
+// execDropIndex handles DROP INDEX on the crowd-enabled layer: delegate
+// the detach to the engine, invalidate cached plans over the table, and
+// journal a drop_index record so the removal survives recovery (replay
+// re-creates then re-drops; the snapshot simply omits dropped indexes).
+// Caller holds db.gate.RLock.
+func (db *DB) execDropIndex(di *sqlparse.DropIndexStmt) (*Result, error) {
+	res, err := db.engine.Exec(di)
+	if err != nil {
+		return nil, err
+	}
+	if db.rcache != nil {
+		db.rcache.InvalidateTable(strings.ToLower(di.Table))
+	}
+	if db.wal != nil {
+		_, _ = db.wal.Append(recDropIndex, indexRecord{Name: di.Name, Table: di.Table})
 	}
 	return res, nil
 }

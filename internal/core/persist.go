@@ -12,9 +12,12 @@ import (
 	"crowddb/internal/engine"
 	"crowddb/internal/jobs"
 	"crowddb/internal/space"
+	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
 	"crowddb/internal/vecmath"
 	"crowddb/internal/wal"
+	"crowddb/internal/workload"
+	rescache "crowddb/internal/workload/cache"
 )
 
 // Durability: every state change — storage mutations, ledger charges,
@@ -58,6 +61,14 @@ type Options struct {
 	// key that has no explicit SetBudget cap. Zero leaves unknown keys
 	// uncapped.
 	DefaultBudget float64
+	// SpeculativeBudget, when positive, enables predictive pre-expansion
+	// and caps its total crowd spend in dollars (booked under
+	// SpeculativeBudgetKey). Requires BatchWindow — speculation exists to
+	// merge into the demand expansion's batch. Zero disables speculation.
+	SpeculativeBudget float64
+	// CacheBytes bounds the semantic result cache. Zero means the default
+	// (64 MiB); negative disables the cache entirely.
+	CacheBytes int64
 }
 
 // ErrNoDataDir is returned by Snapshot on a database opened without a
@@ -74,6 +85,8 @@ const (
 	recBudgetCap   = "budget_cap"   // per-API-key budget cap installed
 	recBudgetSpend = "budget_spend" // crowd spend debited against a key
 	recIndex       = "create_index" // secondary index created on a table
+	recDropIndex   = "drop_index"   // secondary index dropped from a table
+	recWorkload    = "workload_obs" // one workload observation (query footprint)
 )
 
 // spaceRecord persists one table↔space binding, coordinates included, so
@@ -113,6 +126,7 @@ type jobRecord struct {
 	Finished time.Time        `json:"finished,omitzero"`
 	Error    string           `json:"error,omitempty"`
 	Ledger   jobs.Ledger      `json:"ledger"`
+	Origin   string           `json:"origin,omitempty"`
 	Report   *ExpansionReport `json:"report,omitempty"`
 }
 
@@ -149,6 +163,9 @@ type snapshotState struct {
 	// Indexes carries every secondary-index definition; contents are
 	// rebuilt from Tables during restore.
 	Indexes []indexRecord `json:"indexes,omitempty"`
+	// Workload carries the tracker's aggregate counters (the durable half
+	// of the workload trace; the recent-observation ring restarts empty).
+	Workload *workload.CounterState `json:"workload,omitempty"`
 }
 
 // walJournal adapts the WAL to storage.Journal: every storage mutation
@@ -181,6 +198,11 @@ func Open(opts Options) (*DB, error) {
 		sched:       jobs.NewScheduler(workers, depth),
 		bindings:    map[string]*tableBinding{},
 		expandables: map[string]map[string]expandableSpec{},
+		tracker:     workload.NewTracker(0),
+		specBudget:  opts.SpeculativeBudget,
+	}
+	if opts.CacheBytes >= 0 {
+		db.rcache = rescache.New(opts.CacheBytes)
 	}
 	db.sched.OnTerminal = db.onJobTerminal
 	db.budgets.defaultCap = opts.DefaultBudget
@@ -188,6 +210,7 @@ func Open(opts Options) (*DB, error) {
 		db.coalescer = jobs.NewCoalescer(db.sched, opts.BatchWindow, db.runExpansionBatch)
 	}
 	if opts.DataDir == "" {
+		db.finishOpen(opts)
 		return db, nil
 	}
 
@@ -222,7 +245,26 @@ func Open(opts Options) (*DB, error) {
 	// Recovery complete: from here on, mutations are journaled.
 	db.wal = w
 	db.Catalog().SetJournal(walJournal{db})
+	db.finishOpen(opts)
 	return db, nil
+}
+
+// finishOpen wires the workload subsystem after any recovery: the cache
+// invalidation observer attaches only now, so replayed mutations are not
+// re-observed (the cache is empty anyway — correctly cold after a
+// restart), and the speculative cap from Options is applied last so the
+// flag always wins over a stale recovered cap. The cap is set directly
+// (no WAL record): Options re-asserts it on every Open.
+func (db *DB) finishOpen(opts Options) {
+	if db.rcache != nil {
+		rc := db.rcache
+		db.Catalog().SetObserver(func(op storage.Op) {
+			rc.InvalidateTable(strings.ToLower(op.Table))
+		})
+	}
+	if opts.SpeculativeBudget > 0 {
+		db.budgets.setCap(SpeculativeBudgetKey, opts.SpeculativeBudget)
+	}
 }
 
 // Snapshot persists the full current state and truncates the WAL segments
@@ -299,6 +341,10 @@ func (db *DB) collectState() *snapshotState {
 		st.Jobs = append(st.Jobs, statusToJobRecord(js))
 	}
 	st.Budgets = db.Budgets()
+	if db.tracker != nil {
+		cs := db.tracker.Export()
+		st.Workload = &cs
+	}
 	return st
 }
 
@@ -341,6 +387,9 @@ func (db *DB) restoreSnapshot(st *snapshotState, restored map[string]jobs.Restor
 	}
 	for _, jr := range st.Jobs {
 		restored[jr.ID] = jobRecordToRestored(jr)
+	}
+	if st.Workload != nil {
+		db.tracker.Import(*st.Workload)
 	}
 	return nil
 }
@@ -401,6 +450,21 @@ func (db *DB) applyRecord(rec wal.Record, restored map[string]jobs.RestoredJob) 
 			return err
 		}
 		return db.applyIndexRecord(ir)
+	case recDropIndex:
+		var ir indexRecord
+		if err := json.Unmarshal(rec.Data, &ir); err != nil {
+			return err
+		}
+		_, err := db.engine.Exec(&sqlparse.DropIndexStmt{Name: ir.Name, Table: ir.Table})
+		return err
+	case recWorkload:
+		var obs workload.Observation
+		if err := json.Unmarshal(rec.Data, &obs); err != nil {
+			return err
+		}
+		// Straight into the tracker — replay must not re-append.
+		db.tracker.Observe(obs)
+		return nil
 	default:
 		return fmt.Errorf("unknown record type %q", rec.Type)
 	}
@@ -482,7 +546,7 @@ func statusToJobRecord(st jobs.Status) jobRecord {
 	jr := jobRecord{
 		ID: st.ID, Key: st.Key, State: st.State,
 		Created: st.Created, Started: st.Started, Finished: st.Finished,
-		Error: st.Error, Ledger: st.Ledger,
+		Error: st.Error, Ledger: st.Ledger, Origin: st.Origin,
 	}
 	if rep, ok := st.Result.(*ExpansionReport); ok {
 		jr.Report = rep
@@ -494,7 +558,7 @@ func jobRecordToRestored(jr jobRecord) jobs.RestoredJob {
 	r := jobs.RestoredJob{
 		ID: jr.ID, Key: jr.Key, State: jr.State,
 		Created: jr.Created, Started: jr.Started, Finished: jr.Finished,
-		Ledger: jr.Ledger,
+		Ledger: jr.Ledger, Origin: jr.Origin,
 	}
 	if jr.Error != "" {
 		r.Err = fmt.Errorf("%w: %s", ErrExpansionFailed, jr.Error)

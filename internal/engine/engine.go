@@ -76,6 +76,8 @@ func (e *Engine) Exec(stmt sqlparse.Statement) (*Result, error) {
 		return e.execCreate(s)
 	case *sqlparse.CreateIndexStmt:
 		return e.execCreateIndex(s)
+	case *sqlparse.DropIndexStmt:
+		return e.execDropIndex(s)
 	case *sqlparse.InsertStmt:
 		return e.execInsert(s)
 	case *sqlparse.UpdateStmt:
@@ -140,6 +142,19 @@ func (e *Engine) execCreateIndex(s *sqlparse.CreateIndexStmt) (*Result, error) {
 	}
 	return &Result{Message: fmt.Sprintf("created %s index %s on %s (%s), %d entries",
 		s.Kind, s.Name, s.Table, s.Column, idx.Entries())}, nil
+}
+
+// execDropIndex detaches the named index from its table. Plans built
+// afterwards fall back to scans; the rows themselves are untouched.
+func (e *Engine) execDropIndex(s *sqlparse.DropIndexStmt) (*Result, error) {
+	tbl, ok := e.catalog.Get(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table %q", s.Table)
+	}
+	if err := tbl.DetachIndex(s.Name); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("dropped index %s on %s", s.Name, s.Table)}, nil
 }
 
 func (e *Engine) execCreate(s *sqlparse.CreateTableStmt) (*Result, error) {

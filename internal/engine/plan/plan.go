@@ -11,6 +11,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"crowddb/internal/sqlparse"
@@ -392,4 +393,43 @@ func (p *SelectPlan) Explain() []string {
 	}
 	walk(p.Root, "", "")
 	return lines
+}
+
+// Fingerprint is the plan's normalized identity, used as the semantic
+// result-cache key. Two SQL texts that lower to the same plan — aliases
+// resolved, predicates canonicalized by Expr.String, pushdowns applied,
+// output columns fixed — produce the same fingerprint and therefore the
+// same result against unchanged tables. Built from Explain() rather than
+// the AST so every normalization the planner performs is inherited for
+// free.
+func (p *SelectPlan) Fingerprint() string {
+	return strings.Join(p.Columns, ",") + "\n" + strings.Join(p.Explain(), "\n")
+}
+
+// Tables returns the distinct base tables the plan reads (lower-cased,
+// sorted) — the cache's invalidation scope: a mutation of any of them
+// must kill the cached result.
+func (p *SelectPlan) Tables() []string {
+	seen := map[string]bool{}
+	var walk func(n Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *Scan:
+			seen[strings.ToLower(t.Name)] = true
+		case *IndexScan:
+			seen[strings.ToLower(t.Name)] = true
+		case *IndexRange:
+			seen[strings.ToLower(t.Name)] = true
+		}
+		for _, k := range Children(n) {
+			walk(k)
+		}
+	}
+	walk(p.Root)
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -13,10 +13,24 @@ import (
 // Column validation happens at plan time, so schema expansion triggers
 // before any row work (and regardless of row contents).
 func (e *Engine) execSelect(s *sqlparse.SelectStmt) (*Result, error) {
-	p, err := plan.Build(s, e.catalog)
+	p, err := e.PlanSelect(s)
 	if err != nil {
 		return nil, err
 	}
+	return ExecPlan(p)
+}
+
+// PlanSelect lowers a SELECT into its logical plan without executing it.
+// The split from ExecPlan exists for the result cache in internal/core:
+// the plan's fingerprint (plan.SelectPlan.Fingerprint) is the cache key,
+// so core plans first, consults the cache, and only executes on a miss.
+func (e *Engine) PlanSelect(s *sqlparse.SelectStmt) (*plan.SelectPlan, error) {
+	return plan.Build(s, e.catalog)
+}
+
+// ExecPlan runs a previously built SELECT plan and materializes the
+// result.
+func ExecPlan(p *plan.SelectPlan) (*Result, error) {
 	it, err := exec.Build(p.Root)
 	if err != nil {
 		return nil, err

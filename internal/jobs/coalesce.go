@@ -105,6 +105,19 @@ func NewCoalescer(sched *Scheduler, window time.Duration, run BatchRunFunc) *Coa
 // Window returns the batching window.
 func (c *Coalescer) Window() time.Duration { return c.window }
 
+// Pending returns the number of members admitted but whose batch has not
+// started. Speculative submitters use it as a headroom check so that
+// best-effort work never fills the admission bound and starves demand
+// submissions with ErrQueueFull.
+func (c *Coalescer) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending
+}
+
+// Depth returns the admission bound on pending members.
+func (c *Coalescer) Depth() int { return c.depth }
+
 // Submit enqueues payload under the batch group and the singleflight key.
 // If a job for key is already queued, batched, or running, that job is
 // returned with created=false (the submission joins it); otherwise a new

@@ -92,6 +92,7 @@ type Job struct {
 	result   any
 	err      error
 	ledger   Ledger
+	origin   string
 }
 
 // ID returns the job's unique identifier.
@@ -99,6 +100,25 @@ func (j *Job) ID() string { return j.id }
 
 // Key returns the singleflight key the job was submitted under.
 func (j *Job) Key() string { return j.key }
+
+// SetOrigin tags the job with what triggered it (demand | speculative |
+// admin). The scheduler only carries the tag — it is set by the layer
+// that knows the provenance and surfaced in Status for spend auditing.
+// Singleflight callers joining an existing job must not re-tag it, so
+// only the creator (created=true from Submit, or the Coalescer's adopt
+// path) should call this.
+func (j *Job) SetOrigin(origin string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.origin = origin
+}
+
+// Origin returns the job's provenance tag ("" if never set).
+func (j *Job) Origin() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.origin
+}
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -133,6 +153,10 @@ type Status struct {
 	Finished time.Time `json:"finished,omitzero"`
 	Error    string    `json:"error,omitempty"`
 	Ledger   Ledger    `json:"ledger"`
+	// Origin records what triggered the job: demand (a user query hit a
+	// missing column), speculative (the workload predictor pre-expanded),
+	// or admin (/admin/expand). Empty for jobs predating the tag.
+	Origin string `json:"origin,omitempty"`
 	// Result carries the job's outcome once terminal (nil otherwise).
 	Result any `json:"result,omitempty"`
 }
@@ -144,7 +168,7 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID: j.id, Key: j.key, State: j.state,
 		Created: j.created, Started: j.started, Finished: j.finished,
-		Ledger: j.ledger,
+		Ledger: j.ledger, Origin: j.origin,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -375,6 +399,7 @@ type RestoredJob struct {
 	Err      error
 	Result   any
 	Ledger   Ledger
+	Origin   string
 }
 
 // Restore repopulates the completed-job history (IDs, states, per-job
@@ -401,7 +426,7 @@ func (s *Scheduler) Restore(restored []RestoredJob) {
 		j := &Job{
 			id: r.ID, key: r.Key, created: r.Created, done: make(chan struct{}),
 			state: r.State, started: r.Started, finished: r.Finished,
-			result: r.Result, err: r.Err, ledger: r.Ledger,
+			result: r.Result, err: r.Err, ledger: r.Ledger, origin: r.Origin,
 		}
 		close(j.done)
 		s.jobs[j.id] = j

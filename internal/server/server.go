@@ -84,6 +84,7 @@ func New(db *core.DB, cfg Config) *Server {
 	s.mux.HandleFunc("GET /schema/{table}", s.handleSchema)
 	s.mux.HandleFunc("GET /ledger", s.handleLedger)
 	s.mux.HandleFunc("GET /budgets", s.handleBudgets)
+	s.mux.HandleFunc("GET /workload", s.handleWorkload)
 	s.mux.HandleFunc("POST /admin/expand", s.handleAdminExpand)
 	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -171,9 +172,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// ?nocache=1 bypasses the semantic result cache for this statement —
+	// the escape hatch for clients that must observe the live rows (e.g.
+	// verifying an invalidation bug) without disabling the cache globally.
+	nocache := false
+	if v := r.URL.Query().Get("nocache"); v == "1" || v == "true" {
+		nocache = true
+	}
+
 	switch req.Mode {
 	case "", "sync":
-		res, report, err := s.db.ExecSQL(req.SQL)
+		exec := s.db.ExecSQL
+		if nocache {
+			exec = s.db.ExecSQLNoCache
+		}
+		res, report, err := exec(req.SQL)
 		if err != nil {
 			writeQueryError(w, err)
 			return
@@ -357,6 +370,7 @@ type jobCost struct {
 	ID        string     `json:"id"`
 	Key       string     `json:"key"`
 	State     jobs.State `json:"state"`
+	Origin    string     `json:"origin,omitempty"`
 	Judgments int        `json:"judgments"`
 	Cost      float64    `json:"cost"`
 	Minutes   float64    `json:"minutes"`
@@ -375,7 +389,7 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 	resp := ledgerResponse{LedgerTotals: s.db.Ledger(), PerJob: []jobCost{}}
 	for _, st := range s.db.Jobs() {
 		resp.PerJob = append(resp.PerJob, jobCost{
-			ID: st.ID, Key: st.Key, State: st.State,
+			ID: st.ID, Key: st.Key, State: st.State, Origin: st.Origin,
 			Judgments: st.Ledger.Judgments, Cost: st.Ledger.Cost,
 			Minutes: st.Ledger.Minutes, Charges: st.Ledger.Charges,
 		})
@@ -441,6 +455,7 @@ func (s *Server) handleAdminExpand(w http.ResponseWriter, r *http.Request) {
 	opts := core.ExpandOptions{
 		Method: sqlparse.ExpandMethod(strings.ToUpper(req.Method)),
 		APIKey: req.Key,
+		Origin: core.OriginAdmin,
 	}
 	if req.Samples > 0 {
 		opts.SamplesPerClass = req.Samples
@@ -469,6 +484,13 @@ func (s *Server) handleAdminExpand(w http.ResponseWriter, r *http.Request) {
 // handleBudgets lists every API key's cap and cumulative spend.
 func (s *Server) handleBudgets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"budgets": s.db.Budgets()})
+}
+
+// handleWorkload exposes the workload subsystem's state: durable
+// co-access counters, the recent observation trace, result-cache
+// effectiveness, and the speculative budget account.
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.db.Workload())
 }
 
 // handleSnapshot persists a snapshot on demand — the operator's lever for

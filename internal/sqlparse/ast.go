@@ -233,6 +233,16 @@ type DropTableStmt struct{ Table string }
 
 func (*DropTableStmt) stmt() {}
 
+// DropIndexStmt is DROP INDEX name ON table. The table is mandatory:
+// index names are unique per table, not globally, so naming the table
+// keeps the statement unambiguous without a catalog-wide index registry.
+type DropIndexStmt struct {
+	Name  string
+	Table string
+}
+
+func (*DropIndexStmt) stmt() {}
+
 // ---------- CREATE INDEX ----------
 
 // CreateIndexStmt is the secondary-index DDL:

@@ -51,6 +51,46 @@ func TestParseCreateIndexErrors(t *testing.T) {
 	}
 }
 
+func TestParseDropIndex(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want DropIndexStmt
+	}{
+		{`DROP INDEX idx_year ON movies`, DropIndexStmt{Name: "idx_year", Table: "movies"}},
+		{`drop index i1 on t;`, DropIndexStmt{Name: "i1", Table: "t"}},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		got, ok := stmt.(*DropIndexStmt)
+		if !ok {
+			t.Fatalf("%s: parsed %T", c.sql, stmt)
+		}
+		if *got != c.want {
+			t.Fatalf("%s: got %+v, want %+v", c.sql, *got, c.want)
+		}
+	}
+}
+
+func TestParseDropIndexErrors(t *testing.T) {
+	cases := []struct {
+		sql     string
+		wantErr string
+	}{
+		{`DROP INDEX ON movies`, "expected identifier"},
+		{`DROP INDEX i`, "expected ON"},
+		{`DROP INDEX i ON`, "expected identifier"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.sql)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("%s: err = %v, want substring %q", c.sql, err, c.wantErr)
+		}
+	}
+}
+
 // TestCreateTableStillParses guards the CREATE dispatch split.
 func TestCreateTableStillParses(t *testing.T) {
 	stmt, err := Parse(`CREATE TABLE t (a INTEGER, b TEXT)`)

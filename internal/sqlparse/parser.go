@@ -126,7 +126,7 @@ func (p *Parser) parseStatement() (Statement, error) {
 	case "DELETE":
 		return p.parseDelete()
 	case "DROP":
-		return p.parseDropTable()
+		return p.parseDrop()
 	case "EXPAND":
 		return p.parseExpand()
 	case "EXPLAIN":
@@ -785,9 +785,13 @@ func (p *Parser) parseDelete() (*DeleteStmt, error) {
 	return stmt, nil
 }
 
-func (p *Parser) parseDropTable() (*DropTableStmt, error) {
+// parseDrop dispatches DROP TABLE vs DROP INDEX.
+func (p *Parser) parseDrop() (Statement, error) {
 	if err := p.expectKeyword("DROP"); err != nil {
 		return nil, err
+	}
+	if p.acceptKeyword("INDEX") {
+		return p.parseDropIndex()
 	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -797,6 +801,26 @@ func (p *Parser) parseDropTable() (*DropTableStmt, error) {
 		return nil, err
 	}
 	return &DropTableStmt{Table: name}, nil
+}
+
+// parseDropIndex parses the tail of
+//
+//	DROP INDEX name ON table
+//
+// with DROP INDEX already consumed.
+func (p *Parser) parseDropIndex() (*DropIndexStmt, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropIndexStmt{Name: name, Table: table}, nil
 }
 
 // ---------- EXPAND ----------

@@ -84,6 +84,20 @@ func (t *Table) AttachIndex(idx ColumnIndex) error {
 	return nil
 }
 
+// DetachIndex removes the named index (case-insensitive) from the table.
+// The index's in-memory structure is simply dropped — rows are untouched
+// and subsequent plans fall back to scans.
+func (t *Table) DetachIndex(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := normName(name)
+	if _, ok := t.indexes[key]; !ok {
+		return fmt.Errorf("storage: table %s has no index %q", t.name, name)
+	}
+	delete(t.indexes, key)
+	return nil
+}
+
 // columnValues snapshots column col of every row. Caller holds t.mu.
 func (t *Table) columnValues(col int) []Value {
 	vals := make([]Value, len(t.rows))

@@ -66,6 +66,31 @@ func (c *Catalog) SetJournal(j Journal) {
 	}
 }
 
+// Observer is notified after a mutation has been successfully applied —
+// journaled, validated, and visible in memory. It runs under the mutated
+// table's write lock (DDL under the catalog lock), so implementations
+// must be fast and must never call back into the table or catalog. The
+// result-cache invalidation hook is the motivating consumer: it only
+// bumps a per-table sequence number.
+//
+// Unlike Journal, an observer cannot veto or fail a mutation; it sees
+// the op strictly after the fact.
+type Observer func(Op)
+
+// SetObserver attaches f to the catalog and every current table; tables
+// created afterwards inherit it. Pass nil to detach. Like SetJournal it
+// is wired after replay, so recovered mutations are not re-observed.
+func (c *Catalog) SetObserver(f Observer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observer = f
+	for _, t := range c.tables {
+		t.mu.Lock()
+		t.observer = f
+		t.mu.Unlock()
+	}
+}
+
 // valueJSON is Value's wire form. The kind tag disambiguates; absent
 // payload fields decode to the kind's zero value, which round-trips
 // correctly (e.g. Int(0) → {"k":2} → Int(0)).

@@ -119,10 +119,11 @@ func (r Row) Clone() Row {
 type Table struct {
 	name string
 
-	mu      sync.RWMutex
-	schema  *Schema
-	rows    []Row
-	journal Journal
+	mu       sync.RWMutex
+	schema   *Schema
+	rows     []Row
+	journal  Journal
+	observer Observer
 	// indexes maps index name (lower) → attached secondary index. Indexes
 	// are maintained synchronously under mu by every mutator below —
 	// including bulk crowd fills of expanded columns — so a probe is never
@@ -138,6 +139,14 @@ func (t *Table) logOp(op Op) error {
 		return nil
 	}
 	return t.journal.LogOp(op)
+}
+
+// notify reports an applied mutation to the attached observer. Caller
+// holds t.mu (write); the mutation has already succeeded.
+func (t *Table) notify(op Op) {
+	if t.observer != nil {
+		t.observer(op)
+	}
 }
 
 // NewTable creates an empty table with the given schema.
@@ -196,6 +205,7 @@ func (t *Table) Insert(vals ...Value) error {
 			idx.Add(rowID, row[col])
 		}
 	}
+	t.notify(Op{Kind: OpInsert, Table: t.name})
 	return nil
 }
 
@@ -231,6 +241,7 @@ func (t *Table) Set(row, col int, v Value) error {
 	for _, idx := range t.indexesOn(t.schema.Column(col).Name) {
 		idx.Replace(row, old, cv)
 	}
+	t.notify(Op{Kind: OpSet, Table: t.name})
 	return nil
 }
 
@@ -265,6 +276,7 @@ func (t *Table) AddColumn(c Column) (int, error) {
 	for i := range t.rows {
 		t.rows[i] = append(t.rows[i], Null())
 	}
+	t.notify(Op{Kind: OpAddColumn, Table: t.name})
 	return t.schema.Len() - 1, nil
 }
 
@@ -301,6 +313,7 @@ func (t *Table) FillColumn(name string, vals []Value) error {
 	for _, idx := range t.indexesOn(name) {
 		idx.Rebuild(coerced)
 	}
+	t.notify(Op{Kind: OpFillColumn, Table: t.name})
 	return nil
 }
 
@@ -356,15 +369,17 @@ func (t *Table) Delete(idx []int) int {
 		// Compaction shifted row IDs; rebuilding is simpler than patching
 		// and deletes are rare in the append+fill serving workload.
 		t.rebuildIndexes()
+		t.notify(Op{Kind: OpDelete, Table: t.name})
 	}
 	return n
 }
 
 // Catalog maps table names to tables, case-insensitively.
 type Catalog struct {
-	mu      sync.RWMutex
-	tables  map[string]*Table
-	journal Journal
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	journal  Journal
+	observer Observer
 }
 
 // NewCatalog returns an empty catalog.
@@ -387,7 +402,11 @@ func (c *Catalog) Create(name string, schema *Schema) (*Table, error) {
 	}
 	t := NewTable(name, schema)
 	t.journal = c.journal
+	t.observer = c.observer
 	c.tables[key] = t
+	if c.observer != nil {
+		c.observer(Op{Kind: OpCreateTable, Table: name})
+	}
 	return t, nil
 }
 
@@ -410,6 +429,9 @@ func (c *Catalog) Drop(name string) bool {
 		_ = c.journal.LogOp(Op{Kind: OpDropTable, Table: name})
 	}
 	delete(c.tables, key)
+	if ok && c.observer != nil {
+		c.observer(Op{Kind: OpDropTable, Table: name})
+	}
 	return ok
 }
 

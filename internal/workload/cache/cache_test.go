@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+func row(vals ...string) storage.Row {
+	r := make(storage.Row, len(vals))
+	for i, v := range vals {
+		r[i] = storage.Text(v)
+	}
+	return r
+}
+
+func TestHitMutateMiss(t *testing.T) {
+	c := New(0)
+	tables := []string{"movies"}
+	snap := c.TableSeqs(tables)
+	c.Put("fp1", snap, []string{"name"}, []storage.Row{row("alien")})
+
+	if _, rows, ok := c.Get("fp1"); !ok || len(rows) != 1 {
+		t.Fatalf("expected hit, got ok=%v rows=%v", ok, rows)
+	}
+	c.InvalidateTable("movies")
+	if _, _, ok := c.Get("fp1"); ok {
+		t.Fatal("hit after InvalidateTable — stale result served")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Invalidations != 1 {
+		t.Fatalf("stats = %+v, want hits=1 misses=1 invalidations=1", st)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("invalidated entry still resident: %+v", st)
+	}
+}
+
+func TestStaleStoreNeverServed(t *testing.T) {
+	c := New(0)
+	// Snapshot taken, then a mutation lands mid-execution, then the
+	// (pre-mutation) result is stored. It must never be served.
+	snap := c.TableSeqs([]string{"movies"})
+	c.InvalidateTable("movies")
+	c.Put("fp1", snap, []string{"name"}, []storage.Row{row("stale")})
+	if _, _, ok := c.Get("fp1"); ok {
+		t.Fatal("entry captured before a concurrent mutation was served")
+	}
+}
+
+func TestMultiTableInvalidation(t *testing.T) {
+	c := New(0)
+	snap := c.TableSeqs([]string{"movies", "actors"})
+	c.Put("join", snap, []string{"name"}, []storage.Row{row("x")})
+	c.InvalidateTable("actors") // either table's mutation kills the entry
+	if _, _, ok := c.Get("join"); ok {
+		t.Fatal("join result survived a mutation of one input table")
+	}
+}
+
+func TestGetReturnsIndependentCopies(t *testing.T) {
+	c := New(0)
+	snap := c.TableSeqs([]string{"movies"})
+	c.Put("fp", snap, []string{"name"}, []storage.Row{row("alien")})
+	_, rows, ok := c.Get("fp")
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	rows[0][0] = storage.Text("corrupted")
+	_, rows2, _ := c.Get("fp")
+	if got, _ := rows2[0][0].AsText(); got != "alien" {
+		t.Fatalf("cache entry corrupted through a returned row: %q", got)
+	}
+}
+
+func TestPutCopiesCallerRows(t *testing.T) {
+	c := New(0)
+	snap := c.TableSeqs([]string{"movies"})
+	rows := []storage.Row{row("alien")}
+	c.Put("fp", snap, []string{"name"}, rows)
+	rows[0][0] = storage.Text("mutated-after-put")
+	_, got, _ := c.Get("fp")
+	if txt, _ := got[0][0].AsText(); txt != "alien" {
+		t.Fatalf("cache shares storage with caller rows: %q", txt)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Limit sized for roughly two entries.
+	c := New(400)
+	snap := c.TableSeqs([]string{"t"})
+	c.Put("a", snap, []string{"v"}, []storage.Row{row("aaaa")})
+	c.Put("b", snap, []string{"v"}, []storage.Row{row("bbbb")})
+	c.Get("a") // touch a: b becomes LRU
+	c.Put("c", snap, []string{"v"}, []storage.Row{row("cccc")})
+
+	if _, _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	if st := c.Stats(); st.Bytes > st.LimitBytes {
+		t.Fatalf("cache over limit: %+v", st)
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := New(100)
+	var rows []storage.Row
+	for i := 0; i < 50; i++ {
+		rows = append(rows, row(fmt.Sprintf("row-%d-padding-padding", i)))
+	}
+	snap := c.TableSeqs([]string{"t"})
+	c.Put("huge", snap, []string{"v"}, rows)
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized entry was cached: %+v", st)
+	}
+}
+
+func TestDuplicatePutReplaces(t *testing.T) {
+	c := New(0)
+	snap := c.TableSeqs([]string{"t"})
+	c.Put("fp", snap, []string{"v"}, []storage.Row{row("old")})
+	c.Put("fp", snap, []string{"v"}, []storage.Row{row("new")})
+	_, rows, ok := c.Get("fp")
+	if !ok || len(rows) != 1 {
+		t.Fatalf("expected single-row hit, ok=%v rows=%v", ok, rows)
+	}
+	if txt, _ := rows[0][0].AsText(); txt != "new" {
+		t.Fatalf("duplicate Put did not replace: %q", txt)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("duplicate Put leaked an entry: %+v", st)
+	}
+}
+
+func TestConcurrentAccessIsRaceClean(t *testing.T) {
+	c := New(1 << 20)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			c.InvalidateTable("t")
+			snap := c.TableSeqs([]string{"t"})
+			c.Put(fmt.Sprintf("fp%d", i%7), snap, []string{"v"}, []storage.Row{row("x")})
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		c.Get(fmt.Sprintf("fp%d", i%7))
+		c.Stats()
+	}
+	<-done
+}

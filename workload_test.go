@@ -1,0 +1,525 @@
+// Workload subsystem acceptance tests (DESIGN.md §13): speculative
+// pre-expansion merging into the demand HIT group's single charge, the
+// speculative budget cap, semantic-result-cache invalidation across every
+// mutation class, restart semantics (durable counters, cold cache), and
+// the cached-read speedup bar.
+package crowddb_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowddb"
+	"crowddb/internal/core"
+	"crowddb/internal/crowd"
+	"crowddb/internal/storage"
+)
+
+// speculativeDB is batchBenchDB plus a speculative budget: one table,
+// four registered CROWD-method expandable columns, batching window open.
+func speculativeDB(tb testing.TB, seed int64, window time.Duration, specBudget float64) *crowddb.DB {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pop := crowd.NewPopulation(crowd.PopulationConfig{Workers: 40}, rng)
+	items := func(question string) ([]crowd.Item, error) {
+		out := make([]crowd.Item, batchBenchRows)
+		for i := range out {
+			out[i] = crowd.Item{ID: i, Truth: i%2 == 0, Popularity: 1}
+		}
+		return out, nil
+	}
+	db, err := crowddb.Open(crowddb.Options{
+		Service:           crowddb.NewSimulatedCrowd(pop, items, rng),
+		BatchWindow:       window,
+		SpeculativeBudget: specBudget,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { _ = db.Close() })
+	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT)`); err != nil {
+		tb.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("movies")
+	for i := 0; i < batchBenchRows; i++ {
+		if err := tbl.Insert(storage.Int(int64(i)), storage.Text(fmt.Sprintf("movie-%02d", i))); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for _, col := range batchBenchColumns {
+		db.RegisterExpandable("movies", col, storage.KindBool,
+			crowddb.ExpandOptions{Method: "CROWD", Assignments: 5})
+	}
+	return db
+}
+
+// teachComedyThenDrama warms the co-access model with the exploratory
+// pattern the predictor exists for: whoever queries comedy queries drama
+// a query later.
+func teachComedyThenDrama(db *crowddb.DB, rounds int) {
+	for i := 0; i < rounds; i++ {
+		db.RecordObservation(crowddb.WorkloadObservation{
+			Table: "movies", Columns: []string{"comedy"}, Kind: crowddb.WorkloadAccess})
+		db.RecordObservation(crowddb.WorkloadObservation{
+			Table: "movies", Columns: []string{"drama"}, Kind: crowddb.WorkloadAccess})
+	}
+}
+
+// waitAllJobs waits for every expansion job the DB has ever admitted.
+func waitAllJobs(tb testing.TB, db *crowddb.DB) {
+	tb.Helper()
+	for _, st := range db.Jobs() {
+		job, ok := db.JobHandle(st.ID)
+		if !ok {
+			continue
+		}
+		if _, err := job.Wait(context.Background()); err != nil {
+			tb.Fatalf("job %s (%s): %v", st.ID, st.Origin, err)
+		}
+	}
+}
+
+// TestSpeculativePreExpansionSharesOneCharge is the tentpole's ledger
+// acceptance bar: after the model has seen "comedy then drama", a demand
+// expansion of comedy must carry a speculative expansion of drama inside
+// the SAME batch window, so the marketplace is engaged (and charged)
+// exactly once for both columns.
+func TestSpeculativePreExpansionSharesOneCharge(t *testing.T) {
+	const cap = 2.0
+	db := speculativeDB(t, 42, 30*time.Millisecond, cap)
+	teachComedyThenDrama(db, 4)
+
+	_, job, err := db.ExecSQLAsync(`SELECT name FROM movies WHERE comedy = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job == nil {
+		t.Fatal("comedy query did not trigger an expansion")
+	}
+	waitAllJobs(t, db)
+
+	// One combined HIT-group charge for demand + speculative.
+	if led := db.Ledger(); led.Jobs != 1 {
+		t.Fatalf("marketplace charged %d times, want 1 combined charge (ledger %+v)", led.Jobs, led)
+	}
+
+	// Both jobs exist, correctly origin-tagged.
+	origins := map[string]int{}
+	for _, st := range db.Jobs() {
+		origins[st.Origin]++
+	}
+	if origins[core.OriginDemand] != 1 || origins[core.OriginSpeculative] != 1 {
+		t.Fatalf("job origins = %v, want one demand + one speculative", origins)
+	}
+
+	// The speculative column is already filled: querying drama now must
+	// answer immediately, with no further expansion or charge.
+	res, _, err := db.ExecSQL(`SELECT name FROM movies WHERE drama = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("speculatively expanded drama returned no rows")
+	}
+	if led := db.Ledger(); led.Jobs != 1 {
+		t.Fatalf("drama query re-engaged the crowd: %d charges", led.Jobs)
+	}
+
+	// Speculative spend is accounted under its own key and within cap.
+	b, ok := db.Budget(core.SpeculativeBudgetKey)
+	if !ok {
+		t.Fatal("no speculative budget account")
+	}
+	if b.Spent <= 0 || b.Spent > cap {
+		t.Fatalf("speculative spend $%.4f outside (0, %.2f]", b.Spent, cap)
+	}
+}
+
+// TestSpeculationRespectsBudgetAndNeverBlocksDemand: with a cap too small
+// for even one speculative run, the predictor must stand down entirely —
+// the demand expansion still completes, nothing is spent under the
+// speculative key, and no speculative job is ever admitted.
+func TestSpeculationRespectsBudgetAndNeverBlocksDemand(t *testing.T) {
+	db := speculativeDB(t, 43, 30*time.Millisecond, 0.01) // projected cost per column ≈ $0.40
+	teachComedyThenDrama(db, 4)
+
+	res, _, err := db.ExecSQL(`SELECT name FROM movies WHERE comedy = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("demand expansion returned no rows")
+	}
+	waitAllJobs(t, db)
+
+	for _, st := range db.Jobs() {
+		if st.Origin == core.OriginSpeculative {
+			t.Fatalf("speculative job %s admitted despite a $0.01 cap", st.ID)
+		}
+	}
+	if b, ok := db.Budget(core.SpeculativeBudgetKey); ok && b.Spent != 0 {
+		t.Fatalf("speculative key spent $%.4f under a cap it cannot afford", b.Spent)
+	}
+	// Drama was not pre-expanded: the column must still be virtual.
+	tbl, _ := db.Catalog().Get("movies")
+	if _, exists := tbl.Schema().Lookup("drama"); exists {
+		t.Fatal("drama was expanded despite the unaffordable cap")
+	}
+}
+
+// TestCacheHitMutateMiss walks the semantic result cache through every
+// mutation class the ISSUE names — INSERT, FillColumn, CREATE INDEX,
+// DROP INDEX — asserting hit → mutate → miss with live data each time.
+func TestCacheHitMutateMiss(t *testing.T) {
+	db := crowddb.New(nil)
+	t.Cleanup(func() { _ = db.Close() })
+	mustExec := func(sql string) *crowddb.Result {
+		t.Helper()
+		res, _, err := db.ExecSQL(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return res
+	}
+	mustExec(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`)
+	mustExec(`INSERT INTO movies VALUES (1, 'alpha', 2000), (2, 'beta', 2001), (3, 'gamma', 2002)`)
+
+	const q = `SELECT name, year FROM movies ORDER BY year`
+	wantStats := func(hits, misses uint64, rows, n int) {
+		t.Helper()
+		st := db.CacheStats()
+		if st.Hits != hits || st.Misses != misses {
+			t.Fatalf("step %d: cache hits/misses = %d/%d, want %d/%d", n, st.Hits, st.Misses, hits, misses)
+		}
+		if res := mustExec(q); len(res.Rows) != rows {
+			t.Fatalf("step %d: %d rows, want %d", n, len(res.Rows), rows)
+		}
+	}
+
+	wantStats(0, 0, 3, 1) // cold: miss, fills
+	wantStats(0, 1, 3, 2) // warm: hit
+	st := db.CacheStats()
+	if st.Hits != 1 {
+		t.Fatalf("second read did not hit the cache: %+v", st)
+	}
+
+	// INSERT invalidates.
+	mustExec(`INSERT INTO movies VALUES (4, 'delta', 1999)`)
+	res := mustExec(q)
+	if len(res.Rows) != 4 {
+		t.Fatalf("post-insert read served %d rows — a stale cache entry", len(res.Rows))
+	}
+
+	// FillColumn (the crowd-fill storage primitive) invalidates.
+	tbl, _ := db.Catalog().Get("movies")
+	years := []storage.Value{storage.Int(1990), storage.Int(1991), storage.Int(1992), storage.Int(1993)}
+	mustExec(q) // warm again
+	if err := tbl.FillColumn("year", years); err != nil {
+		t.Fatal(err)
+	}
+	res = mustExec(q)
+	if y, _ := res.Rows[0][1].AsInt(); y != 1990 {
+		t.Fatalf("post-fill read served year %d — a stale cache entry", y)
+	}
+
+	// CREATE INDEX and DROP INDEX both invalidate (plan shape may
+	// change). Stale entries are counted lazily: the seq bump lands at
+	// DDL time, the invalidation registers on the entry's next Get.
+	mustExec(q) // warm
+	before := db.CacheStats()
+	mustExec(`CREATE INDEX by_year ON movies (year)`)
+	mustExec(q)
+	if got := db.CacheStats(); got.Invalidations <= before.Invalidations || got.Misses <= before.Misses {
+		t.Fatalf("read after CREATE INDEX was served stale: %+v -> %+v", before, got)
+	}
+	mustExec(q) // warm again
+	before = db.CacheStats()
+	mustExec(`DROP INDEX by_year ON movies`)
+	if res = mustExec(q); len(res.Rows) != 4 {
+		t.Fatalf("post-drop read served %d rows", len(res.Rows))
+	}
+	if got := db.CacheStats(); got.Invalidations <= before.Invalidations || got.Misses <= before.Misses {
+		t.Fatalf("read after DROP INDEX was served stale: %+v -> %+v", before, got)
+	}
+
+	// The nocache escape hatch bypasses without disturbing entries.
+	hits := db.CacheStats().Hits
+	if _, _, err := db.ExecSQLNoCache(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.CacheStats().Hits; got != hits {
+		t.Fatalf("ExecSQLNoCache touched the cache (hits %d -> %d)", hits, got)
+	}
+}
+
+// TestWorkloadSurvivesRestartCacheCold: workload counters are durable
+// (snapshot + typed WAL records), the dropped index stays dropped, and
+// the result cache restarts cold — recovered state must never serve a
+// stale cached row.
+func TestWorkloadSurvivesRestartCacheCold(t *testing.T) {
+	dir := t.TempDir()
+	db, err := crowddb.Open(crowddb.Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := func(sql string) {
+		t.Helper()
+		if _, _, err := db.ExecSQL(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	exec(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`)
+	exec(`INSERT INTO movies VALUES (1, 'alpha', 2000), (2, 'beta', 2001)`)
+	exec(`CREATE INDEX by_year ON movies (year) USING HASH`)
+	exec(`SELECT name FROM movies WHERE year = 2000`)
+	exec(`SELECT name FROM movies WHERE year = 2000`) // cache hit
+	if st := db.CacheStats(); st.Hits == 0 {
+		t.Fatalf("no cache hit before restart: %+v", st)
+	}
+	// Snapshot mid-stream so recovery exercises snapshot restore AND WAL
+	// replay of post-snapshot workload_obs / drop_index records.
+	if _, err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	exec(`DROP INDEX by_year ON movies`)
+	exec(`SELECT name FROM movies WHERE year = 2001`)
+	exec(`INSERT INTO movies VALUES (3, 'gamma', 2002)`)
+	wantQueries := db.Workload().Counters.TotalQueries
+	if wantQueries == 0 {
+		t.Fatal("tracker recorded no queries")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = crowddb.Open(crowddb.Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+
+	if idx := db.TableIndexes("movies"); len(idx) != 0 {
+		t.Fatalf("dropped index resurrected on recovery: %+v", idx)
+	}
+	if got := db.Workload().Counters.TotalQueries; got != wantQueries {
+		t.Fatalf("recovered TotalQueries = %d, want %d", got, wantQueries)
+	}
+	if st := db.CacheStats(); st.Entries != 0 || st.Hits != 0 {
+		t.Fatalf("cache not cold after restart: %+v", st)
+	}
+	res, _, err := db.ExecSQL(`SELECT name FROM movies ORDER BY year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("recovered read returned %d rows, want 3", len(res.Rows))
+	}
+	if st := db.CacheStats(); st.Misses != 1 {
+		t.Fatalf("first post-restart read was not a cache miss: %+v", st)
+	}
+}
+
+// TestConcurrentCacheReadsDuringCrowdFill races cached and uncached reads
+// against an in-flight crowd expansion that mutates the table (AddColumn
+// + FillColumn). Run under -race in the nightly sweep; correctness bar
+// here: no errors, and the post-fill read sees the expanded column.
+func TestConcurrentCacheReadsDuringCrowdFill(t *testing.T) {
+	db := speculativeDB(t, 44, 10*time.Millisecond, 0)
+
+	_, job, err := db.ExecSQLAsync(`SELECT name FROM movies WHERE comedy = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job == nil {
+		t.Fatal("no expansion job")
+	}
+
+	var wg sync.WaitGroup
+	var reads atomic.Int64
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if g%2 == 0 {
+					_, _, err = db.ExecSQL(`SELECT name FROM movies ORDER BY name LIMIT 5`)
+				} else {
+					_, _, err = db.ExecSQLNoCache(`SELECT name FROM movies ORDER BY name LIMIT 5`)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reads.Add(1)
+			}
+		}(g)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if reads.Load() == 0 {
+		t.Fatal("no reads completed during the fill")
+	}
+	res, _, err := db.ExecSQL(`SELECT name FROM movies WHERE comedy = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("expanded column returned no rows after the fill")
+	}
+}
+
+// --- cached-read speedup (acceptance: ≥20× vs uncached) ---
+
+const cachedSelectRows = 30_000
+
+// cachedSelectDB seeds a table large enough that the uncached TopN scan
+// costs real work.
+func cachedSelectDB(tb testing.TB) *crowddb.DB {
+	tb.Helper()
+	db := crowddb.New(nil)
+	tb.Cleanup(func() { _ = db.Close() })
+	if _, _, err := db.ExecSQL(`CREATE TABLE big (id INTEGER, score FLOAT)`); err != nil {
+		tb.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("big")
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < cachedSelectRows; i++ {
+		if err := tbl.Insert(storage.Int(int64(i)), storage.Float(rng.Float64()*1000)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return db
+}
+
+const cachedSelectSQL = `SELECT id, score FROM big ORDER BY score DESC LIMIT 10`
+
+// TestCachedSelectAtLeast20xFaster is the cache's acceptance bar: a hot
+// repeated SELECT must run ≥20× faster than the same statement with the
+// cache bypassed — and a single mutation must drop it back to live data.
+func TestCachedSelectAtLeast20xFaster(t *testing.T) {
+	db := cachedSelectDB(t)
+	if _, _, err := db.ExecSQL(cachedSelectSQL); err != nil { // warm
+		t.Fatal(err)
+	}
+	const iters = 15
+	timeIt := func(f func() error) time.Duration {
+		t.Helper()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := f(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	cached := timeIt(func() error { _, _, err := db.ExecSQL(cachedSelectSQL); return err })
+	uncached := timeIt(func() error { _, _, err := db.ExecSQLNoCache(cachedSelectSQL); return err })
+	if cached*20 > uncached {
+		t.Fatalf("cached %v vs uncached %v: less than the required 20x speedup", cached, uncached)
+	}
+	if st := db.CacheStats(); st.Hits < iters {
+		t.Fatalf("cached loop did not hit the cache: %+v", st)
+	}
+
+	// Mutation-invalidation proof: one insert, and the next read is a
+	// recomputed miss over the live 30_001 rows.
+	misses := db.CacheStats().Misses
+	if _, _, err := db.ExecSQL(`INSERT INTO big VALUES (999999, 5000.0)`); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := db.ExecSQL(cachedSelectSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := res.Rows[0][0].AsInt(); id != 999999 {
+		t.Fatalf("post-insert top row id = %d — stale cached result", id)
+	}
+	if got := db.CacheStats().Misses; got != misses+1 {
+		t.Fatalf("post-insert read was not a miss (misses %d -> %d)", misses, got)
+	}
+}
+
+// BenchmarkCachedSelect measures the hot cached-read path (guarded in
+// BENCH_baseline.json); BenchmarkUncachedSelectBaseline is the identical
+// statement with the cache bypassed, for the speedup comparison.
+func BenchmarkCachedSelect(b *testing.B) {
+	db := cachedSelectDB(b)
+	if _, _, err := db.ExecSQL(cachedSelectSQL); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := db.ExecSQL(cachedSelectSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkUncachedSelectBaseline(b *testing.B) {
+	db := cachedSelectDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := db.ExecSQLNoCache(cachedSelectSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+	b.ReportMetric(float64(cachedSelectRows), "rows-scanned/op")
+}
+
+// BenchmarkSpeculativeHitMerge measures the end-to-end demand+speculative
+// cycle: warm model, demand-expand comedy, speculation rides the same
+// batch window, everything settles. Reports marketplace charges (the
+// merge makes it 1) and the columns filled per charge.
+func BenchmarkSpeculativeHitMerge(b *testing.B) {
+	var charges, filled float64
+	for i := 0; i < b.N; i++ {
+		db := speculativeDB(b, int64(200+i), 20*time.Millisecond, 2.0)
+		teachComedyThenDrama(db, 4)
+		_, job, err := db.ExecSQLAsync(`SELECT name FROM movies WHERE comedy = true`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if job == nil {
+			b.Fatal("no expansion job")
+		}
+		waitAllJobs(b, db)
+		charges = float64(db.Ledger().Jobs)
+		tbl, _ := db.Catalog().Get("movies")
+		filled = 0
+		for _, col := range []string{"comedy", "drama"} {
+			if _, ok := tbl.Schema().Lookup(col); ok {
+				filled++
+			}
+		}
+	}
+	b.ReportMetric(charges, "marketplace-charges")
+	b.ReportMetric(filled, "columns-filled")
+	if charges > 0 {
+		b.ReportMetric(filled/charges, "columns-per-charge")
+	}
+}
