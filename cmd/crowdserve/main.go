@@ -56,6 +56,11 @@
 // normalized plan and invalidated by any table mutation; -cache-bytes
 // sizes it (-1 disables), and ?nocache=1 on POST /query bypasses it per
 // request.
+//
+// Query execution is morsel-parallel: large scans, joins, and
+// aggregations fan out across -exec-workers goroutines (0 = one per
+// CPU, 1 = fully serial) while producing exactly the serial row order;
+// EXPLAIN shows the chosen degree per operator as [dop=N].
 package main
 
 import (
@@ -94,6 +99,7 @@ type demoConfig struct {
 	defaultBudget     float64
 	speculativeBudget float64
 	cacheBytes        int64
+	execWorkers       int
 }
 
 func main() {
@@ -120,6 +126,8 @@ func main() {
 			"dollar cap for workload-predicted pre-expansions (0 = speculation off); requires -batch-window > 0 to merge with demand HIT groups")
 		cacheBytes = flag.Int64("cache-bytes", 0,
 			"semantic result cache size in bytes (0 = default 64 MiB, negative = cache disabled)")
+		execWorkers = flag.Int("exec-workers", 0,
+			"degree of intra-query parallelism for SELECT execution (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -130,6 +138,7 @@ func main() {
 		expansionWorkers: *expWork, expansionQueue: *expQ,
 		batchWindow: *batchWindow, defaultBudget: *defaultBudget,
 		speculativeBudget: *speculativeBudget, cacheBytes: *cacheBytes,
+		execWorkers: *execWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -203,6 +212,7 @@ func buildDemoDB(cfg demoConfig) (*core.DB, error) {
 		DefaultBudget:     cfg.defaultBudget,
 		SpeculativeBudget: cfg.speculativeBudget,
 		CacheBytes:        cfg.cacheBytes,
+		ExecWorkers:       cfg.execWorkers,
 	})
 	if err != nil {
 		return nil, err

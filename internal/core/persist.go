@@ -69,6 +69,9 @@ type Options struct {
 	// CacheBytes bounds the semantic result cache. Zero means the default
 	// (64 MiB); negative disables the cache entirely.
 	CacheBytes int64
+	// ExecWorkers is the degree of intra-query parallelism for SELECT
+	// execution: 0 picks GOMAXPROCS, 1 forces fully serial plans.
+	ExecWorkers int
 }
 
 // ErrNoDataDir is returned by Snapshot on a database opened without a
@@ -201,6 +204,7 @@ func Open(opts Options) (*DB, error) {
 		tracker:     workload.NewTracker(0),
 		specBudget:  opts.SpeculativeBudget,
 	}
+	db.engine.SetExecWorkers(opts.ExecWorkers)
 	if opts.CacheBytes >= 0 {
 		db.rcache = rescache.New(opts.CacheBytes)
 	}

@@ -18,6 +18,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"crowddb/internal/engine/plan"
 	"crowddb/internal/index"
@@ -46,6 +47,10 @@ type Result struct {
 // Engine executes statements against a catalog.
 type Engine struct {
 	catalog *storage.Catalog
+
+	// execWorkers is the degree of intra-query parallelism; 0 means
+	// GOMAXPROCS, 1 means fully serial plans.
+	execWorkers int
 }
 
 // New creates an engine over catalog.
@@ -53,6 +58,19 @@ func New(catalog *storage.Catalog) *Engine { return &Engine{catalog: catalog} }
 
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *storage.Catalog { return e.catalog }
+
+// SetExecWorkers sets the degree of intra-query parallelism for SELECT
+// execution: 0 picks GOMAXPROCS, 1 keeps plans fully serial. Call before
+// serving queries — the setting is read at plan time.
+func (e *Engine) SetExecWorkers(n int) { e.execWorkers = n }
+
+// dop resolves the effective degree of parallelism.
+func (e *Engine) dop() int {
+	if e.execWorkers > 0 {
+		return e.execWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // ExecSQL parses and executes a single statement.
 func (e *Engine) ExecSQL(sql string) (*Result, error) {

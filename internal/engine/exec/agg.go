@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"errors"
+	"sort"
+
 	"crowddb/internal/engine/plan"
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
@@ -34,6 +37,29 @@ func (st *aggState) observe(v storage.Value) {
 	}
 	if c, err := v.Compare(st.max); err == nil && c > 0 {
 		st.max = v
+	}
+}
+
+// merge folds another partial state into st — the combine step of
+// parallel partial aggregation. Every supported aggregate is
+// decomposable: count and sum add, min/max compare, avg derives from
+// count+sum at finalize.
+func (st *aggState) merge(o *aggState) {
+	st.count += o.count
+	st.sum += o.sum
+	st.numeric = st.numeric || o.numeric
+	if !o.any {
+		return
+	}
+	if !st.any {
+		st.min, st.max, st.any = o.min, o.max, true
+		return
+	}
+	if c, err := o.min.Compare(st.min); err == nil && c < 0 {
+		st.min = o.min
+	}
+	if c, err := o.max.Compare(st.max); err == nil && c > 0 {
+		st.max = o.max
 	}
 }
 
@@ -72,8 +98,15 @@ func (st *aggState) finalize(agg sqlparse.AggFunc) storage.Value {
 // the output columns. Scalar (group-key) items evaluate against the
 // group's first row. Aggregates without GROUP BY yield exactly one row,
 // even for empty input (standard SQL).
+//
+// When the node's Dop is > 1 and its input is a morsel chain (input is
+// nil then), Open instead folds partial per-worker group maps over the
+// chain's morsels and merges them — states via aggState.merge, group
+// identity (first row, first-seen sequence) from the partial with the
+// lowest sequence — so output order and values match a serial fold
+// exactly.
 type aggIter struct {
-	input Iterator
+	input Iterator // nil when the fold runs parallel over the input chain
 	node  *plan.Aggregate
 	env   rowEnv
 
@@ -83,58 +116,157 @@ type aggIter struct {
 
 type aggGroup struct {
 	firstRow storage.Row
+	firstSeq int64 // input sequence of the group's first row
 	states   []aggState
 }
 
-func (a *aggIter) Open() error {
-	if err := a.input.Open(); err != nil {
-		return err
-	}
-	a.env.layout = a.node.Layout
-	a.out, a.pos = nil, 0
-	s := a.node
-
-	groups := map[string]*aggGroup{}
-	var order []string // group insertion order, for deterministic output
-	for {
-		row, ok, err := a.input.Next()
+// foldRow hashes one input row into its group and observes every
+// aggregate item. seq is the row's global input sequence, used to keep
+// group output in first-seen order across parallel partials.
+func foldRow(s *plan.Aggregate, env *rowEnv, row storage.Row, seq int64, groups map[string]*aggGroup) error {
+	env.row = row
+	keyVals := make(storage.Row, len(s.GroupBy))
+	for gi, g := range s.GroupBy {
+		v, err := EvalValue(g, env)
 		if err != nil {
 			return err
 		}
+		keyVals[gi] = v
+	}
+	key := rowKey(keyVals)
+	grp, ok := groups[key]
+	if !ok {
+		grp = &aggGroup{firstRow: row.Clone(), firstSeq: seq, states: make([]aggState, len(s.Items))}
+		groups[key] = grp
+	}
+	for k, item := range s.Items {
+		if item.Agg == sqlparse.AggNone {
+			continue
+		}
+		if item.Expr == nil { // COUNT(*)
+			grp.states[k].count++
+			continue
+		}
+		v, err := EvalValue(item.Expr, env)
+		if err != nil {
+			return err
+		}
+		grp.states[k].observe(v)
+	}
+	return nil
+}
+
+func (a *aggIter) Open() error {
+	a.env.layout = a.node.Layout
+	a.out, a.pos = nil, 0
+
+	var groups map[string]*aggGroup
+	var err error
+	if a.input != nil {
+		groups, err = a.foldSerial()
+	} else {
+		groups, err = a.foldParallel()
+	}
+	if err != nil {
+		return err
+	}
+	return a.emit(groups)
+}
+
+func (a *aggIter) foldSerial() (map[string]*aggGroup, error) {
+	if err := a.input.Open(); err != nil {
+		return nil, err
+	}
+	groups := map[string]*aggGroup{}
+	var seq int64
+	for {
+		row, ok, err := a.input.Next()
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
-			break
+			return groups, nil
 		}
-		a.env.row = row
-		keyVals := make(storage.Row, len(s.GroupBy))
-		for gi, g := range s.GroupBy {
-			v, err := EvalValue(g, &a.env)
-			if err != nil {
-				return err
+		if err := foldRow(a.node, &a.env, row, seq, groups); err != nil {
+			return nil, err
+		}
+		seq++
+	}
+}
+
+// foldParallel folds partial group maps per worker over the input
+// chain's morsels, then merges them. Each worker stamps rows with
+// idx*morselRows+local — morsel-ordered sequences — so the merged
+// first-seen order equals the serial one.
+func (a *aggIter) foldParallel() (map[string]*aggGroup, error) {
+	src, err := chainSource(a.node.Input)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("engine: internal: parallel aggregate input is not a morsel chain")
+	}
+	partials := make([]map[string]*aggGroup, a.node.Dop)
+	err = runMorsels(src, a.node.Dop, func(w int) func(idx int, it Iterator) error {
+		groups := map[string]*aggGroup{}
+		partials[w] = groups
+		env := &rowEnv{layout: a.node.Layout}
+		return func(idx int, it Iterator) error {
+			seq := int64(idx) * morselRows
+			for {
+				row, ok, err := it.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if err := foldRow(a.node, env, row, seq, groups); err != nil {
+					return err
+				}
+				seq++
 			}
-			keyVals[gi] = v
 		}
-		key := rowKey(keyVals)
-		grp, ok2 := groups[key]
-		if !ok2 {
-			grp = &aggGroup{firstRow: row.Clone(), states: make([]aggState, len(s.Items))}
-			groups[key] = grp
-			order = append(order, key)
-		}
-		for k, item := range s.Items {
-			if item.Agg == sqlparse.AggNone {
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	merged := map[string]*aggGroup{}
+	for _, part := range partials {
+		for key, g := range part {
+			ex, ok := merged[key]
+			if !ok {
+				merged[key] = g
 				continue
 			}
-			if item.Expr == nil { // COUNT(*)
-				grp.states[k].count++
-				continue
+			if g.firstSeq < ex.firstSeq {
+				// g saw the group earlier: keep its identity, fold ex in.
+				for k := range g.states {
+					g.states[k].merge(&ex.states[k])
+				}
+				merged[key] = g
+			} else {
+				for k := range ex.states {
+					ex.states[k].merge(&g.states[k])
+				}
 			}
-			v, err := EvalValue(item.Expr, &a.env)
-			if err != nil {
-				return err
-			}
-			grp.states[k].observe(v)
 		}
 	}
+	return merged, nil
+}
+
+// emit finalizes every group — in first-seen input order — applying
+// HAVING against the named output columns.
+func (a *aggIter) emit(groups map[string]*aggGroup) error {
+	s := a.node
+	order := make([]string, 0, len(groups))
+	for key := range groups {
+		order = append(order, key)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return groups[order[i]].firstSeq < groups[order[j]].firstSeq
+	})
 
 	if len(s.GroupBy) == 0 && len(order) == 0 {
 		key := "∅"
@@ -188,5 +320,8 @@ func (a *aggIter) Next() (storage.Row, bool, error) {
 
 func (a *aggIter) Close() error {
 	a.out = nil
-	return a.input.Close()
+	if a.input != nil {
+		return a.input.Close()
+	}
+	return nil
 }

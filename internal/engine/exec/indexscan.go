@@ -34,8 +34,9 @@ func newIndexScanIter(n *plan.IndexScan) *indexIter {
 	}
 }
 
-// newIndexRangeIter builds the iterator for a bound probe.
-func newIndexRangeIter(n *plan.IndexRange) *indexIter {
+// rangeProbeOf lowers an IndexRange node's bounds into a storage probe —
+// shared by the serial iterator and the morsel partitioner.
+func rangeProbeOf(n *plan.IndexRange) storage.IndexProbe {
 	probe := storage.IndexProbe{LoInc: n.LoInc, HiInc: n.HiInc}
 	if n.Lo != nil {
 		v := plan.LitValue(n.Lo)
@@ -45,9 +46,14 @@ func newIndexRangeIter(n *plan.IndexRange) *indexIter {
 		v := plan.LitValue(n.Hi)
 		probe.Hi = &v
 	}
+	return probe
+}
+
+// newIndexRangeIter builds the iterator for a bound probe.
+func newIndexRangeIter(n *plan.IndexRange) *indexIter {
 	return &indexIter{
 		table: n.Table, index: n.Index,
-		probe:    probe,
+		probe:    rangeProbeOf(n),
 		residual: n.Residual, layout: n.Layout,
 	}
 }

@@ -38,16 +38,28 @@ func Build(n plan.Node) (Iterator, error) {
 			return nil, err
 		}
 		return &filterIter{input: in, node: t}, nil
+	case *plan.Gather:
+		return gatherOf(t), nil
 	case *plan.HashJoin:
-		left, err := Build(t.Left)
-		if err != nil {
-			return nil, err
+		// A side the Parallelize pass marked as a morsel chain gets no
+		// child iterator: the join runs that phase (build fill or probe)
+		// over the chain's morsels itself.
+		j := &hashJoinIter{node: t}
+		if !(t.Dop > 1 && parallelChain(t.Left)) {
+			left, err := Build(t.Left)
+			if err != nil {
+				return nil, err
+			}
+			j.left = left
 		}
-		right, err := Build(t.Right)
-		if err != nil {
-			return nil, err
+		if !(t.Dop > 1 && parallelChain(t.Right)) {
+			right, err := Build(t.Right)
+			if err != nil {
+				return nil, err
+			}
+			j.right = right
 		}
-		return &hashJoinIter{left: left, right: right, node: t}, nil
+		return j, nil
 	case *plan.Project:
 		in, err := Build(t.Input)
 		if err != nil {
@@ -55,6 +67,9 @@ func Build(n plan.Node) (Iterator, error) {
 		}
 		return &projectIter{input: in, node: t}, nil
 	case *plan.Aggregate:
+		if t.Dop > 1 && parallelChain(t.Input) {
+			return &aggIter{node: t}, nil // folds the chain's morsels itself
+		}
 		in, err := Build(t.Input)
 		if err != nil {
 			return nil, err

@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"errors"
+	"sort"
 	"strconv"
-	"strings"
+	"sync"
 
 	"crowddb/internal/engine/plan"
 	"crowddb/internal/storage"
@@ -17,100 +19,235 @@ import (
 //
 // With no keys, the single hash bucket degenerates into a cross join,
 // filtered by the residual.
+//
+// When the plan's Dop is > 1 and a child is a morsel chain, that phase
+// runs parallel: build workers insert sequence-stamped entries into a
+// sharded table (buckets are re-sorted by sequence after the barrier, so
+// probe output matches a serial build exactly), and the probe side
+// streams through the ordered gather exchange. Either side can be
+// parallel independently; a non-chain child (e.g. a lower join) keeps
+// its serial iterator.
 type hashJoinIter struct {
-	left, right Iterator
 	node        *plan.HashJoin
+	left, right Iterator // serial children; nil when that side runs parallel
 
-	table    map[string][]storage.Row // build side, keyed by join key
+	table *joinTable
+
 	leftEnv  rowEnv
 	rightEnv rowEnv
 	outEnv   rowEnv
 
-	// Probe state: the current left row's pending matches.
+	// Reusable per-iterator scratch for key encoding and key-value
+	// buffers: the probe hot path allocates nothing per input row.
+	scratch []byte
+	valBuf  []storage.Value
+
+	// Serial probe state: the current left row's pending matches.
 	leftRow storage.Row
-	matches []storage.Row
+	matches []joinEntry
 	mi      int
+
+	gather *gatherIter // parallel probe exchange, nil when left is serial
 }
 
-// joinKey encodes key values for hashing with the same equality semantics
-// as the `=` operator: numeric values compare across int/float, so both
-// hash through their float form. Text is length-prefixed so values
-// containing separator bytes cannot forge a multi-key collision (a key
-// list is equal iff every component is). ok=false when any value is NULL.
-func joinKey(vals []storage.Value) (string, bool) {
-	var sb strings.Builder
+// appendJoinKey appends an encoding of the key values to dst, with the
+// same equality semantics as the `=` operator: numeric values compare
+// across int/float, so both hash through their float form. Text is
+// length-prefixed so values containing separator bytes cannot forge a
+// multi-key collision (a key list is equal iff every component is).
+// ok=false when any value is NULL. The appended dst is returned so
+// callers can keep one scratch buffer per iterator instead of allocating
+// per row.
+func appendJoinKey(dst []byte, vals []storage.Value) ([]byte, bool) {
 	for _, v := range vals {
 		switch v.Kind() {
 		case storage.KindNull:
-			return "", false
+			return dst, false
 		case storage.KindBool:
 			b, _ := v.AsBool()
 			if b {
-				sb.WriteString("b1")
+				dst = append(dst, 'b', '1')
 			} else {
-				sb.WriteString("b0")
+				dst = append(dst, 'b', '0')
 			}
 		case storage.KindInt, storage.KindFloat:
 			f, _ := v.AsFloat()
-			sb.WriteByte('n')
-			sb.WriteString(storage.Float(f).String())
+			dst = append(dst, 'n')
+			dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
 		case storage.KindText:
 			t, _ := v.AsText()
-			sb.WriteByte('t')
-			sb.WriteString(strconv.Itoa(len(t)))
-			sb.WriteByte(':')
-			sb.WriteString(t)
+			dst = append(dst, 't')
+			dst = strconv.AppendInt(dst, int64(len(t)), 10)
+			dst = append(dst, ':')
+			dst = append(dst, t...)
 		}
-		sb.WriteByte(0x1f)
+		dst = append(dst, 0x1f)
 	}
-	return sb.String(), true
+	return dst, true
+}
+
+// joinTable is the shared build table: a fixed shard array so parallel
+// build workers contend on a shard mutex, not one global lock. After the
+// build barrier it is read-only and probed without locking.
+const joinShards = 64
+
+type joinEntry struct {
+	seq int64 // build-side row sequence, for deterministic probe output
+	row storage.Row
+}
+
+type joinShard struct {
+	mu sync.Mutex
+	m  map[string][]joinEntry
+}
+
+type joinTable struct{ shards [joinShards]joinShard }
+
+func newJoinTable() *joinTable {
+	jt := &joinTable{}
+	for i := range jt.shards {
+		jt.shards[i] = joinShard{m: map[string][]joinEntry{}}
+	}
+	return jt
+}
+
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (jt *joinTable) insert(key []byte, seq int64, row storage.Row) {
+	s := &jt.shards[fnv1a(key)%joinShards]
+	s.mu.Lock()
+	s.m[string(key)] = append(s.m[string(key)], joinEntry{seq: seq, row: row})
+	s.mu.Unlock()
+}
+
+// lookup is lock-free: only legal after the build barrier.
+func (jt *joinTable) lookup(key []byte) []joinEntry {
+	return jt.shards[fnv1a(key)%joinShards].m[string(key)]
+}
+
+// sortBuckets orders every bucket by build sequence. Parallel workers
+// insert in claim-completion order; sorting restores the serial build's
+// bucket order, so probing emits byte-identical row sequences at any dop.
+func (jt *joinTable) sortBuckets() {
+	for i := range jt.shards {
+		for _, entries := range jt.shards[i].m {
+			sort.Slice(entries, func(a, b int) bool { return entries[a].seq < entries[b].seq })
+		}
+	}
 }
 
 func (j *hashJoinIter) Open() error {
 	j.leftEnv.layout = j.node.LeftLayout
 	j.rightEnv.layout = j.node.RightLayout
 	j.outEnv.layout = j.node.Layout
-	j.table = map[string][]storage.Row{}
+	j.table = newJoinTable()
 	j.leftRow, j.matches, j.mi = nil, nil, 0
 
-	if err := j.left.Open(); err != nil {
+	if err := j.build(); err != nil {
 		return err
 	}
-	if err := j.right.Open(); err != nil {
-		return err
+	if j.left != nil {
+		return j.left.Open()
 	}
-	// Build phase: hash the right input. Rows are cloned — the scan
-	// beneath reuses its batch buffer.
-	for {
-		row, ok, err := j.right.Next()
-		if err != nil {
+	j.gather = &gatherIter{dop: j.node.Dop, mkSource: j.probeSource}
+	return j.gather.Open()
+}
+
+// build fills the hash table from the right input — serially through the
+// child iterator, or with Dop workers over the chain's morsels. Build
+// rows are cloned either way: the scan beneath reuses its batch buffer.
+func (j *hashJoinIter) build() error {
+	if j.right != nil {
+		if err := j.right.Open(); err != nil {
 			return err
 		}
-		if !ok {
-			break
-		}
-		j.rightEnv.row = row
-		vals := make([]storage.Value, len(j.node.RightKeys))
-		for i, e := range j.node.RightKeys {
-			v, err := EvalValue(e, &j.rightEnv)
+		var seq int64
+		for {
+			row, ok, err := j.right.Next()
 			if err != nil {
 				return err
 			}
-			vals[i] = v
+			if !ok {
+				return nil
+			}
+			if err := j.insertBuildRow(row, seq, &j.rightEnv, &j.scratch, &j.valBuf); err != nil {
+				return err
+			}
+			seq++
 		}
-		key, ok := joinKey(vals)
-		if !ok {
-			continue
-		}
-		j.table[key] = append(j.table[key], row.Clone())
 	}
+
+	src, err := chainSource(j.node.Right)
+	if err != nil {
+		return err
+	}
+	if src == nil {
+		return errors.New("engine: internal: parallel build side is not a morsel chain")
+	}
+	err = runMorsels(src, j.node.Dop, func(int) func(idx int, it Iterator) error {
+		env := rowEnv{layout: j.node.RightLayout}
+		var scratch []byte
+		var vals []storage.Value
+		return func(idx int, it Iterator) error {
+			seq := int64(idx) * morselRows
+			for {
+				row, ok, err := it.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if err := j.insertBuildRow(row, seq, &env, &scratch, &vals); err != nil {
+					return err
+				}
+				seq++
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	j.table.sortBuckets()
+	return nil
+}
+
+// insertBuildRow evaluates the build keys into the caller's scratch
+// buffers and inserts the cloned row. NULL keys are dropped.
+func (j *hashJoinIter) insertBuildRow(row storage.Row, seq int64, env *rowEnv, scratch *[]byte, valBuf *[]storage.Value) error {
+	env.row = row
+	vals := (*valBuf)[:0]
+	for _, e := range j.node.RightKeys {
+		v, err := EvalValue(e, env)
+		if err != nil {
+			return err
+		}
+		vals = append(vals, v)
+	}
+	*valBuf = vals
+	key, ok := appendJoinKey((*scratch)[:0], vals)
+	*scratch = key
+	if !ok {
+		return nil
+	}
+	j.table.insert(key, seq, row.Clone())
 	return nil
 }
 
 func (j *hashJoinIter) Next() (storage.Row, bool, error) {
+	if j.gather != nil {
+		return j.gather.Next()
+	}
 	for {
 		for j.mi < len(j.matches) {
-			right := j.matches[j.mi]
+			right := j.matches[j.mi].row
 			j.mi++
 			combined := make(storage.Row, 0, len(j.leftRow)+len(right))
 			combined = append(append(combined, j.leftRow...), right...)
@@ -132,30 +269,131 @@ func (j *hashJoinIter) Next() (storage.Row, bool, error) {
 			return nil, false, err
 		}
 		j.leftEnv.row = row
-		vals := make([]storage.Value, len(j.node.LeftKeys))
-		for i, e := range j.node.LeftKeys {
+		vals := j.valBuf[:0]
+		for _, e := range j.node.LeftKeys {
 			v, err := EvalValue(e, &j.leftEnv)
 			if err != nil {
 				return nil, false, err
 			}
-			vals[i] = v
+			vals = append(vals, v)
 		}
-		key, keyOK := joinKey(vals)
+		j.valBuf = vals
+		key, keyOK := appendJoinKey(j.scratch[:0], vals)
+		j.scratch = key
 		if !keyOK {
 			continue
 		}
 		// No clone: each emitted row copies the left values, and the scan
 		// buffer beneath is only recycled on the next left pull.
-		j.matches, j.mi, j.leftRow = j.table[key], 0, row
+		j.matches, j.mi, j.leftRow = j.table.lookup(key), 0, row
 	}
 }
 
+// probeSource wraps the left chain's morsels in probe iterators for the
+// gather exchange: each morsel probes the shared (now read-only) build
+// table with worker-private envs and scratch, emitting owned combined
+// rows.
+func (j *hashJoinIter) probeSource() (*morselSource, error) {
+	src, err := chainSource(j.node.Left)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("engine: internal: parallel probe side is not a morsel chain")
+	}
+	inner := src.open
+	src.open = func(i int) (Iterator, error) {
+		it, err := inner(i)
+		if err != nil {
+			return nil, err
+		}
+		return &probeMorselIter{input: it, j: j}, nil
+	}
+	src.owned = true // combined rows are fresh allocations
+	return src, nil
+}
+
+// probeMorselIter runs the serial probe loop over one morsel of the left
+// input.
+type probeMorselIter struct {
+	input Iterator
+	j     *hashJoinIter
+
+	leftEnv rowEnv
+	outEnv  rowEnv
+	scratch []byte
+	valBuf  []storage.Value
+
+	leftRow storage.Row
+	matches []joinEntry
+	mi      int
+}
+
+func (p *probeMorselIter) Open() error {
+	p.leftEnv.layout = p.j.node.LeftLayout
+	p.outEnv.layout = p.j.node.Layout
+	return p.input.Open()
+}
+
+func (p *probeMorselIter) Next() (storage.Row, bool, error) {
+	node := p.j.node
+	for {
+		for p.mi < len(p.matches) {
+			right := p.matches[p.mi].row
+			p.mi++
+			combined := make(storage.Row, 0, len(p.leftRow)+len(right))
+			combined = append(append(combined, p.leftRow...), right...)
+			if node.Residual != nil {
+				p.outEnv.row = combined
+				t, err := EvalPredicate(node.Residual, &p.outEnv)
+				if err != nil {
+					return nil, false, err
+				}
+				if t != TriTrue {
+					continue
+				}
+			}
+			return combined, true, nil
+		}
+
+		row, ok, err := p.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		p.leftEnv.row = row
+		vals := p.valBuf[:0]
+		for _, e := range node.LeftKeys {
+			v, err := EvalValue(e, &p.leftEnv)
+			if err != nil {
+				return nil, false, err
+			}
+			vals = append(vals, v)
+		}
+		p.valBuf = vals
+		key, keyOK := appendJoinKey(p.scratch[:0], vals)
+		p.scratch = key
+		if !keyOK {
+			continue
+		}
+		p.matches, p.mi, p.leftRow = p.j.table.lookup(key), 0, row
+	}
+}
+
+func (p *probeMorselIter) Close() error { return p.input.Close() }
+
+// Close closes every side it owns, joining errors so a right-side
+// failure is never masked by a left-side one.
 func (j *hashJoinIter) Close() error {
 	j.table = nil
-	errL := j.left.Close()
-	errR := j.right.Close()
-	if errL != nil {
-		return errL
+	var errs []error
+	if j.left != nil {
+		errs = append(errs, j.left.Close())
 	}
-	return errR
+	if j.right != nil {
+		errs = append(errs, j.right.Close())
+	}
+	if j.gather != nil {
+		errs = append(errs, j.gather.Close())
+	}
+	return errors.Join(errs...)
 }

@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"testing"
+
+	"crowddb/internal/storage"
+)
+
+// appendJoinKey is the probe hot path: once the scratch buffer has grown
+// to the key size, encoding a key must not allocate at all.
+func TestAppendJoinKeyNoAllocs(t *testing.T) {
+	vals := []storage.Value{storage.Int(1234567), storage.Text("some-name"), storage.Bool(true)}
+	scratch := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		key, ok := appendJoinKey(scratch[:0], vals)
+		if !ok || len(key) == 0 {
+			t.Fatal("key encoding failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("appendJoinKey allocates %.1f times per key, want 0", allocs)
+	}
+}
+
+func TestAppendJoinKeySemantics(t *testing.T) {
+	enc := func(vals ...storage.Value) (string, bool) {
+		key, ok := appendJoinKey(nil, vals)
+		return string(key), ok
+	}
+
+	// Numeric equality crosses int/float, so 1 and 1.0 must collide.
+	ik, _ := enc(storage.Int(1))
+	fk, _ := enc(storage.Float(1.0))
+	if ik != fk {
+		t.Fatalf("1 and 1.0 encode differently: %q vs %q", ik, fk)
+	}
+
+	// Text containing the separator byte must not forge a multi-key
+	// collision with a differently split pair.
+	a, _ := enc(storage.Text("x\x1f"), storage.Text("y"))
+	b, _ := enc(storage.Text("x"), storage.Text("\x1fy"))
+	if a == b {
+		t.Fatalf("separator-containing texts collide: %q", a)
+	}
+
+	// Any NULL kills the whole key (the row can never match).
+	if _, ok := enc(storage.Int(1), storage.Null()); ok {
+		t.Fatal("NULL component produced a usable key")
+	}
+
+	// Kinds stay distinct: 1 and '1' must not collide.
+	tk, _ := enc(storage.Text("1"))
+	if ik == tk {
+		t.Fatalf("int 1 and text '1' collide: %q", ik)
+	}
+}

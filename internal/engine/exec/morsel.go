@@ -1,0 +1,431 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"crowddb/internal/engine/plan"
+	"crowddb/internal/storage"
+)
+
+// Morsel-driven parallelism (see DESIGN.md §14). A plan chain the
+// Parallelize pass marked — Filter*/Project* over a Scan or IndexRange —
+// is split into fixed-size morsels: disjoint row-index ranges for scans,
+// disjoint chunks of the resolved row-ID list for index probes. Each
+// worker claims whole morsels and runs a private iterator stack over its
+// morsel, so the only shared state below the exchange is the table's
+// read lock, which the batched cursors already take per 256-row batch.
+
+// morselRows is the number of table rows per morsel: big enough that
+// per-morsel setup (cursor allocation, goroutine handoff) is noise,
+// small enough that a filtered scan load-balances across workers.
+const morselRows = 4096
+
+// morselSource describes a partitioned chain: count morsels, each opened
+// as an independent iterator. owned reports that emitted rows are fresh
+// allocations (a Project top) rather than aliases of a cursor batch
+// buffer, letting the exchange skip its copy.
+type morselSource struct {
+	count int
+	owned bool
+	open  func(i int) (Iterator, error)
+}
+
+// parallelChain reports whether the Parallelize pass marked this subtree
+// as a morsel chain (its partitionable leaf carries Dop > 1).
+func parallelChain(n plan.Node) bool {
+	switch leaf := plan.ChainLeaf(n).(type) {
+	case *plan.Scan:
+		return leaf.Dop > 1
+	case *plan.IndexRange:
+		return leaf.Dop > 1
+	default:
+		return false
+	}
+}
+
+// chainSource lowers a morsel chain into its source, snapshotting the
+// partition (row count / resolved IDs) at call time. Returns nil when the
+// subtree is not a partitionable chain.
+func chainSource(n plan.Node) (*morselSource, error) {
+	switch t := n.(type) {
+	case *plan.Filter:
+		src, err := chainSource(t.Input)
+		if err != nil || src == nil {
+			return src, err
+		}
+		inner := src.open
+		src.open = func(i int) (Iterator, error) {
+			it, err := inner(i)
+			if err != nil {
+				return nil, err
+			}
+			return &filterIter{input: it, node: t}, nil
+		}
+		return src, nil
+	case *plan.Project:
+		src, err := chainSource(t.Input)
+		if err != nil || src == nil {
+			return src, err
+		}
+		inner := src.open
+		src.open = func(i int) (Iterator, error) {
+			it, err := inner(i)
+			if err != nil {
+				return nil, err
+			}
+			return &projectIter{input: it, node: t}, nil
+		}
+		src.owned = true
+		return src, nil
+	case *plan.Scan:
+		rows := t.Table.NumRows()
+		return &morselSource{
+			count: (rows + morselRows - 1) / morselRows,
+			open: func(i int) (Iterator, error) {
+				return &morselScanIter{node: t, lo: i * morselRows, hi: (i + 1) * morselRows}, nil
+			},
+		}, nil
+	case *plan.IndexRange:
+		probe := rangeProbeOf(t)
+		ids, err := t.Table.IndexProbeIDs(t.Index, probe)
+		if err != nil {
+			return nil, err
+		}
+		return &morselSource{
+			count: (len(ids) + morselRows - 1) / morselRows,
+			open: func(i int) (Iterator, error) {
+				lo := i * morselRows
+				hi := min(lo+morselRows, len(ids))
+				return &morselIndexIter{node: t, probe: probe, ids: ids[lo:hi]}, nil
+			},
+		}, nil
+	default:
+		return nil, nil
+	}
+}
+
+// morselScanIter is scanIter over one row-index window.
+type morselScanIter struct {
+	node   *plan.Scan
+	lo, hi int
+	cur    *storage.Cursor
+	env    rowEnv
+}
+
+func (s *morselScanIter) Open() error {
+	s.cur = s.node.Table.NewRangeCursor(s.lo, s.hi, 0)
+	s.env.layout = s.node.Layout
+	if s.node.Filter != nil {
+		pred := s.node.Filter
+		s.cur.SetFilter(func(row storage.Row) (bool, error) {
+			s.env.row = row
+			t, err := EvalPredicate(pred, &s.env)
+			return t == TriTrue, err
+		})
+	}
+	return nil
+}
+
+func (s *morselScanIter) Next() (storage.Row, bool, error) {
+	row, ok := s.cur.Next()
+	if !ok {
+		return nil, false, s.cur.Err()
+	}
+	return row, true, nil
+}
+
+func (s *morselScanIter) Close() error { return nil }
+
+// morselIndexIter is indexIter over one chunk of pre-resolved row IDs.
+type morselIndexIter struct {
+	node  *plan.IndexRange
+	probe storage.IndexProbe
+	ids   []int
+	cur   *storage.IndexCursor
+	env   rowEnv
+}
+
+func (s *morselIndexIter) Open() error {
+	cur, err := s.node.Table.NewIndexCursorForIDs(s.node.Index, s.probe, s.ids, 0)
+	if err != nil {
+		return err
+	}
+	s.cur = cur
+	s.env.layout = s.node.Layout
+	if s.node.Residual != nil {
+		pred := s.node.Residual
+		s.cur.SetFilter(func(row storage.Row) (bool, error) {
+			s.env.row = row
+			t, err := EvalPredicate(pred, &s.env)
+			return t == TriTrue, err
+		})
+	}
+	return nil
+}
+
+func (s *morselIndexIter) Next() (storage.Row, bool, error) {
+	row, ok := s.cur.Next()
+	if !ok {
+		return nil, false, s.cur.Err()
+	}
+	return row, true, nil
+}
+
+func (s *morselIndexIter) Close() error { return nil }
+
+// rowArena copies rows that alias cursor batch buffers into chunked
+// backing arrays: one allocation per ~8K values instead of one per row,
+// and headers stay valid because a chunk is never grown past its
+// capacity.
+const arenaChunkVals = 8192
+
+type rowArena struct{ chunk []storage.Value }
+
+func (a *rowArena) add(row storage.Row) storage.Row {
+	n := len(row)
+	if cap(a.chunk)-len(a.chunk) < n {
+		size := arenaChunkVals
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]storage.Value, 0, size)
+	}
+	start := len(a.chunk)
+	a.chunk = append(a.chunk, row...)
+	return a.chunk[start : start+n : start+n]
+}
+
+// runMorsels drives a barrier-style parallel phase (hash-join build,
+// partial aggregation): dop workers claim morsels off an atomic counter,
+// open each morsel's iterator, hand it to the worker's per-morsel
+// function, and close it. The first error cancels remaining claims;
+// runMorsels returns after every worker has stopped.
+func runMorsels(src *morselSource, dop int, mkWorker func(w int) func(idx int, it Iterator) error) error {
+	if src.count == 0 {
+		return nil
+	}
+	if dop > src.count {
+		dop = src.count
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, dop)
+	var wg sync.WaitGroup
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn := mkWorker(w)
+			for !failed.Load() {
+				idx := int(next.Add(1) - 1)
+				if idx >= src.count {
+					return
+				}
+				it, err := src.open(idx)
+				if err == nil {
+					if err = it.Open(); err != nil {
+						_ = it.Close()
+					} else {
+						err = fn(idx, it)
+						if cerr := it.Close(); err == nil {
+							err = cerr
+						}
+					}
+				}
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// gatherIter is the ordered exchange operator: dop workers each drain
+// whole morsels into per-morsel result buffers, and the consumer emits
+// those buffers strictly in morsel order — so the output row sequence is
+// identical to a serial run of the same chain, errors included (a
+// morsel's error surfaces exactly after the rows of every earlier
+// morsel). A bounded claim window (2×dop morsels ahead of the consumer)
+// backpressures workers so a slow consumer doesn't buffer the whole
+// table.
+type gatherIter struct {
+	mkSource func() (*morselSource, error)
+	dop      int
+
+	src  *morselSource
+	mu   sync.Mutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+	stop atomic.Bool
+
+	results   map[int]*morselResult
+	nextClaim int
+	nextEmit  int
+	closed    bool
+
+	cur    *morselResult
+	curPos int
+	err    error
+}
+
+type morselResult struct {
+	rows []storage.Row
+	err  error
+}
+
+func (g *gatherIter) Open() error {
+	src, err := g.mkSource()
+	if err != nil {
+		return err
+	}
+	g.src = src
+	g.results = map[int]*morselResult{}
+	g.cond = sync.NewCond(&g.mu)
+	g.nextClaim, g.nextEmit, g.cur, g.curPos, g.err = 0, 0, nil, 0, nil
+	workers := min(g.dop, src.count)
+	for w := 0; w < workers; w++ {
+		g.wg.Add(1)
+		go g.worker()
+	}
+	return nil
+}
+
+func (g *gatherIter) worker() {
+	defer g.wg.Done()
+	window := 2 * g.dop
+	for {
+		g.mu.Lock()
+		for !g.closed && g.nextClaim < g.src.count && g.nextClaim >= g.nextEmit+window {
+			g.cond.Wait()
+		}
+		if g.closed || g.nextClaim >= g.src.count {
+			g.mu.Unlock()
+			return
+		}
+		idx := g.nextClaim
+		g.nextClaim++
+		g.mu.Unlock()
+
+		res := g.runMorsel(idx)
+		g.mu.Lock()
+		g.results[idx] = res
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// runMorsel drains one morsel into an owned buffer. Rows that alias the
+// cursor's batch buffer are copied through a chunked arena; rows a
+// Project already owns pass straight through.
+func (g *gatherIter) runMorsel(idx int) *morselResult {
+	res := &morselResult{}
+	it, err := g.src.open(idx)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if err := it.Open(); err != nil {
+		_ = it.Close()
+		res.err = err
+		return res
+	}
+	var arena rowArena
+	for !g.stop.Load() {
+		row, ok, err := it.Next()
+		if err != nil {
+			res.err = err
+			break
+		}
+		if !ok {
+			break
+		}
+		if g.src.owned {
+			res.rows = append(res.rows, row)
+		} else {
+			res.rows = append(res.rows, arena.add(row))
+		}
+	}
+	if err := it.Close(); err != nil && res.err == nil {
+		res.err = err
+	}
+	return res
+}
+
+func (g *gatherIter) Next() (storage.Row, bool, error) {
+	for {
+		if g.err != nil {
+			return nil, false, g.err
+		}
+		if g.cur != nil {
+			if g.curPos < len(g.cur.rows) {
+				row := g.cur.rows[g.curPos]
+				g.curPos++
+				return row, true, nil
+			}
+			g.cur = nil
+			g.mu.Lock()
+			g.nextEmit++
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		}
+		g.mu.Lock()
+		if g.nextEmit >= g.src.count {
+			g.mu.Unlock()
+			return nil, false, nil
+		}
+		for g.results[g.nextEmit] == nil && !g.closed {
+			g.cond.Wait()
+		}
+		if g.closed {
+			g.mu.Unlock()
+			return nil, false, nil
+		}
+		res := g.results[g.nextEmit]
+		delete(g.results, g.nextEmit)
+		g.mu.Unlock()
+		if res.err != nil {
+			g.err = res.err
+			return nil, false, res.err
+		}
+		g.cur, g.curPos = res, 0
+	}
+}
+
+// Close cancels in-flight morsels and waits for every worker to exit, so
+// no goroutine outlives the query.
+func (g *gatherIter) Close() error {
+	if g.cond == nil {
+		return nil // Open never ran (or failed before spawning workers)
+	}
+	g.stop.Store(true)
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	g.wg.Wait()
+	return nil
+}
+
+// gatherOf builds the executor for a plan.Gather node.
+func gatherOf(t *plan.Gather) *gatherIter {
+	return &gatherIter{
+		dop: t.Dop,
+		mkSource: func() (*morselSource, error) {
+			src, err := chainSource(t.Input)
+			if err != nil {
+				return nil, err
+			}
+			if src == nil {
+				return nil, fmt.Errorf("engine: internal: Gather over non-chain input %T", t.Input)
+			}
+			return src, nil
+		},
+	}
+}

@@ -60,7 +60,8 @@ type builder struct {
 	stmt   *sqlparse.SelectStmt
 	segs   []Segment
 	tables []*storage.Table // parallel to segs
-	layout *Layout          // combined layout over all segments
+	layout *Layout          // syntax-order layout over all segments (validation, star expansion)
+	phys   *Layout          // physical layout of the join output (probe-major; = layout until reordering)
 }
 
 func (b *builder) resolveTables(cat *storage.Catalog) error {
@@ -251,81 +252,74 @@ func subset(set map[string]bool, allowed map[string]bool) bool {
 	return true
 }
 
-// buildJoinTree assembles scans and hash joins with predicate pushdown:
-// WHERE and ON conjuncts referencing a single table become scan filters;
-// equality conjuncts across a join become hash keys; everything else is a
-// residual filter at the lowest level where all its tables are in scope.
+// buildJoinTree assembles scans and joins with predicate pushdown: WHERE
+// and ON conjuncts referencing a single table become scan filters (or
+// index probes, see access.go); equality conjuncts whose two sides each
+// touch exactly one table become equi-join graph edges consumed as hash
+// keys; everything else attaches as a residual/Filter at the lowest join
+// where all its tables are in scope. Multi-table queries are ordered
+// greedily over that graph (order.go) instead of in syntax order, which
+// also sets b.phys — the physical layout of the join output.
 func (b *builder) buildJoinTree() (Node, error) {
-	// Classify WHERE conjuncts by the binding set they touch.
-	pushed := map[string][]sqlparse.Expr{} // binding → conjuncts for its scan
-	var residual []sqlparse.Expr           // need >1 table (or none): filter above the joins
-	for _, c := range conjuncts(b.stmt.Where) {
-		refs := b.bindings(c)
-		if len(refs) == 1 {
-			for binding := range refs {
-				pushed[binding] = append(pushed[binding], c)
-			}
-			continue
-		}
-		residual = append(residual, c)
-	}
+	b.phys = b.layout
 
-	// accessPath turns each table's pushed-down conjuncts into a Scan or,
-	// when an indexed equality/range conjunct is among them, an
-	// IndexScan/IndexRange probe (see access.go).
-	node := b.accessPath(0, pushed[b.segs[0].Binding])
-	leftBindings := map[string]bool{b.segs[0].Binding: true}
-	for ji := range b.stmt.Joins {
-		ri := ji + 1 // segment index of the joined table
-		rightBinding := b.segs[ri].Binding
-		rightOnly := map[string]bool{rightBinding: true}
-
-		var leftKeys, rightKeys []sqlparse.Expr
-		var leftExtra, rightExtra, joinResidual []sqlparse.Expr
-		for _, c := range conjuncts(b.stmt.Joins[ji].On) {
+	// Pool WHERE and ON conjuncts and classify each by the binding set it
+	// touches.
+	pushed := map[string][]sqlparse.Expr{} // binding → conjuncts for its access path
+	var edges []joinEdge
+	var pending []joinConjunct
+	collect := func(e sqlparse.Expr, fromOn bool) {
+		for _, c := range conjuncts(e) {
 			refs := b.bindings(c)
-			switch {
-			case subset(refs, rightOnly):
-				rightExtra = append(rightExtra, c)
-			case subset(refs, leftBindings):
-				leftExtra = append(leftExtra, c)
-			default:
-				if eq, ok := c.(*sqlparse.BinaryExpr); ok && eq.Op == "=" {
-					lr, rr := b.bindings(eq.Left), b.bindings(eq.Right)
-					if subset(lr, leftBindings) && subset(rr, rightOnly) {
-						leftKeys = append(leftKeys, eq.Left)
-						rightKeys = append(rightKeys, eq.Right)
-						continue
-					}
-					if subset(rr, leftBindings) && subset(lr, rightOnly) {
-						leftKeys = append(leftKeys, eq.Right)
-						rightKeys = append(rightKeys, eq.Left)
+			if len(refs) == 1 {
+				for binding := range refs {
+					pushed[binding] = append(pushed[binding], c)
+				}
+				continue
+			}
+			if eq, ok := c.(*sqlparse.BinaryExpr); ok && eq.Op == "=" && len(refs) == 2 {
+				lr, rr := b.bindings(eq.Left), b.bindings(eq.Right)
+				if len(lr) == 1 && len(rr) == 1 {
+					la, ra := oneKey(lr), oneKey(rr)
+					if la != ra {
+						edges = append(edges, joinEdge{a: la, b: ra, aExpr: eq.Left, bExpr: eq.Right})
 						continue
 					}
 				}
-				joinResidual = append(joinResidual, c)
 			}
+			pending = append(pending, joinConjunct{expr: c, refs: refs, fromOn: fromOn})
 		}
-
-		right := b.accessPath(ri, append(pushed[rightBinding], rightExtra...))
-		if extra := conjoin(leftExtra); extra != nil {
-			node = &Filter{Input: node, Pred: extra, Layout: b.prefixLayout(ri)}
-		}
-		node = &HashJoin{
-			Left: node, Right: right,
-			LeftKeys: leftKeys, RightKeys: rightKeys,
-			Residual:    conjoin(joinResidual),
-			LeftLayout:  b.prefixLayout(ri),
-			RightLayout: b.singleLayout(ri),
-			Layout:      b.prefixLayout(ri + 1),
-		}
-		leftBindings[rightBinding] = true
+	}
+	collect(b.stmt.Where, false)
+	for ji := range b.stmt.Joins {
+		collect(b.stmt.Joins[ji].On, true)
 	}
 
-	if res := conjoin(residual); res != nil {
-		node = &Filter{Input: node, Pred: res, Layout: b.layout}
+	if len(b.segs) == 1 {
+		node := Node(b.accessPath(0, pushed[b.segs[0].Binding]))
+		// Conjuncts referencing no column at all (constant predicates)
+		// stay above the scan.
+		var rest []sqlparse.Expr
+		for _, p := range pending {
+			rest = append(rest, p.expr)
+		}
+		if pred := conjoin(rest); pred != nil {
+			node = &Filter{Input: node, Pred: pred, Layout: b.layout}
+		}
+		return node, nil
 	}
+
+	node, phys := b.greedyJoin(pushed, edges, pending)
+	b.phys = phys
 	return node, nil
+}
+
+// oneKey returns the single key of a one-element set.
+func oneKey(set map[string]bool) string {
+	for k := range set {
+		return k
+	}
+	return ""
 }
 
 // outputName derives the display name of a select item (mirrors the
@@ -386,14 +380,14 @@ func (b *builder) finishPlain(node Node, orderBy []sqlparse.OrderKey) (*SelectPl
 	}
 	if len(orderBy) > 0 && !ordered {
 		if !s.Distinct && s.Limit >= 0 {
-			node = &TopN{Input: node, Keys: orderBy, N: s.Limit, Layout: b.layout}
+			node = &TopN{Input: node, Keys: orderBy, N: s.Limit, Layout: b.phys}
 		} else {
-			node = &Sort{Input: node, Keys: orderBy, Layout: b.layout}
+			node = &Sort{Input: node, Keys: orderBy, Layout: b.phys}
 		}
 	} else if !s.Distinct && s.Limit >= 0 {
 		node = &Limit{Input: node, N: s.Limit}
 	}
-	node = &Project{Input: node, Names: names, Exprs: exprs, Layout: b.layout}
+	node = &Project{Input: node, Names: names, Exprs: exprs, Layout: b.phys}
 	if s.Distinct {
 		node = &Distinct{Input: node}
 		if s.Limit >= 0 {
@@ -425,7 +419,7 @@ func (b *builder) finishGrouped(node Node, orderBy []sqlparse.OrderKey) (*Select
 
 	node = &Aggregate{
 		Input:  node,
-		Layout: b.layout,
+		Layout: b.phys,
 		Items:  s.Items, GroupBy: s.GroupBy, Having: s.Having,
 		Names: names,
 	}

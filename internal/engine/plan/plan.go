@@ -121,6 +121,10 @@ type Scan struct {
 	Binding string
 	Filter  sqlparse.Expr // nil when nothing was pushed down
 	Layout  *Layout       // single-segment layout of this scan's rows
+	// Dop > 1 marks the scan as split into row-range morsels read by that
+	// many workers (set by Parallelize; the executor partitions by
+	// disjoint row ranges, so batched cursors need no extra coordination).
+	Dop int
 }
 
 // IndexScan answers an equality predicate on an indexed column through a
@@ -154,6 +158,9 @@ type IndexRange struct {
 	LoInc, HiInc bool
 	Residual     sqlparse.Expr
 	Layout       *Layout
+	// Dop > 1 marks the probe as split into morsels over disjoint chunks
+	// of the resolved row-ID list (set by Parallelize).
+	Dop int
 }
 
 // Filter drops rows whose predicate is not TRUE (three-valued logic).
@@ -172,6 +179,9 @@ type HashJoin struct {
 	LeftKeys, RightKeys             []sqlparse.Expr
 	Residual                        sqlparse.Expr
 	LeftLayout, RightLayout, Layout *Layout
+	// Dop > 1 runs the build and/or probe phase morsel-parallel over
+	// whichever child is a partitionable chain (set by Parallelize).
+	Dop int
 }
 
 // Project evaluates the select list into fresh output rows.
@@ -193,6 +203,9 @@ type Aggregate struct {
 	GroupBy []sqlparse.Expr
 	Having  sqlparse.Expr
 	Names   []string // output column names
+	// Dop > 1 folds per-worker partial aggregates over the input morsels
+	// and merges them (set by Parallelize).
+	Dop int
 }
 
 // Sort fully sorts its input. Exactly one of Layout (keys evaluate
@@ -217,6 +230,16 @@ type TopN struct {
 	ByOutput []string
 }
 
+// Gather is the exchange operator: it runs its input — a Filter/Project
+// chain over a morsel-split Scan or IndexRange leaf — on Dop workers,
+// each worker consuming whole morsels, and re-emits the rows in morsel
+// order, so the output sequence is identical to a serial execution of the
+// same chain.
+type Gather struct {
+	Input Node
+	Dop   int
+}
+
 // Distinct drops duplicate rows (kind-tagged equality, so 1 and '1' stay
 // distinct).
 type Distinct struct{ Input Node }
@@ -236,8 +259,18 @@ func (*Project) node()    {}
 func (*Aggregate) node()  {}
 func (*Sort) node()       {}
 func (*TopN) node()       {}
+func (*Gather) node()     {}
 func (*Distinct) node()   {}
 func (*Limit) node()      {}
+
+// dopSuffix renders the " [dop=N]" EXPLAIN annotation of a parallelized
+// operator (empty for the serial default).
+func dopSuffix(dop int) string {
+	if dop <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(" [dop=%d]", dop)
+}
 
 func (s *Scan) Describe() string {
 	b := s.Name
@@ -245,9 +278,9 @@ func (s *Scan) Describe() string {
 		b += " " + s.Binding
 	}
 	if s.Filter != nil {
-		return fmt.Sprintf("Scan(%s, filter=%s)", b, s.Filter.String())
+		return fmt.Sprintf("Scan(%s, filter=%s)", b, s.Filter.String()) + dopSuffix(s.Dop)
 	}
-	return fmt.Sprintf("Scan(%s)", b)
+	return fmt.Sprintf("Scan(%s)", b) + dopSuffix(s.Dop)
 }
 
 func (s *IndexScan) Describe() string {
@@ -280,7 +313,7 @@ func (s *IndexRange) Describe() string {
 	if s.Residual != nil {
 		d += fmt.Sprintf(" filter=%s", s.Residual.String())
 	}
-	return d
+	return d + dopSuffix(s.Dop)
 }
 
 func (f *Filter) Describe() string { return fmt.Sprintf("Filter(%s)", f.Pred.String()) }
@@ -288,9 +321,9 @@ func (f *Filter) Describe() string { return fmt.Sprintf("Filter(%s)", f.Pred.Str
 func (j *HashJoin) Describe() string {
 	if len(j.LeftKeys) == 0 {
 		if j.Residual != nil {
-			return fmt.Sprintf("NestedJoin(on=%s)", j.Residual.String())
+			return fmt.Sprintf("NestedJoin(on=%s)", j.Residual.String()) + dopSuffix(j.Dop)
 		}
-		return "CrossJoin"
+		return "CrossJoin" + dopSuffix(j.Dop)
 	}
 	var keys []string
 	for i := range j.LeftKeys {
@@ -300,7 +333,7 @@ func (j *HashJoin) Describe() string {
 	if j.Residual != nil {
 		d += fmt.Sprintf(" residual=%s", j.Residual.String())
 	}
-	return d
+	return d + dopSuffix(j.Dop)
 }
 
 func (p *Project) Describe() string {
@@ -309,13 +342,13 @@ func (p *Project) Describe() string {
 
 func (a *Aggregate) Describe() string {
 	if len(a.GroupBy) == 0 {
-		return fmt.Sprintf("HashAggregate(%s)", strings.Join(a.Names, ", "))
+		return fmt.Sprintf("HashAggregate(%s)", strings.Join(a.Names, ", ")) + dopSuffix(a.Dop)
 	}
 	var keys []string
 	for _, g := range a.GroupBy {
 		keys = append(keys, g.String())
 	}
-	return fmt.Sprintf("HashAggregate(by=%s → %s)", strings.Join(keys, ", "), strings.Join(a.Names, ", "))
+	return fmt.Sprintf("HashAggregate(by=%s → %s)", strings.Join(keys, ", "), strings.Join(a.Names, ", ")) + dopSuffix(a.Dop)
 }
 
 func orderKeyList(keys []sqlparse.OrderKey) string {
@@ -334,6 +367,7 @@ func (s *Sort) Describe() string { return fmt.Sprintf("Sort(%s)", orderKeyList(s
 func (t *TopN) Describe() string {
 	return fmt.Sprintf("TopN(n=%d, %s)", t.N, orderKeyList(t.Keys))
 }
+func (g *Gather) Describe() string { return fmt.Sprintf("Gather(dop=%d)", g.Dop) }
 func (*Distinct) Describe() string { return "Distinct" }
 func (l *Limit) Describe() string  { return fmt.Sprintf("Limit(%d)", l.N) }
 
@@ -357,6 +391,8 @@ func Children(n Node) []Node {
 	case *Sort:
 		return []Node{t.Input}
 	case *TopN:
+		return []Node{t.Input}
+	case *Gather:
 		return []Node{t.Input}
 	case *Distinct:
 		return []Node{t.Input}

@@ -24,8 +24,16 @@ func (e *Engine) execSelect(s *sqlparse.SelectStmt) (*Result, error) {
 // The split from ExecPlan exists for the result cache in internal/core:
 // the plan's fingerprint (plan.SelectPlan.Fingerprint) is the cache key,
 // so core plans first, consults the cache, and only executes on a miss.
+// The parallelism pass runs here so the fingerprint covers the physical
+// shape (a dop-8 plan and a serial plan produce identical rows, but
+// EXPLAIN must render what will actually run).
 func (e *Engine) PlanSelect(s *sqlparse.SelectStmt) (*plan.SelectPlan, error) {
-	return plan.Build(s, e.catalog)
+	p, err := plan.Build(s, e.catalog)
+	if err != nil {
+		return nil, err
+	}
+	plan.Parallelize(p, e.dop())
+	return p, nil
 }
 
 // ExecPlan runs a previously built SELECT plan and materializes the
@@ -49,7 +57,7 @@ func (e *Engine) execExplain(x *sqlparse.ExplainStmt) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT statements only, got %T", x.Stmt)
 	}
-	p, err := plan.Build(sel, e.catalog)
+	p, err := e.PlanSelect(sel)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +85,7 @@ type StreamResult struct {
 // their work inside this call; pure scan/filter/project/limit pipelines
 // stream end to end.
 func (e *Engine) Stream(s *sqlparse.SelectStmt) (*StreamResult, error) {
-	p, err := plan.Build(s, e.catalog)
+	p, err := e.PlanSelect(s)
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,7 @@ type Cursor struct {
 	t     *Table
 	width int // column count fixed at cursor creation
 	next  int // next table row index to read
+	limit int // exclusive upper row index; <0 = whole table
 	// filter, when set, is evaluated under the lock during refill; rows
 	// failing it are never copied. A filter error stops the scan.
 	filter func(Row) (bool, error)
@@ -41,8 +42,23 @@ const DefaultBatchSize = 256
 
 // NewCursor creates a batched cursor over the table's current rows.
 func (t *Table) NewCursor(batchSize int) *Cursor {
+	return t.NewRangeCursor(0, -1, batchSize)
+}
+
+// NewRangeCursor creates a batched cursor over the row-index window
+// [lo, hi) — the partitioning primitive for morsel-parallel scans: each
+// refill takes the read lock exactly like a whole-table cursor, so
+// disjoint ranges can be read by concurrent cursors with no extra
+// coordination. hi < 0 means "to the end of the table"; hi beyond the
+// current row count is clamped at read time. The same weak-consistency
+// caveats as NewCursor apply: the window is an index range, not a row
+// set, so concurrent deletes can shift which rows it covers.
+func (t *Table) NewRangeCursor(lo, hi, batchSize int) *Cursor {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
+	}
+	if lo < 0 {
+		lo = 0
 	}
 	t.mu.RLock()
 	width := t.schema.Len()
@@ -50,6 +66,8 @@ func (t *Table) NewCursor(batchSize int) *Cursor {
 	return &Cursor{
 		t:     t,
 		width: width,
+		next:  lo,
+		limit: hi,
 		buf:   make([]Value, batchSize*width),
 		hdrs:  make([]Row, batchSize),
 	}
@@ -87,7 +105,11 @@ func (c *Cursor) refill() {
 
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for c.n < batch && c.next < len(t.rows) {
+	end := len(t.rows)
+	if c.limit >= 0 && c.limit < end {
+		end = c.limit
+	}
+	for c.n < batch && c.next < end {
 		row := t.rows[c.next]
 		c.next++
 		if len(row) < c.width {
@@ -110,7 +132,7 @@ func (c *Cursor) refill() {
 		c.hdrs[c.n] = dst
 		c.n++
 	}
-	if c.next >= len(t.rows) {
+	if c.next >= end {
 		c.done = true
 	}
 }

@@ -248,6 +248,42 @@ func (t *Table) NewIndexCursor(indexName string, probe IndexProbe, batchSize int
 	}, nil
 }
 
+// IndexProbeIDs resolves a probe to its matching row IDs under one read
+// lock — the partitioning primitive for morsel-parallel index access: the
+// caller splits the ID list into disjoint chunks and reads each through
+// NewIndexCursorForIDs. The IDs carry the same weak-consistency caveats
+// as IndexCursor's internal resolution (rows can move out of the
+// predicate or be compacted away afterwards; the per-row matches() check
+// in the cursor re-validates at copy time).
+func (t *Table) IndexProbeIDs(indexName string, probe IndexProbe) ([]int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[normName(indexName)]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %s has no index %q", t.name, indexName)
+	}
+	if probe.Point == nil && !idx.Ordered() {
+		return nil, fmt.Errorf("storage: index %q on %s is not ordered; range probes need an ordered index", indexName, t.name)
+	}
+	if probe.Point != nil {
+		return idx.Lookup(*probe.Point), nil
+	}
+	return idx.Range(probe.Lo, probe.Hi, probe.LoInc, probe.HiInc), nil
+}
+
+// NewIndexCursorForIDs creates a batched cursor over a pre-resolved slice
+// of row IDs (from IndexProbeIDs). The probe is still carried so every
+// row is re-checked against it at copy time, exactly like the
+// self-resolving cursor.
+func (t *Table) NewIndexCursorForIDs(indexName string, probe IndexProbe, ids []int, batchSize int) (*IndexCursor, error) {
+	c, err := t.NewIndexCursor(indexName, probe, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	c.ids, c.resolved = ids, true
+	return c, nil
+}
+
 // SetFilter installs a residual predicate evaluated during refill, under
 // the read lock, before a row is copied out (same contract as
 // Cursor.SetFilter).
