@@ -53,24 +53,25 @@ bench:
 # ≥2× charge reduction; CachedSelect should sit ≥20× under the uncached
 # baseline; SpeculativeHitMerge should report columns-per-charge of 2.
 bench-smoke:
-	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect|BatchedElicitation|PointLookup|RangeScan|CachedSelect|UncachedSelectBaseline|SpeculativeHitMerge|ParallelScanFilter|ParallelHashJoin' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect|BatchedElicitation|PointLookup|RangeScan|CachedSelect|UncachedSelectBaseline|SpeculativeHitMerge|ParallelScanFilter|ParallelHashJoin|ScanDuringFill|VectorizedFilter|PerRowFilterBaseline' -benchtime 1x -benchmem -cpu 1,4 .
 
 # Bench-regression wall: run the guarded benchmarks with enough
 # repetitions for a stable minimum, emit the numbers as JSON
 # ($(BENCH_GUARD_OUT), uploaded as a CI artifact), and fail if
 # BenchmarkTopNSelect, BenchmarkWALReplay, BenchmarkPointLookup,
 # BenchmarkRangeScan, BenchmarkCachedSelect,
-# BenchmarkSpeculativeHitMerge, BenchmarkParallelScanFilter or
-# BenchmarkParallelHashJoin regressed >30% against the committed
+# BenchmarkSpeculativeHitMerge, BenchmarkParallelScanFilter,
+# BenchmarkParallelHashJoin, BenchmarkScanDuringFill or
+# BenchmarkVectorizedFilter regressed >30% against the committed
 # BENCH_baseline.json. -cpu 1,4 runs every guarded bench serial AND
 # morsel-parallel: benchguard strips the -N suffix and keeps the minimum
 # line, so the baseline (measured serially) can only be beaten by the
 # parallel run, never tripped by it — while the bench log shows the
 # dop-4 speedup for the Parallel* pair.
 bench-guard:
-	$(GO) test -run xxx -bench 'BenchmarkTopNSelect$$|BenchmarkWALReplay$$|BenchmarkPointLookup$$|BenchmarkRangeScan$$|BenchmarkCachedSelect$$|BenchmarkSpeculativeHitMerge$$|BenchmarkParallelScanFilter$$|BenchmarkParallelHashJoin$$' -benchtime 5x -count 3 -cpu 1,4 . | tee bench-guard.txt
+	$(GO) test -run xxx -bench 'BenchmarkTopNSelect$$|BenchmarkWALReplay$$|BenchmarkPointLookup$$|BenchmarkRangeScan$$|BenchmarkCachedSelect$$|BenchmarkSpeculativeHitMerge$$|BenchmarkParallelScanFilter$$|BenchmarkParallelHashJoin$$|BenchmarkScanDuringFill$$|BenchmarkVectorizedFilter$$' -benchtime 5x -count 3 -cpu 1,4 . | tee bench-guard.txt
 	$(GO) run ./cmd/benchguard -input bench-guard.txt -baseline BENCH_baseline.json \
-		-out $(BENCH_GUARD_OUT) -require BenchmarkTopNSelect,BenchmarkWALReplay,BenchmarkPointLookup,BenchmarkRangeScan,BenchmarkCachedSelect,BenchmarkSpeculativeHitMerge,BenchmarkParallelScanFilter,BenchmarkParallelHashJoin \
+		-out $(BENCH_GUARD_OUT) -require BenchmarkTopNSelect,BenchmarkWALReplay,BenchmarkPointLookup,BenchmarkRangeScan,BenchmarkCachedSelect,BenchmarkSpeculativeHitMerge,BenchmarkParallelScanFilter,BenchmarkParallelHashJoin,BenchmarkScanDuringFill,BenchmarkVectorizedFilter \
 		-threshold $(BENCH_GUARD_THRESHOLD)
 
 # Static analysis beyond go vet; pinned in CI (see ci.yml), best-effort

@@ -128,6 +128,8 @@ func main() {
 			"semantic result cache size in bytes (0 = default 64 MiB, negative = cache disabled)")
 		execWorkers = flag.Int("exec-workers", 0,
 			"degree of intra-query parallelism for SELECT execution (0 = GOMAXPROCS, 1 = serial)")
+		pprofOn = flag.Bool("pprof", false,
+			"mount net/http/pprof under /debug/pprof/ on the API port (profiles expose internals; enable only on trusted networks)")
 	)
 	flag.Parse()
 
@@ -149,7 +151,7 @@ func main() {
 		}
 	}()
 
-	srv := server.New(db, server.Config{MaxInflight: *maxInflight})
+	srv := server.New(db, server.Config{MaxInflight: *maxInflight, EnablePprof: *pprofOn})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -23,11 +23,18 @@ var ErrIndexOnVirtualColumn = errors.New("core: cannot index a not-yet-expanded 
 // db.gate.RLock (the execEngine path), so the record lands atomically
 // with respect to Snapshot.
 func (db *DB) execCreateIndex(ci *sqlparse.CreateIndexStmt) (*Result, error) {
+	cols := ci.Columns
+	if len(cols) == 0 {
+		cols = []sqlparse.IndexCol{{Name: ci.Column}}
+	}
 	if tbl, ok := db.Catalog().Get(ci.Table); ok {
-		if _, exists := tbl.Schema().Lookup(ci.Column); !exists {
-			if _, registered := db.expandableSpec(ci.Table, ci.Column); registered {
+		for _, col := range cols {
+			if _, exists := tbl.Schema().Lookup(col.Name); exists {
+				continue
+			}
+			if _, registered := db.expandableSpec(ci.Table, col.Name); registered {
 				return nil, fmt.Errorf("%w: %s.%s is registered for query-driven expansion but holds no data yet; EXPAND it (or query it) first",
-					ErrIndexOnVirtualColumn, ci.Table, ci.Column)
+					ErrIndexOnVirtualColumn, ci.Table, col.Name)
 			}
 		}
 	}
@@ -47,8 +54,14 @@ func (db *DB) execCreateIndex(ci *sqlparse.CreateIndexStmt) (*Result, error) {
 		// state (rebuildable from rows), so a crash in the window loses
 		// only the index, never data. An append failure latches in the WAL
 		// and surfaces at the next Snapshot/Close.
+		names := make([]string, len(cols))
+		dirs := make([]bool, len(cols))
+		for i, c := range cols {
+			names[i], dirs[i] = c.Name, c.Desc
+		}
 		_, _ = db.wal.Append(recIndex, indexRecord{
-			Name: ci.Name, Table: ci.Table, Column: ci.Column, Kind: ci.Kind,
+			Name: ci.Name, Table: ci.Table, Column: names[0],
+			Columns: names, Dirs: dirs, Kind: ci.Kind,
 		})
 	}
 	return res, nil
@@ -77,8 +90,9 @@ func (db *DB) execDropIndex(di *sqlparse.DropIndexStmt) (*Result, error) {
 // restored or replayed) table rows. Used by snapshot restore and WAL
 // replay; the journal is not attached yet, so nothing is re-logged.
 func (db *DB) applyIndexRecord(ir indexRecord) error {
+	cols := ir.indexCols()
 	_, err := db.engine.Exec(&sqlparse.CreateIndexStmt{
-		Name: ir.Name, Table: ir.Table, Column: ir.Column, Kind: ir.Kind,
+		Name: ir.Name, Table: ir.Table, Columns: cols, Column: cols[0].Name, Kind: ir.Kind,
 	})
 	return err
 }

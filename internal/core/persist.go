@@ -138,18 +138,43 @@ type jobRecord struct {
 // re-running the attach during restore/replay — no entry payload to keep
 // consistent with the row log.
 type indexRecord struct {
-	Name   string `json:"name"`
-	Table  string `json:"table"`
+	Name  string `json:"name"`
+	Table string `json:"table"`
+	// Column is the first key column — written for every record so logs
+	// produced by this version still decode on pre-composite readers.
 	Column string `json:"column"`
-	Kind   string `json:"kind"` // "hash" or "ordered"
+	// Columns/Dirs carry the full composite key; absent on legacy records
+	// (which decode as a single ascending column).
+	Columns []string `json:"columns,omitempty"`
+	Dirs    []bool   `json:"dirs,omitempty"`
+	Kind    string   `json:"kind"` // "hash" or "ordered"
+}
+
+// indexCols converts a persisted record's key spec into statement columns,
+// tolerating legacy single-column records.
+func (ir indexRecord) indexCols() []sqlparse.IndexCol {
+	if len(ir.Columns) == 0 {
+		return []sqlparse.IndexCol{{Name: ir.Column}}
+	}
+	cols := make([]sqlparse.IndexCol, len(ir.Columns))
+	for i, name := range ir.Columns {
+		cols[i] = sqlparse.IndexCol{Name: name, Desc: i < len(ir.Dirs) && ir.Dirs[i]}
+	}
+	return cols
 }
 
 // tableState is one table's full contents inside a snapshot. Columns keep
-// their Origin, so expanded columns recover as expanded.
+// their Origin, so expanded columns recover as expanded. Rows carries
+// every PHYSICAL row — tombstoned ones included — and Deleted lists the
+// tombstoned IDs: restore re-inserts everything then re-deletes, so
+// physical row IDs (which WAL records replayed on top reference) survive
+// the round trip. Legacy snapshots have no Deleted field and decode as
+// all-live.
 type tableState struct {
 	Name    string           `json:"name"`
 	Columns []storage.Column `json:"columns"`
 	Rows    []storage.Row    `json:"rows"`
+	Deleted []int            `json:"deleted,omitempty"`
 }
 
 // snapshotState is the complete durable state of a DB at one sequence
@@ -303,14 +328,12 @@ func (db *DB) collectState() *snapshotState {
 			continue
 		}
 		ts := tableState{Name: tbl.Name(), Columns: tbl.Schema().Columns()}
-		tbl.Scan(func(i int, row storage.Row) bool {
-			ts.Rows = append(ts.Rows, row.Clone())
-			return true
-		})
+		ts.Rows, ts.Deleted = tbl.CaptureState()
 		st.Tables = append(st.Tables, ts)
 		for _, im := range tbl.IndexMetas() {
 			st.Indexes = append(st.Indexes, indexRecord{
-				Name: im.Name, Table: tbl.Name(), Column: im.Column, Kind: im.Kind(),
+				Name: im.Name, Table: tbl.Name(), Column: im.Column,
+				Columns: im.Columns, Dirs: im.Dirs, Kind: im.Kind(),
 			})
 		}
 	}
@@ -369,6 +392,9 @@ func (db *DB) restoreSnapshot(st *snapshotState, restored map[string]jobs.Restor
 			if err := tbl.Insert(row...); err != nil {
 				return fmt.Errorf("table %s row %d: %w", ts.Name, i, err)
 			}
+		}
+		if len(ts.Deleted) > 0 {
+			tbl.Delete(ts.Deleted)
 		}
 	}
 	for _, ir := range st.Indexes {
@@ -510,6 +536,11 @@ func (db *DB) applyOp(op storage.Op) error {
 	case storage.OpFillColumn:
 		return tbl.FillColumn(op.Name, op.Values)
 	case storage.OpDelete:
+		// Pre-MVCC compacting delete: replayed with the old physical-shift
+		// semantics so row indices in subsequent legacy records resolve.
+		tbl.LegacyCompact(op.Rows)
+		return nil
+	case storage.OpTombstone:
 		tbl.Delete(op.Rows)
 		return nil
 	default:

@@ -11,10 +11,12 @@ import (
 // RowStream is a pull-based SELECT result over a crowd-enabled database.
 //
 // Unlike Exec, which materializes the whole answer under one read-side
-// acquisition of the snapshot gate, a RowStream re-acquires the gate per
-// Next call and the storage layer's table lock per scan batch — a client
-// slowly draining a large result never blocks snapshots or expansions
-// for the duration of the transfer.
+// acquisition of the snapshot gate, a RowStream holds no locks at all
+// between Next calls: the storage cursors underneath pin an immutable
+// MVCC snapshot at open and read it lock-free, so a client slowly
+// draining a large result never blocks snapshots, writers, or expansions
+// for the duration of the transfer. The stream sees the table as of
+// open; concurrent mutations land in later versions it never reads.
 //
 // Rows may alias executor buffers and are valid only until the next call;
 // callers that retain rows must Clone them. Close must be called when
@@ -35,10 +37,10 @@ func (s *RowStream) Expansion() *ExpansionReport { return s.report }
 // Rows returns the number of rows streamed so far.
 func (s *RowStream) Rows() int { return s.rows }
 
-// Next returns the next row, or ok=false at end of stream.
+// Next returns the next row, or ok=false at end of stream. No gate
+// acquisition: the cursors read a pinned snapshot, and the gate only
+// orders mutations against WAL capture — a pure reader needs neither.
 func (s *RowStream) Next() (storage.Row, bool, error) {
-	s.db.gate.RLock()
-	defer s.db.gate.RUnlock()
 	row, ok, err := s.res.Next()
 	if ok {
 		s.rows++

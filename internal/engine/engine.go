@@ -19,6 +19,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
 	"crowddb/internal/engine/plan"
 	"crowddb/internal/index"
@@ -151,7 +152,8 @@ func (e *Engine) execCreateIndex(s *sqlparse.CreateIndexStmt) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: no such table %q", s.Table)
 	}
-	idx, err := index.New(index.Kind(s.Kind), s.Name, s.Column)
+	cols, dirs := indexKeySpec(s)
+	idx, err := index.NewComposite(index.Kind(s.Kind), s.Name, cols, dirs)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +161,22 @@ func (e *Engine) execCreateIndex(s *sqlparse.CreateIndexStmt) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("created %s index %s on %s (%s), %d entries",
-		s.Kind, s.Name, s.Table, s.Column, idx.Entries())}, nil
+		s.Kind, s.Name, s.Table, strings.Join(cols, ", "), idx.Entries())}, nil
+}
+
+// indexKeySpec normalizes a CreateIndexStmt's key columns. Programmatic
+// callers (WAL replay of pre-composite records, embedders) may populate
+// only the legacy single-column field.
+func indexKeySpec(s *sqlparse.CreateIndexStmt) (cols []string, dirs []bool) {
+	if len(s.Columns) == 0 {
+		return []string{s.Column}, []bool{false}
+	}
+	cols = make([]string, len(s.Columns))
+	dirs = make([]bool, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i], dirs[i] = c.Name, c.Desc
+	}
+	return cols, dirs
 }
 
 // execDropIndex detaches the named index from its table. Plans built

@@ -24,20 +24,36 @@ type indexIter struct {
 	env rowEnv
 }
 
+// pointProbeOf lowers an IndexScan node's equality key — composite when
+// the planner matched several conjuncts — into a storage probe. Shared by
+// the serial iterator and the index-only path.
+func pointProbeOf(n *plan.IndexScan) storage.IndexProbe {
+	if len(n.Keys) > 0 {
+		key := make([]storage.Value, len(n.Keys))
+		for i, l := range n.Keys {
+			key[i] = plan.LitValue(l)
+		}
+		return storage.IndexProbe{Key: key}
+	}
+	v := plan.LitValue(n.Key)
+	return storage.IndexProbe{Point: &v}
+}
+
 // newIndexScanIter builds the iterator for an equality point probe.
 func newIndexScanIter(n *plan.IndexScan) *indexIter {
-	v := plan.LitValue(n.Key)
 	return &indexIter{
 		table: n.Table, index: n.Index,
-		probe:    storage.IndexProbe{Point: &v},
+		probe:    pointProbeOf(n),
 		residual: n.Residual, layout: n.Layout,
 	}
 }
 
 // rangeProbeOf lowers an IndexRange node's bounds into a storage probe —
-// shared by the serial iterator and the morsel partitioner.
+// shared by the serial iterator, the morsel partitioner and the
+// index-only path. Desc becomes a reversed probe: same rows, opposite
+// key order.
 func rangeProbeOf(n *plan.IndexRange) storage.IndexProbe {
-	probe := storage.IndexProbe{LoInc: n.LoInc, HiInc: n.HiInc}
+	probe := storage.IndexProbe{LoInc: n.LoInc, HiInc: n.HiInc, Reverse: n.Desc}
 	if n.Lo != nil {
 		v := plan.LitValue(n.Lo)
 		probe.Lo = &v
@@ -84,4 +100,75 @@ func (s *indexIter) Next() (storage.Row, bool, error) {
 	return row, true, nil
 }
 
-func (s *indexIter) Close() error { return nil }
+func (s *indexIter) Close() error {
+	if s.cur != nil {
+		s.cur.Close()
+	}
+	return nil
+}
+
+// indexOnlyIter serves a covering query straight off the index: the
+// executor never touches table data. Point probes emit the probe key
+// itself once per matching row ID; range probes emit each entry's key
+// tuple in probe order. Emitted rows are shaped like the plan node's
+// pseudo-layout (the key columns, in index order) and are owned by the
+// iterator's backing arrays — safe to alias until Close.
+type indexOnlyIter struct {
+	node *plan.IndexOnlyScan
+
+	ids  []int
+	keys [][]storage.Value
+	key  storage.Row // point form: the one shared key tuple
+	pos  int
+}
+
+func (s *indexOnlyIter) Open() error {
+	probe := indexOnlyProbeOf(s.node)
+	ids, keys, err := s.node.Table.IndexOnlyProbe(s.node.Index, probe)
+	if err != nil {
+		return err
+	}
+	s.ids, s.keys, s.pos = ids, keys, 0
+	if probe.Key != nil {
+		s.key = storage.Row(probe.Key)
+	} else if probe.Point != nil {
+		s.key = storage.Row{*probe.Point}
+	}
+	return nil
+}
+
+func (s *indexOnlyIter) Next() (storage.Row, bool, error) {
+	if s.pos >= len(s.ids) {
+		return nil, false, nil
+	}
+	i := s.pos
+	s.pos++
+	if s.keys == nil {
+		return s.key, true, nil
+	}
+	return storage.Row(s.keys[i]), true, nil
+}
+
+func (s *indexOnlyIter) Close() error { return nil }
+
+// indexOnlyProbeOf lowers an IndexOnlyScan node into its storage probe:
+// point form when key literals are present, range form otherwise.
+func indexOnlyProbeOf(n *plan.IndexOnlyScan) storage.IndexProbe {
+	if len(n.Keys) > 0 {
+		key := make([]storage.Value, len(n.Keys))
+		for i, l := range n.Keys {
+			key[i] = plan.LitValue(l)
+		}
+		return storage.IndexProbe{Key: key}
+	}
+	probe := storage.IndexProbe{LoInc: n.LoInc, HiInc: n.HiInc, Reverse: n.Desc}
+	if n.Lo != nil {
+		v := plan.LitValue(n.Lo)
+		probe.Lo = &v
+	}
+	if n.Hi != nil {
+		v := plan.LitValue(n.Hi)
+		probe.Hi = &v
+	}
+	return probe
+}

@@ -32,6 +32,8 @@ func Build(n plan.Node) (Iterator, error) {
 		return newIndexScanIter(t), nil
 	case *plan.IndexRange:
 		return newIndexRangeIter(t), nil
+	case *plan.IndexOnlyScan:
+		return &indexOnlyIter{node: t}, nil
 	case *plan.Filter:
 		in, err := Build(t.Input)
 		if err != nil {

@@ -26,11 +26,22 @@ const morselRows = 4096
 // morselSource describes a partitioned chain: count morsels, each opened
 // as an independent iterator. owned reports that emitted rows are fresh
 // allocations (a Project top) rather than aliases of a cursor batch
-// buffer, letting the exchange skip its copy.
+// buffer, letting the exchange skip its copy. release drops the shared
+// snapshot pin every morsel reads through; the phase driver calls it
+// exactly once, after all workers have stopped.
 type morselSource struct {
-	count int
-	owned bool
-	open  func(i int) (Iterator, error)
+	count   int
+	owned   bool
+	open    func(i int) (Iterator, error)
+	release func()
+}
+
+// Release drops the source's snapshot pin, if any. Idempotence is the
+// release closure's job (sync.Once).
+func (s *morselSource) Release() {
+	if s != nil && s.release != nil {
+		s.release()
+	}
 }
 
 // parallelChain reports whether the Parallelize pass marked this subtree
@@ -81,25 +92,35 @@ func chainSource(n plan.Node) (*morselSource, error) {
 		src.owned = true
 		return src, nil
 	case *plan.Scan:
-		rows := t.Table.NumRows()
+		// One snapshot pin shared by every morsel: all workers read the
+		// same immutable version, so dop=N output is row-identical to a
+		// serial run regardless of concurrent writers.
+		snap := t.Table.Pin()
+		rows := snap.NumRows()
+		var once sync.Once
 		return &morselSource{
-			count: (rows + morselRows - 1) / morselRows,
+			count:   (rows + morselRows - 1) / morselRows,
+			release: func() { once.Do(snap.Release) },
 			open: func(i int) (Iterator, error) {
-				return &morselScanIter{node: t, lo: i * morselRows, hi: (i + 1) * morselRows}, nil
+				lo := i * morselRows
+				hi := min(lo+morselRows, rows)
+				return &morselScanIter{node: t, snap: snap, lo: lo, hi: hi}, nil
 			},
 		}, nil
 	case *plan.IndexRange:
 		probe := rangeProbeOf(t)
-		ids, err := t.Table.IndexProbeIDs(t.Index, probe)
+		snap, ids, err := t.Table.PinIndexProbe(t.Index, probe)
 		if err != nil {
 			return nil, err
 		}
+		var once sync.Once
 		return &morselSource{
-			count: (len(ids) + morselRows - 1) / morselRows,
+			count:   (len(ids) + morselRows - 1) / morselRows,
+			release: func() { once.Do(snap.Release) },
 			open: func(i int) (Iterator, error) {
 				lo := i * morselRows
 				hi := min(lo+morselRows, len(ids))
-				return &morselIndexIter{node: t, probe: probe, ids: ids[lo:hi]}, nil
+				return &morselIndexIter{node: t, snap: snap, ids: ids[lo:hi]}, nil
 			},
 		}, nil
 	default:
@@ -107,19 +128,25 @@ func chainSource(n plan.Node) (*morselSource, error) {
 	}
 }
 
-// morselScanIter is scanIter over one row-index window.
+// morselScanIter is scanIter over one row-index window of the source's
+// shared snapshot (borrowed pin — the source releases it).
 type morselScanIter struct {
 	node   *plan.Scan
+	snap   *storage.Snap
 	lo, hi int
 	cur    *storage.Cursor
 	env    rowEnv
 }
 
 func (s *morselScanIter) Open() error {
-	s.cur = s.node.Table.NewRangeCursor(s.lo, s.hi, 0)
+	s.cur = storage.NewRangeCursorAt(s.snap, s.lo, s.hi, 0)
 	s.env.layout = s.node.Layout
-	if s.node.Filter != nil {
-		pred := s.node.Filter
+	preds, rest := splitVectorizable(s.node.Filter, s.node.Layout)
+	if len(preds) > 0 {
+		s.cur.SetPreds(preds)
+	}
+	if rest != nil {
+		pred := rest
 		s.cur.SetFilter(func(row storage.Row) (bool, error) {
 			s.env.row = row
 			t, err := EvalPredicate(pred, &s.env)
@@ -137,23 +164,25 @@ func (s *morselScanIter) Next() (storage.Row, bool, error) {
 	return row, true, nil
 }
 
-func (s *morselScanIter) Close() error { return nil }
+func (s *morselScanIter) Close() error {
+	if s.cur != nil {
+		s.cur.Close()
+	}
+	return nil
+}
 
-// morselIndexIter is indexIter over one chunk of pre-resolved row IDs.
+// morselIndexIter is indexIter over one chunk of pre-resolved row IDs
+// against the source's shared snapshot (borrowed pin).
 type morselIndexIter struct {
-	node  *plan.IndexRange
-	probe storage.IndexProbe
-	ids   []int
-	cur   *storage.IndexCursor
-	env   rowEnv
+	node *plan.IndexRange
+	snap *storage.Snap
+	ids  []int
+	cur  *storage.IndexCursor
+	env  rowEnv
 }
 
 func (s *morselIndexIter) Open() error {
-	cur, err := s.node.Table.NewIndexCursorForIDs(s.node.Index, s.probe, s.ids, 0)
-	if err != nil {
-		return err
-	}
-	s.cur = cur
+	s.cur = storage.NewIndexCursorAt(s.snap, s.ids, 0)
 	s.env.layout = s.node.Layout
 	if s.node.Residual != nil {
 		pred := s.node.Residual
@@ -174,7 +203,12 @@ func (s *morselIndexIter) Next() (storage.Row, bool, error) {
 	return row, true, nil
 }
 
-func (s *morselIndexIter) Close() error { return nil }
+func (s *morselIndexIter) Close() error {
+	if s.cur != nil {
+		s.cur.Close()
+	}
+	return nil
+}
 
 // rowArena copies rows that alias cursor batch buffers into chunked
 // backing arrays: one allocation per ~8K values instead of one per row,
@@ -204,6 +238,7 @@ func (a *rowArena) add(row storage.Row) storage.Row {
 // function, and close it. The first error cancels remaining claims;
 // runMorsels returns after every worker has stopped.
 func runMorsels(src *morselSource, dop int, mkWorker func(w int) func(idx int, it Iterator) error) error {
+	defer src.Release()
 	if src.count == 0 {
 		return nil
 	}
@@ -410,6 +445,7 @@ func (g *gatherIter) Close() error {
 	g.cond.Broadcast()
 	g.mu.Unlock()
 	g.wg.Wait()
+	g.src.Release() // after every worker has stopped reading the snapshot
 	return nil
 }
 

@@ -19,8 +19,12 @@ type scanIter struct {
 func (s *scanIter) Open() error {
 	s.cur = s.node.Table.NewCursor(0)
 	s.env.layout = s.node.Layout
-	if s.node.Filter != nil {
-		pred := s.node.Filter
+	preds, rest := splitVectorizable(s.node.Filter, s.node.Layout)
+	if len(preds) > 0 {
+		s.cur.SetPreds(preds)
+	}
+	if rest != nil {
+		pred := rest
 		s.cur.SetFilter(func(row storage.Row) (bool, error) {
 			s.env.row = row
 			t, err := EvalPredicate(pred, &s.env)
@@ -38,7 +42,12 @@ func (s *scanIter) Next() (storage.Row, bool, error) {
 	return row, true, nil
 }
 
-func (s *scanIter) Close() error { return nil }
+func (s *scanIter) Close() error {
+	if s.cur != nil {
+		s.cur.Close()
+	}
+	return nil
+}
 
 // filterIter drops rows whose predicate is not TRUE.
 type filterIter struct {

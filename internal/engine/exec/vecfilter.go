@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"strings"
+
+	"crowddb/internal/engine/plan"
+	"crowddb/internal/sqlparse"
+	"crowddb/internal/storage"
+)
+
+// splitVectorizable lowers the vectorizable conjuncts of a pushed-down
+// scan filter into storage.Pred entries — evaluated chunk-at-a-time into
+// the cursor's selection bitmap — and returns whatever remains as a
+// residual expression for the per-row evaluator.
+//
+// A conjunct vectorizes only when storage's predMatch provably agrees
+// with EvalPredicate on every input:
+//
+//   - col = lit / col != lit with a non-NULL literal. NULL literals stay
+//     residual: predMatch has no tri-state, so `col != NULL` would match
+//     rows the evaluator treats as UNKNOWN (excluded).
+//   - col < lit (and friends) when plan.LitCompatible reports the literal
+//     comparable with the column's declared kind — Value.Compare errors
+//     on a class mismatch and the bitmap path has no error channel.
+//   - a bare boolean column reference (col ≡ col = TRUE). Non-boolean
+//     columns stay residual: the evaluator rejects them with an error.
+//   - col IS [NOT] NULL.
+//
+// Mirrored forms (lit < col) lower with the comparison flipped. Layouts
+// with more than one segment never vectorize — Pred.Col indexes the
+// single scanned table's schema.
+func splitVectorizable(filter sqlparse.Expr, layout *plan.Layout) ([]storage.Pred, sqlparse.Expr) {
+	if filter == nil || layout == nil || len(layout.Segs) != 1 {
+		return nil, filter
+	}
+	seg := layout.Segs[0]
+	var conj []sqlparse.Expr
+	flattenAnd(filter, &conj)
+
+	var preds []storage.Pred
+	var rest sqlparse.Expr
+	for _, e := range conj {
+		if p, ok := vectorize(e, seg); ok {
+			preds = append(preds, p)
+			continue
+		}
+		if rest == nil {
+			rest = e
+		} else {
+			rest = &sqlparse.BinaryExpr{Op: "AND", Left: rest, Right: e}
+		}
+	}
+	return preds, rest
+}
+
+// flattenAnd appends the AND-conjuncts of e to out.
+func flattenAnd(e sqlparse.Expr, out *[]sqlparse.Expr) {
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == "AND" {
+		flattenAnd(b.Left, out)
+		flattenAnd(b.Right, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// segColumn resolves e as a bare reference to a column of seg, returning
+// its schema index.
+func segColumn(e sqlparse.Expr, seg plan.Segment) (int, bool) {
+	ref, ok := e.(*sqlparse.ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	if ref.Table != "" && strings.ToLower(ref.Table) != seg.Binding {
+		return 0, false
+	}
+	return seg.Schema.Lookup(ref.Name)
+}
+
+// vectorize lowers one conjunct, reporting ok=false when it must stay on
+// the per-row evaluator.
+func vectorize(e sqlparse.Expr, seg plan.Segment) (storage.Pred, bool) {
+	switch n := e.(type) {
+	case *sqlparse.ColumnRef:
+		ci, ok := segColumn(n, seg)
+		if !ok || seg.Schema.Column(ci).Kind != storage.KindBool {
+			return storage.Pred{}, false
+		}
+		return storage.Pred{Col: ci, Op: storage.PredEq, Val: storage.Bool(true)}, true
+	case *sqlparse.IsNullExpr:
+		ci, ok := segColumn(n.Expr, seg)
+		if !ok {
+			return storage.Pred{}, false
+		}
+		op := storage.PredIsNull
+		if n.Negate {
+			op = storage.PredNotNull
+		}
+		return storage.Pred{Col: ci, Op: op}, true
+	case *sqlparse.BinaryExpr:
+		var op storage.PredOp
+		switch n.Op {
+		case "=":
+			op = storage.PredEq
+		case "!=":
+			op = storage.PredNe
+		case "<":
+			op = storage.PredLt
+		case "<=":
+			op = storage.PredLe
+		case ">":
+			op = storage.PredGt
+		case ">=":
+			op = storage.PredGe
+		default:
+			return storage.Pred{}, false
+		}
+		col, lit := n.Left, n.Right
+		ci, ok := segColumn(col, seg)
+		if !ok {
+			// Mirrored form: lit OP col ⇔ col flip(OP) lit.
+			col, lit = n.Right, n.Left
+			if ci, ok = segColumn(col, seg); !ok {
+				return storage.Pred{}, false
+			}
+			switch op {
+			case storage.PredLt:
+				op = storage.PredGt
+			case storage.PredLe:
+				op = storage.PredGe
+			case storage.PredGt:
+				op = storage.PredLt
+			case storage.PredGe:
+				op = storage.PredLe
+			}
+		}
+		l, ok := lit.(*sqlparse.Literal)
+		if !ok || l.Kind == sqlparse.LitNull {
+			return storage.Pred{}, false
+		}
+		if op != storage.PredEq && op != storage.PredNe &&
+			!plan.LitCompatible(l, seg.Schema.Column(ci).Kind) {
+			return storage.Pred{}, false
+		}
+		return storage.Pred{Col: ci, Op: op, Val: plan.LitValue(l)}, true
+	default:
+		return storage.Pred{}, false
+	}
+}

@@ -170,10 +170,11 @@ func TestOrderByLimitUsesIndexOrder(t *testing.T) {
 	if !strings.Contains(p, "IndexRange(idx_score, score)") || strings.Contains(p, "TopN") {
 		t.Fatalf("ORDER BY+LIMIT should ride the ordered index:\n%s", p)
 	}
-	// DESC cannot use ascending index order.
+	// DESC rides the same index through a reversed probe (group-wise, so
+	// tie order still matches a stable DESC sort).
 	p = planText(t, e, `SELECT id, score FROM items ORDER BY score DESC LIMIT 9`)
-	if !strings.Contains(p, "TopN") {
-		t.Fatalf("DESC must keep the TopN heap:\n%s", p)
+	if !strings.Contains(p, "IndexRange(idx_score, score desc)") || strings.Contains(p, "TopN") {
+		t.Fatalf("DESC should ride the reversed ordered index:\n%s", p)
 	}
 	// A bounded range already in index order drops the sort entirely.
 	p = planText(t, e, `SELECT id, score FROM items WHERE score > 50 ORDER BY score`)

@@ -111,6 +111,15 @@ func LitValue(l *sqlparse.Literal) storage.Value {
 	}
 }
 
+// LitCompatible reports whether an ordering comparison between the
+// literal and a column of kind k evaluates without a type error —
+// exported for internal/engine/exec, whose vectorized-filter lowering
+// must make exactly the same call before replacing the evaluator (which
+// surfaces the type error) with a storage predicate (which cannot).
+func LitCompatible(l *sqlparse.Literal, k storage.Kind) bool {
+	return classCompatible(l, k)
+}
+
 // classCompatible reports whether a range comparison between the literal
 // and a column of kind k evaluates without a type error (numeric↔numeric,
 // text↔text, bool↔bool — mirroring storage.Value.Compare).
@@ -176,28 +185,71 @@ func (b *builder) accessPath(i int, cs []sqlparse.Expr) Node {
 	seg := b.segs[i]
 	layout := b.singleLayout(i)
 
-	// 1. Equality point probe.
+	// 1. Equality point probe: pool the `col = literal` conjuncts (a NULL
+	// literal is never TRUE and stays on the filter path) and pick the
+	// index whose key columns are ALL pinned by one — widest key first
+	// (most conjuncts consumed, narrowest probe), then hash over ordered,
+	// then name, for plan stability. Composite indexes need the full key:
+	// a prefix match cannot probe, and rows with a NULL anywhere in the
+	// key are absent from the index — which full-key equality (3VL)
+	// excludes anyway, keeping the probe exact.
+	type eqConj struct {
+		lit *sqlparse.Literal
+		pos int
+	}
+	eqs := map[string]eqConj{}
 	for k, c := range cs {
 		col, lit, ok := eqProbe(c, seg)
 		if !ok || lit.Kind == sqlparse.LitNull {
 			continue
 		}
-		meta, found := tbl.IndexOn(col, false)
-		if !found {
-			continue
+		lc := strings.ToLower(col)
+		if _, dup := eqs[lc]; !dup {
+			eqs[lc] = eqConj{lit: lit, pos: k}
 		}
-		rest := make([]sqlparse.Expr, 0, len(cs)-1)
-		rest = append(rest, cs[:k]...)
-		rest = append(rest, cs[k+1:]...)
-		return &IndexScan{
-			Table: tbl, Name: seg.Table, Binding: seg.Binding,
-			Index: meta.Name, Column: col, Key: lit,
-			Residual: conjoin(rest), Layout: layout,
+	}
+	if len(eqs) > 0 {
+		var best *storage.IndexMeta
+		for _, meta := range tbl.IndexMetas() {
+			meta := meta
+			covered := len(meta.Columns) <= len(eqs)
+			for _, col := range meta.Columns {
+				if _, ok := eqs[strings.ToLower(col)]; !ok {
+					covered = false
+					break
+				}
+			}
+			if covered && (best == nil || betterEqIndex(meta, *best)) {
+				best = &meta
+			}
+		}
+		if best != nil {
+			keys := make([]*sqlparse.Literal, len(best.Columns))
+			used := map[int]bool{}
+			for i, col := range best.Columns {
+				e := eqs[strings.ToLower(col)]
+				keys[i] = e.lit
+				used[e.pos] = true
+			}
+			rest := make([]sqlparse.Expr, 0, len(cs))
+			for k, c := range cs {
+				if !used[k] {
+					rest = append(rest, c)
+				}
+			}
+			return &IndexScan{
+				Table: tbl, Name: seg.Table, Binding: seg.Binding,
+				Index: best.Name, Column: best.Columns[0], Cols: best.Columns,
+				Key: keys[0], Keys: keys,
+				Residual: conjoin(rest), Layout: layout,
+			}
 		}
 	}
 
 	// 2. Range probe on an ordered index: fold every usable bound on the
-	// first ordered-indexed column that has one.
+	// first ordered-indexed column that has one. Single-column indexes
+	// only: a composite index omits rows with a NULL in any later key
+	// column, rows the first-column bound alone would keep.
 	var (
 		rangeCol  string
 		rangeMeta storage.IndexMeta
@@ -208,7 +260,7 @@ func (b *builder) accessPath(i int, cs []sqlparse.Expr) Node {
 		col, op, lit, ok := rangeProbe(c, seg)
 		if ok && rangeCol == "" {
 			if idx, found := seg.Schema.Lookup(col); found && classCompatible(lit, seg.Schema.Column(idx).Kind) {
-				if meta, has := tbl.IndexOn(col, true); has {
+				if meta, has := tbl.IndexOn(col, true); has && len(meta.Columns) == 1 {
 					rangeCol, rangeMeta = col, meta
 				}
 			}
@@ -246,57 +298,178 @@ func (b *builder) accessPath(i int, cs []sqlparse.Expr) Node {
 	}
 }
 
+// betterEqIndex ranks equality-probe candidates whose keys are fully
+// covered: widest key first (consumes the most conjuncts), then hash over
+// ordered (O(1) equality), then name, for plan stability.
+func betterEqIndex(a, b storage.IndexMeta) bool {
+	switch {
+	case len(a.Columns) != len(b.Columns):
+		return len(a.Columns) > len(b.Columns)
+	case a.Ordered != b.Ordered:
+		return !a.Ordered
+	default:
+		return strings.ToLower(a.Name) < strings.ToLower(b.Name)
+	}
+}
+
 // tryIndexOrder attempts to satisfy ORDER BY from index order, returning
 // the (possibly replaced) access node and whether the sort can be elided.
 //
-// Index order is ascending by key with ties in table order — identical to
-// a stable ASC sort — but the index holds no NULL keys, and the sorter
-// places NULL keys last. Elision is therefore only legal when NULL-keyed
-// rows provably cannot appear in the output:
+// Index order is by key per the index's directions with ties in table
+// order — identical to a stable sort in those directions (reversed for
+// the opposite directions) — but the index holds no NULL keys, and the
+// sorter places NULL keys last. Elision is therefore only legal when
+// NULL-keyed rows provably cannot reach the output:
 //
-//   - above an IndexScan/IndexRange on the ORDER BY column, whose
-//     equality/range predicate already rejects NULL keys (3VL), or
-//   - converting a bare unfiltered Scan when a LIMIT is present and the
-//     index holds at least LIMIT entries at plan time, so the NULL tail
-//     can never be reached. (Entries can shrink under a concurrent
-//     delete — the same weak-consistency window the batched cursor
-//     already documents.)
+//   - above an IndexScan point probe whose ORDER BY columns are all part
+//     of the (fully fixed, non-NULL) probe key: every emitted row ties on
+//     every ORDER BY key, so the probe's row order is a valid stable
+//     order in ANY direction;
+//   - above an IndexRange on the ORDER BY column, whose bounds already
+//     reject NULL keys (3VL) — DESC is served by reversing the probe;
+//   - converting a bare unfiltered Scan when a LIMIT is present and a
+//     single-column ordered index holds at least LIMIT entries at plan
+//     time, so the NULL tail (which sorts last under either direction)
+//     can never be reached. Composite indexes are excluded: a row with a
+//     NULL in a later key column is absent from the index yet does NOT
+//     sort last on the leading column, so the Entries guard cannot make
+//     it safe.
 func (b *builder) tryIndexOrder(node Node, orderBy []sqlparse.OrderKey, limit int64, distinct bool) (Node, bool) {
-	if len(b.segs) != 1 || len(orderBy) != 1 || orderBy[0].Desc {
-		return node, false
-	}
-	ref, ok := orderBy[0].Expr.(*sqlparse.ColumnRef)
-	if !ok {
+	if len(b.segs) != 1 || len(orderBy) == 0 {
 		return node, false
 	}
 	seg := b.segs[0]
-	if ref.Table != "" && strings.ToLower(ref.Table) != seg.Binding {
-		return node, false
-	}
-	if _, ok := seg.Schema.Lookup(ref.Name); !ok {
-		return node, false
+	names := make([]string, len(orderBy))
+	for i, key := range orderBy {
+		ref, ok := key.Expr.(*sqlparse.ColumnRef)
+		if !ok {
+			return node, false
+		}
+		if ref.Table != "" && strings.ToLower(ref.Table) != seg.Binding {
+			return node, false
+		}
+		if _, ok := seg.Schema.Lookup(ref.Name); !ok {
+			return node, false
+		}
+		names[i] = ref.Name
 	}
 
 	switch t := node.(type) {
 	case *IndexScan:
-		// A single-key point probe emits rows in table order; every key is
-		// equal and non-NULL, so any order is a stable ASC order.
-		return node, strings.EqualFold(t.Column, ref.Name)
+		fixed := map[string]bool{}
+		for _, c := range t.Cols {
+			fixed[strings.ToLower(c)] = true
+		}
+		if len(t.Cols) == 0 {
+			fixed[strings.ToLower(t.Column)] = true
+		}
+		for _, n := range names {
+			if !fixed[strings.ToLower(n)] {
+				return node, false
+			}
+		}
+		return node, true
 	case *IndexRange:
-		return node, strings.EqualFold(t.Column, ref.Name)
-	case *Scan:
-		if t.Filter != nil || distinct || limit < 0 {
+		if len(names) != 1 || !strings.EqualFold(t.Column, names[0]) {
 			return node, false
 		}
-		meta, has := t.Table.IndexOn(ref.Name, true)
-		if !has || int64(meta.Entries) < limit {
+		t.Desc = orderBy[0].Desc
+		return t, true
+	case *Scan:
+		if t.Filter != nil || distinct || limit < 0 || len(names) != 1 {
+			return node, false
+		}
+		meta, has := t.Table.IndexOn(names[0], true)
+		if !has || len(meta.Columns) != 1 || int64(meta.Entries) < limit {
 			return node, false
 		}
 		return &IndexRange{
 			Table: t.Table, Name: t.Name, Binding: t.Binding,
-			Index: meta.Name, Column: ref.Name, Layout: t.Layout,
+			Index: meta.Name, Column: names[0], Desc: orderBy[0].Desc,
+			Layout: t.Layout,
 		}, true
 	default:
 		return node, false
 	}
+}
+
+// tryIndexOnly converts a residual-free index probe (optionally under a
+// Limit) into an IndexOnlyScan when every projected expression is a bare
+// reference to one of the probe's key columns: the executor then reads
+// key tuples off the index and never touches table data. Returns the
+// rewritten subtree and the pseudo-layout the Project above must resolve
+// against.
+func (b *builder) tryIndexOnly(node Node, exprs []sqlparse.Expr) (Node, *Layout, bool) {
+	if len(b.segs) != 1 {
+		return nil, nil, false
+	}
+	seg := b.segs[0]
+	inner := node
+	var lim *Limit
+	if l, ok := node.(*Limit); ok {
+		lim, inner = l, l.Input
+	}
+
+	var io *IndexOnlyScan
+	switch t := inner.(type) {
+	case *IndexScan:
+		if t.Residual != nil || len(t.Cols) == 0 {
+			return nil, nil, false
+		}
+		io = &IndexOnlyScan{
+			Table: t.Table, Name: t.Name, Binding: t.Binding, Index: t.Index,
+			Cols: t.Cols, Keys: t.Keys,
+		}
+	case *IndexRange:
+		if t.Residual != nil {
+			return nil, nil, false
+		}
+		// Range keys come off the index itself (storage.KeyRanger); range
+		// probes are planned over ordered indexes only, which implement it.
+		io = &IndexOnlyScan{
+			Table: t.Table, Name: t.Name, Binding: t.Binding, Index: t.Index,
+			Cols: []string{t.Column},
+			Lo:   t.Lo, Hi: t.Hi, LoInc: t.LoInc, HiInc: t.HiInc, Desc: t.Desc,
+		}
+	default:
+		return nil, nil, false
+	}
+
+	covered := map[string]bool{}
+	for _, c := range io.Cols {
+		covered[strings.ToLower(c)] = true
+	}
+	for _, e := range exprs {
+		ref, ok := e.(*sqlparse.ColumnRef)
+		if !ok {
+			return nil, nil, false
+		}
+		if ref.Table != "" && strings.ToLower(ref.Table) != seg.Binding {
+			return nil, nil, false
+		}
+		if !covered[strings.ToLower(ref.Name)] {
+			return nil, nil, false
+		}
+	}
+
+	// The pseudo-layout: one segment shaped like the key columns, kinds
+	// copied from the base schema.
+	keyCols := make([]storage.Column, len(io.Cols))
+	for i, name := range io.Cols {
+		ci, ok := seg.Schema.Lookup(name)
+		if !ok {
+			return nil, nil, false
+		}
+		keyCols[i] = seg.Schema.Column(ci)
+	}
+	keySchema, err := storage.NewSchema(keyCols...)
+	if err != nil {
+		return nil, nil, false
+	}
+	lay := NewLayout(Segment{Binding: seg.Binding, Table: seg.Table, Schema: keySchema})
+	io.Layout = lay
+	if lim != nil {
+		return &Limit{Input: io, N: lim.N}, lay, true
+	}
+	return io, lay, true
 }

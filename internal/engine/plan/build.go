@@ -387,7 +387,17 @@ func (b *builder) finishPlain(node Node, orderBy []sqlparse.OrderKey) (*SelectPl
 	} else if !s.Distinct && s.Limit >= 0 {
 		node = &Limit{Input: node, N: s.Limit}
 	}
-	node = &Project{Input: node, Names: names, Exprs: exprs, Layout: b.phys}
+	// Index-only rewrite: when the access path is a residual-free index
+	// probe and the projection reads nothing but the index's key columns,
+	// serve the query from index keys alone — the Project above resolves
+	// against a pseudo-layout shaped like the key tuple.
+	projLayout := b.phys
+	if len(b.segs) == 1 {
+		if n2, lay, ok := b.tryIndexOnly(node, exprs); ok {
+			node, projLayout = n2, lay
+		}
+	}
+	node = &Project{Input: node, Names: names, Exprs: exprs, Layout: projLayout}
 	if s.Distinct {
 		node = &Distinct{Input: node}
 		if s.Limit >= 0 {

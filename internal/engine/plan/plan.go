@@ -127,25 +127,33 @@ type Scan struct {
 	Dop int
 }
 
-// IndexScan answers an equality predicate on an indexed column through a
-// point probe: the index yields the matching row IDs under the table's
-// read lock and only those rows are ever copied out. Residual carries the
-// remaining pushed-down conjuncts, evaluated during batch refill.
+// IndexScan answers equality predicates on an index's key columns with a
+// point probe: the index yields the matching row IDs in the same critical
+// section that pins the table snapshot, and only those rows are ever
+// copied out. Composite indexes require equality literals on every key
+// column (a prefix cannot probe). Residual carries the remaining
+// pushed-down conjuncts, evaluated during batch refill.
 type IndexScan struct {
 	Table    *storage.Table
 	Name     string // table name
 	Binding  string
-	Index    string // index name
-	Column   string // indexed column
-	Key      *sqlparse.Literal
-	Residual sqlparse.Expr // nil when the equality was the whole filter
+	Index    string              // index name
+	Column   string              // first key column (= Cols[0])
+	Cols     []string            // full key columns of the chosen index
+	Key      *sqlparse.Literal   // first key literal (= Keys[0])
+	Keys     []*sqlparse.Literal // one equality literal per key column
+	Residual sqlparse.Expr       // nil when the equalities were the whole filter
 	Layout   *Layout
 }
 
 // IndexRange answers range conjuncts on an ordered-indexed column with a
 // bound probe. Rows come back in index order — ascending by key, ties in
 // table order — which is exactly a stable ORDER BY on the key, letting
-// the planner elide a Sort/TopN above it (see finishPlain).
+// the planner elide a Sort/TopN above it (see finishPlain). Desc flips
+// the probe to reverse index order, serving ORDER BY ... DESC the same
+// way. Only single-column ordered indexes are planned here: a composite
+// index omits rows with a NULL in any key column, which a bound on the
+// first column alone does not exclude.
 type IndexRange struct {
 	Table   *storage.Table
 	Name    string
@@ -156,11 +164,34 @@ type IndexRange struct {
 	// open probe is an index-ordered scan of the whole table).
 	Lo, Hi       *sqlparse.Literal
 	LoInc, HiInc bool
+	Desc         bool
 	Residual     sqlparse.Expr
 	Layout       *Layout
 	// Dop > 1 marks the probe as split into morsels over disjoint chunks
 	// of the resolved row-ID list (set by Parallelize).
 	Dop int
+}
+
+// IndexOnlyScan answers a query entirely from an index: every projected
+// column is an index key column and no residual predicate remains, so the
+// executor reads key tuples straight off the index and never materializes
+// table rows. Point probes emit the probe literals themselves; range
+// probes enumerate keys through storage.KeyRanger (which ordered indexes
+// implement). The node emits rows shaped like Cols, described by Layout —
+// a single pseudo-segment the Project above resolves against unchanged.
+type IndexOnlyScan struct {
+	Table   *storage.Table
+	Name    string
+	Binding string
+	Index   string
+	Cols    []string // index key columns, in key order = emitted row shape
+	// Keys is the point form (one literal per key column); when nil the
+	// probe is the Lo/Hi range on the first key column.
+	Keys         []*sqlparse.Literal
+	Lo, Hi       *sqlparse.Literal
+	LoInc, HiInc bool
+	Desc         bool
+	Layout       *Layout
 }
 
 // Filter drops rows whose predicate is not TRUE (three-valued logic).
@@ -250,18 +281,19 @@ type Limit struct {
 	N     int64
 }
 
-func (*Scan) node()       {}
-func (*IndexScan) node()  {}
-func (*IndexRange) node() {}
-func (*Filter) node()     {}
-func (*HashJoin) node()   {}
-func (*Project) node()    {}
-func (*Aggregate) node()  {}
-func (*Sort) node()       {}
-func (*TopN) node()       {}
-func (*Gather) node()     {}
-func (*Distinct) node()   {}
-func (*Limit) node()      {}
+func (*Scan) node()          {}
+func (*IndexScan) node()     {}
+func (*IndexRange) node()    {}
+func (*IndexOnlyScan) node() {}
+func (*Filter) node()        {}
+func (*HashJoin) node()      {}
+func (*Project) node()       {}
+func (*Aggregate) node()     {}
+func (*Sort) node()          {}
+func (*TopN) node()          {}
+func (*Gather) node()        {}
+func (*Distinct) node()      {}
+func (*Limit) node()         {}
 
 // dopSuffix renders the " [dop=N]" EXPLAIN annotation of a parallelized
 // operator (empty for the serial default).
@@ -283,37 +315,67 @@ func (s *Scan) Describe() string {
 	return fmt.Sprintf("Scan(%s)", b) + dopSuffix(s.Dop)
 }
 
+// eqKeyList renders "a=1 AND b=2" for a point probe's key columns. The
+// single-column form matches the historical EXPLAIN output byte for byte,
+// keeping result-cache fingerprints of existing plans stable.
+func eqKeyList(cols []string, keys []*sqlparse.Literal) string {
+	eqs := make([]string, len(cols))
+	for i, col := range cols {
+		eqs[i] = fmt.Sprintf("%s=%s", col, keys[i].String())
+	}
+	return strings.Join(eqs, " AND ")
+}
+
 func (s *IndexScan) Describe() string {
-	d := fmt.Sprintf("IndexScan(%s, %s=%s)", s.Index, s.Column, s.Key.String())
+	cols, keys := s.Cols, s.Keys
+	if len(cols) == 0 {
+		cols, keys = []string{s.Column}, []*sqlparse.Literal{s.Key}
+	}
+	d := fmt.Sprintf("IndexScan(%s, %s)", s.Index, eqKeyList(cols, keys))
 	if s.Residual != nil {
 		d += fmt.Sprintf(" filter=%s", s.Residual.String())
 	}
 	return d
 }
 
-func (s *IndexRange) Describe() string {
-	bound := s.Column
+// boundString renders a range probe's bound window for EXPLAIN.
+func boundString(col string, lo, hi *sqlparse.Literal, loInc, hiInc, desc bool) string {
+	bound := col
 	switch {
-	case s.Lo != nil && s.Hi != nil:
-		bound = fmt.Sprintf("%s..%s", s.Lo.String(), s.Hi.String())
-	case s.Lo != nil:
+	case lo != nil && hi != nil:
+		bound = fmt.Sprintf("%s..%s", lo.String(), hi.String())
+	case lo != nil:
 		op := ">"
-		if s.LoInc {
+		if loInc {
 			op = ">="
 		}
-		bound = fmt.Sprintf("%s %s %s", s.Column, op, s.Lo.String())
-	case s.Hi != nil:
+		bound = fmt.Sprintf("%s %s %s", col, op, lo.String())
+	case hi != nil:
 		op := "<"
-		if s.HiInc {
+		if hiInc {
 			op = "<="
 		}
-		bound = fmt.Sprintf("%s %s %s", s.Column, op, s.Hi.String())
+		bound = fmt.Sprintf("%s %s %s", col, op, hi.String())
 	}
-	d := fmt.Sprintf("IndexRange(%s, %s)", s.Index, bound)
+	if desc {
+		bound += " desc"
+	}
+	return bound
+}
+
+func (s *IndexRange) Describe() string {
+	d := fmt.Sprintf("IndexRange(%s, %s)", s.Index, boundString(s.Column, s.Lo, s.Hi, s.LoInc, s.HiInc, s.Desc))
 	if s.Residual != nil {
 		d += fmt.Sprintf(" filter=%s", s.Residual.String())
 	}
 	return d + dopSuffix(s.Dop)
+}
+
+func (s *IndexOnlyScan) Describe() string {
+	if s.Keys != nil {
+		return fmt.Sprintf("IndexOnlyScan(%s, %s)", s.Index, eqKeyList(s.Cols, s.Keys))
+	}
+	return fmt.Sprintf("IndexOnlyScan(%s, %s)", s.Index, boundString(s.Cols[0], s.Lo, s.Hi, s.LoInc, s.HiInc, s.Desc))
 }
 
 func (f *Filter) Describe() string { return fmt.Sprintf("Filter(%s)", f.Pred.String()) }
@@ -379,6 +441,8 @@ func Children(n Node) []Node {
 	case *IndexScan:
 		return nil
 	case *IndexRange:
+		return nil
+	case *IndexOnlyScan:
 		return nil
 	case *Filter:
 		return []Node{t.Input}
@@ -455,6 +519,8 @@ func (p *SelectPlan) Tables() []string {
 		case *IndexScan:
 			seen[strings.ToLower(t.Name)] = true
 		case *IndexRange:
+			seen[strings.ToLower(t.Name)] = true
+		case *IndexOnlyScan:
 			seen[strings.ToLower(t.Name)] = true
 		}
 		for _, k := range Children(n) {

@@ -6,35 +6,39 @@ import (
 	"crowddb/internal/storage"
 )
 
-// Hash is an equality index: canonical key → row IDs. Point lookups are
-// O(1) regardless of table size; it cannot answer range probes.
+// Hash is an equality index: canonical encoded key → row IDs. Point
+// lookups are O(1) regardless of table size or key width; it cannot
+// answer range probes.
 type Hash struct {
-	name   string
-	column string
-	m      map[hashKey][]int
-	n      int // total entries; kept incrementally — Entries() sits on the planner's hot path
+	name string
+	cols []string
+	m    map[string][]int
+	n    int // total entries; kept incrementally — Entries() sits on the planner's hot path
 }
 
-// NewHash creates an empty hash index over column.
-func NewHash(name, column string) *Hash {
-	return &Hash{name: name, column: column, m: make(map[hashKey][]int)}
+// NewHash creates an empty hash index keyed on cols.
+func NewHash(name string, cols []string) *Hash {
+	return &Hash{name: name, cols: cols, m: make(map[string][]int)}
 }
 
 // Name returns the index name.
 func (h *Hash) Name() string { return h.name }
 
-// Column returns the indexed column's name.
-func (h *Hash) Column() string { return h.column }
+// Columns returns the key columns.
+func (h *Hash) Columns() []string { return h.cols }
+
+// Dirs returns all-false: a hash index has no order to direct.
+func (h *Hash) Dirs() []bool { return make([]bool, len(h.cols)) }
 
 // Ordered reports whether the index supports range probes.
 func (h *Hash) Ordered() bool { return false }
 
-// Entries returns the number of indexed (non-NULL) rows.
+// Entries returns the number of indexed (fully non-NULL) rows.
 func (h *Hash) Entries() int { return h.n }
 
-// Add indexes v for rowID. NULLs are skipped.
-func (h *Hash) Add(rowID int, v storage.Value) {
-	k, ok := keyOf(v)
+// Add indexes key for rowID. Keys with a NULL component are skipped.
+func (h *Hash) Add(rowID int, key []storage.Value) {
+	k, ok := encodeKey(key)
 	if !ok {
 		return
 	}
@@ -42,39 +46,61 @@ func (h *Hash) Add(rowID int, v storage.Value) {
 	h.n++
 }
 
-// Replace swaps rowID's entry from oldV to newV (the Set hook).
-func (h *Hash) Replace(rowID int, oldV, newV storage.Value) {
-	if k, ok := keyOf(oldV); ok {
-		ids := h.m[k]
-		for i, id := range ids {
-			if id == rowID {
-				ids = append(ids[:i], ids[i+1:]...)
-				h.n--
-				break
-			}
-		}
-		if len(ids) == 0 {
-			delete(h.m, k)
-		} else {
-			h.m[k] = ids
+// Remove drops rowID's entry under key (the Delete hook).
+func (h *Hash) Remove(rowID int, key []storage.Value) {
+	k, ok := encodeKey(key)
+	if !ok {
+		return
+	}
+	ids := h.m[k]
+	for i, id := range ids {
+		if id == rowID {
+			ids = append(ids[:i], ids[i+1:]...)
+			h.n--
+			break
 		}
 	}
-	h.Add(rowID, newV)
+	if len(ids) == 0 {
+		delete(h.m, k)
+	} else {
+		h.m[k] = ids
+	}
 }
 
-// Rebuild reindexes from scratch: vals[i] is row i's value.
-func (h *Hash) Rebuild(vals []storage.Value) {
-	h.m = make(map[hashKey][]int, len(vals))
+// Replace swaps rowID's entry from oldKey to newKey (the Set hook).
+func (h *Hash) Replace(rowID int, oldKey, newKey []storage.Value) {
+	h.Remove(rowID, oldKey)
+	h.Add(rowID, newKey)
+}
+
+// Rebuild reindexes from scratch: cols[k][i] is row i's value for key
+// column k; rows set in skip are tombstoned and excluded.
+func (h *Hash) Rebuild(cols [][]storage.Value, skip []uint64) {
+	nrows := 0
+	if len(cols) > 0 {
+		nrows = len(cols[0])
+	}
+	h.m = make(map[string][]int, nrows)
 	h.n = 0
-	for i, v := range vals {
-		h.Add(i, v)
+	for i := 0; i < nrows; i++ {
+		if skipped(skip, i) {
+			continue
+		}
+		key, ok := rowKey(cols, i)
+		if !ok {
+			continue
+		}
+		h.Add(i, key)
 	}
 }
 
-// Lookup returns the row IDs whose value equals v (storage.Value.Equal
-// semantics), in ascending row order.
-func (h *Hash) Lookup(v storage.Value) []int {
-	k, ok := keyOf(v)
+// Lookup returns the row IDs whose key equals key (storage.Value.Equal
+// semantics per component), in ascending row order.
+func (h *Hash) Lookup(key []storage.Value) []int {
+	if len(key) != len(h.cols) {
+		return nil
+	}
+	k, ok := encodeKey(key)
 	if !ok {
 		return nil
 	}

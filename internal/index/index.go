@@ -1,23 +1,30 @@
 // Package index implements the secondary-index structures of the storage
 // layer: a hash index for equality point lookups and an ordered
 // (sorted-run) index for range predicates and index-ordered iteration.
+// Both support composite keys; the ordered index additionally supports
+// per-column DESC directions and key-carrying range probes (the
+// index-only-scan hook).
 //
 // Indexes hold no locks of their own. Every structure in this package is
-// mutated and probed exclusively under the owning table's mutex, through
-// the storage.ColumnIndex maintenance hooks: the table calls Add/Replace/
-// Rebuild while applying a mutation (Insert, Set, FillColumn, Delete
-// compaction, crowd fill of an expanded column) and Lookup/Range while
-// serving an index cursor batch. That keeps the index exactly as fresh as
-// the rows it describes without a second lock hierarchy.
+// mutated and probed exclusively under the owning table's index lock,
+// through the storage.ColumnIndex maintenance hooks: the table calls
+// Add/Remove/Replace/Rebuild in the same critical section that publishes
+// the MVCC snapshot the change belongs to, and Lookup/Range while
+// resolving an index cursor. That keeps the index exactly as fresh as
+// the snapshot it is paired with, without a second lock hierarchy.
 //
 // NULL values are never indexed: under three-valued logic an equality or
-// range predicate is never TRUE for a NULL operand, so a NULL entry could
-// never be returned anyway. A freshly expanded column (all NULLs until
+// range predicate is never TRUE for a NULL operand, so a NULL entry
+// could never be returned anyway. A composite key with any NULL
+// component is skipped whole. A freshly expanded column (all NULLs until
 // the crowd fills it) therefore indexes as empty and grows as judgments
 // land.
 package index
 
 import (
+	"encoding/binary"
+	"math"
+
 	"crowddb/internal/storage"
 )
 
@@ -29,13 +36,25 @@ const (
 	KindOrdered Kind = "ordered"
 )
 
-// New constructs an index of the given kind over column, named name.
+// New constructs a single-column index of the given kind over column.
 func New(kind Kind, name, column string) (storage.ColumnIndex, error) {
+	return NewComposite(kind, name, []string{column}, []bool{false})
+}
+
+// NewComposite constructs an index over the key columns cols with
+// per-column directions dirs (true = DESC; ignored by hash indexes,
+// which have no order to direct).
+func NewComposite(kind Kind, name string, cols []string, dirs []bool) (storage.ColumnIndex, error) {
+	if len(dirs) != len(cols) {
+		d := make([]bool, len(cols))
+		copy(d, dirs)
+		dirs = d
+	}
 	switch kind {
 	case KindHash:
-		return NewHash(name, column), nil
+		return NewHash(name, cols), nil
 	case KindOrdered:
-		return NewOrdered(name, column), nil
+		return NewOrdered(name, cols, dirs), nil
 	default:
 		return nil, &UnknownKindError{Kind: string(kind)}
 	}
@@ -48,34 +67,52 @@ func (e *UnknownKindError) Error() string {
 	return "index: unknown index kind " + e.Kind + " (want HASH or ORDERED)"
 }
 
-// hashKey is the canonical equality key of a value. It must agree exactly
-// with storage.Value.Equal: two values are mapped to the same key iff
-// Equal reports true. Numerics (int and float) compare through float64
-// there, so both normalize to a float64 key here — Int(2) and Float(2.0)
-// collide by design. Cross-class values (text vs int, bool vs float)
-// never Equal, and their keys differ in class.
-type hashKey struct {
-	class byte // 'b' bool, 'n' numeric, 's' text
-	b     bool
-	f     float64
-	s     string
-}
-
-// keyOf normalizes v; ok=false for NULL (never indexed, never probed).
-func keyOf(v storage.Value) (hashKey, bool) {
+// appendKeyComp appends one key component's canonical byte encoding to
+// dst. The encoding must agree exactly with storage.Value.Equal: two
+// values encode identically iff Equal reports true. Numerics (int and
+// float) compare through float64 there, so both normalize to float64
+// bits here — Int(2) and Float(2.0) collide by design, and negative
+// zero folds into positive so -0.0 Equal 0.0 holds. Cross-class values
+// never Equal, and their encodings differ in the class tag. Text is
+// length-prefixed so composite keys cannot alias across component
+// boundaries. ok=false for NULL (never indexed, never probed).
+func appendKeyComp(dst []byte, v storage.Value) ([]byte, bool) {
 	switch v.Kind() {
 	case storage.KindNull:
-		return hashKey{}, false
+		return dst, false
 	case storage.KindBool:
 		b, _ := v.AsBool()
-		return hashKey{class: 'b', b: b}, true
+		if b {
+			return append(dst, 'b', 1), true
+		}
+		return append(dst, 'b', 0), true
 	case storage.KindText:
 		s, _ := v.AsText()
-		return hashKey{class: 's', s: s}, true
+		dst = append(dst, 's')
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...), true
 	default:
 		f, _ := v.AsFloat()
-		return hashKey{class: 'n', f: f}, true
+		if f == 0 {
+			f = 0 // fold -0.0
+		}
+		dst = append(dst, 'n')
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(f)), true
 	}
+}
+
+// encodeKey builds the canonical hash key of a composite key tuple;
+// ok=false when any component is NULL.
+func encodeKey(key []storage.Value) (string, bool) {
+	dst := make([]byte, 0, 16*len(key))
+	for _, v := range key {
+		var ok bool
+		dst, ok = appendKeyComp(dst, v)
+		if !ok {
+			return "", false
+		}
+	}
+	return string(dst), true
 }
 
 // classRank orders value classes for the ordered index, so entries of a
@@ -137,4 +174,40 @@ func compare(a, b storage.Value) int {
 			return 0
 		}
 	}
+}
+
+// keyHasNull reports whether any component of key is NULL.
+func keyHasNull(key []storage.Value) bool {
+	for _, v := range key {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneKey copies a key tuple so the index never aliases caller memory.
+func cloneKey(key []storage.Value) []storage.Value {
+	out := make([]storage.Value, len(key))
+	copy(out, key)
+	return out
+}
+
+// rowKey assembles row i's key tuple from the Rebuild column slices;
+// ok=false when any component is NULL.
+func rowKey(cols [][]storage.Value, i int) ([]storage.Value, bool) {
+	key := make([]storage.Value, len(cols))
+	for k, c := range cols {
+		if c[i].IsNull() {
+			return nil, false
+		}
+		key[k] = c[i]
+	}
+	return key, true
+}
+
+// skipped reports whether row i is tombstoned in the skip bitmap.
+func skipped(skip []uint64, i int) bool {
+	w := i >> 6
+	return w < len(skip) && skip[w]&(1<<(uint(i)&63)) != 0
 }

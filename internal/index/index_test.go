@@ -9,27 +9,30 @@ import (
 	"crowddb/internal/storage"
 )
 
+// k wraps single values into the key-tuple form the index API takes.
+func k(vs ...storage.Value) []storage.Value { return vs }
+
 func TestHashLookupEqualSemantics(t *testing.T) {
-	h := NewHash("ix", "c")
-	h.Add(0, storage.Int(2))
-	h.Add(1, storage.Float(2.0))
-	h.Add(2, storage.Float(2.5))
-	h.Add(3, storage.Text("2"))
-	h.Add(4, storage.Null())
-	h.Add(5, storage.Bool(true))
+	h := NewHash("ix", []string{"c"})
+	h.Add(0, k(storage.Int(2)))
+	h.Add(1, k(storage.Float(2.0)))
+	h.Add(2, k(storage.Float(2.5)))
+	h.Add(3, k(storage.Text("2")))
+	h.Add(4, k(storage.Null()))
+	h.Add(5, k(storage.Bool(true)))
 
 	// Int and integral Float collide (Value.Equal compares numerics via
 	// float64); text "2" and bool stay apart; NULL is never indexed.
-	if got := h.Lookup(storage.Int(2)); !reflect.DeepEqual(got, []int{0, 1}) {
+	if got := h.Lookup(k(storage.Int(2))); !reflect.DeepEqual(got, []int{0, 1}) {
 		t.Fatalf("Lookup(2) = %v", got)
 	}
-	if got := h.Lookup(storage.Float(2.5)); !reflect.DeepEqual(got, []int{2}) {
+	if got := h.Lookup(k(storage.Float(2.5))); !reflect.DeepEqual(got, []int{2}) {
 		t.Fatalf("Lookup(2.5) = %v", got)
 	}
-	if got := h.Lookup(storage.Text("2")); !reflect.DeepEqual(got, []int{3}) {
+	if got := h.Lookup(k(storage.Text("2"))); !reflect.DeepEqual(got, []int{3}) {
 		t.Fatalf("Lookup('2') = %v", got)
 	}
-	if got := h.Lookup(storage.Null()); got != nil {
+	if got := h.Lookup(k(storage.Null())); got != nil {
 		t.Fatalf("Lookup(NULL) = %v", got)
 	}
 	if h.Entries() != 5 {
@@ -37,21 +40,54 @@ func TestHashLookupEqualSemantics(t *testing.T) {
 	}
 }
 
-func TestHashReplace(t *testing.T) {
-	h := NewHash("ix", "c")
-	h.Add(0, storage.Int(1))
-	h.Add(1, storage.Int(1))
-	h.Replace(0, storage.Int(1), storage.Int(9))
-	if got := h.Lookup(storage.Int(1)); !reflect.DeepEqual(got, []int{1}) {
+func TestHashReplaceAndRemove(t *testing.T) {
+	h := NewHash("ix", []string{"c"})
+	h.Add(0, k(storage.Int(1)))
+	h.Add(1, k(storage.Int(1)))
+	h.Replace(0, k(storage.Int(1)), k(storage.Int(9)))
+	if got := h.Lookup(k(storage.Int(1))); !reflect.DeepEqual(got, []int{1}) {
 		t.Fatalf("Lookup(1) = %v", got)
 	}
-	if got := h.Lookup(storage.Int(9)); !reflect.DeepEqual(got, []int{0}) {
+	if got := h.Lookup(k(storage.Int(9))); !reflect.DeepEqual(got, []int{0}) {
 		t.Fatalf("Lookup(9) = %v", got)
 	}
 	// NULL → value transition (the crowd-fill Set path).
-	h.Replace(2, storage.Null(), storage.Int(9))
-	if got := h.Lookup(storage.Int(9)); !reflect.DeepEqual(got, []int{0, 2}) {
+	h.Replace(2, k(storage.Null()), k(storage.Int(9)))
+	if got := h.Lookup(k(storage.Int(9))); !reflect.DeepEqual(got, []int{0, 2}) {
 		t.Fatalf("Lookup(9) after NULL fill = %v", got)
+	}
+	// Point-wise Remove (the tombstone Delete hook).
+	h.Remove(0, k(storage.Int(9)))
+	if got := h.Lookup(k(storage.Int(9))); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("Lookup(9) after remove = %v", got)
+	}
+	if h.Entries() != 2 {
+		t.Fatalf("Entries = %d, want 2", h.Entries())
+	}
+}
+
+func TestHashCompositeKey(t *testing.T) {
+	h := NewHash("ix", []string{"a", "b"})
+	h.Add(0, k(storage.Text("x"), storage.Int(1)))
+	h.Add(1, k(storage.Text("x"), storage.Int(2)))
+	h.Add(2, k(storage.Text("xy"), storage.Int(1))) // must not alias ("x","y1")-style splits
+	h.Add(3, k(storage.Text("x"), storage.Null()))  // NULL component: skipped whole
+
+	if got := h.Lookup(k(storage.Text("x"), storage.Int(1))); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Lookup(x,1) = %v", got)
+	}
+	if got := h.Lookup(k(storage.Text("xy"), storage.Int(1))); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("Lookup(xy,1) = %v", got)
+	}
+	if got := h.Lookup(k(storage.Text("x"))); got != nil {
+		t.Fatalf("prefix lookup = %v, want nil (full key required)", got)
+	}
+	if h.Entries() != 3 {
+		t.Fatalf("Entries = %d, want 3", h.Entries())
+	}
+	// Int/Float collision holds per component.
+	if got := h.Lookup(k(storage.Text("x"), storage.Float(2.0))); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Lookup(x,2.0) = %v", got)
 	}
 }
 
@@ -60,12 +96,12 @@ func TestHashReplace(t *testing.T) {
 // against a brute-force reference.
 func TestOrderedMatchesSortReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	o := NewOrdered("ix", "c")
+	o := NewOrdered("ix", []string{"c"}, []bool{false})
 	const n = 5000
 	vals := make([]float64, n)
 	for i := 0; i < n; i++ {
 		vals[i] = float64(rng.Intn(200)) // heavy duplication
-		o.Add(i, storage.Float(vals[i]))
+		o.Add(i, k(storage.Float(vals[i])))
 	}
 	ref := func(pred func(float64) bool) []int {
 		type pair struct {
@@ -108,22 +144,26 @@ func TestOrderedMatchesSortReference(t *testing.T) {
 		}
 	}
 	point := storage.Float(77)
-	if got, want := o.Lookup(point), ref(func(v float64) bool { return v == 77 }); !reflect.DeepEqual(got, want) {
+	if got, want := o.Lookup(k(point)), ref(func(v float64) bool { return v == 77 }); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Lookup(77): got %d ids, want %d", len(got), len(want))
 	}
 }
 
+func rebuildCols(vals ...storage.Value) [][]storage.Value {
+	return [][]storage.Value{vals}
+}
+
 func TestOrderedReplaceAndRebuild(t *testing.T) {
-	o := NewOrdered("ix", "c")
-	o.Rebuild([]storage.Value{storage.Int(3), storage.Int(1), storage.Null(), storage.Int(2)})
+	o := NewOrdered("ix", []string{"c"}, []bool{false})
+	o.Rebuild(rebuildCols(storage.Int(3), storage.Int(1), storage.Null(), storage.Int(2)), nil)
 	if o.Entries() != 3 {
 		t.Fatalf("Entries = %d", o.Entries())
 	}
 	if got := o.Range(nil, nil, false, false); !reflect.DeepEqual(got, []int{1, 3, 0}) {
 		t.Fatalf("full range = %v, want key order [1 3 0]", got)
 	}
-	o.Replace(2, storage.Null(), storage.Int(0)) // fill the NULL
-	o.Replace(0, storage.Int(3), storage.Int(5))
+	o.Replace(2, k(storage.Null()), k(storage.Int(0))) // fill the NULL
+	o.Replace(0, k(storage.Int(3)), k(storage.Int(5)))
 	if got := o.Range(nil, nil, false, false); !reflect.DeepEqual(got, []int{2, 1, 3, 0}) {
 		t.Fatalf("after replace = %v", got)
 	}
@@ -133,17 +173,91 @@ func TestOrderedReplaceAndRebuild(t *testing.T) {
 	}
 }
 
+func TestOrderedRebuildSkipsTombstones(t *testing.T) {
+	o := NewOrdered("ix", []string{"c"}, []bool{false})
+	skip := make([]uint64, 1)
+	skip[0] |= 1 << 1 // row 1 tombstoned
+	o.Rebuild(rebuildCols(storage.Int(3), storage.Int(1), storage.Int(2)), skip)
+	if o.Entries() != 2 {
+		t.Fatalf("Entries = %d, want 2", o.Entries())
+	}
+	if got := o.Range(nil, nil, false, false); !reflect.DeepEqual(got, []int{2, 0}) {
+		t.Fatalf("full range = %v, want [2 0]", got)
+	}
+}
+
 func TestOrderedCrossKindProbe(t *testing.T) {
-	o := NewOrdered("ix", "c")
-	o.Rebuild([]storage.Value{storage.Int(10), storage.Int(20)})
+	o := NewOrdered("ix", []string{"c"}, []bool{false})
+	o.Rebuild(rebuildCols(storage.Int(10), storage.Int(20)), nil)
 	// An int probe against (conceptually float-typed) numeric entries
 	// matches through float comparison; a text probe lands in an empty
 	// class region.
-	if got := o.Lookup(storage.Float(10.0)); !reflect.DeepEqual(got, []int{0}) {
+	if got := o.Lookup(k(storage.Float(10.0))); !reflect.DeepEqual(got, []int{0}) {
 		t.Fatalf("Lookup(10.0) = %v", got)
 	}
-	if got := o.Lookup(storage.Text("10")); got != nil {
+	if got := o.Lookup(k(storage.Text("10"))); got != nil {
 		t.Fatalf("Lookup('10') = %v, want nil", got)
+	}
+}
+
+func TestOrderedDescLeadingColumn(t *testing.T) {
+	o := NewOrdered("ix", []string{"c"}, []bool{true})
+	for i, v := range []int64{30, 10, 20, 20} {
+		o.Add(i, k(storage.Int(v)))
+	}
+	// Index order is value-descending, ties ascending by row ID.
+	if got := o.Range(nil, nil, false, false); !reflect.DeepEqual(got, []int{0, 2, 3, 1}) {
+		t.Fatalf("full range = %v, want [0 2 3 1]", got)
+	}
+	// Bounds stay in VALUE space: lo=15 means value ≥ 15.
+	lo := storage.Int(15)
+	if got := o.Range(&lo, nil, true, false); !reflect.DeepEqual(got, []int{0, 2, 3}) {
+		t.Fatalf(">=15 = %v, want [0 2 3]", got)
+	}
+	hi := storage.Int(20)
+	if got := o.Range(nil, &hi, false, true); !reflect.DeepEqual(got, []int{2, 3, 1}) {
+		t.Fatalf("<=20 = %v, want [2 3 1]", got)
+	}
+	if got := o.Lookup(k(storage.Int(20))); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("Lookup(20) = %v", got)
+	}
+}
+
+func TestOrderedCompositeDirsAndRangeWithKeys(t *testing.T) {
+	// (genre ASC, year DESC): within a genre, newest first.
+	o := NewOrdered("ix", []string{"genre", "year"}, []bool{false, true})
+	add := func(row int, g string, y int64) { o.Add(row, k(storage.Text(g), storage.Int(y))) }
+	add(0, "drama", 1999)
+	add(1, "comedy", 2005)
+	add(2, "drama", 2011)
+	add(3, "comedy", 1990)
+	add(4, "drama", 2011) // tie on full key → row order
+
+	if got := o.Range(nil, nil, false, false); !reflect.DeepEqual(got, []int{1, 3, 2, 4, 0}) {
+		t.Fatalf("full range = %v, want [1 3 2 4 0]", got)
+	}
+	lo := storage.Text("drama")
+	ids, keys := o.RangeWithKeys(&lo, nil, true, false)
+	if !reflect.DeepEqual(ids, []int{2, 4, 0}) {
+		t.Fatalf("RangeWithKeys ids = %v", ids)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("RangeWithKeys keys = %d tuples", len(keys))
+	}
+	if y, _ := keys[0][1].AsInt(); y != 2011 {
+		t.Fatalf("keys[0] year = %v", keys[0][1])
+	}
+	if g, _ := keys[2][0].AsText(); g != "drama" {
+		t.Fatalf("keys[2] genre = %v", keys[2][0])
+	}
+	// Full-key lookup.
+	if got := o.Lookup(k(storage.Text("drama"), storage.Int(2011))); !reflect.DeepEqual(got, []int{2, 4}) {
+		t.Fatalf("Lookup(drama,2011) = %v", got)
+	}
+	// Point-wise remove keeps the twin.
+	o.Remove(2, k(storage.Text("drama"), storage.Int(2011)))
+	if got := o.Lookup(k(storage.Text("drama"), storage.Int(2011))); !reflect.DeepEqual(got, []int{4}) {
+		t.Fatalf("Lookup after remove = %v", got)
 	}
 }
 
@@ -156,5 +270,9 @@ func TestNewKinds(t *testing.T) {
 	}
 	if _, err := New(Kind("btree"), "a", "c"); err == nil {
 		t.Fatal("unknown kind accepted")
+	}
+	idx, err := NewComposite(KindOrdered, "a", []string{"x", "y"}, []bool{false, true})
+	if err != nil || !reflect.DeepEqual(idx.Columns(), []string{"x", "y"}) || !reflect.DeepEqual(idx.Dirs(), []bool{false, true}) {
+		t.Fatalf("NewComposite: %v %v", idx, err)
 	}
 }

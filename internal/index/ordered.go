@@ -6,9 +6,9 @@ import (
 	"crowddb/internal/storage"
 )
 
-// entry is one indexed (value, row) pair.
+// entry is one indexed (key, row) pair.
 type entry struct {
-	v   storage.Value
+	key []storage.Value
 	row int
 }
 
@@ -20,53 +20,73 @@ const deltaMax = 1024
 
 // Ordered is a two-run ordered index: a large sorted base plus a small
 // sorted delta buffer that absorbs inserts and is merged into the base
-// when full. Both runs are sorted by (value, rowID), so equal keys come
-// back in table order — exactly the tie-break a stable ORDER BY produces,
-// which is what lets the planner drop a Sort in favor of index order.
+// when full. Both runs are sorted by (key, rowID) under the index's
+// per-column directions, so equal keys come back in table order —
+// exactly the tie-break a stable ORDER BY produces, which is what lets
+// the planner drop a Sort in favor of index order.
 type Ordered struct {
-	name   string
-	column string
-	base   []entry
-	delta  []entry
+	name  string
+	cols  []string
+	dirs  []bool // true = DESC, parallel to cols
+	base  []entry
+	delta []entry
 }
 
-// NewOrdered creates an empty ordered index over column.
-func NewOrdered(name, column string) *Ordered {
-	return &Ordered{name: name, column: column}
+// NewOrdered creates an empty ordered index keyed on cols with
+// directions dirs (true = DESC).
+func NewOrdered(name string, cols []string, dirs []bool) *Ordered {
+	return &Ordered{name: name, cols: cols, dirs: dirs}
 }
 
 // Name returns the index name.
 func (o *Ordered) Name() string { return o.name }
 
-// Column returns the indexed column's name.
-func (o *Ordered) Column() string { return o.column }
+// Columns returns the key columns.
+func (o *Ordered) Columns() []string { return o.cols }
+
+// Dirs returns each key column's direction (true = DESC).
+func (o *Ordered) Dirs() []bool { return o.dirs }
 
 // Ordered reports whether the index supports range probes.
 func (o *Ordered) Ordered() bool { return true }
 
-// Entries returns the number of indexed (non-NULL) rows.
+// Entries returns the number of indexed (fully non-NULL) rows.
 func (o *Ordered) Entries() int { return len(o.base) + len(o.delta) }
 
-// less orders entries by (value, rowID).
-func less(a, b entry) bool {
-	if c := compare(a.v, b.v); c != 0 {
+// compareKeys orders two key tuples under the index's directions.
+func (o *Ordered) compareKeys(a, b []storage.Value) int {
+	for k := range a {
+		c := compare(a[k], b[k])
+		if o.dirs[k] {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// less orders entries by (key, rowID).
+func (o *Ordered) less(a, b entry) bool {
+	if c := o.compareKeys(a.key, b.key); c != 0 {
 		return c < 0
 	}
 	return a.row < b.row
 }
 
 // insertPos is the first position in run not less than e.
-func insertPos(run []entry, e entry) int {
-	return sort.Search(len(run), func(i int) bool { return !less(run[i], e) })
+func (o *Ordered) insertPos(run []entry, e entry) int {
+	return sort.Search(len(run), func(i int) bool { return !o.less(run[i], e) })
 }
 
-// Add indexes v for rowID. NULLs are skipped.
-func (o *Ordered) Add(rowID int, v storage.Value) {
-	if v.IsNull() {
+// Add indexes key for rowID. Keys with a NULL component are skipped.
+func (o *Ordered) Add(rowID int, key []storage.Value) {
+	if keyHasNull(key) {
 		return
 	}
-	e := entry{v: v, row: rowID}
-	i := insertPos(o.delta, e)
+	e := entry{key: cloneKey(key), row: rowID}
+	i := o.insertPos(o.delta, e)
 	o.delta = append(o.delta, entry{})
 	copy(o.delta[i+1:], o.delta[i:])
 	o.delta[i] = e
@@ -80,7 +100,7 @@ func (o *Ordered) mergeDelta() {
 	merged := make([]entry, 0, len(o.base)+len(o.delta))
 	i, j := 0, 0
 	for i < len(o.base) && j < len(o.delta) {
-		if less(o.delta[j], o.base[i]) {
+		if o.less(o.delta[j], o.base[i]) {
 			merged = append(merged, o.delta[j])
 			j++
 		} else {
@@ -93,58 +113,80 @@ func (o *Ordered) mergeDelta() {
 	o.base, o.delta = merged, o.delta[:0]
 }
 
-// remove drops the entry (v, rowID) from whichever run holds it.
-func (o *Ordered) remove(rowID int, v storage.Value) {
-	if v.IsNull() {
+// Remove drops the entry (key, rowID) from whichever run holds it — the
+// point-wise Delete hook; no rebuild, no ID shifting.
+func (o *Ordered) Remove(rowID int, key []storage.Value) {
+	if keyHasNull(key) {
 		return
 	}
-	e := entry{v: v, row: rowID}
+	e := entry{key: key, row: rowID}
 	for _, run := range []*[]entry{&o.base, &o.delta} {
 		r := *run
-		i := insertPos(r, e)
-		if i < len(r) && r[i].row == rowID && compare(r[i].v, v) == 0 {
+		i := o.insertPos(r, e)
+		if i < len(r) && r[i].row == rowID && o.compareKeys(r[i].key, key) == 0 {
 			*run = append(r[:i], r[i+1:]...)
 			return
 		}
 	}
 }
 
-// Replace swaps rowID's entry from oldV to newV (the Set hook).
-func (o *Ordered) Replace(rowID int, oldV, newV storage.Value) {
-	o.remove(rowID, oldV)
-	o.Add(rowID, newV)
+// Replace swaps rowID's entry from oldKey to newKey (the Set hook).
+func (o *Ordered) Replace(rowID int, oldKey, newKey []storage.Value) {
+	o.Remove(rowID, oldKey)
+	o.Add(rowID, newKey)
 }
 
-// Rebuild reindexes from scratch: vals[i] is row i's value. One sort —
-// the bulk-load path CREATE INDEX, FillColumn, and Delete compaction use.
-func (o *Ordered) Rebuild(vals []storage.Value) {
-	base := make([]entry, 0, len(vals))
-	for i, v := range vals {
-		if v.IsNull() {
+// Rebuild reindexes from scratch: cols[k][i] is row i's value for key
+// column k; rows set in skip are tombstoned and excluded. One sort —
+// the bulk-load path CREATE INDEX and FillColumn use.
+func (o *Ordered) Rebuild(cols [][]storage.Value, skip []uint64) {
+	nrows := 0
+	if len(cols) > 0 {
+		nrows = len(cols[0])
+	}
+	base := make([]entry, 0, nrows)
+	for i := 0; i < nrows; i++ {
+		if skipped(skip, i) {
 			continue
 		}
-		base = append(base, entry{v: v, row: i})
+		key, ok := rowKey(cols, i)
+		if !ok {
+			continue
+		}
+		base = append(base, entry{key: key, row: i})
 	}
-	sort.Slice(base, func(i, j int) bool { return less(base[i], base[j]) })
+	sort.Slice(base, func(i, j int) bool { return o.less(base[i], base[j]) })
 	o.base, o.delta = base, nil
 }
 
+// cmp0 compares an entry's leading key column against a probe bound in
+// RUN order: for a DESC leading column the run is descending in value,
+// so the comparison flips and the caller swaps which bound it searches
+// with.
+func (o *Ordered) cmp0(v storage.Value, bound storage.Value) int {
+	c := compare(v, bound)
+	if o.dirs[0] {
+		return -c
+	}
+	return c
+}
+
 // bounds returns the half-open [from, to) window of run covered by the
-// probe. A nil bound is open on that side.
-func bounds(run []entry, lo, hi *storage.Value, loInc, hiInc bool) (int, int) {
+// probe, in run order. runLo/runHi are already direction-adjusted.
+func (o *Ordered) bounds(run []entry, runLo, runHi *storage.Value, loInc, hiInc bool) (int, int) {
 	from, to := 0, len(run)
-	if lo != nil {
+	if runLo != nil {
 		from = sort.Search(len(run), func(i int) bool {
-			c := compare(run[i].v, *lo)
+			c := o.cmp0(run[i].key[0], *runLo)
 			if loInc {
 				return c >= 0
 			}
 			return c > 0
 		})
 	}
-	if hi != nil {
+	if runHi != nil {
 		to = sort.Search(len(run), func(i int) bool {
-			c := compare(run[i].v, *hi)
+			c := o.cmp0(run[i].key[0], *runHi)
 			if hiInc {
 				return c > 0
 			}
@@ -157,13 +199,29 @@ func bounds(run []entry, lo, hi *storage.Value, loInc, hiInc bool) (int, int) {
 	return from, to
 }
 
-// mergeIDs merges two (value, rowID)-sorted entry slices into the row-ID
-// stream the cursor consumes, preserving index order.
-func mergeIDs(a, b []entry) []int {
+// runWindows computes both runs' probe windows. The Lo/Hi bounds are in
+// VALUE space (lo ≤ value ≤ hi); when the leading column is DESC the
+// value window maps to run positions in reverse, so the bounds swap.
+func (o *Ordered) runWindows(lo, hi *storage.Value, loInc, hiInc bool) (bf, bt, df, dt int) {
+	runLo, runHi, rli, rhi := lo, hi, loInc, hiInc
+	if o.dirs[0] {
+		runLo, runHi, rli, rhi = hi, lo, hiInc, loInc
+	}
+	bf, bt = o.bounds(o.base, runLo, runHi, rli, rhi)
+	df, dt = o.bounds(o.delta, runLo, runHi, rli, rhi)
+	return
+}
+
+// Range returns the row IDs whose leading key column falls in the probe
+// window, in index order (per-column directions, ties by row ID). Nil
+// bounds are open.
+func (o *Ordered) Range(lo, hi *storage.Value, loInc, hiInc bool) []int {
+	bf, bt, df, dt := o.runWindows(lo, hi, loInc, hiInc)
+	a, b := o.base[bf:bt], o.delta[df:dt]
 	out := make([]int, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
-		if less(a[i], b[j]) {
+		if o.less(a[i], b[j]) {
 			out = append(out, a[i].row)
 			i++
 		} else {
@@ -180,23 +238,55 @@ func mergeIDs(a, b []entry) []int {
 	return out
 }
 
-// Range returns the row IDs whose value falls in the probe window, in
-// index order: ascending by value, ties by row ID. Nil bounds are open.
-func (o *Ordered) Range(lo, hi *storage.Value, loInc, hiInc bool) []int {
-	bf, bt := bounds(o.base, lo, hi, loInc, hiInc)
-	df, dt := bounds(o.delta, lo, hi, loInc, hiInc)
-	return mergeIDs(o.base[bf:bt], o.delta[df:dt])
+// RangeWithKeys is Range carrying each row's full key tuple — the
+// index-only-scan hook (storage.KeyRanger): a covered projection is
+// served from these keys without touching table data. The returned key
+// slices alias index storage and must not be mutated.
+func (o *Ordered) RangeWithKeys(lo, hi *storage.Value, loInc, hiInc bool) ([]int, [][]storage.Value) {
+	bf, bt, df, dt := o.runWindows(lo, hi, loInc, hiInc)
+	a, b := o.base[bf:bt], o.delta[df:dt]
+	ids := make([]int, 0, len(a)+len(b))
+	keys := make([][]storage.Value, 0, len(a)+len(b))
+	i, j := 0, 0
+	take := func(e entry) {
+		ids = append(ids, e.row)
+		keys = append(keys, e.key)
+	}
+	for i < len(a) && j < len(b) {
+		if o.less(a[i], b[j]) {
+			take(a[i])
+			i++
+		} else {
+			take(b[j])
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		take(a[i])
+	}
+	for ; j < len(b); j++ {
+		take(b[j])
+	}
+	return ids, keys
 }
 
-// Lookup returns the row IDs whose value equals v, ascending by row ID —
-// equality through the ordered runs is the closed range [v, v].
-func (o *Ordered) Lookup(v storage.Value) []int {
-	if v.IsNull() {
+// Lookup returns the row IDs whose full key equals key, ascending by
+// row ID.
+func (o *Ordered) Lookup(key []storage.Value) []int {
+	if len(key) != len(o.cols) || keyHasNull(key) {
 		return nil
 	}
-	ids := o.Range(&v, &v, true, true)
-	if len(ids) == 0 {
+	var out []int
+	probe := entry{key: key, row: -1}
+	for _, run := range []*[]entry{&o.base, &o.delta} {
+		r := *run
+		for i := o.insertPos(r, probe); i < len(r) && o.compareKeys(r[i].key, key) == 0; i++ {
+			out = append(out, r[i].row)
+		}
+	}
+	if len(out) == 0 {
 		return nil
 	}
-	return ids
+	sort.Ints(out)
+	return out
 }

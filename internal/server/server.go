@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -48,6 +49,10 @@ type Config struct {
 	// WaitTimeout caps how long GET /jobs/{id}?wait=1 blocks
 	// (default 30s).
 	WaitTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — the
+	// profiling companion to the storage metrics on GET /schema/{table}.
+	// Off by default: profiles expose internals and cost CPU to collect.
+	EnablePprof bool
 }
 
 func (c *Config) fillDefaults() {
@@ -90,6 +95,16 @@ func New(db *core.DB, cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if cfg.EnablePprof {
+		// net/http/pprof registers on DefaultServeMux as an import side
+		// effect; route our mux's /debug/pprof/ straight to the handlers
+		// so the profiles come up on the same port as the API.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	// Built here, not in Serve, so a Shutdown racing (or preceding)
 	// Serve still closes the listener instead of silently no-opping.
 	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
@@ -326,12 +341,15 @@ type columnInfo struct {
 	Origin     string `json:"origin"`
 }
 
-// indexInfo is one secondary index in the schema inventory.
+// indexInfo is one secondary index in the schema inventory. Column is
+// the first key column (kept for pre-composite clients); Columns carries
+// the full key.
 type indexInfo struct {
-	Name    string `json:"name"`
-	Column  string `json:"column"`
-	Kind    string `json:"kind"` // "hash" or "ordered"
-	Entries int    `json:"entries"`
+	Name    string   `json:"name"`
+	Column  string   `json:"column"`
+	Columns []string `json:"columns,omitempty"`
+	Kind    string   `json:"kind"` // "hash" or "ordered"
+	Entries int      `json:"entries"`
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
@@ -354,14 +372,25 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	indexes := make([]indexInfo, 0, len(metas))
 	for _, m := range metas {
 		indexes = append(indexes, indexInfo{
-			Name: m.Name, Column: m.Column, Kind: m.Kind(), Entries: m.Entries,
+			Name: m.Name, Column: m.Column, Columns: m.Columns,
+			Kind: m.Kind(), Entries: m.Entries,
 		})
+	}
+	epochs := tbl.LiveSnapshotEpochs()
+	if epochs == nil {
+		epochs = []uint64{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"table":   tbl.Name(),
 		"rows":    tbl.NumRows(),
 		"columns": cols,
 		"indexes": indexes,
+		// MVCC storage health: sealed chunk count, tombstoned rows not yet
+		// compacted, and the epochs readers currently hold pinned (a stuck
+		// reader shows up here as an old epoch that never goes away).
+		"chunks":               tbl.ChunkCount(),
+		"tombstones":           tbl.Tombstones(),
+		"live_snapshot_epochs": epochs,
 	})
 }
 

@@ -245,18 +245,28 @@ func (*DropIndexStmt) stmt() {}
 
 // ---------- CREATE INDEX ----------
 
+// IndexCol is one key column of a CREATE INDEX, with its direction.
+type IndexCol struct {
+	Name string
+	Desc bool
+}
+
 // CreateIndexStmt is the secondary-index DDL:
 //
 //	CREATE INDEX idx_year ON movies (year)              -- ordered (default)
 //	CREATE INDEX idx_id   ON movies (movie_id) USING HASH
+//	CREATE INDEX idx_gy   ON movies (genre, year DESC)  -- composite, mixed dirs
 //
 // Ordered indexes answer equality and range predicates (and index-ordered
-// scans); hash indexes answer equality only, in O(1). The column must
-// already exist in the schema — indexing a registered-but-not-yet-expanded
-// column is rejected by the crowd-enabled layer with a typed error.
+// scans, honoring per-column ASC/DESC); hash indexes answer full-key
+// equality only, in O(1). Every column must already exist in the schema —
+// indexing a registered-but-not-yet-expanded column is rejected by the
+// crowd-enabled layer with a typed error.
 type CreateIndexStmt struct {
-	Name   string
-	Table  string
+	Name    string
+	Table   string
+	Columns []IndexCol
+	// Column is the first key column — kept for single-column callers.
 	Column string
 	// Kind is "hash" or "ordered" (the default when USING is absent).
 	Kind string

@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -11,11 +12,22 @@ func TestParseCreateIndex(t *testing.T) {
 		want CreateIndexStmt
 	}{
 		{`CREATE INDEX idx_year ON movies (year)`,
-			CreateIndexStmt{Name: "idx_year", Table: "movies", Column: "year", Kind: "ordered"}},
+			CreateIndexStmt{Name: "idx_year", Table: "movies",
+				Columns: []IndexCol{{Name: "year"}}, Column: "year", Kind: "ordered"}},
 		{`create index i1 on t (c) using hash`,
-			CreateIndexStmt{Name: "i1", Table: "t", Column: "c", Kind: "hash"}},
+			CreateIndexStmt{Name: "i1", Table: "t",
+				Columns: []IndexCol{{Name: "c"}}, Column: "c", Kind: "hash"}},
 		{`CREATE INDEX i1 ON t (c) USING ORDERED;`,
-			CreateIndexStmt{Name: "i1", Table: "t", Column: "c", Kind: "ordered"}},
+			CreateIndexStmt{Name: "i1", Table: "t",
+				Columns: []IndexCol{{Name: "c"}}, Column: "c", Kind: "ordered"}},
+		{`CREATE INDEX gy ON movies (genre, year DESC)`,
+			CreateIndexStmt{Name: "gy", Table: "movies",
+				Columns: []IndexCol{{Name: "genre"}, {Name: "year", Desc: true}},
+				Column:  "genre", Kind: "ordered"}},
+		{`CREATE INDEX abc ON t (a ASC, b DESC, c) USING HASH`,
+			CreateIndexStmt{Name: "abc", Table: "t",
+				Columns: []IndexCol{{Name: "a"}, {Name: "b", Desc: true}, {Name: "c"}},
+				Column:  "a", Kind: "hash"}},
 	}
 	for _, c := range cases {
 		stmt, err := Parse(c.sql)
@@ -26,7 +38,7 @@ func TestParseCreateIndex(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s: parsed %T", c.sql, stmt)
 		}
-		if *got != c.want {
+		if !reflect.DeepEqual(*got, c.want) {
 			t.Fatalf("%s: got %+v, want %+v", c.sql, *got, c.want)
 		}
 	}
@@ -39,7 +51,7 @@ func TestParseCreateIndexErrors(t *testing.T) {
 	}{
 		{`CREATE INDEX ON t (c)`, "expected identifier"},
 		{`CREATE INDEX i ON t ()`, "expected identifier"},
-		{`CREATE INDEX i ON t (a, b)`, "composite indexes"},
+		{`CREATE INDEX i ON t (a, )`, "expected identifier"},
 		{`CREATE INDEX i ON t (c) USING btree`, "expected HASH or ORDERED"},
 		{`CREATE INDEX i ON t`, `expected "("`},
 	}

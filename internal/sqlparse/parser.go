@@ -581,7 +581,7 @@ func (p *Parser) parseCreate() (Statement, error) {
 
 // parseCreateIndex parses the tail of
 //
-//	CREATE INDEX name ON table (column) [USING HASH|ORDERED]
+//	CREATE INDEX name ON table (column [ASC|DESC], ...) [USING HASH|ORDERED]
 //
 // with CREATE INDEX already consumed.
 func (p *Parser) parseCreateIndex() (*CreateIndexStmt, error) {
@@ -599,17 +599,27 @@ func (p *Parser) parseCreateIndex() (*CreateIndexStmt, error) {
 	if err := p.expectSymbol("("); err != nil {
 		return nil, err
 	}
-	column, err := p.parseIdent()
-	if err != nil {
-		return nil, err
-	}
-	if p.acceptSymbol(",") {
-		return nil, p.errorf("composite indexes are not supported (one column per index)")
+	var cols []IndexCol
+	for {
+		column, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		col := IndexCol{Name: column}
+		if p.acceptKeyword("DESC") {
+			col.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		cols = append(cols, col)
+		if !p.acceptSymbol(",") {
+			break
+		}
 	}
 	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
 	}
-	stmt := &CreateIndexStmt{Name: name, Table: table, Column: column, Kind: "ordered"}
+	stmt := &CreateIndexStmt{Name: name, Table: table, Columns: cols, Column: cols[0].Name, Kind: "ordered"}
 	if p.acceptKeyword("USING") {
 		// HASH and ORDERED are not reserved words; they arrive as plain
 		// identifiers here.

@@ -6,47 +6,72 @@ import (
 )
 
 // ColumnIndex is the maintenance-and-probe contract a secondary index
-// (internal/index) implements over one column of a table.
+// (internal/index) implements over one or more columns of a table.
 //
-// Every method is invoked under the owning table's mutex — mutators under
-// the write lock while a mutation is applied, probes under the read lock
-// while an index cursor refills a batch — so implementations need no
-// locking of their own. Row IDs are the table's current row positions;
-// when Delete compacts positions the table rebuilds every index rather
-// than patching them.
+// Every method is invoked under the owning table's idxMu — mutators
+// under the write lock, in the same critical section that publishes the
+// snapshot the update belongs to; probes under the read lock — so
+// implementations need no locking of their own and a probe result is
+// always consistent with the snapshot pinned alongside it. Row IDs are
+// stable physical IDs: Delete removes entries point-wise (Remove), never
+// shifting anything.
+//
+// Keys are value tuples parallel to Columns(); a key with any NULL
+// component is not indexed (Add/Remove/Replace skip it, Rebuild skips
+// the row).
 type ColumnIndex interface {
 	// Name is the index's unique (per table, case-insensitive) name.
 	Name() string
-	// Column is the indexed column.
-	Column() string
+	// Columns lists the key columns in key order.
+	Columns() []string
+	// Dirs reports each key column's direction (true = DESC), parallel
+	// to Columns. Hash indexes return all-false.
+	Dirs() []bool
 	// Ordered reports whether Range probes are supported (and whether
 	// Range returns IDs in key order, the planner's sort-elision hook).
 	Ordered() bool
-	// Entries is the number of indexed (non-NULL) rows, for
-	// introspection.
+	// Entries is the number of indexed (fully non-NULL) rows, for
+	// introspection and cardinality estimation.
 	Entries() int
 
-	// Add indexes row rowID's value v (NULLs are skipped).
-	Add(rowID int, v Value)
-	// Replace swaps rowID's entry from oldV to newV.
-	Replace(rowID int, oldV, newV Value)
-	// Rebuild reindexes from scratch; vals[i] is row i's value.
-	Rebuild(vals []Value)
+	// Add indexes row rowID under key.
+	Add(rowID int, key []Value)
+	// Remove drops rowID's entry under key.
+	Remove(rowID int, key []Value)
+	// Replace swaps rowID's entry from oldKey to newKey.
+	Replace(rowID int, oldKey, newKey []Value)
+	// Rebuild reindexes from scratch: cols[k][i] is row i's value for
+	// key column k; rows whose bit is set in skip (may be nil) are
+	// tombstoned and excluded.
+	Rebuild(cols [][]Value, skip []uint64)
 
-	// Lookup returns the row IDs whose value equals v (Value.Equal
-	// semantics), ascending by row ID.
-	Lookup(v Value) []int
-	// Range returns the row IDs in the bound window (nil = open side),
-	// in key order. Hash indexes return nil.
+	// Lookup returns the row IDs whose key equals key (Value.Equal
+	// semantics per component), ascending by row ID. A prefix of the key
+	// columns is not enough — len(key) must equal len(Columns()).
+	Lookup(key []Value) []int
+	// Range returns the row IDs whose FIRST key column falls in the
+	// bound window (nil = open side), in index order — first column
+	// ascending or descending per Dirs()[0]. Hash indexes return nil.
 	Range(lo, hi *Value, loInc, hiInc bool) []int
 }
 
+// KeyRanger is the optional index-only-scan hook: ordered indexes
+// return, alongside the row IDs, each row's full key tuple — so a query
+// whose projection is covered by the key never touches the table.
+type KeyRanger interface {
+	RangeWithKeys(lo, hi *Value, loInc, hiInc bool) (ids []int, keys [][]Value)
+}
+
 // IndexMeta describes one attached index for planning and introspection.
+// Column is the first key column (the only one, for single-column
+// indexes) — kept alongside Columns for wire compatibility.
 type IndexMeta struct {
-	Name    string `json:"name"`
-	Column  string `json:"column"`
-	Ordered bool   `json:"ordered"`
-	Entries int    `json:"entries"`
+	Name    string   `json:"name"`
+	Column  string   `json:"column"`
+	Columns []string `json:"columns,omitempty"`
+	Dirs    []bool   `json:"dirs,omitempty"`
+	Ordered bool     `json:"ordered"`
+	Entries int      `json:"entries"`
 }
 
 // Kind renders the index implementation name for humans and JSON.
@@ -57,11 +82,19 @@ func (m IndexMeta) Kind() string {
 	return "hash"
 }
 
+func metaOf(idx ColumnIndex) IndexMeta {
+	cols := idx.Columns()
+	return IndexMeta{
+		Name: idx.Name(), Column: cols[0], Columns: cols, Dirs: idx.Dirs(),
+		Ordered: idx.Ordered(), Entries: idx.Entries(),
+	}
+}
+
 // AttachIndex registers idx with the table and bulk-builds it from the
-// current rows under the write lock. The index name must be unique on the
-// table and the column must exist in the schema (a registered-but-not-yet
-// -expanded column is rejected by the layer above with a typed error;
-// here it is simply unknown).
+// current snapshot. The index name must be unique on the table and every
+// key column must exist in the schema (a registered-but-not-yet-expanded
+// column is rejected by the layer above with a typed error; here it is
+// simply unknown).
 func (t *Table) AttachIndex(idx ColumnIndex) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -72,11 +105,15 @@ func (t *Table) AttachIndex(idx ColumnIndex) error {
 	if _, dup := t.indexes[name]; dup {
 		return fmt.Errorf("storage: table %s already has an index named %q", t.name, idx.Name())
 	}
-	col, ok := t.schema.Lookup(idx.Column())
-	if !ok {
-		return fmt.Errorf("storage: table %s has no column %q to index", t.name, idx.Column())
+	v := t.snap.Load()
+	for _, col := range idx.Columns() {
+		if _, ok := v.schema.Lookup(col); !ok {
+			return fmt.Errorf("storage: table %s has no column %q to index", t.name, col)
+		}
 	}
-	idx.Rebuild(t.columnValues(col))
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	t.rebuildIndex(idx, v)
 	if t.indexes == nil {
 		t.indexes = map[string]ColumnIndex{}
 	}
@@ -94,65 +131,95 @@ func (t *Table) DetachIndex(name string) error {
 	if _, ok := t.indexes[key]; !ok {
 		return fmt.Errorf("storage: table %s has no index %q", t.name, name)
 	}
+	t.idxMu.Lock()
 	delete(t.indexes, key)
+	t.idxMu.Unlock()
 	return nil
 }
 
-// columnValues snapshots column col of every row. Caller holds t.mu.
-func (t *Table) columnValues(col int) []Value {
-	vals := make([]Value, len(t.rows))
-	for i, r := range t.rows {
-		vals[i] = r[col]
+// indexKeyOf extracts row's key tuple for idx from version v. ok is
+// false — the row is not indexed — when a key column is missing from the
+// schema or any component is NULL.
+func indexKeyOf(idx ColumnIndex, v *version, row int) ([]Value, bool) {
+	cols := idx.Columns()
+	key := make([]Value, len(cols))
+	for k, name := range cols {
+		ci, ok := v.schema.Lookup(name)
+		if !ok {
+			return nil, false
+		}
+		val := v.value(row, ci)
+		if val.IsNull() {
+			return nil, false
+		}
+		key[k] = val
+	}
+	return key, true
+}
+
+// columnValues materializes the full physical column col of version v.
+func columnValues(v *version, col int) []Value {
+	vals := make([]Value, v.nrows)
+	for i := 0; i < v.nrows; i++ {
+		vals[i] = v.value(i, col)
 	}
 	return vals
 }
 
-// indexesOn returns the indexes over the named column. Caller holds t.mu.
+// rebuildIndex bulk-loads idx from version v. Caller holds t.idxMu
+// (write) or has exclusive access to idx.
+func (t *Table) rebuildIndex(idx ColumnIndex, v *version) {
+	names := idx.Columns()
+	cols := make([][]Value, len(names))
+	for k, name := range names {
+		ci, ok := v.schema.Lookup(name)
+		if !ok {
+			return // vanished column: leave the index empty rather than lie
+		}
+		cols[k] = columnValues(v, ci)
+	}
+	idx.Rebuild(cols, v.dead)
+}
+
+// indexesOn returns the indexes having the named column anywhere in
+// their key. Caller holds t.idxMu or t.mu.
 func (t *Table) indexesOn(col string) []ColumnIndex {
 	var out []ColumnIndex
 	for _, idx := range t.indexes {
-		if normName(idx.Column()) == normName(col) {
-			out = append(out, idx)
+		for _, c := range idx.Columns() {
+			if normName(c) == normName(col) {
+				out = append(out, idx)
+				break
+			}
 		}
 	}
 	return out
 }
 
-// rebuildIndexes reindexes every attached index from the current rows
-// (the Delete-compaction path: positions shifted, patching is not worth
-// the complexity for a rare operation). Caller holds t.mu.
-func (t *Table) rebuildIndexes() {
-	for _, idx := range t.indexes {
-		if col, ok := t.schema.Lookup(idx.Column()); ok {
-			idx.Rebuild(t.columnValues(col))
-		}
-	}
-}
-
 // IndexMetas returns the attached indexes' metadata, sorted by name.
 func (t *Table) IndexMetas() []IndexMeta {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
 	out := make([]IndexMeta, 0, len(t.indexes))
 	for _, idx := range t.indexes {
-		out = append(out, IndexMeta{
-			Name: idx.Name(), Column: idx.Column(),
-			Ordered: idx.Ordered(), Entries: idx.Entries(),
-		})
+		out = append(out, metaOf(idx))
 	}
 	sort.Slice(out, func(i, j int) bool { return normName(out[i].Name) < normName(out[j].Name) })
 	return out
 }
 
-// IndexOn returns the metadata of an index over the named column,
-// preferring a hash index when wantOrdered is false (equality probes) and
-// requiring an ordered one when true (range probes / index order).
+// IndexOn returns the metadata of an index usable for probes on the
+// named column: for equality (wantOrdered=false) a single-column index
+// of any kind, preferring hash; for ranges/order (wantOrdered=true) an
+// ordered index whose FIRST key column matches (range bounds apply to
+// the leading column). Ties break by name for plan stability.
 func (t *Table) IndexOn(column string, wantOrdered bool) (IndexMeta, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
 	var best ColumnIndex
 	for _, idx := range t.indexes {
-		if normName(idx.Column()) != normName(column) {
+		cols := idx.Columns()
+		if normName(cols[0]) != normName(column) {
 			continue
 		}
 		if wantOrdered {
@@ -164,8 +231,9 @@ func (t *Table) IndexOn(column string, wantOrdered bool) (IndexMeta, bool) {
 			}
 			continue
 		}
-		// Equality: any index answers; prefer hash, tie-break by name for
-		// plan stability.
+		if len(cols) != 1 {
+			continue // equality on one column can't use a composite key
+		}
 		switch {
 		case best == nil:
 			best = idx
@@ -178,37 +246,164 @@ func (t *Table) IndexOn(column string, wantOrdered bool) (IndexMeta, bool) {
 	if best == nil {
 		return IndexMeta{}, false
 	}
-	return IndexMeta{Name: best.Name(), Column: best.Column(), Ordered: best.Ordered(), Entries: best.Entries()}, true
+	return metaOf(best), true
 }
 
-// IndexProbe selects index entries for a cursor: Point for an equality
-// lookup, otherwise the (possibly half-open) Lo/Hi range.
+// IndexProbe selects index entries for a cursor: Key for a (possibly
+// composite) equality lookup, Point for the legacy single-column form,
+// otherwise the (possibly half-open) Lo/Hi range on the first key
+// column. Reverse flips the result to the opposite of index order — the
+// planner's hook for serving ORDER BY ... DESC from an ASC index (and
+// vice versa) without a Sort.
 type IndexProbe struct {
-	Point  *Value
-	Lo, Hi *Value
-	LoInc  bool
-	HiInc  bool
+	Key     []Value
+	Point   *Value
+	Lo, Hi  *Value
+	LoInc   bool
+	HiInc   bool
+	Reverse bool
 }
 
-// IndexCursor streams the rows an index probe selects, in probe order
-// (ascending row ID for point lookups, key order for ranges), batching
-// row copies under per-batch read locks exactly like Cursor. The
-// matching row IDs are resolved once, under the first batch's lock, and
-// every row is re-checked against the probe at copy time (matches, see
-// refill), so a row updated out of the predicate between batches is
-// dropped — the same guarantee the scan cursor's filter gives. The
-// concurrent-delete caveat of Cursor still applies: IDs compacted away
-// after resolution are skipped or may alias a shifted row.
-type IndexCursor struct {
-	t     *Table
-	idx   ColumnIndex
-	probe IndexProbe
-	col   int // schema position of the indexed column
-	width int
+// resolve runs the probe against idx. Caller holds t.idxMu (read).
+//
+// Reverse must match a stable DESC sort exactly: key groups in reverse
+// order, table (row-ID) order preserved WITHIN each group of equal keys.
+// A whole-slice reverse would flip tie order too, making a DESC
+// index-order elision observably differ from the Sort it replaced. Range
+// probes reverse group-wise via the index's keys; point probes are a
+// single key group, where reversing would only scramble ties, so Reverse
+// is a no-op.
+func (p IndexProbe) resolve(idx ColumnIndex) []int {
+	switch {
+	case p.Key != nil:
+		return idx.Lookup(p.Key)
+	case p.Point != nil:
+		return idx.Lookup([]Value{*p.Point})
+	}
+	if p.Reverse {
+		if kr, ok := idx.(KeyRanger); ok {
+			ids, keys := kr.RangeWithKeys(p.Lo, p.Hi, p.LoInc, p.HiInc)
+			ids, _ = reverseKeyGroups(ids, keys)
+			return ids
+		}
+		// No key access: whole-slice reverse (tie order flips; ordered
+		// indexes all implement KeyRanger, so this is a fallback for
+		// exotic external implementations only).
+		ids := idx.Range(p.Lo, p.Hi, p.LoInc, p.HiInc)
+		rev := make([]int, len(ids))
+		for i, id := range ids {
+			rev[len(ids)-1-i] = id
+		}
+		return rev
+	}
+	return idx.Range(p.Lo, p.Hi, p.LoInc, p.HiInc)
+}
 
-	ids      []int
-	resolved bool
-	next     int // next position in ids
+// reverseKeyGroups flips the order of equal-key runs while preserving
+// order within each run. ids and keys are parallel slices in index
+// (ascending) order; the result is descending key order with ties still
+// in table order — exactly a stable DESC sort.
+func reverseKeyGroups(ids []int, keys [][]Value) ([]int, [][]Value) {
+	outIDs := make([]int, 0, len(ids))
+	outKeys := make([][]Value, 0, len(keys))
+	for end := len(ids); end > 0; {
+		start := end - 1
+		for start > 0 && keysEqual(keys[start-1], keys[end-1]) {
+			start--
+		}
+		outIDs = append(outIDs, ids[start:end]...)
+		outKeys = append(outKeys, keys[start:end]...)
+		end = start
+	}
+	return outIDs, outKeys
+}
+
+func keysEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p IndexProbe) isPoint() bool { return p.Key != nil || p.Point != nil }
+
+// lookupIndex fetches the named index and validates the probe shape.
+// Caller holds t.idxMu (read).
+func (t *Table) lookupIndex(indexName string, probe IndexProbe) (ColumnIndex, error) {
+	idx, ok := t.indexes[normName(indexName)]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %s has no index %q", t.name, indexName)
+	}
+	if !probe.isPoint() && !idx.Ordered() {
+		return nil, fmt.Errorf("storage: index %q on %s is not ordered; range probes need an ordered index", indexName, t.name)
+	}
+	return idx, nil
+}
+
+// PinIndexProbe resolves probe against the named index and pins the
+// matching snapshot in one critical section — the (snapshot, IDs) pair
+// is mutually consistent because commits publish both sides under the
+// same lock. This is the partitioning primitive for morsel-parallel
+// index access: the caller splits the ID list into disjoint chunks and
+// reads each through NewIndexCursorAt against the returned snapshot,
+// releasing it once when all workers are done.
+func (t *Table) PinIndexProbe(indexName string, probe IndexProbe) (*Snap, []int, error) {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	idx, err := t.lookupIndex(indexName, probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := probe.resolve(idx)
+	return t.pinLocked(), ids, nil
+}
+
+// IndexOnlyProbe resolves probe and returns, for each matching row, the
+// index's full key tuple — without ever touching table data. For point
+// probes keys is nil: every row's key equals the probe key, which the
+// caller already holds. Range probes require the index to implement
+// KeyRanger (ordered indexes do).
+func (t *Table) IndexOnlyProbe(indexName string, probe IndexProbe) (ids []int, keys [][]Value, err error) {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	idx, err := t.lookupIndex(indexName, probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	if probe.isPoint() {
+		return probe.resolve(idx), nil, nil
+	}
+	kr, ok := idx.(KeyRanger)
+	if !ok {
+		return nil, nil, fmt.Errorf("storage: index %q on %s cannot serve index-only scans", indexName, t.name)
+	}
+	ids, keys = kr.RangeWithKeys(probe.Lo, probe.Hi, probe.LoInc, probe.HiInc)
+	if probe.Reverse {
+		ids, keys = reverseKeyGroups(ids, keys)
+	}
+	return ids, keys, nil
+}
+
+// IndexCursor streams the rows an index probe selected, in probe order
+// (ascending row ID for point lookups, key order for ranges), reading a
+// snapshot pinned at creation with zero locks per batch. The IDs and the
+// snapshot are captured in one critical section, so every ID resolves to
+// a live row carrying exactly the key the index reported — rows updated
+// or deleted after creation are invisible, closing the old
+// concurrent-delete and updated-out-of-predicate caveats.
+type IndexCursor struct {
+	snap  *Snap
+	v     *version
+	width int
+	owns  bool
+
+	ids  []int
+	next int // next position in ids
 
 	filter func(Row) (bool, error)
 
@@ -222,78 +417,43 @@ type IndexCursor struct {
 
 // NewIndexCursor creates a batched cursor over the rows the named index
 // selects for probe. The index must exist; a range probe requires an
-// ordered index.
+// ordered index. The cursor owns its snapshot pin.
 func (t *Table) NewIndexCursor(indexName string, probe IndexProbe, batchSize int) (*IndexCursor, error) {
-	if batchSize <= 0 {
-		batchSize = DefaultBatchSize
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idx, ok := t.indexes[normName(indexName)]
-	if !ok {
-		return nil, fmt.Errorf("storage: table %s has no index %q", t.name, indexName)
-	}
-	if probe.Point == nil && !idx.Ordered() {
-		return nil, fmt.Errorf("storage: index %q on %s is not ordered; range probes need an ordered index", indexName, t.name)
-	}
-	col, ok := t.schema.Lookup(idx.Column())
-	if !ok {
-		return nil, fmt.Errorf("storage: indexed column %q vanished from %s", idx.Column(), t.name)
-	}
-	width := t.schema.Len()
-	return &IndexCursor{
-		t: t, idx: idx, probe: probe, col: col, width: width,
-		buf:  make([]Value, batchSize*width),
-		hdrs: make([]Row, batchSize),
-	}, nil
-}
-
-// IndexProbeIDs resolves a probe to its matching row IDs under one read
-// lock — the partitioning primitive for morsel-parallel index access: the
-// caller splits the ID list into disjoint chunks and reads each through
-// NewIndexCursorForIDs. The IDs carry the same weak-consistency caveats
-// as IndexCursor's internal resolution (rows can move out of the
-// predicate or be compacted away afterwards; the per-row matches() check
-// in the cursor re-validates at copy time).
-func (t *Table) IndexProbeIDs(indexName string, probe IndexProbe) ([]int, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idx, ok := t.indexes[normName(indexName)]
-	if !ok {
-		return nil, fmt.Errorf("storage: table %s has no index %q", t.name, indexName)
-	}
-	if probe.Point == nil && !idx.Ordered() {
-		return nil, fmt.Errorf("storage: index %q on %s is not ordered; range probes need an ordered index", indexName, t.name)
-	}
-	if probe.Point != nil {
-		return idx.Lookup(*probe.Point), nil
-	}
-	return idx.Range(probe.Lo, probe.Hi, probe.LoInc, probe.HiInc), nil
-}
-
-// NewIndexCursorForIDs creates a batched cursor over a pre-resolved slice
-// of row IDs (from IndexProbeIDs). The probe is still carried so every
-// row is re-checked against it at copy time, exactly like the
-// self-resolving cursor.
-func (t *Table) NewIndexCursorForIDs(indexName string, probe IndexProbe, ids []int, batchSize int) (*IndexCursor, error) {
-	c, err := t.NewIndexCursor(indexName, probe, batchSize)
+	snap, ids, err := t.PinIndexProbe(indexName, probe)
 	if err != nil {
 		return nil, err
 	}
-	c.ids, c.resolved = ids, true
+	c := NewIndexCursorAt(snap, ids, batchSize)
+	c.owns = true
 	return c, nil
 }
 
-// SetFilter installs a residual predicate evaluated during refill, under
-// the read lock, before a row is copied out (same contract as
-// Cursor.SetFilter).
+// NewIndexCursorAt creates a batched cursor over a pre-resolved slice of
+// row IDs (from PinIndexProbe) against the snapshot they were resolved
+// with. The caller keeps ownership of snap.
+func NewIndexCursorAt(snap *Snap, ids []int, batchSize int) *IndexCursor {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	v := snap.v
+	width := v.schema.Len()
+	return &IndexCursor{
+		snap: snap, v: v, width: width, ids: ids,
+		buf:  make([]Value, batchSize*width),
+		hdrs: make([]Row, batchSize),
+	}
+}
+
+// SetFilter installs a residual predicate evaluated during refill,
+// before a row is surfaced (same contract as Cursor.SetFilter).
 func (c *IndexCursor) SetFilter(f func(Row) (bool, error)) { c.filter = f }
 
-// Next returns the next matching row, or ok=false at the end (check Err).
-// The returned Row is valid until the next call.
+// Next returns the next matching row, or ok=false at the end (check
+// Err). The returned Row is valid until the next call.
 func (c *IndexCursor) Next() (Row, bool) {
 	for c.pos >= c.n {
 		if c.err != nil || c.done {
+			c.Close()
 			return nil, false
 		}
 		c.refill()
@@ -306,68 +466,29 @@ func (c *IndexCursor) Next() (Row, bool) {
 // Err returns the first filter error encountered, if any.
 func (c *IndexCursor) Err() error { return c.err }
 
-// matches re-evaluates the probe against a row's current key value. The
-// IDs were resolved at the first refill; a concurrent Set can move a row
-// out of the predicate between batches, and without this check the
-// cursor would return a row violating the query's own WHERE clause —
-// something the scan path (filter under the lock at copy time) can never
-// do. Point probes use Value.Equal (the `=` semantics the planner
-// consumed); range probes use Value.Compare, treating an incomparable
-// value as a non-match. NULL keys never match.
-func (c *IndexCursor) matches(v Value) bool {
-	if v.IsNull() {
-		return false
+// Close releases the cursor's snapshot pin (if it owns one). Idempotent;
+// called automatically at scan end.
+func (c *IndexCursor) Close() {
+	if c.owns {
+		c.snap.Release()
 	}
-	if c.probe.Point != nil {
-		return v.Equal(*c.probe.Point)
-	}
-	if c.probe.Lo != nil {
-		cmp, err := v.Compare(*c.probe.Lo)
-		if err != nil || cmp < 0 || (cmp == 0 && !c.probe.LoInc) {
-			return false
-		}
-	}
-	if c.probe.Hi != nil {
-		cmp, err := v.Compare(*c.probe.Hi)
-		if err != nil || cmp > 0 || (cmp == 0 && !c.probe.HiInc) {
-			return false
-		}
-	}
-	return true
 }
 
-// refill resolves the probe (first call) and copies the next batch of
-// matching rows under one read-lock acquisition.
+// refill materializes the next batch of rows from the pinned snapshot.
 func (c *IndexCursor) refill() {
-	t := c.t
 	batch := len(c.hdrs)
 	c.n, c.pos = 0, 0
-
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if !c.resolved {
-		if c.probe.Point != nil {
-			c.ids = c.idx.Lookup(*c.probe.Point)
-		} else {
-			c.ids = c.idx.Range(c.probe.Lo, c.probe.Hi, c.probe.LoInc, c.probe.HiInc)
-		}
-		c.resolved = true
-	}
+	v := c.v
 	for c.n < batch && c.next < len(c.ids) {
 		id := c.ids[c.next]
 		c.next++
-		if id < 0 || id >= len(t.rows) {
-			continue // compacted away since resolution
+		if id < 0 || id >= v.nrows || v.isDead(id) {
+			continue // defensive; a consistent (snapshot, IDs) pair never hits this
 		}
-		row := t.rows[id]
-		if len(row) < c.width {
-			continue
-		}
-		if !c.matches(row[c.col]) {
-			continue
-		}
+		dst := c.buf[c.n*c.width : (c.n+1)*c.width]
+		v.materializeRow(id, dst, c.width)
 		if c.filter != nil {
-			ok, err := c.filter(row[:c.width])
+			ok, err := c.filter(dst)
 			if err != nil {
 				c.err = err
 				return
@@ -376,8 +497,6 @@ func (c *IndexCursor) refill() {
 				continue
 			}
 		}
-		dst := c.buf[c.n*c.width : (c.n+1)*c.width]
-		copy(dst, row[:c.width])
 		c.hdrs[c.n] = dst
 		c.n++
 	}

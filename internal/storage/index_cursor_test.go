@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -10,54 +11,88 @@ import (
 // testing the table-side hooks without importing internal/index (which
 // would cycle).
 type fakeIndex struct {
-	name, col string
-	byVal     map[string][]int
+	name  string
+	cols  []string
+	byKey map[string][]int
 }
 
-func newFakeIndex(name, col string) *fakeIndex {
-	return &fakeIndex{name: name, col: col, byVal: map[string][]int{}}
+func newFakeIndex(name string, cols ...string) *fakeIndex {
+	return &fakeIndex{name: name, cols: cols, byKey: map[string][]int{}}
 }
 
-func (f *fakeIndex) Name() string   { return f.name }
-func (f *fakeIndex) Column() string { return f.col }
-func (f *fakeIndex) Ordered() bool  { return false }
+func (f *fakeIndex) Name() string      { return f.name }
+func (f *fakeIndex) Columns() []string { return f.cols }
+func (f *fakeIndex) Dirs() []bool      { return make([]bool, len(f.cols)) }
+func (f *fakeIndex) Ordered() bool     { return false }
 func (f *fakeIndex) Entries() int {
 	n := 0
-	for _, ids := range f.byVal {
+	for _, ids := range f.byKey {
 		n += len(ids)
 	}
 	return n
 }
 
-func (f *fakeIndex) Add(rowID int, v Value) {
-	if v.IsNull() {
+func (f *fakeIndex) keyStr(key []Value) (string, bool) {
+	parts := make([]string, len(key))
+	for i, v := range key {
+		if v.IsNull() {
+			return "", false
+		}
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "\x1f"), true
+}
+
+func (f *fakeIndex) Add(rowID int, key []Value) {
+	k, ok := f.keyStr(key)
+	if !ok {
 		return
 	}
-	f.byVal[v.String()] = append(f.byVal[v.String()], rowID)
+	f.byKey[k] = append(f.byKey[k], rowID)
 }
 
-func (f *fakeIndex) Replace(rowID int, oldV, newV Value) {
-	if !oldV.IsNull() {
-		ids := f.byVal[oldV.String()]
-		for i, id := range ids {
-			if id == rowID {
-				f.byVal[oldV.String()] = append(ids[:i], ids[i+1:]...)
-				break
-			}
+func (f *fakeIndex) Remove(rowID int, key []Value) {
+	k, ok := f.keyStr(key)
+	if !ok {
+		return
+	}
+	ids := f.byKey[k]
+	for i, id := range ids {
+		if id == rowID {
+			f.byKey[k] = append(ids[:i], ids[i+1:]...)
+			return
 		}
 	}
-	f.Add(rowID, newV)
 }
 
-func (f *fakeIndex) Rebuild(vals []Value) {
-	f.byVal = map[string][]int{}
-	for i, v := range vals {
-		f.Add(i, v)
+func (f *fakeIndex) Replace(rowID int, oldKey, newKey []Value) {
+	f.Remove(rowID, oldKey)
+	f.Add(rowID, newKey)
+}
+
+func (f *fakeIndex) Rebuild(cols [][]Value, skip []uint64) {
+	f.byKey = map[string][]int{}
+	if len(cols) == 0 {
+		return
+	}
+	for i := 0; i < len(cols[0]); i++ {
+		if w := i >> 6; w < len(skip) && skip[w]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		key := make([]Value, len(cols))
+		for c := range cols {
+			key[c] = cols[c][i]
+		}
+		f.Add(i, key)
 	}
 }
 
-func (f *fakeIndex) Lookup(v Value) []int {
-	return append([]int(nil), f.byVal[v.String()]...)
+func (f *fakeIndex) Lookup(key []Value) []int {
+	k, ok := f.keyStr(key)
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), f.byKey[k]...)
 }
 
 func (f *fakeIndex) Range(lo, hi *Value, loInc, hiInc bool) []int { return nil }
@@ -147,11 +182,18 @@ func TestRangeProbeOnUnorderedIndexRejected(t *testing.T) {
 	}
 }
 
-func TestDeleteRebuildsIndex(t *testing.T) {
+func TestDeleteRemovesIndexEntries(t *testing.T) {
 	tbl := indexedTable(t, 50)
-	// Delete all k=0 rows (ids 0,10,20,30,40) — compaction shifts IDs.
+	// Delete all k=0 rows (physical IDs 0,10,20,30,40) — entries are
+	// removed point-wise; the surviving IDs don't move.
 	tbl.Delete([]int{0, 10, 20, 30, 40})
-	point := Int(9)
+	point := Int(0)
+	if cur, err := tbl.NewIndexCursor("ik", IndexProbe{Point: &point}, 0); err != nil {
+		t.Fatal(err)
+	} else if row, ok := cur.Next(); ok {
+		t.Fatalf("k=0 still probed a row after delete: %v", row)
+	}
+	point = Int(9)
 	cur, err := tbl.NewIndexCursor("ik", IndexProbe{Point: &point}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +205,7 @@ func TestDeleteRebuildsIndex(t *testing.T) {
 			break
 		}
 		if got, _ := row[0].AsInt(); got != 9 {
-			t.Fatalf("row k = %d after compaction", got)
+			t.Fatalf("row k = %d after delete", got)
 		}
 		n++
 	}
@@ -172,11 +214,12 @@ func TestDeleteRebuildsIndex(t *testing.T) {
 	}
 }
 
-// TestIndexCursorDropsRowUpdatedOutOfPredicate: the matching IDs are
-// frozen at the first refill, but a row updated out of the predicate
-// between batches must NOT be returned — the cursor re-checks the key at
-// copy time, matching the guarantee of the scan path's filter.
-func TestIndexCursorDropsRowUpdatedOutOfPredicate(t *testing.T) {
+// TestIndexCursorSnapshotStability: the cursor captures the snapshot and
+// the matching IDs in one critical section at creation, so rows updated
+// out of the predicate afterwards are still returned WITH THEIR AS-OF-OPEN
+// VALUES — repeatable reads, the MVCC upgrade over the old re-check-at-
+// copy-time behavior.
+func TestIndexCursorSnapshotStability(t *testing.T) {
 	tbl := indexedTable(t, 100) // ten rows per key 0..9
 	point := Int(6)
 	cur, err := tbl.NewIndexCursor("ik", IndexProbe{Point: &point}, 2)
@@ -194,34 +237,46 @@ func TestIndexCursorDropsRowUpdatedOutOfPredicate(t *testing.T) {
 		}
 		got++
 	}
-	// Move every remaining k=6 row out of the predicate while the cursor
-	// is parked between batches.
+	// Move every k=6 row but one out of the predicate, and delete the
+	// holdout, while the cursor is parked between batches.
 	for i := 0; i < 100; i++ {
+		if i == 26 {
+			continue
+		}
 		if v, err := tbl.Value(i, 0); err == nil {
-			if k, _ := v.AsInt(); k == 6 && i > 26 { // rows 6,16 already emitted
+			if k, _ := v.AsInt(); k == 6 {
 				if err := tbl.Set(i, 0, Int(99)); err != nil {
 					t.Fatal(err)
 				}
 			}
 		}
 	}
+	tbl.Delete([]int{26}) // the remaining untouched k=6 row
 	for {
 		row, ok := cur.Next()
 		if !ok {
 			break
 		}
 		if k, _ := row[0].AsInt(); k != 6 {
-			t.Fatalf("cursor returned k=%d, violating its own predicate", k)
+			t.Fatalf("cursor returned k=%d; the pinned snapshot must show as-of-open values", k)
 		}
 		got++
 	}
 	if cur.Err() != nil {
 		t.Fatal(cur.Err())
 	}
-	// 10 matched at resolution; 2 emitted before the update; row 26 was
-	// still k=6; the other 7 were updated away and must be dropped.
-	if got != 3 {
-		t.Fatalf("emitted %d rows, want 3 (stale matches must be dropped)", got)
+	// All 10 rows matched at open; every one must be emitted with its
+	// as-of-open key, updates and deletes notwithstanding.
+	if got != 10 {
+		t.Fatalf("emitted %d rows, want 10 (snapshot isolation)", got)
+	}
+	// A cursor opened now sees the post-mutation state: no k=6 rows left.
+	cur2, err := tbl.NewIndexCursor("ik", IndexProbe{Point: &point}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row, ok := cur2.Next(); ok {
+		t.Fatalf("fresh cursor still sees k=6 row %v", row)
 	}
 }
 

@@ -15,7 +15,15 @@ const (
 	OpSet         OpKind = "set"
 	OpAddColumn   OpKind = "add_column"
 	OpFillColumn  OpKind = "fill_column"
-	OpDelete      OpKind = "delete"
+	// OpDelete is the pre-MVCC compacting delete. It is no longer
+	// emitted, but old WALs contain it; replay routes it to
+	// Table.LegacyCompact so row indices in subsequent legacy records
+	// keep resolving.
+	OpDelete OpKind = "delete"
+	// OpTombstone is the MVCC delete: Rows lists the physical row IDs
+	// tombstoned. Row IDs are stable, so replay order is insensitive to
+	// interleaved mutations.
+	OpTombstone OpKind = "tombstone"
 )
 
 // Op is one typed storage mutation — the unit a durability layer logs and
@@ -27,8 +35,9 @@ const (
 //	insert        Table, Values (one full row, post-coercion)
 //	set           Table, Row, Col, Values[0]
 //	add_column    Table, Column
-//	fill_column   Table, Name, Values (one per row, in row order)
-//	delete        Table, Rows (indices as passed to Delete)
+//	fill_column   Table, Name, Values (one per live row, in scan order)
+//	delete        Table, Rows (legacy compacting positions; replay-only)
+//	tombstone     Table, Rows (physical row IDs)
 type Op struct {
 	Kind    OpKind   `json:"kind"`
 	Table   string   `json:"table"`

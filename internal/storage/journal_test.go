@@ -103,7 +103,7 @@ func TestMutationsEmitTypedOps(t *testing.T) {
 		t.Fatal("drop failed")
 	}
 
-	want := []OpKind{OpCreateTable, OpInsert, OpInsert, OpAddColumn, OpFillColumn, OpSet, OpDelete, OpDropTable}
+	want := []OpKind{OpCreateTable, OpInsert, OpInsert, OpAddColumn, OpFillColumn, OpSet, OpTombstone, OpDropTable}
 	got := j.kinds()
 	if len(got) != len(want) {
 		t.Fatalf("op kinds = %v, want %v", got, want)

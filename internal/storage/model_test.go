@@ -6,7 +6,9 @@ import (
 )
 
 // TestTableAgainstModel drives a Table with a random operation sequence
-// mirrored against a plain-slice model; all reads must agree.
+// mirrored against a plain-slice model; all reads must agree. Row IDs
+// are physical and stable (Delete tombstones instead of compacting), so
+// the model tracks each live row's physical ID alongside its values.
 func TestTableAgainstModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(555))
 
@@ -20,10 +22,12 @@ func TestTableAgainstModel(t *testing.T) {
 		}
 		tbl := NewTable("m", schema)
 		type mrow struct {
-			k int64
-			v float64
+			id int // physical row ID
+			k  int64
+			v  float64
 		}
-		var model []mrow
+		var model []mrow // live rows, ascending by physical ID
+		inserted := 0    // total physical rows ever inserted
 		cols := 2
 
 		for op := 0; op < 200; op++ {
@@ -39,42 +43,45 @@ func TestTableAgainstModel(t *testing.T) {
 				if err := tbl.Insert(row...); err != nil {
 					t.Fatal(err)
 				}
-				model = append(model, mrow{k: k, v: v})
-			case 4, 5: // set
+				model = append(model, mrow{id: inserted, k: k, v: v})
+				inserted++
+			case 4, 5: // set, by physical ID
 				if len(model) == 0 {
 					continue
 				}
 				i := rng.Intn(len(model))
 				v := float64(rng.Intn(1000)) / 8
-				if err := tbl.Set(i, 1, Float(v)); err != nil {
+				if err := tbl.Set(model[i].id, 1, Float(v)); err != nil {
 					t.Fatal(err)
 				}
 				model[i].v = v
-			case 6: // delete a random subset
+			case 6: // delete a random subset of live rows
 				if len(model) == 0 {
 					continue
 				}
-				var idx []int
-				for i := range model {
+				var ids []int
+				kill := map[int]bool{}
+				for _, r := range model {
 					if rng.Float64() < 0.2 {
-						idx = append(idx, i)
+						ids = append(ids, r.id)
+						kill[r.id] = true
 					}
 				}
-				removed := tbl.Delete(idx)
-				kill := map[int]bool{}
-				for _, i := range idx {
-					kill[i] = true
-				}
+				removed := tbl.Delete(ids)
 				kept := model[:0]
-				for i, r := range model {
-					if !kill[i] {
+				for _, r := range model {
+					if !kill[r.id] {
 						kept = append(kept, r)
 					}
 				}
-				if removed != len(model)-len(kept) {
-					t.Fatalf("Delete removed %d, model says %d", removed, len(model)-len(kept))
+				if removed != len(ids) {
+					t.Fatalf("Delete removed %d, model says %d", removed, len(ids))
 				}
 				model = kept
+				// Deleting again (and out-of-range IDs) must be a no-op.
+				if again := tbl.Delete(append(ids, -1, inserted+5)); again != 0 {
+					t.Fatalf("re-Delete removed %d, want 0", again)
+				}
 			case 7: // add a column (schema expansion), all NULLs
 				if cols >= 6 {
 					continue
@@ -84,19 +91,19 @@ func TestTableAgainstModel(t *testing.T) {
 					t.Fatal(err)
 				}
 				cols++
-			case 8: // point read
+			case 8: // point read, by physical ID
 				if len(model) == 0 {
 					continue
 				}
 				i := rng.Intn(len(model))
-				got, err := tbl.Get(i)
+				got, err := tbl.Get(model[i].id)
 				if err != nil {
 					t.Fatal(err)
 				}
 				k, _ := got[0].AsInt()
 				v, _ := got[1].AsFloat()
 				if k != model[i].k || v != model[i].v {
-					t.Fatalf("row %d = (%d, %g), model says (%d, %g)", i, k, v, model[i].k, model[i].v)
+					t.Fatalf("row %d = (%d, %g), model says (%d, %g)", model[i].id, k, v, model[i].k, model[i].v)
 				}
 			default: // full scan comparison
 				if tbl.NumRows() != len(model) {
@@ -104,6 +111,9 @@ func TestTableAgainstModel(t *testing.T) {
 				}
 				i := 0
 				tbl.Scan(func(idx int, row Row) bool {
+					if idx != model[i].id {
+						t.Fatalf("scan row %d has physical ID %d, model says %d", i, idx, model[i].id)
+					}
 					k, _ := row[0].AsInt()
 					v, _ := row[1].AsFloat()
 					if k != model[i].k || v != model[i].v {
@@ -117,6 +127,29 @@ func TestTableAgainstModel(t *testing.T) {
 				})
 				if i != len(model) {
 					t.Fatalf("scan visited %d rows, model has %d", i, len(model))
+				}
+			}
+		}
+
+		// A tombstoned row must be unreadable and unwritable.
+		if inserted > len(model) {
+			dead := -1
+			live := map[int]bool{}
+			for _, r := range model {
+				live[r.id] = true
+			}
+			for id := 0; id < inserted; id++ {
+				if !live[id] {
+					dead = id
+					break
+				}
+			}
+			if dead >= 0 {
+				if _, err := tbl.Get(dead); err == nil {
+					t.Fatalf("Get(%d) on a deleted row succeeded", dead)
+				}
+				if err := tbl.Set(dead, 0, Int(1)); err == nil {
+					t.Fatalf("Set(%d) on a deleted row succeeded", dead)
 				}
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ColumnOrigin records how a column came to exist. Query-driven schema
@@ -40,6 +41,8 @@ type Column struct {
 }
 
 // Schema is an ordered list of columns with unique case-insensitive names.
+// Once attached to a published table version a Schema is immutable;
+// AddColumn installs a fresh copy.
 type Schema struct {
 	cols  []Column
 	index map[string]int
@@ -79,6 +82,22 @@ func (s *Schema) add(c Column) error {
 	return nil
 }
 
+// cloneWith returns a copy of s with c appended; c must already be
+// validated against s.
+func (s *Schema) cloneWith(c Column) *Schema {
+	ns := &Schema{
+		cols:  make([]Column, len(s.cols), len(s.cols)+1),
+		index: make(map[string]int, len(s.cols)+1),
+	}
+	copy(ns.cols, s.cols)
+	for k, v := range s.index {
+		ns.index[k] = v
+	}
+	ns.index[normName(c.Name)] = len(ns.cols)
+	ns.cols = append(ns.cols, c)
+	return ns
+}
+
 // Len returns the number of columns.
 func (s *Schema) Len() int { return len(s.cols) }
 
@@ -108,27 +127,42 @@ func (r Row) Clone() Row {
 	return out
 }
 
-// Table is an in-memory, mutex-guarded row store.
+// Table is an in-memory MVCC column store.
 //
-// The lock makes concurrent crowd fill-ins safe: the crowd simulator
-// completes HITs on goroutines while the engine keeps serving reads.
+// Data lives in an immutable *version reached through one atomic
+// pointer (see version.go). Readers — streaming cursors, parallel
+// morsels, point Gets — load the pointer and proceed with zero locks,
+// so long scans never contend with the bulk crowd-fill landing path.
+// Writers serialize on mu, build the next version copy-on-write, and
+// publish it together with the matching index updates under idxMu, so
+// an index probe and the snapshot it resolves against are always
+// mutually consistent.
+//
+// Row IDs are physical and stable for the table's lifetime: Delete
+// tombstones rows instead of compacting, which is what makes open
+// cursors immune to concurrent deletes.
 //
 // When a Journal is attached (via Catalog.SetJournal), every mutation
-// emits a typed Op record before it is applied, under the same lock —
-// the write-ahead discipline the durability layer replays from.
+// emits a typed Op record before it is applied, under mu — the
+// write-ahead discipline the durability layer replays from.
 type Table struct {
 	name string
 
-	mu       sync.RWMutex
-	schema   *Schema
-	rows     []Row
+	mu       sync.Mutex // serializes writers; readers never take it
+	snap     atomic.Pointer[version]
 	journal  Journal
 	observer Observer
-	// indexes maps index name (lower) → attached secondary index. Indexes
-	// are maintained synchronously under mu by every mutator below —
-	// including bulk crowd fills of expanded columns — so a probe is never
-	// stale relative to the rows (see index.go).
+
+	// idxMu couples snapshot publication with index maintenance: every
+	// commit stores the new version and patches the indexes inside
+	// idxMu.Lock, and index-cursor creation reads both under idxMu.RLock.
+	// Plain table scans never touch it.
+	idxMu   sync.RWMutex
 	indexes map[string]ColumnIndex
+
+	// pinMu guards the snapshot-pin registry (see version.go).
+	pinMu sync.Mutex
+	pins  map[uint64]int
 }
 
 // logOp emits op to the attached journal. Caller holds t.mu; validation
@@ -142,16 +176,30 @@ func (t *Table) logOp(op Op) error {
 }
 
 // notify reports an applied mutation to the attached observer. Caller
-// holds t.mu (write); the mutation has already succeeded.
+// holds t.mu; the mutation has already been published.
 func (t *Table) notify(op Op) {
 	if t.observer != nil {
 		t.observer(op)
 	}
 }
 
+// publish installs nv as the current version, holding idxMu so index
+// updates ride in the same critical section when the caller needs them.
+// apply may be nil.
+func (t *Table) publish(nv *version, apply func()) {
+	t.idxMu.Lock()
+	t.snap.Store(nv)
+	if apply != nil {
+		apply()
+	}
+	t.idxMu.Unlock()
+}
+
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema *Schema) *Table {
-	return &Table{name: name, schema: schema}
+	t := &Table{name: name}
+	t.snap.Store(newVersion(schema))
+	return t
 }
 
 // Name returns the table name.
@@ -159,24 +207,19 @@ func (t *Table) Name() string { return t.name }
 
 // Schema returns a snapshot of the table's schema.
 func (t *Table) Schema() *Schema {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	s, _ := NewSchema(t.schema.cols...)
+	v := t.snap.Load()
+	s, _ := NewSchema(v.schema.cols...)
 	return s
 }
 
-// NumRows returns the row count.
+// NumRows returns the live row count (tombstoned rows excluded).
 func (t *Table) NumRows() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
+	return t.snap.Load().live()
 }
 
 // NumCols returns the column count.
 func (t *Table) NumCols() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.schema.Len()
+	return t.snap.Load().schema.Len()
 }
 
 // Insert appends a row after validating arity and coercing each value to
@@ -184,119 +227,184 @@ func (t *Table) NumCols() int {
 func (t *Table) Insert(vals ...Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(vals) != t.schema.Len() {
-		return fmt.Errorf("storage: table %s expects %d values, got %d", t.name, t.schema.Len(), len(vals))
+	v := t.snap.Load()
+	if len(vals) != v.schema.Len() {
+		return fmt.Errorf("storage: table %s expects %d values, got %d", t.name, v.schema.Len(), len(vals))
 	}
 	row := make(Row, len(vals))
-	for i, v := range vals {
-		cv, err := v.Coerce(t.schema.Column(i).Kind)
+	for i, val := range vals {
+		cv, err := val.Coerce(v.schema.Column(i).Kind)
 		if err != nil {
-			return fmt.Errorf("storage: column %s: %w", t.schema.Column(i).Name, err)
+			return fmt.Errorf("storage: column %s: %w", v.schema.Column(i).Name, err)
 		}
 		row[i] = cv
 	}
 	if err := t.logOp(Op{Kind: OpInsert, Table: t.name, Values: row}); err != nil {
 		return err
 	}
-	t.rows = append(t.rows, row)
-	rowID := len(t.rows) - 1
-	for _, idx := range t.indexes {
-		if col, ok := t.schema.Lookup(idx.Column()); ok {
-			idx.Add(rowID, row[col])
-		}
+	nv := v.clone()
+	tailLen := v.nrows - v.sealed
+	for i := range nv.cols {
+		nv.cols[i].tail = appendTail(nv.cols[i].tail, tailLen, row[i])
 	}
+	nv.nrows++
+	if nv.nrows-nv.sealed == ChunkRows {
+		// Seal: the full tails become immutable chunks. In-place append
+		// into a shared chunks backing array is safe — published versions
+		// only read their own (shorter) length.
+		for i := range nv.cols {
+			cd := &nv.cols[i]
+			cd.chunks = append(cd.chunks, cd.tail[:ChunkRows:ChunkRows])
+			cd.tail = nil
+		}
+		nv.sealed += ChunkRows
+	}
+	rowID := v.nrows
+	t.publish(nv, func() {
+		for _, idx := range t.indexes {
+			if key, ok := indexKeyOf(idx, nv, rowID); ok {
+				idx.Add(rowID, key)
+			}
+		}
+	})
 	t.notify(Op{Kind: OpInsert, Table: t.name})
 	return nil
 }
 
-// Get returns a copy of row i.
+// Get returns a copy of row i (a physical row ID). Tombstoned rows are
+// an error.
 func (t *Table) Get(i int) (Row, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if i < 0 || i >= len(t.rows) {
-		return nil, fmt.Errorf("storage: row %d out of range [0,%d)", i, len(t.rows))
+	v := t.snap.Load()
+	if i < 0 || i >= v.nrows {
+		return nil, fmt.Errorf("storage: row %d out of range [0,%d)", i, v.nrows)
 	}
-	return t.rows[i].Clone(), nil
+	if v.isDead(i) {
+		return nil, fmt.Errorf("storage: row %d is deleted", i)
+	}
+	row := make(Row, v.schema.Len())
+	v.materializeRow(i, row, len(row))
+	return row, nil
 }
 
-// Set overwrites the value at (row, col) after coercion.
-func (t *Table) Set(row, col int, v Value) error {
+// Set overwrites the value at (row, col) after coercion. The write
+// copies exactly one column chunk (or tail); every other chunk is
+// shared with the previous version.
+func (t *Table) Set(row, col int, val Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if row < 0 || row >= len(t.rows) {
-		return fmt.Errorf("storage: row %d out of range [0,%d)", row, len(t.rows))
+	v := t.snap.Load()
+	if row < 0 || row >= v.nrows {
+		return fmt.Errorf("storage: row %d out of range [0,%d)", row, v.nrows)
 	}
-	if col < 0 || col >= t.schema.Len() {
-		return fmt.Errorf("storage: column %d out of range [0,%d)", col, t.schema.Len())
+	if col < 0 || col >= v.schema.Len() {
+		return fmt.Errorf("storage: column %d out of range [0,%d)", col, v.schema.Len())
 	}
-	cv, err := v.Coerce(t.schema.Column(col).Kind)
+	if v.isDead(row) {
+		return fmt.Errorf("storage: row %d is deleted", row)
+	}
+	cv, err := val.Coerce(v.schema.Column(col).Kind)
 	if err != nil {
 		return err
 	}
 	if err := t.logOp(Op{Kind: OpSet, Table: t.name, Row: row, Col: col, Values: []Value{cv}}); err != nil {
 		return err
 	}
-	old := t.rows[row][col]
-	t.rows[row][col] = cv
-	for _, idx := range t.indexesOn(t.schema.Column(col).Name) {
-		idx.Replace(row, old, cv)
+	nv := v.clone()
+	cd := &nv.cols[col]
+	if row >= v.sealed {
+		tailLen := v.nrows - v.sealed
+		nt := make([]Value, tailLen)
+		copy(nt, cd.tail) // nil tail → prefix stays NULL
+		nt[row-v.sealed] = cv
+		cd.tail = nt
+	} else {
+		ci := row / ChunkRows
+		nc := make([]Value, ChunkRows)
+		if cd.chunks[ci] != nil {
+			copy(nc, cd.chunks[ci])
+		}
+		nc[row%ChunkRows] = cv
+		chunks := make([][]Value, len(cd.chunks))
+		copy(chunks, cd.chunks)
+		chunks[ci] = nc
+		cd.chunks = chunks
 	}
+	colName := v.schema.Column(col).Name
+	t.publish(nv, func() {
+		for _, idx := range t.indexesOn(colName) {
+			oldKey, oldOK := indexKeyOf(idx, v, row)
+			newKey, newOK := indexKeyOf(idx, nv, row)
+			switch {
+			case oldOK && newOK:
+				idx.Replace(row, oldKey, newKey)
+			case oldOK:
+				idx.Remove(row, oldKey)
+			case newOK:
+				idx.Add(row, newKey)
+			}
+		}
+	})
 	t.notify(Op{Kind: OpSet, Table: t.name})
 	return nil
 }
 
-// Value returns the value at (row, col).
+// Value returns the value at (row, col); row is a physical row ID.
 func (t *Table) Value(row, col int) (Value, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if row < 0 || row >= len(t.rows) {
-		return Null(), fmt.Errorf("storage: row %d out of range [0,%d)", row, len(t.rows))
+	v := t.snap.Load()
+	if row < 0 || row >= v.nrows {
+		return Null(), fmt.Errorf("storage: row %d out of range [0,%d)", row, v.nrows)
 	}
-	if col < 0 || col >= t.schema.Len() {
-		return Null(), fmt.Errorf("storage: column %d out of range [0,%d)", col, t.schema.Len())
+	if col < 0 || col >= v.schema.Len() {
+		return Null(), fmt.Errorf("storage: column %d out of range [0,%d)", col, v.schema.Len())
 	}
-	return t.rows[row][col], nil
+	if v.isDead(row) {
+		return Null(), fmt.Errorf("storage: row %d is deleted", row)
+	}
+	return v.value(row, col), nil
 }
 
 // AddColumn appends a new column (schema expansion). Every existing row
-// receives NULL for it. Returns the new column's index.
+// receives NULL for it — represented as nil chunks, so the column costs
+// nothing until filled. Returns the new column's index.
 func (t *Table) AddColumn(c Column) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	v := t.snap.Load()
 	// Validate before logging so the journal never records a rejected op.
-	if err := t.schema.validate(c); err != nil {
+	if err := v.schema.validate(c); err != nil {
 		return 0, err
 	}
 	if err := t.logOp(Op{Kind: OpAddColumn, Table: t.name, Column: &c}); err != nil {
 		return 0, err
 	}
-	if err := t.schema.add(c); err != nil {
-		return 0, err
-	}
-	for i := range t.rows {
-		t.rows[i] = append(t.rows[i], Null())
-	}
+	nv := v.clone()
+	nv.schema = v.schema.cloneWith(c)
+	nv.cols = append(nv.cols, colData{chunks: make([][]Value, v.sealed/ChunkRows)})
+	t.publish(nv, nil)
 	t.notify(Op{Kind: OpAddColumn, Table: t.name})
-	return t.schema.Len() - 1, nil
+	return nv.schema.Len() - 1, nil
 }
 
-// FillColumn assigns vals (one per row, in row order) to the named column.
-// It is the bulk write path used by expansion strategies after a classifier
-// has produced values for every tuple.
+// FillColumn assigns vals (one per live row, in scan order) to the named
+// column. It is the bulk write path used by expansion strategies after a
+// classifier has produced values for every tuple. The column is rebuilt
+// into fresh chunks in one commit; snapshots pinned before the fill keep
+// reading the old chunks untouched.
 func (t *Table) FillColumn(name string, vals []Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	col, ok := t.schema.Lookup(name)
+	v := t.snap.Load()
+	col, ok := v.schema.Lookup(name)
 	if !ok {
 		return fmt.Errorf("storage: table %s has no column %q", t.name, name)
 	}
-	if len(vals) != len(t.rows) {
-		return fmt.Errorf("storage: FillColumn %s: %d values for %d rows", name, len(vals), len(t.rows))
+	if len(vals) != v.live() {
+		return fmt.Errorf("storage: FillColumn %s: %d values for %d rows", name, len(vals), v.live())
 	}
-	kind := t.schema.Column(col).Kind
+	kind := v.schema.Column(col).Kind
 	coerced := make([]Value, len(vals))
-	for i, v := range vals {
-		cv, err := v.Coerce(kind)
+	for i, val := range vals {
+		cv, err := val.Coerce(kind)
 		if err != nil {
 			return fmt.Errorf("storage: FillColumn %s row %d: %w", name, i, err)
 		}
@@ -305,44 +413,64 @@ func (t *Table) FillColumn(name string, vals []Value) error {
 	if err := t.logOp(Op{Kind: OpFillColumn, Table: t.name, Name: name, Values: coerced}); err != nil {
 		return err
 	}
-	for i, cv := range coerced {
-		t.rows[i][col] = cv
+	// Spread live-ordered values over physical positions; tombstoned rows
+	// stay NULL.
+	phys := make([]Value, v.nrows)
+	li := 0
+	for i := 0; i < v.nrows; i++ {
+		if v.isDead(i) {
+			continue
+		}
+		phys[i] = coerced[li]
+		li++
 	}
-	// Bulk rebuild beats len(rows) incremental Replace calls — this is
-	// the crowd-fill landing path for expanded columns.
-	for _, idx := range t.indexesOn(name) {
-		idx.Rebuild(coerced)
-	}
+	nv := v.clone()
+	nv.cols[col] = buildColData(phys)
+	t.publish(nv, func() {
+		// Bulk rebuild beats nrows incremental Replace calls — this is
+		// the crowd-fill landing path for expanded columns.
+		for _, idx := range t.indexesOn(name) {
+			t.rebuildIndex(idx, nv)
+		}
+	})
 	t.notify(Op{Kind: OpFillColumn, Table: t.name})
 	return nil
 }
 
-// ScanFunc is invoked once per row during Scan. Returning false stops the
-// scan early. The row must not be mutated or retained.
+// ScanFunc is invoked once per live row during Scan with the row's
+// physical ID. Returning false stops the scan early. The row must not be
+// mutated or retained — the buffer is reused between calls.
 type ScanFunc func(rowIdx int, row Row) bool
 
-// Scan iterates over all rows under a read lock.
+// Scan iterates over all live rows of the current snapshot, lock-free.
 func (t *Table) Scan(f ScanFunc) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for i, r := range t.rows {
-		if !f(i, r) {
+	v := t.snap.Load()
+	buf := make(Row, v.schema.Len())
+	for i := 0; i < v.nrows; i++ {
+		if v.isDead(i) {
+			continue
+		}
+		v.materializeRow(i, buf, len(buf))
+		if !f(i, buf) {
 			return
 		}
 	}
 }
 
-// Delete removes rows whose indices appear in idx. Indices outside the
-// valid range are ignored.
+// Delete tombstones the rows whose physical IDs appear in idx. IDs
+// outside the valid range or already deleted are ignored. Index entries
+// for the doomed rows are removed point-wise; no data moves, so open
+// snapshots and cursors are unaffected. Returns the newly-dead count.
 func (t *Table) Delete(idx []int) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(idx) == 0 {
 		return 0
 	}
+	v := t.snap.Load()
 	kill := make(map[int]bool, len(idx))
 	for _, i := range idx {
-		if i >= 0 && i < len(t.rows) {
+		if i >= 0 && i < v.nrows && !v.isDead(i) {
 			kill[i] = true
 		}
 	}
@@ -356,22 +484,91 @@ func (t *Table) Delete(idx []int) int {
 	sort.Ints(killed)
 	// Delete's signature cannot surface a journal failure; the durability
 	// layer latches it (wal.Err) and reports at the next Snapshot/Close.
-	_ = t.logOp(Op{Kind: OpDelete, Table: t.name, Rows: killed})
-	out := t.rows[:0]
-	for i, r := range t.rows {
-		if !kill[i] {
-			out = append(out, r)
+	_ = t.logOp(Op{Kind: OpTombstone, Table: t.name, Rows: killed})
+	nv := v.clone()
+	nv.dead = cloneDead(v.dead, v.nrows)
+	for _, i := range killed {
+		setDead(nv.dead, i)
+	}
+	nv.ndead += len(killed)
+	t.publish(nv, func() {
+		for _, idx := range t.indexes {
+			for _, row := range killed {
+				if key, ok := indexKeyOf(idx, v, row); ok {
+					idx.Remove(row, key)
+				}
+			}
+		}
+	})
+	t.notify(Op{Kind: OpTombstone, Table: t.name})
+	return len(killed)
+}
+
+// LegacyCompact applies a pre-MVCC OpDelete record: physically remove
+// the rows at the given positions and shift everything after them down,
+// exactly as the old row store did, so row indices in subsequent legacy
+// WAL records keep resolving correctly. Replay-only — it never logs.
+func (t *Table) LegacyCompact(idx []int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(idx) == 0 {
+		return 0
+	}
+	v := t.snap.Load()
+	kill := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		if i >= 0 && i < v.nrows && !v.isDead(i) {
+			kill[i] = true
 		}
 	}
-	n := len(t.rows) - len(out)
-	t.rows = out
-	if n > 0 {
-		// Compaction shifted row IDs; rebuilding is simpler than patching
-		// and deletes are rare in the append+fill serving workload.
-		t.rebuildIndexes()
-		t.notify(Op{Kind: OpDelete, Table: t.name})
+	if len(kill) == 0 {
+		return 0
 	}
-	return n
+	width := v.schema.Len()
+	survivors := make([][]Value, width)
+	for i := 0; i < v.nrows; i++ {
+		if kill[i] || v.isDead(i) {
+			continue
+		}
+		for c := 0; c < width; c++ {
+			survivors[c] = append(survivors[c], v.value(i, c))
+		}
+	}
+	nv := newVersion(v.schema)
+	nv.epoch = v.epoch + 1
+	if width > 0 {
+		nv.nrows = len(survivors[0])
+		nv.sealed = nv.nrows / ChunkRows * ChunkRows
+		for c := 0; c < width; c++ {
+			nv.cols[c] = buildColData(survivors[c])
+		}
+	}
+	t.publish(nv, func() {
+		for _, ix := range t.indexes {
+			t.rebuildIndex(ix, nv)
+		}
+	})
+	t.notify(Op{Kind: OpDelete, Table: t.name})
+	return len(kill)
+}
+
+// CaptureState returns every physical row (tombstoned included, so row
+// IDs survive a snapshot/restore round trip) plus the sorted list of
+// tombstoned IDs. It reads one immutable snapshot — no locks held while
+// the caller serializes the result.
+func (t *Table) CaptureState() (rows []Row, deleted []int) {
+	v := t.snap.Load()
+	width := v.schema.Len()
+	rows = make([]Row, v.nrows)
+	for i := 0; i < v.nrows; i++ {
+		r := make(Row, width)
+		v.materializeRow(i, r, width)
+		rows[i] = r
+		if v.isDead(i) {
+			deleted = append(deleted, i)
+		}
+	}
+	return rows, deleted
 }
 
 // Catalog maps table names to tables, case-insensitively.

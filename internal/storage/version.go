@@ -1,0 +1,450 @@
+package storage
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MVCC columnar layout (see DESIGN.md §15).
+//
+// A table's data lives in an immutable *version: per-column sealed chunks
+// of exactly ChunkRows values plus an append-only tail, a tombstone
+// bitmap over physical row IDs, and a monotonically increasing epoch.
+// Writers (serialized by Table.mu) build a new version — copying only
+// what they change — and publish it with one atomic pointer store.
+// Readers load the pointer once and then scan with zero locks: nothing a
+// published version references is ever mutated at an index a reader can
+// see.
+//
+// Two copy disciplines keep writes cheap:
+//
+//   - The tail uses the published-length trick: the backing array is
+//     shared across versions and appends write past every published
+//     version's nrows, so an Insert extends the tail in place (amortized
+//     by capacity doubling up to ChunkRows). A reader of version v only
+//     indexes below v's row count, so it can never observe the write.
+//   - Set copies exactly one column's chunk (or tail) — ChunkRows values
+//     — plus the chunk-header slice; every other column and chunk is
+//     shared with the previous version.
+//
+// Physical row IDs are stable for the life of a table: Delete sets
+// tombstone bits (copy-on-write bitmap) instead of compacting, so open
+// snapshots, index entries, and in-flight cursors never see IDs shift.
+
+// ChunkRows is the fixed row capacity of a sealed column chunk. It
+// matches the morsel size of the parallel executor, so one morsel reads
+// whole chunks.
+const ChunkRows = 4096
+
+// colData holds one column's values: sealed immutable chunks (a nil
+// chunk is all-NULL, the unfilled-expansion representation) and the
+// shared-backing tail. The valid tail prefix of a version is
+// version.nrows - version.sealed.
+type colData struct {
+	chunks [][]Value
+	tail   []Value
+}
+
+// version is one immutable snapshot of a table's data.
+type version struct {
+	schema *Schema
+	cols   []colData
+	nrows  int // physical rows (live + tombstoned)
+	sealed int // rows covered by sealed chunks (multiple of ChunkRows)
+	dead   []uint64
+	ndead  int
+	epoch  uint64
+}
+
+func newVersion(schema *Schema) *version {
+	return &version{schema: schema, cols: make([]colData, schema.Len())}
+}
+
+// clone returns a shallow working copy for the next commit: shared
+// chunks/tail/dead, fresh cols header slice, epoch bumped.
+func (v *version) clone() *version {
+	nv := &version{
+		schema: v.schema,
+		cols:   make([]colData, len(v.cols)),
+		nrows:  v.nrows,
+		sealed: v.sealed,
+		dead:   v.dead,
+		ndead:  v.ndead,
+		epoch:  v.epoch + 1,
+	}
+	copy(nv.cols, v.cols)
+	return nv
+}
+
+func (v *version) live() int { return v.nrows - v.ndead }
+
+func (v *version) isDead(row int) bool {
+	// Rows inserted after the last Delete lie beyond the bitmap: alive.
+	w := row >> 6
+	return w < len(v.dead) && v.dead[w]&(1<<(uint(row)&63)) != 0
+}
+
+// value reads (row, col) with no bounds checks beyond the chunk lookup;
+// callers validate row < v.nrows.
+func (v *version) value(row, col int) Value {
+	cd := &v.cols[col]
+	if row >= v.sealed {
+		t := cd.tail
+		if t == nil {
+			return Null()
+		}
+		return t[row-v.sealed]
+	}
+	ch := cd.chunks[row/ChunkRows]
+	if ch == nil {
+		return Null()
+	}
+	return ch[row%ChunkRows]
+}
+
+// window returns the contiguous value slice backing physical rows
+// [lo, hi) of col, which must not cross a chunk boundary. A nil slice
+// means every value in the window is NULL. A short chunk (torn by
+// corruption) is reported as an error with the offending row position —
+// cursors surface it through Err instead of silently ending the scan.
+func (v *version) window(col, lo, hi int) ([]Value, error) {
+	cd := &v.cols[col]
+	if lo >= v.sealed {
+		if cd.tail == nil {
+			return nil, nil
+		}
+		if len(cd.tail) < hi-v.sealed {
+			return nil, fmt.Errorf("torn tail at row %d: column %q has %d of %d tail values",
+				v.sealed+len(cd.tail), v.schema.Column(col).Name, len(cd.tail), hi-v.sealed)
+		}
+		return cd.tail[lo-v.sealed : hi-v.sealed], nil
+	}
+	ch := cd.chunks[lo/ChunkRows]
+	if ch == nil {
+		return nil, nil
+	}
+	base := lo / ChunkRows * ChunkRows
+	if len(ch) < hi-base {
+		return nil, fmt.Errorf("torn chunk %d at row %d: column %q has %d of %d values",
+			lo/ChunkRows, base+len(ch), v.schema.Column(col).Name, len(ch), hi-base)
+	}
+	return ch[lo-base : hi-base], nil
+}
+
+// materializeRow copies physical row `row` into dst (len >= width).
+func (v *version) materializeRow(row int, dst []Value, width int) {
+	for c := 0; c < width; c++ {
+		dst[c] = v.value(row, c)
+	}
+}
+
+// appendTail extends tail (published length n) with val, writing in
+// place when capacity allows — safe because no published version indexes
+// past its own length — and reallocating with doubling (capped at
+// ChunkRows) otherwise.
+func appendTail(tail []Value, n int, val Value) []Value {
+	if cap(tail) > n {
+		t2 := tail[:n+1]
+		t2[n] = val
+		return t2
+	}
+	newCap := 2 * n
+	if newCap < 64 {
+		newCap = 64
+	}
+	if newCap > ChunkRows {
+		newCap = ChunkRows
+	}
+	if newCap < n+1 {
+		newCap = n + 1
+	}
+	nt := make([]Value, n, newCap)
+	copy(nt, tail) // missing prefix (nil tail of an expanded column) stays NULL
+	return append(nt, val)
+}
+
+// buildColData re-chunks a full column of nrows values — the FillColumn
+// and compaction path.
+func buildColData(vals []Value) colData {
+	var cd colData
+	n := len(vals)
+	sealed := n / ChunkRows * ChunkRows
+	for lo := 0; lo < sealed; lo += ChunkRows {
+		ch := make([]Value, ChunkRows)
+		copy(ch, vals[lo:lo+ChunkRows])
+		cd.chunks = append(cd.chunks, ch)
+	}
+	if n > sealed {
+		tail := make([]Value, n-sealed)
+		copy(tail, vals[sealed:])
+		cd.tail = tail
+	}
+	return cd
+}
+
+// --- tombstone bitmap helpers ---
+
+func setDead(dead []uint64, row int) { dead[row>>6] |= 1 << (uint(row) & 63) }
+
+// cloneDead copies the bitmap, growing it to cover nrows.
+func cloneDead(dead []uint64, nrows int) []uint64 {
+	words := (nrows + 63) / 64
+	out := make([]uint64, words)
+	copy(out, dead)
+	return out
+}
+
+// --- snapshot pinning ---
+
+// Snap is a pinned read snapshot of a table: the version it references
+// is immutable, so every read through it is lock-free and repeatable.
+// The pin itself is bookkeeping — memory reclamation is the garbage
+// collector's job once no snapshot references a chunk — but the epoch
+// registry it feeds (LiveSnapshotEpochs) makes reader lifetimes
+// observable, and tests assert on it.
+//
+// Release is idempotent; cursors release their snapshot automatically
+// when the scan is exhausted or closed.
+type Snap struct {
+	t        *Table
+	v        *version
+	released bool
+}
+
+// Pin captures the table's current snapshot. The caller must Release it.
+func (t *Table) Pin() *Snap {
+	t.pinMu.Lock()
+	defer t.pinMu.Unlock()
+	v := t.snap.Load()
+	if t.pins == nil {
+		t.pins = map[uint64]int{}
+	}
+	t.pins[v.epoch]++
+	return &Snap{t: t, v: v}
+}
+
+// pinLocked pins the current snapshot; the caller holds t.idxMu (read or
+// write), coupling the pinned version to the index state read in the
+// same critical section.
+func (t *Table) pinLocked() *Snap { return t.Pin() }
+
+// Release unpins the snapshot. Safe to call more than once.
+func (s *Snap) Release() {
+	if s == nil || s.released {
+		return
+	}
+	s.released = true
+	t := s.t
+	t.pinMu.Lock()
+	defer t.pinMu.Unlock()
+	if n := t.pins[s.v.epoch]; n <= 1 {
+		delete(t.pins, s.v.epoch)
+	} else {
+		t.pins[s.v.epoch] = n - 1
+	}
+}
+
+// NumRows returns the snapshot's physical row count (tombstoned rows
+// included) — the partitioning domain for morsel-parallel scans.
+func (s *Snap) NumRows() int { return s.v.nrows }
+
+// Epoch returns the snapshot's version epoch.
+func (s *Snap) Epoch() uint64 { return s.v.epoch }
+
+// LiveSnapshotEpochs returns the distinct epochs currently pinned by
+// open snapshots, ascending — exposed for observability (/schema).
+func (t *Table) LiveSnapshotEpochs() []uint64 {
+	t.pinMu.Lock()
+	defer t.pinMu.Unlock()
+	out := make([]uint64, 0, len(t.pins))
+	for e := range t.pins {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ChunkCount returns the number of column chunks of the current version:
+// sealed chunks plus one partial tail chunk when rows are unsealed.
+func (t *Table) ChunkCount() int {
+	v := t.snap.Load()
+	n := v.sealed / ChunkRows
+	if v.nrows > v.sealed {
+		n++
+	}
+	return n
+}
+
+// Tombstones returns the number of tombstoned (deleted) physical rows in
+// the current version.
+func (t *Table) Tombstones() int { return t.snap.Load().ndead }
+
+// --- vectorized predicates ---
+
+// PredOp enumerates the vectorizable comparison operators. The semantics
+// mirror the engine's EvalPredicate exactly: a NULL column value makes
+// every comparison UNKNOWN (excluded), equality uses Value.Equal, and
+// ordering uses Value.Compare — which the planner only vectorizes for
+// class-compatible literals, so Compare cannot fail here.
+type PredOp uint8
+
+const (
+	PredEq PredOp = iota
+	PredNe
+	PredLt
+	PredLe
+	PredGt
+	PredGe
+	PredIsNull
+	PredNotNull
+)
+
+// Pred is one vectorizable predicate: column Col compared against Val.
+// Cursors evaluate Preds chunk-at-a-time into a selection bitmap,
+// replacing per-row filter closures on the scan hot path.
+type Pred struct {
+	Col int
+	Op  PredOp
+	Val Value
+}
+
+// evalPredWindow clears sel bits (bit i ↔ row base+i) for rows of the
+// contiguous window vals that fail p. A nil window is all-NULL: only
+// IS NULL keeps any bits.
+func evalPredWindow(p Pred, vals []Value, n int, sel []uint64) {
+	if vals == nil {
+		if p.Op == PredIsNull {
+			return // NULL satisfies IS NULL; bits stay
+		}
+		for i := range sel {
+			sel[i] = 0
+		}
+		return
+	}
+	// Numeric literals take a call-free sweep: the generic path pays a
+	// non-inlined Value.Compare per row, which costs as much as the
+	// closure it replaced. PredNe must stay generic — against a
+	// mismatched value class != is TRUE (e.g. 'abc' != 5), while the
+	// sweep excludes everything non-numeric.
+	if f, ok := p.Val.AsFloat(); ok && p.Op != PredNe && p.Op != PredIsNull && p.Op != PredNotNull {
+		evalNumericWindow(p.Op, f, vals, n, sel)
+		return
+	}
+	for wi := range sel {
+		w := sel[wi]
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		for w != 0 {
+			b := w & (-w)
+			w &^= b
+			i := base + bits.TrailingZeros64(b)
+			if i >= n {
+				break
+			}
+			if !predMatch(p, vals[i]) {
+				sel[wi] &^= b
+			}
+		}
+	}
+}
+
+// evalNumericWindow is the hot sweep for comparisons against a numeric
+// literal — the overwhelmingly common pushed-down predicate. It builds
+// each selection word branch-light with the comparison inlined (no
+// predMatch/Compare calls) and ANDs it in, so bits cleared by earlier
+// predicates or tombstones stay cleared. NULLs and non-numeric values
+// drop out, matching predMatch: NULL comparisons are UNKNOWN and
+// mismatched classes never satisfy =, <, <=, >, >=.
+func evalNumericWindow(op PredOp, f float64, vals []Value, n int, sel []uint64) {
+	for wi := range sel {
+		if sel[wi] == 0 {
+			continue
+		}
+		lo := wi << 6
+		hi := lo + 64
+		if hi > n {
+			hi = n
+		}
+		var w uint64
+		for i := lo; i < hi; i++ {
+			v := &vals[i]
+			var vf float64
+			switch v.kind {
+			case KindFloat:
+				vf = v.f
+			case KindInt:
+				vf = float64(v.i)
+			default:
+				continue
+			}
+			var keep bool
+			switch op {
+			case PredEq:
+				keep = vf == f
+			case PredLt:
+				keep = vf < f
+			case PredLe:
+				keep = vf <= f
+			case PredGt:
+				keep = vf > f
+			case PredGe:
+				keep = vf >= f
+			}
+			if keep {
+				w |= 1 << uint(i-lo)
+			}
+		}
+		sel[wi] &= w
+	}
+}
+
+func predMatch(p Pred, v Value) bool {
+	switch p.Op {
+	case PredIsNull:
+		return v.IsNull()
+	case PredNotNull:
+		return !v.IsNull()
+	}
+	if v.IsNull() {
+		return false // comparison with NULL is UNKNOWN → excluded
+	}
+	switch p.Op {
+	case PredEq:
+		return v.Equal(p.Val)
+	case PredNe:
+		return !v.Equal(p.Val)
+	default:
+		c, err := v.Compare(p.Val)
+		if err != nil {
+			return false // planner guarantees class compatibility; defensive
+		}
+		switch p.Op {
+		case PredLt:
+			return c < 0
+		case PredLe:
+			return c <= 0
+		case PredGt:
+			return c > 0
+		case PredGe:
+			return c >= 0
+		}
+	}
+	return false
+}
+
+func fillOnes(sel []uint64, n int) {
+	for wi := range sel {
+		lo := wi << 6
+		switch {
+		case lo+64 <= n:
+			sel[wi] = ^uint64(0)
+		case lo >= n:
+			sel[wi] = 0
+		default:
+			sel[wi] = (1 << uint(n-lo)) - 1
+		}
+	}
+}
