@@ -1346,3 +1346,83 @@ func BenchmarkPerRowFilterBaseline(b *testing.B) {
 	}
 	b.ReportMetric(float64(parBenchRows), "rows-scanned/op")
 }
+
+// ---- tombstone compaction -------------------------------------------
+//
+// BenchmarkCompactedScan guards the compactor's payoff: a table that had
+// half its rows tombstoned and then compacted scans only the surviving,
+// densely repacked chunks — no dead-row bitmap tests, half the data
+// volume. A regression here means compaction stopped producing packed
+// chunks (or the scan path re-grew per-row tombstone checks).
+
+const compactScanRows = 262_144 // 64 sealed chunks before compaction
+
+var (
+	compactScanOnce sync.Once
+	compactScanEng  *engine.Engine
+	compactScanErr  error
+)
+
+func compactScanEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	compactScanOnce.Do(func() {
+		eng := engine.New(storage.NewCatalog())
+		if _, err := eng.ExecSQL(`CREATE TABLE cscan (id INTEGER, score FLOAT)`); err != nil {
+			compactScanErr = err
+			return
+		}
+		tbl, _ := eng.Catalog().Get("cscan")
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < compactScanRows; i++ {
+			if err := tbl.Insert(storage.Int(int64(i)), storage.Float(rng.Float64()*1000)); err != nil {
+				compactScanErr = err
+				return
+			}
+		}
+		doomed := make([]int, 0, compactScanRows/2)
+		for i := 0; i < compactScanRows; i += 2 {
+			doomed = append(doomed, i)
+		}
+		tbl.Delete(doomed)
+		res, err := tbl.Compact(storage.CompactionPolicy{Force: true})
+		if err != nil {
+			compactScanErr = err
+			return
+		}
+		if !res.Compacted || tbl.Tombstones() != 0 {
+			compactScanErr = fmt.Errorf("setup compaction did not reclaim: %+v", res)
+			return
+		}
+		compactScanEng = eng
+	})
+	if compactScanErr != nil {
+		b.Fatal(compactScanErr)
+	}
+	return compactScanEng
+}
+
+func BenchmarkCompactedScan(b *testing.B) {
+	eng := compactScanEngine(b)
+	tbl, _ := eng.Catalog().Get("cscan")
+	preds := []storage.Pred{{Col: 1, Op: storage.PredGt, Val: storage.Float(500)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := tbl.NewCursor(0)
+		cur.SetPreds(preds)
+		n := 0
+		for {
+			if _, ok := cur.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if err := cur.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n < compactScanRows/8 {
+			b.Fatalf("rows = %d", n)
+		}
+	}
+	b.ReportMetric(float64(compactScanRows/2), "rows-scanned/op")
+}

@@ -31,7 +31,18 @@
 // and their cost ledger — is written to a WAL and recovered on the next
 // start, so a restart never re-elicits (or re-charges for) a column the
 // crowd already filled. POST /admin/snapshot compacts the log. -fsync
-// extends durability from process crashes to power loss.
+// extends durability from process crashes to power loss. -backend picks
+// the storage engine under the WAL: "mem" (default) snapshots tables
+// inline, "file" externalizes each table to a shard file under
+// <data-dir>/tables/.
+//
+// Storage hygiene: DELETE tombstones rows without moving data; the
+// compactor rewrites chunks to reclaim them once sealed-region density
+// crosses -compact-tombstone-frac, checking every -compact-interval
+// (0 = background compaction off). POST /v1/admin/compact forces a
+// sweep; GET /v1/schema/{table} reports tombstones and cumulative
+// compaction counters. The HTTP API is versioned under /v1/ — legacy
+// unversioned paths still answer, stamped with a Deprecation header.
 //
 // Cost controls: -batch-window merges expansions of the same table that
 // arrive within the window into shared HIT groups (one crowd charge for
@@ -80,6 +91,10 @@ import (
 	"crowddb/internal/server"
 	"crowddb/internal/space"
 	"crowddb/internal/storage"
+
+	// Register the optional file backend so -backend file resolves
+	// (core itself only pulls in the default "mem" backend).
+	_ "crowddb/internal/storage/filebackend"
 )
 
 // demoConfig collects everything buildDemoDB needs; the integration test
@@ -93,6 +108,9 @@ type demoConfig struct {
 	spammers          float64
 	dataDir           string
 	fsync             bool
+	backend           string
+	compactInterval   time.Duration
+	compactFrac       float64
 	expansionWorkers  int
 	expansionQueue    int
 	batchWindow       time.Duration
@@ -115,6 +133,12 @@ func main() {
 
 		dataDir = flag.String("data-dir", "", "durability directory for WAL+snapshots (empty = in-memory)")
 		fsync   = flag.Bool("fsync", false, "fsync WAL batches (survive power loss, not just crashes)")
+		backend = flag.String("backend", "mem",
+			"storage backend: \"mem\" keeps snapshots inline, \"file\" externalizes per-table shard files under <data-dir>/tables/")
+		compactInterval = flag.Duration("compact-interval", 0,
+			"background tombstone-compaction sweep interval (0 = off; POST /v1/admin/compact forces a sweep either way)")
+		compactFrac = flag.Float64("compact-tombstone-frac", 0,
+			"sealed-region tombstone density that admits a background compaction (0 = default 0.30)")
 		expWork = flag.Int("expansion-workers", 4, "expansion scheduler worker-pool size")
 		expQ    = flag.Int("expansion-queue", 64, "expansion scheduler admission-queue depth")
 
@@ -137,6 +161,7 @@ func main() {
 		seed: *seed, items: *items, dims: *dims, epochs: *epochs,
 		crowdWorkers: *workers, spammers: *spammers,
 		dataDir: *dataDir, fsync: *fsync,
+		backend: *backend, compactInterval: *compactInterval, compactFrac: *compactFrac,
 		expansionWorkers: *expWork, expansionQueue: *expQ,
 		batchWindow: *batchWindow, defaultBudget: *defaultBudget,
 		speculativeBudget: *speculativeBudget, cacheBytes: *cacheBytes,
@@ -206,10 +231,13 @@ func buildDemoDB(cfg demoConfig) (*core.DB, error) {
 	rng := rand.New(rand.NewSource(cfg.seed))
 	pop := crowd.NewPopulation(crowd.PopulationConfig{Workers: cfg.crowdWorkers, SpammerFraction: cfg.spammers}, rng)
 	db, err := core.Open(core.Options{
-		Service: core.NewSimulatedCrowd(pop, u.CrowdItems, rng),
-		DataDir: cfg.dataDir,
-		Fsync:   cfg.fsync,
-		Workers: cfg.expansionWorkers, QueueDepth: cfg.expansionQueue,
+		Service:              core.NewSimulatedCrowd(pop, u.CrowdItems, rng),
+		DataDir:              cfg.dataDir,
+		Fsync:                cfg.fsync,
+		Backend:              cfg.backend,
+		CompactInterval:      cfg.compactInterval,
+		CompactTombstoneFrac: cfg.compactFrac,
+		Workers:              cfg.expansionWorkers, QueueDepth: cfg.expansionQueue,
 		BatchWindow:       cfg.batchWindow,
 		DefaultBudget:     cfg.defaultBudget,
 		SpeculativeBudget: cfg.speculativeBudget,

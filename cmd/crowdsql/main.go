@@ -183,6 +183,13 @@ func describe(db *crowddb.DB, out io.Writer) {
 			fmt.Fprintf(out, "  %-16s %s on %s (%d entries)\n", m.Name, m.Kind(), m.Column, m.Entries)
 		}
 	}
+	// Storage health mirrors GET /v1/schema/{table}: tombstones count the
+	// deleted-but-unreclaimed rows (it goes back down after a compaction).
+	fmt.Fprintf(out, "storage: %d chunks, %d tombstones\n", tbl.ChunkCount(), tbl.Tombstones())
+	if st := tbl.CompactionStats(); st.Runs > 0 {
+		fmt.Fprintf(out, "compaction: %d runs reclaimed %d rows (%d chunks rewritten, %d bytes freed)\n",
+			st.Runs, st.RowsReclaimed, st.ChunksRewritten, st.BytesFreed)
+	}
 }
 
 func execute(db *crowddb.DB, sql string, out io.Writer) {

@@ -82,8 +82,31 @@ func TestREPLMetaCommands(t *testing.T) {
 	if !strings.Contains(out, "crowd spending: $0.00") {
 		t.Fatal("\\ledger output missing")
 	}
+	if !strings.Contains(out, "tombstones") {
+		t.Fatalf("\\d output missing storage health line:\n%s", out)
+	}
 	if !strings.Contains(out, "unknown meta command") {
 		t.Fatal("unknown meta command not reported")
+	}
+}
+
+func TestREPLDescribeShowsCompaction(t *testing.T) {
+	db := testDB(t)
+	out := runREPL(t, db, "DELETE FROM movies WHERE movie_id < 10;\n\\d\n\\q\n")
+	if !strings.Contains(out, "10 tombstones") {
+		t.Fatalf("\\d output missing tombstone count:\n%s", out)
+	}
+	if res := db.CompactNow()["movies"]; !res.Compacted || res.RowsReclaimed != 10 {
+		t.Fatalf("CompactNow = %+v", res)
+	}
+	// After compaction the tombstone count goes back DOWN and the
+	// cumulative compaction line appears.
+	out = runREPL(t, db, "\\d\n\\q\n")
+	if !strings.Contains(out, "0 tombstones") {
+		t.Fatalf("\\d still shows tombstones after compaction:\n%s", out)
+	}
+	if !strings.Contains(out, "compaction: 1 runs reclaimed 10 rows") {
+		t.Fatalf("\\d missing compaction stats:\n%s", out)
 	}
 }
 

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"crowddb/internal/storage"
+	_ "crowddb/internal/storage/filebackend"
+)
+
+func allMovieNames(t *testing.T, db *DB) []string {
+	t.Helper()
+	res, _, err := db.ExecSQL(`SELECT movie_id, name FROM movies ORDER BY movie_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, row := range res.Rows {
+		id, _ := row[0].AsInt()
+		name, _ := row[1].AsText()
+		out = append(out, fmt.Sprintf("%d:%s", id, name))
+	}
+	return out
+}
+
+// TestRestartReplaysCompactionDeterministically is the durability
+// acceptance for the compactor: expand (paying the crowd), tombstone,
+// compact, mutate THROUGH post-compaction physical row IDs, restart from
+// the WAL alone — recovery must replay the OpCompact at exactly the same
+// point so the later records resolve identically, answering the same
+// queries with zero new crowd charges.
+func TestRestartReplaysCompactionDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	const rows = 60
+
+	db1 := seedExpandableDB(t, dir, simulatedService(7, rows), rows)
+	comediesBefore := queryComedyNames(t, db1)
+	if len(comediesBefore) == 0 {
+		t.Fatal("expansion produced no comedies")
+	}
+
+	// Tombstone a third of the table, then reclaim.
+	if _, _, err := db1.ExecSQL(`DELETE FROM movies WHERE movie_id < 20`); err != nil {
+		t.Fatal(err)
+	}
+	results := db1.CompactNow()
+	res, ok := results["movies"]
+	if !ok || !res.Compacted || res.RowsReclaimed != 20 {
+		t.Fatalf("CompactNow = %+v", results)
+	}
+	tbl, _ := db1.Catalog().Get("movies")
+	if got := tbl.Tombstones(); got != 0 {
+		t.Fatalf("tombstones after compaction = %d", got)
+	}
+
+	// Mutations referencing post-compaction physical IDs: their WAL
+	// records only replay correctly if recovery compacts at the same spot.
+	if _, _, err := db1.ExecSQL(`UPDATE movies SET name = 'renamed after compaction' WHERE movie_id = 30`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db1.ExecSQL(`INSERT INTO movies (movie_id, name) VALUES (999, 'post-compaction insert')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db1.ExecSQL(`DELETE FROM movies WHERE movie_id = 41`); err != nil {
+		t.Fatal(err)
+	}
+
+	namesBefore := allMovieNames(t, db1)
+	comediesBefore = queryComedyNames(t, db1)
+	led1 := db1.Ledger()
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dead := &deadService{}
+	db2, err := Open(Options{Service: dead, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+
+	if after := allMovieNames(t, db2); strings.Join(after, "|") != strings.Join(namesBefore, "|") {
+		t.Fatalf("rows diverged after restart:\n before %v\n after  %v", namesBefore, after)
+	}
+	if after := queryComedyNames(t, db2); strings.Join(after, "|") != strings.Join(comediesBefore, "|") {
+		t.Fatalf("comedy answers diverged after restart:\n before %v\n after  %v", comediesBefore, after)
+	}
+	if dead.calls != 0 {
+		t.Fatalf("restart re-elicited the crowd %d times", dead.calls)
+	}
+	if led2 := db2.Ledger(); led2 != led1 {
+		t.Fatalf("ledger changed across restart: %+v → %+v", led1, led2)
+	}
+
+	// Replay went through ReplayCompact: the counters prove it, and the
+	// replayed table carries only the post-compaction tombstone.
+	tbl2, _ := db2.Catalog().Get("movies")
+	if st := tbl2.CompactionStats(); st.Runs < 1 || st.RowsReclaimed != 20 {
+		t.Fatalf("replayed compaction stats = %+v", st)
+	}
+	if got := tbl2.Tombstones(); got != 1 { // the movie_id=41 delete
+		t.Fatalf("tombstones after replay = %d, want 1", got)
+	}
+}
+
+// TestSnapshotAfterCompactionRestart: a snapshot taken after compaction
+// must capture the compacted physical layout, so WAL records appended
+// after it keep resolving on restore.
+func TestSnapshotAfterCompactionRestart(t *testing.T) {
+	dir := t.TempDir()
+	const rows = 60
+
+	db1 := seedExpandableDB(t, dir, simulatedService(11, rows), rows)
+	queryComedyNames(t, db1)
+	if _, _, err := db1.ExecSQL(`DELETE FROM movies WHERE movie_id >= 40`); err != nil {
+		t.Fatal(err)
+	}
+	if res := db1.CompactNow()["movies"]; !res.Compacted || res.RowsReclaimed != 20 {
+		t.Fatalf("CompactNow = %+v", res)
+	}
+	if _, err := db1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot tail records against the compacted layout.
+	if _, _, err := db1.ExecSQL(`UPDATE movies SET name = 'tail update' WHERE movie_id = 5`); err != nil {
+		t.Fatal(err)
+	}
+	namesBefore := allMovieNames(t, db1)
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dead := &deadService{}
+	db2, err := Open(Options{Service: dead, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if after := allMovieNames(t, db2); strings.Join(after, "|") != strings.Join(namesBefore, "|") {
+		t.Fatalf("rows diverged after snapshot+restart:\n before %v\n after  %v", namesBefore, after)
+	}
+	if dead.calls != 0 {
+		t.Fatalf("restart re-elicited the crowd %d times", dead.calls)
+	}
+}
+
+// TestBackgroundCompactorReclaims: with CompactInterval set, tombstones
+// past the density threshold are reclaimed without any explicit call.
+func TestBackgroundCompactorReclaims(t *testing.T) {
+	db, err := Open(Options{
+		Service:              &deadService{},
+		CompactInterval:      5 * time.Millisecond,
+		CompactTombstoneFrac: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, _, err := db.ExecSQL(`CREATE TABLE nums (n INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("nums")
+	for i := 0; i < storage.ChunkRows+10; i++ {
+		if err := tbl.Insert(storage.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := db.ExecSQL(`DELETE FROM nums WHERE n < 2000`); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tbl.Tombstones() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background compactor never reclaimed: %d tombstones", tbl.Tombstones())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := tbl.CompactionStats(); st.Runs < 1 || st.RowsReclaimed != 2000 {
+		t.Fatalf("compaction stats = %+v", st)
+	}
+}
+
+// TestFileBackendEndToEnd drives the second Backend implementation
+// through core: snapshots externalize per-table shards under
+// <dir>/tables/, and a restart over the same directory restores from
+// them. This is the proof the seam is real — core never special-cases
+// the backend.
+func TestFileBackendEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	db1, err := Open(Options{Service: &deadService{}, DataDir: dir, Backend: "file"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db1.Backend(); got != "file" {
+		t.Fatalf("Backend() = %q", got)
+	}
+	if _, _, err := db1.ExecSQL(`CREATE TABLE kv (k INTEGER, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := db1.ExecSQL(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'x')`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := db1.ExecSQL(`DELETE FROM kv WHERE k = 3`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := filepath.Glob(filepath.Join(dir, "tables", "*.json"))
+	if err != nil || len(shards) == 0 {
+		t.Fatalf("no shard files written (err=%v)", err)
+	}
+	// Post-snapshot tail mutation.
+	if _, _, err := db1.ExecSQL(`UPDATE kv SET v = 'updated' WHERE k = 7`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{Service: &deadService{}, DataDir: dir, Backend: "file"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, _, err := db2.ExecSQL(`SELECT k, v FROM kv ORDER BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("recovered %d rows, want 9", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		k, _ := row[0].AsInt()
+		v, _ := row[1].AsText()
+		want := "x"
+		if k == 7 {
+			want = "updated"
+		}
+		if k == 3 {
+			t.Fatal("deleted row recovered")
+		}
+		if v != want {
+			t.Fatalf("k=%d v=%q, want %q", k, v, want)
+		}
+	}
+
+	// The unknown-backend path fails loudly, listing what is registered.
+	if _, err := Open(Options{Service: &deadService{}, Backend: "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("bogus backend error = %v", err)
+	}
+}

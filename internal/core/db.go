@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"crowddb/internal/crowd"
 	"crowddb/internal/engine"
@@ -135,10 +136,18 @@ type expandableSpec struct {
 // expansion metadata (space bindings and expandable registrations), so
 // read-only queries never serialize behind crowd latency.
 type DB struct {
+	// backend is the storage engine below the journal (see
+	// storage.Backend); the engine executes against its catalog.
+	backend storage.Backend
 	engine  *engine.Engine
 	service JudgmentService
 	ledger  *Ledger
 	sched   *jobs.Scheduler
+
+	// compactStop/compactDone bracket the background compactor goroutine
+	// (nil when Options.CompactInterval is zero).
+	compactStop chan struct{}
+	compactDone chan struct{}
 
 	// coalescer, when non-nil, batches same-table expansions submitted
 	// within a short window into shared HIT groups (see batch.go). Nil
@@ -186,18 +195,83 @@ func NewDB(service JudgmentService) *DB {
 // closes the WAL. The returned error reports any append failure latched
 // during operation — state that may not have reached disk.
 func (db *DB) Close() error {
+	// The compactor logs OpCompact records, so it stops first — before
+	// the WAL goes away underneath it.
+	if db.compactStop != nil {
+		close(db.compactStop)
+		<-db.compactDone
+		db.compactStop = nil
+	}
 	if db.coalescer != nil {
 		db.coalescer.Close()
 	}
 	db.sched.Close()
+	backendErr := db.backend.Close()
 	if db.wal == nil {
-		return nil
+		return backendErr
 	}
 	stickyErr := db.wal.Err()
 	if err := db.wal.Close(); err != nil {
 		return err
 	}
-	return stickyErr
+	if stickyErr != nil {
+		return stickyErr
+	}
+	return backendErr
+}
+
+// Backend exposes the storage backend's registry name (for /schema
+// introspection and the server banner).
+func (db *DB) Backend() string { return db.backend.Name() }
+
+// CompactNow synchronously compacts every table, bypassing the density
+// threshold (the pin/fence admission gates still apply — see
+// storage.Table.Compact). It returns the per-table results, keyed by
+// table name. This is the POST /admin/compact handler and the test
+// hook; the background compactor runs the same pass with the
+// configured threshold instead of Force.
+func (db *DB) CompactNow() map[string]storage.CompactionResult {
+	return db.compactPass(storage.CompactionPolicy{Force: true})
+}
+
+// compactPass runs one compaction sweep over all tables under policy.
+// Each table compacts under the snapshot gate (read side), so the
+// OpCompact record and the version swap land atomically with respect to
+// Snapshot — exactly like any other journaled mutation.
+func (db *DB) compactPass(policy storage.CompactionPolicy) map[string]storage.CompactionResult {
+	out := make(map[string]storage.CompactionResult)
+	for _, name := range db.Catalog().Names() {
+		var res storage.CompactionResult
+		err := db.mutate(func() error {
+			var cerr error
+			res, cerr = db.backend.Compact(name, policy)
+			return cerr
+		})
+		if err != nil {
+			// Dropped table or a latched WAL failure; the WAL surfaces the
+			// latter at the next Snapshot/Close.
+			continue
+		}
+		out[name] = res
+	}
+	return out
+}
+
+// compactLoop is the background compactor: a periodic sweep with the
+// configured density threshold. Tables busy with pinned snapshots or
+// write fences are skipped and retried next tick.
+func (db *DB) compactLoop(interval time.Duration, frac float64) {
+	defer close(db.compactDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.compactStop:
+			return
+		case <-ticker.C:
+			db.compactPass(storage.CompactionPolicy{MinTombstoneFrac: frac})
+		}
+	}
 }
 
 // mutate runs fn (a storage mutation plus its WAL append) under the

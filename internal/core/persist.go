@@ -14,6 +14,7 @@ import (
 	"crowddb/internal/space"
 	"crowddb/internal/sqlparse"
 	"crowddb/internal/storage"
+	_ "crowddb/internal/storage/membackend" // registers the default "mem" backend
 	"crowddb/internal/vecmath"
 	"crowddb/internal/wal"
 	"crowddb/internal/workload"
@@ -72,6 +73,22 @@ type Options struct {
 	// ExecWorkers is the degree of intra-query parallelism for SELECT
 	// execution: 0 picks GOMAXPROCS, 1 forces fully serial plans.
 	ExecWorkers int
+	// Backend selects the storage engine below the journal by registry
+	// name (see storage.RegisterBackend). Empty means "mem", the MVCC
+	// in-memory engine with inline snapshots; "file" snapshots each
+	// table to its own shard file under DataDir.
+	Backend string
+	// CompactInterval, when positive, runs the background tombstone
+	// compactor: every interval, each table whose sealed-chunk tombstone
+	// density exceeds CompactTombstoneFrac is rewritten without its dead
+	// rows (gated on live snapshot pins and write fences — see
+	// storage.Table.Compact). Zero disables background compaction;
+	// CompactNow remains available.
+	CompactInterval time.Duration
+	// CompactTombstoneFrac is the sealed-region tombstone density
+	// threshold for background compaction; non-positive means the
+	// storage default (0.30).
+	CompactTombstoneFrac float64
 }
 
 // ErrNoDataDir is returned by Snapshot on a database opened without a
@@ -163,28 +180,16 @@ func (ir indexRecord) indexCols() []sqlparse.IndexCol {
 	return cols
 }
 
-// tableState is one table's full contents inside a snapshot. Columns keep
-// their Origin, so expanded columns recover as expanded. Rows carries
-// every PHYSICAL row — tombstoned ones included — and Deleted lists the
-// tombstoned IDs: restore re-inserts everything then re-deletes, so
-// physical row IDs (which WAL records replayed on top reference) survive
-// the round trip. Legacy snapshots have no Deleted field and decode as
-// all-live.
-type tableState struct {
-	Name    string           `json:"name"`
-	Columns []storage.Column `json:"columns"`
-	Rows    []storage.Row    `json:"rows"`
-	Deleted []int            `json:"deleted,omitempty"`
-}
-
 // snapshotState is the complete durable state of a DB at one sequence
-// number.
+// number. Tables are captured and restored by the storage backend
+// (storage.TableState keeps the legacy inline wire form, so snapshots
+// written before the Backend seam still decode).
 type snapshotState struct {
-	Tables      []tableState       `json:"tables"`
-	Bindings    []spaceRecord      `json:"bindings,omitempty"`
-	Expandables []expandableRecord `json:"expandables,omitempty"`
-	Ledger      LedgerTotals       `json:"ledger"`
-	Jobs        []jobRecord        `json:"jobs,omitempty"`
+	Tables      []storage.TableState `json:"tables"`
+	Bindings    []spaceRecord        `json:"bindings,omitempty"`
+	Expandables []expandableRecord   `json:"expandables,omitempty"`
+	Ledger      LedgerTotals         `json:"ledger"`
+	Jobs        []jobRecord          `json:"jobs,omitempty"`
 	// Budgets carries every API key's cap and cumulative spend: money
 	// state, as durable as the ledger itself.
 	Budgets []BudgetStatus `json:"budgets,omitempty"`
@@ -219,8 +224,20 @@ func Open(opts Options) (*DB, error) {
 	if depth <= 0 {
 		depth = defaultExpansionQueue
 	}
+	backendName := opts.Backend
+	if backendName == "" {
+		backendName = "mem"
+	}
+	be, err := storage.NewBackend(backendName)
+	if err != nil {
+		return nil, err
+	}
+	if err := be.Open(opts.DataDir); err != nil {
+		return nil, err
+	}
 	db := &DB{
-		engine:      engine.New(storage.NewCatalog()),
+		backend:     be,
+		engine:      engine.New(be.Catalog()),
 		service:     opts.Service,
 		ledger:      &Ledger{},
 		sched:       jobs.NewScheduler(workers, depth),
@@ -243,9 +260,9 @@ func Open(opts Options) (*DB, error) {
 		return db, nil
 	}
 
-	w, err := wal.Open(opts.DataDir, wal.Options{SegmentBytes: opts.SegmentBytes, Fsync: opts.Fsync})
-	if err != nil {
-		return nil, err
+	w, walErr := wal.Open(opts.DataDir, wal.Options{SegmentBytes: opts.SegmentBytes, Fsync: opts.Fsync})
+	if walErr != nil {
+		return nil, walErr
 	}
 	restored := map[string]jobs.RestoredJob{}
 	var snap snapshotState
@@ -294,6 +311,11 @@ func (db *DB) finishOpen(opts Options) {
 	if opts.SpeculativeBudget > 0 {
 		db.budgets.setCap(SpeculativeBudgetKey, opts.SpeculativeBudget)
 	}
+	if opts.CompactInterval > 0 {
+		db.compactStop = make(chan struct{})
+		db.compactDone = make(chan struct{})
+		go db.compactLoop(opts.CompactInterval, opts.CompactTombstoneFrac)
+	}
 }
 
 // Snapshot persists the full current state and truncates the WAL segments
@@ -308,9 +330,12 @@ func (db *DB) Snapshot() (uint64, error) {
 		return 0, fmt.Errorf("core: WAL is wedged, refusing to snapshot: %w", err)
 	}
 	db.gate.Lock()
-	state := db.collectState()
+	state, err := db.collectState()
 	seq := db.wal.Seq()
 	db.gate.Unlock()
+	if err != nil {
+		return 0, err
+	}
 	if err := db.wal.WriteSnapshot(seq, state); err != nil {
 		return 0, err
 	}
@@ -318,18 +343,22 @@ func (db *DB) Snapshot() (uint64, error) {
 }
 
 // collectState captures the DB's durable state. Caller holds db.gate.Lock,
-// so no journaled mutation is mid-flight.
-func (db *DB) collectState() *snapshotState {
+// so no journaled mutation is mid-flight. Table contents come from the
+// backend (which may externalize them); index definitions are collected
+// here, since they live above the seam.
+func (db *DB) collectState() (*snapshotState, error) {
 	st := &snapshotState{Ledger: db.ledger.Snapshot()}
+	tables, err := db.backend.Capture()
+	if err != nil {
+		return nil, fmt.Errorf("core: backend capture: %w", err)
+	}
+	st.Tables = tables
 	c := db.Catalog()
 	for _, name := range c.Names() {
 		tbl, ok := c.Get(name)
 		if !ok {
 			continue
 		}
-		ts := tableState{Name: tbl.Name(), Columns: tbl.Schema().Columns()}
-		ts.Rows, ts.Deleted = tbl.CaptureState()
-		st.Tables = append(st.Tables, ts)
 		for _, im := range tbl.IndexMetas() {
 			st.Indexes = append(st.Indexes, indexRecord{
 				Name: im.Name, Table: tbl.Name(), Column: im.Column,
@@ -372,30 +401,14 @@ func (db *DB) collectState() *snapshotState {
 		cs := db.tracker.Export()
 		st.Workload = &cs
 	}
-	return st
+	return st, nil
 }
 
 // restoreSnapshot rebuilds the DB from a snapshot. The catalog has no
 // journal attached yet, so nothing here is re-logged.
 func (db *DB) restoreSnapshot(st *snapshotState, restored map[string]jobs.RestoredJob) error {
-	c := db.Catalog()
-	for _, ts := range st.Tables {
-		schema, err := storage.NewSchema(ts.Columns...)
-		if err != nil {
-			return fmt.Errorf("table %s: %w", ts.Name, err)
-		}
-		tbl, err := c.Create(ts.Name, schema)
-		if err != nil {
-			return err
-		}
-		for i, row := range ts.Rows {
-			if err := tbl.Insert(row...); err != nil {
-				return fmt.Errorf("table %s row %d: %w", ts.Name, i, err)
-			}
-		}
-		if len(ts.Deleted) > 0 {
-			tbl.Delete(ts.Deleted)
-		}
+	if err := db.backend.Restore(st.Tables); err != nil {
+		return err
 	}
 	for _, ir := range st.Indexes {
 		if err := db.applyIndexRecord(ir); err != nil {
@@ -432,7 +445,7 @@ func (db *DB) applyRecord(rec wal.Record, restored map[string]jobs.RestoredJob) 
 		if err := json.Unmarshal(rec.Data, &op); err != nil {
 			return err
 		}
-		return db.applyOp(op)
+		return db.backend.ApplyOp(op)
 	case recSpace:
 		var sr spaceRecord
 		if err := json.Unmarshal(rec.Data, &sr); err != nil {
@@ -497,54 +510,6 @@ func (db *DB) applyRecord(rec wal.Record, restored map[string]jobs.RestoredJob) 
 		return nil
 	default:
 		return fmt.Errorf("unknown record type %q", rec.Type)
-	}
-}
-
-// applyOp replays one storage mutation against the (journal-less) catalog.
-func (db *DB) applyOp(op storage.Op) error {
-	c := db.Catalog()
-	switch op.Kind {
-	case storage.OpCreateTable:
-		schema, err := storage.NewSchema(op.Columns...)
-		if err != nil {
-			return err
-		}
-		_, err = c.Create(op.Table, schema)
-		return err
-	case storage.OpDropTable:
-		c.Drop(op.Table)
-		return nil
-	}
-	tbl, ok := c.Get(op.Table)
-	if !ok {
-		return fmt.Errorf("op %s targets unknown table %q", op.Kind, op.Table)
-	}
-	switch op.Kind {
-	case storage.OpInsert:
-		return tbl.Insert(op.Values...)
-	case storage.OpSet:
-		if len(op.Values) != 1 {
-			return fmt.Errorf("set op carries %d values", len(op.Values))
-		}
-		return tbl.Set(op.Row, op.Col, op.Values[0])
-	case storage.OpAddColumn:
-		if op.Column == nil {
-			return fmt.Errorf("add_column op without column")
-		}
-		_, err := tbl.AddColumn(*op.Column)
-		return err
-	case storage.OpFillColumn:
-		return tbl.FillColumn(op.Name, op.Values)
-	case storage.OpDelete:
-		// Pre-MVCC compacting delete: replayed with the old physical-shift
-		// semantics so row indices in subsequent legacy records resolve.
-		tbl.LegacyCompact(op.Rows)
-		return nil
-	case storage.OpTombstone:
-		tbl.Delete(op.Rows)
-		return nil
-	default:
-		return fmt.Errorf("unknown op kind %q", op.Kind)
 	}
 }
 

@@ -400,16 +400,35 @@ func (db *DB) expandHybrid(tbl *storage.Table, column string, opts ExpandOptions
 
 	schema := tbl.Schema()
 	colIdx, _ := schema.Lookup(column)
-	err = db.mutate(func() error {
-		for _, r := range questionable {
-			id := rowToID[r]
-			if label, ok := requeryLabels[id]; ok {
+	// The crowd wait above took minutes; the physical row IDs captured
+	// before it may have been remapped by a compaction since. Re-resolve
+	// item IDs to current rows inside a write fence, which excludes the
+	// compactor across the whole resolve→Set window.
+	err = tbl.WithWriteFence(func() error {
+		curRows, curIDs, err := db.rowItemIDs(tbl)
+		if err != nil {
+			return err
+		}
+		idToRow := make(map[int]int, len(curIDs))
+		for i, id := range curIDs {
+			idToRow[id] = curRows[i]
+		}
+		return db.mutate(func() error {
+			for _, id := range reIDs {
+				label, ok := requeryLabels[id]
+				if !ok {
+					continue
+				}
+				r, live := idToRow[id]
+				if !live {
+					continue // row deleted while the crowd deliberated
+				}
 				if err := tbl.Set(r, colIdx, storage.Bool(label)); err != nil {
 					return err
 				}
 			}
-		}
-		return nil
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err

@@ -90,6 +90,10 @@ func (e *Engine) execUpdate(s *sqlparse.UpdateStmt) (*Result, error) {
 	}
 	var changes []change
 	var scanErr error
+	// The physical row IDs collected by the scan are written back below;
+	// the fence keeps the compactor from remapping them in between.
+	tbl.AcquireWriteFence()
+	defer tbl.ReleaseWriteFence()
 	tbl.Scan(func(i int, row storage.Row) bool {
 		env := &dmlEnv{table: s.Table, schema: schema, row: row}
 		if s.Where != nil {
@@ -138,6 +142,10 @@ func (e *Engine) execDelete(s *sqlparse.DeleteStmt) (*Result, error) {
 	schema := tbl.Schema()
 	var doomed []int
 	var scanErr error
+	// Fence the scan→Delete window: the collected physical IDs must not
+	// be remapped by a concurrent compaction before Delete resolves them.
+	tbl.AcquireWriteFence()
+	defer tbl.ReleaseWriteFence()
 	tbl.Scan(func(i int, row storage.Row) bool {
 		if s.Where == nil {
 			doomed = append(doomed, i)

@@ -79,11 +79,14 @@ func TestCreateIndexOnVirtualColumnIs400(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer res.Body.Close()
-	var body map[string]string
+	var body map[string]errorBody
 	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(body["error"], "not-yet-expanded") {
+	if body["error"].Code != CodeIndexOnVirtualColumn {
+		t.Fatalf("error code = %q, want %q", body["error"].Code, CodeIndexOnVirtualColumn)
+	}
+	if !strings.Contains(body["error"].Message, "not-yet-expanded") {
 		t.Fatalf("error body = %+v", body)
 	}
 	if n := svc.calls.Load(); n != 0 {

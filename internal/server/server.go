@@ -2,19 +2,27 @@
 // the system network-servable: queries, async expansion-job polling,
 // schema introspection, and ledger accounting.
 //
-// Endpoints:
+// The API is versioned under /v1/:
 //
-//	POST /query          {"sql": "...", "mode": "sync"|"async"}
-//	POST /query?stream=1 NDJSON row streaming for SELECTs (sync only)
-//	GET  /jobs           all expansion jobs, submission order
-//	GET  /jobs/{id}      one job (add ?wait=1 to block until terminal)
-//	GET  /schema         table names
-//	GET  /schema/{table} column inventory with kind/origin/perceptual
-//	GET  /ledger         cumulative crowd spend + per-job breakdown
-//	GET  /budgets        per-API-key budget caps and spend
-//	POST /admin/expand   explicit pre-warm expansion with budget/key
-//	POST /admin/snapshot persist a snapshot and truncate the WAL
-//	GET  /healthz        liveness
+//	POST /v1/query          {"sql": "...", "mode": "sync"|"async"}
+//	POST /v1/query?stream=1 NDJSON row streaming for SELECTs (sync only)
+//	GET  /v1/jobs           all expansion jobs, submission order
+//	GET  /v1/jobs/{id}      one job (add ?wait=1 to block until terminal)
+//	GET  /v1/schema         table names + storage backend
+//	GET  /v1/schema/{table} column/index inventory + storage health
+//	GET  /v1/ledger         cumulative crowd spend + per-job breakdown
+//	GET  /v1/budgets        per-API-key budget caps and spend
+//	GET  /v1/workload       workload trace + result-cache effectiveness
+//	POST /v1/admin/expand   explicit pre-warm expansion with budget/key
+//	POST /v1/admin/snapshot persist a snapshot and truncate the WAL
+//	POST /v1/admin/compact  force a tombstone-compaction sweep
+//	GET  /v1/healthz        liveness (also unversioned: /healthz)
+//
+// Every pre-versioning route remains mounted unversioned as a thin
+// alias answering identically, with a "Deprecation: true" header and a
+// Link to its /v1 successor. Errors share one envelope —
+// {"error":{"code","message","status"}} — with stable machine-readable
+// codes (see errors.go and DESIGN.md §16).
 //
 // Sync queries block until the answer is complete — including any crowd
 // expansion they trigger — which can take simulated crowd minutes; async
@@ -82,19 +90,38 @@ func New(db *core.DB, cfg Config) *Server {
 		sem: make(chan struct{}, cfg.MaxInflight),
 		mux: http.NewServeMux(),
 	}
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("GET /jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /schema", s.handleSchemaList)
-	s.mux.HandleFunc("GET /schema/{table}", s.handleSchema)
-	s.mux.HandleFunc("GET /ledger", s.handleLedger)
-	s.mux.HandleFunc("GET /budgets", s.handleBudgets)
-	s.mux.HandleFunc("GET /workload", s.handleWorkload)
-	s.mux.HandleFunc("POST /admin/expand", s.handleAdminExpand)
-	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Canonical routes live under /v1/. Every pre-versioning route stays
+	// mounted unversioned as a thin alias answering identically, stamped
+	// with a Deprecation header and a Link to its successor — clients
+	// migrate on their own schedule, proxies can alert on the header.
+	versioned := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"POST", "/query", s.handleQuery},
+		{"GET", "/jobs", s.handleJobs},
+		{"GET", "/jobs/{id}", s.handleJob},
+		{"GET", "/schema", s.handleSchemaList},
+		{"GET", "/schema/{table}", s.handleSchema},
+		{"GET", "/ledger", s.handleLedger},
+		{"GET", "/budgets", s.handleBudgets},
+		{"GET", "/workload", s.handleWorkload},
+		{"POST", "/admin/expand", s.handleAdminExpand},
+		{"POST", "/admin/snapshot", s.handleSnapshot},
+	}
+	for _, rt := range versioned {
+		s.mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
+		s.mux.HandleFunc(rt.method+" "+rt.path, deprecatedAlias(rt.h))
+	}
+	// New in v1 — no legacy alias.
+	s.mux.HandleFunc("POST /v1/admin/compact", s.handleAdminCompact)
+	// Liveness stays reachable unversioned (load balancers hardcode it)
+	// without a Deprecation stamp, and under /v1 for uniform clients.
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}
+	s.mux.HandleFunc("GET /healthz", healthz)
+	s.mux.HandleFunc("GET /v1/healthz", healthz)
 	if cfg.EnablePprof {
 		// net/http/pprof registers on DefaultServeMux as an import side
 		// effect; route our mux's /debug/pprof/ straight to the handlers
@@ -109,6 +136,17 @@ func New(db *core.DB, cfg Config) *Server {
 	// Serve still closes the listener instead of silently no-opping.
 	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
 	return s
+}
+
+// deprecatedAlias wraps a canonical handler for its legacy unversioned
+// mount: identical behavior, plus the RFC 8594 deprecation signal and a
+// successor link.
+func deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
 }
 
 // Handler returns the routing handler (exported for tests and embedding).
@@ -163,24 +201,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server: admission queue full (%d in flight)", s.cfg.MaxInflight))
+		writeError(w, http.StatusServiceUnavailable, CodeQueueFull,
+			fmt.Errorf("server: admission queue full (%d in flight)", s.cfg.MaxInflight))
 		return
 	}
 
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("server: bad request body: %w", err))
 		return
 	}
 	if req.SQL == "" {
-		writeError(w, http.StatusBadRequest, errors.New("server: empty sql"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, errors.New("server: empty sql"))
 		return
 	}
 
 	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
 		if req.Mode == "async" {
-			writeError(w, http.StatusBadRequest, errors.New("server: stream=1 is incompatible with mode=async"))
+			writeError(w, http.StatusBadRequest, CodeBadRequest, errors.New("server: stream=1 is incompatible with mode=async"))
 			return
 		}
 		s.streamQuery(w, r, req.SQL)
@@ -220,7 +258,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, buildQueryResponse(res, nil, nil))
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unknown mode %q", req.Mode))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("server: unknown mode %q", req.Mode))
 	}
 }
 
@@ -324,14 +362,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	st, ok := s.db.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("server: no job %q", id))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("server: no job %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleSchemaList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"tables": s.db.Catalog().Names()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tables":  s.db.Catalog().Names(),
+		"backend": s.db.Backend(),
+	})
 }
 
 type columnInfo struct {
@@ -356,7 +397,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("table")
 	tbl, ok := s.db.Catalog().Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("server: no table %q", name))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("server: no table %q", name))
 		return
 	}
 	schema := tbl.Schema()
@@ -386,11 +427,14 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		"columns": cols,
 		"indexes": indexes,
 		// MVCC storage health: sealed chunk count, tombstoned rows not yet
-		// compacted, and the epochs readers currently hold pinned (a stuck
-		// reader shows up here as an old epoch that never goes away).
+		// compacted (this goes back DOWN when the compactor reclaims them),
+		// the epochs readers currently hold pinned (a stuck reader shows up
+		// here as an old epoch that never goes away), and cumulative
+		// compaction accounting.
 		"chunks":               tbl.ChunkCount(),
 		"tombstones":           tbl.Tombstones(),
 		"live_snapshot_epochs": epochs,
+		"compaction":           tbl.CompactionStats(),
 	})
 }
 
@@ -455,29 +499,29 @@ type adminExpandRequest struct {
 func (s *Server) handleAdminExpand(w http.ResponseWriter, r *http.Request) {
 	var req adminExpandRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("server: bad request body: %w", err))
 		return
 	}
 	if req.Table == "" || req.Column == "" {
-		writeError(w, http.StatusBadRequest, errors.New("server: expand requires table and column"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, errors.New("server: expand requires table and column"))
 		return
 	}
 	switch req.Kind {
 	case "", "BOOLEAN", "boolean", "BOOL", "bool":
 		// KindBool — the only crowd-expandable kind.
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unsupported kind %q (only BOOLEAN is crowd-expandable)", req.Kind))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("server: unsupported kind %q (only BOOLEAN is crowd-expandable)", req.Kind))
 		return
 	}
 	if req.Budget > 0 && req.Key == "" {
 		// A budget with no key to bind it to would silently run the
 		// expansion uncapped — the opposite of what the caller asked.
-		writeError(w, http.StatusBadRequest, errors.New("server: budget requires a key to attribute it to"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, errors.New("server: budget requires a key to attribute it to"))
 		return
 	}
 	if req.Budget > 0 {
 		if err := s.db.SetBudget(req.Key, req.Budget); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 			return
 		}
 	}
@@ -491,19 +535,8 @@ func (s *Server) handleAdminExpand(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.db.SubmitExpand(req.Table, req.Column, storage.KindBool, opts)
 	if err != nil {
-		switch {
-		case errors.Is(err, core.ErrBudgetExceeded):
-			writeError(w, http.StatusPaymentRequired, err)
-		case errors.Is(err, jobs.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, core.ErrExpansionInFlight):
-			writeError(w, http.StatusConflict, err)
-		case errors.Is(err, core.ErrNoSuchTable):
-			writeError(w, http.StatusNotFound, err)
-		default:
-			writeError(w, http.StatusBadRequest, err)
-		}
+		status, code := classifyErr(err, http.StatusBadRequest, CodeBadRequest)
+		writeError(w, status, code, err)
 		return
 	}
 	st := job.Status()
@@ -527,14 +560,19 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	seq, err := s.db.Snapshot()
 	if err != nil {
-		code := http.StatusInternalServerError
-		if errors.Is(err, core.ErrNoDataDir) {
-			code = http.StatusConflict
-		}
-		writeError(w, code, err)
+		status, code := classifyErr(err, http.StatusInternalServerError, CodeInternal)
+		writeError(w, status, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"seq": seq})
+}
+
+// handleAdminCompact forces a tombstone-compaction sweep over every
+// table, bypassing the density threshold (pin/fence gates still apply),
+// and reports each table's outcome — the operator's lever to reclaim
+// DELETE debris without waiting for the background compactor.
+func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.db.CompactNow()})
 }
 
 // --- helpers ---
@@ -562,31 +600,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-// writeQueryError classifies a query failure: a full expansion queue is a
-// retryable overload (503), a budget-capped expansion is a payment
-// problem (402), a failed crowd expansion is a server-side fault (500);
-// CREATE INDEX on a registered-but-unexpanded column is the client's
-// sequencing mistake (400, explicitly — it must never fall into the 500
-// bucket); everything else (parse errors, unknown tables/columns) is the
-// client's query (400).
-func writeQueryError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, core.ErrBudgetExceeded):
-		writeError(w, http.StatusPaymentRequired, err)
-	case errors.Is(err, core.ErrIndexOnVirtualColumn):
-		writeError(w, http.StatusBadRequest, err)
-	case errors.Is(err, core.ErrExpansionFailed):
-		writeError(w, http.StatusInternalServerError, err)
-	default:
-		writeError(w, http.StatusBadRequest, err)
-	}
 }

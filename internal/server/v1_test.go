@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestV1AndLegacyAnswerIdentically exercises every aliased endpoint under
+// both mounts: same status, same body bytes, and the legacy mount carries
+// the RFC 8594 Deprecation header plus a successor Link while /v1 stays
+// clean.
+func TestV1AndLegacyAnswerIdentically(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+
+	queryBody := `{"sql":"SELECT name FROM movies WHERE movie_id = 3"}`
+	cases := []struct {
+		method, path, body string
+	}{
+		{"POST", "/query", queryBody},
+		{"GET", "/jobs", ""},
+		{"GET", "/schema", ""},
+		{"GET", "/schema/movies", ""},
+		{"GET", "/ledger", ""},
+		{"GET", "/budgets", ""},
+		{"GET", "/workload", ""},
+	}
+	do := func(method, url, body string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(b)
+	}
+	for _, c := range cases {
+		legacy, legacyBody := do(c.method, ts.URL+c.path, c.body)
+		v1, v1Body := do(c.method, ts.URL+"/v1"+c.path, c.body)
+		if legacy.StatusCode != v1.StatusCode {
+			t.Errorf("%s %s: legacy status %d, v1 status %d", c.method, c.path, legacy.StatusCode, v1.StatusCode)
+		}
+		if legacyBody != v1Body {
+			t.Errorf("%s %s: body diverged\nlegacy: %s\nv1:     %s", c.method, c.path, legacyBody, v1Body)
+		}
+		if got := legacy.Header.Get("Deprecation"); got != "true" {
+			t.Errorf("%s %s: legacy Deprecation header = %q, want \"true\"", c.method, c.path, got)
+		}
+		wantLink := `</v1` + c.path + `>; rel="successor-version"`
+		if got := legacy.Header.Get("Link"); got != wantLink {
+			t.Errorf("%s %s: legacy Link = %q, want %q", c.method, c.path, got, wantLink)
+		}
+		if got := v1.Header.Get("Deprecation"); got != "" {
+			t.Errorf("%s %s: /v1 mount must not carry Deprecation, got %q", c.method, c.path, got)
+		}
+	}
+}
+
+// TestHealthzNotDeprecated: load balancers hardcode /healthz; it stays
+// unversioned without a deprecation stamp, and also answers under /v1.
+func TestHealthzNotDeprecated(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Deprecation"); got != "" {
+			t.Errorf("%s carries Deprecation = %q", path, got)
+		}
+	}
+}
+
+// TestErrorEnvelopeShape: every failure uses the unified
+// {"error":{code,message,status}} envelope with stable codes, on both
+// mounts.
+func TestErrorEnvelopeShape(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+
+	decode := func(resp *http.Response) errorBody {
+		t.Helper()
+		defer resp.Body.Close()
+		var body map[string]errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode envelope: %v", err)
+		}
+		return body["error"]
+	}
+
+	// Parse error → bad_request, both mounts.
+	for _, prefix := range []string{"", "/v1"} {
+		resp, err := http.Post(ts.URL+prefix+"/query", "application/json",
+			strings.NewReader(`{"sql":"SELECTT * FROM movies"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := decode(resp)
+		if resp.StatusCode != http.StatusBadRequest || e.Code != CodeBadRequest || e.Status != http.StatusBadRequest {
+			t.Errorf("%s/query parse error: status=%d envelope=%+v", prefix, resp.StatusCode, e)
+		}
+		if e.Message == "" {
+			t.Errorf("%s/query: empty message in envelope", prefix)
+		}
+	}
+
+	// Unknown job → not_found.
+	resp, err := http.Get(ts.URL + "/v1/jobs/9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decode(resp); resp.StatusCode != http.StatusNotFound || e.Code != CodeNotFound {
+		t.Errorf("jobs/9999: status=%d code=%q", resp.StatusCode, e.Code)
+	}
+
+	// Unknown schema table → not_found.
+	resp, err = http.Get(ts.URL + "/v1/schema/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decode(resp); resp.StatusCode != http.StatusNotFound || e.Code != CodeNotFound {
+		t.Errorf("schema/nope: status=%d code=%q", resp.StatusCode, e.Code)
+	}
+
+	// admin/expand on a missing table → no_such_table (404).
+	body, _ := json.Marshal(map[string]any{"table": "ghost", "column": "x"})
+	resp, err = http.Post(ts.URL+"/v1/admin/expand", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decode(resp); resp.StatusCode != http.StatusNotFound || e.Code != CodeNoSuchTable {
+		t.Errorf("admin/expand ghost: status=%d code=%q", resp.StatusCode, e.Code)
+	}
+
+	// Snapshot without a data dir → no_data_dir (409).
+	resp, err = http.Post(ts.URL+"/v1/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decode(resp); resp.StatusCode != http.StatusConflict || e.Code != CodeNoDataDir {
+		t.Errorf("admin/snapshot: status=%d code=%q", resp.StatusCode, e.Code)
+	}
+}
+
+// TestAdminCompactEndpoint: POST /v1/admin/compact forces a sweep and
+// reports per-table results; GET /v1/schema/{table} then shows tombstones
+// back at zero with compaction counters up.
+func TestAdminCompactEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+
+	// Tombstone some rows first.
+	if code, _ := postQuery(t, ts.URL, `DELETE FROM movies WHERE movie_id < 10`, ""); code != http.StatusOK {
+		t.Fatalf("delete status = %d", code)
+	}
+
+	var before struct {
+		Tombstones int `json:"tombstones"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/schema/movies", &before); code != http.StatusOK {
+		t.Fatalf("schema status = %d", code)
+	}
+	if before.Tombstones != 10 {
+		t.Fatalf("tombstones before compact = %d, want 10", before.Tombstones)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/admin/compact", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("compact status = %d body=%s", resp.StatusCode, b)
+	}
+	var out struct {
+		Tables map[string]struct {
+			Compacted     bool `json:"compacted"`
+			RowsReclaimed int  `json:"rows_reclaimed"`
+		} `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Tables["movies"]; !got.Compacted || got.RowsReclaimed != 10 {
+		t.Fatalf("compact result for movies = %+v", got)
+	}
+
+	var after struct {
+		Tombstones int `json:"tombstones"`
+		Rows       int `json:"rows"`
+		Compaction struct {
+			Runs          int64 `json:"runs"`
+			RowsReclaimed int64 `json:"rows_reclaimed"`
+		} `json:"compaction"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/schema/movies", &after); code != http.StatusOK {
+		t.Fatalf("schema status = %d", code)
+	}
+	if after.Tombstones != 0 {
+		t.Errorf("tombstones after compact = %d, want 0", after.Tombstones)
+	}
+	if after.Compaction.Runs < 1 || after.Compaction.RowsReclaimed != 10 {
+		t.Errorf("compaction stats = %+v", after.Compaction)
+	}
+
+	// The surviving rows still answer correctly.
+	code, q := postQuery(t, ts.URL, `SELECT name FROM movies WHERE movie_id = 15`, "")
+	if code != http.StatusOK || len(q.Rows) != 1 || q.Rows[0][0] != "movie-15" {
+		t.Fatalf("post-compact query: status=%d rows=%+v", code, q.Rows)
+	}
+
+	// Legacy mount has no /admin/compact — it is new in v1.
+	resp, err = http.Post(ts.URL+"/admin/compact", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("legacy /admin/compact status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSchemaListReportsBackend: GET /v1/schema names the active storage
+// backend so operators can confirm which seam implementation is live.
+func TestSchemaListReportsBackend(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+	var out struct {
+		Backend string   `json:"backend"`
+		Tables  []string `json:"tables"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/schema", &out); code != http.StatusOK {
+		t.Fatalf("schema status = %d", code)
+	}
+	if out.Backend != "mem" {
+		t.Errorf("backend = %q, want \"mem\"", out.Backend)
+	}
+	if len(out.Tables) != 1 || out.Tables[0] != "movies" {
+		t.Errorf("tables = %v", out.Tables)
+	}
+}

@@ -1,0 +1,219 @@
+// Package filebackend is a storage.Backend that keeps row payloads
+// out-of-line: Capture writes each table to its own JSON shard file
+// under <dir>/tables/ and the database snapshot records only a
+// reference, so the snapshot proper stays small and per-table state is
+// inspectable (and replaceable) on disk. Serving still happens from the
+// in-memory MVCC catalog — this backend proves the Backend seam is
+// real, not that JSON files are a good LSM.
+//
+// Crash consistency: shard files are generation-numbered
+// (tables/<name>.<gen>.json), written to a temp file and renamed, and
+// the previous generation is retained until the next Capture — so a
+// crash between shard writes and the snapshot commit above the seam
+// leaves the old snapshot's references intact.
+package filebackend
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"crowddb/internal/storage"
+)
+
+func init() {
+	storage.RegisterBackend("file", func() storage.Backend { return New() })
+}
+
+const tableDir = "tables"
+
+// Backend serves tables from memory and snapshots them to per-table
+// shard files.
+type Backend struct {
+	catalog *storage.Catalog
+	dir     string // data directory; "" degrades to inline snapshots
+	gen     uint64 // next shard generation to write
+}
+
+// New returns an unopened file backend.
+func New() *Backend {
+	return &Backend{catalog: storage.NewCatalog()}
+}
+
+// Name implements storage.Backend.
+func (b *Backend) Name() string { return "file" }
+
+// Open implements storage.Backend: roots shard storage under dir and
+// resumes the generation counter past any shard already on disk.
+func (b *Backend) Open(dir string) error {
+	b.dir = dir
+	if dir == "" {
+		return nil
+	}
+	td := filepath.Join(dir, tableDir)
+	if err := os.MkdirAll(td, 0o755); err != nil {
+		return fmt.Errorf("filebackend: %w", err)
+	}
+	entries, err := os.ReadDir(td)
+	if err != nil {
+		return fmt.Errorf("filebackend: %w", err)
+	}
+	var maxGen uint64
+	for _, e := range entries {
+		if _, gen, ok := splitShardName(e.Name()); ok && gen > maxGen {
+			maxGen = gen
+		}
+	}
+	b.gen = maxGen + 1
+	return nil
+}
+
+// splitShardName parses "<name>.<gen>.json" shard file names.
+func splitShardName(file string) (name string, gen uint64, ok bool) {
+	rest, found := strings.CutSuffix(file, ".json")
+	if !found {
+		return "", 0, false
+	}
+	dot := strings.LastIndexByte(rest, '.')
+	if dot <= 0 {
+		return "", 0, false
+	}
+	gen, err := strconv.ParseUint(rest[dot+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:dot], gen, true
+}
+
+// Catalog implements storage.Backend.
+func (b *Backend) Catalog() *storage.Catalog { return b.catalog }
+
+// ApplyOp implements storage.Backend.
+func (b *Backend) ApplyOp(op storage.Op) error {
+	return storage.ApplyCatalogOp(b.catalog, op)
+}
+
+// shardState is the on-disk form of one table shard.
+type shardState struct {
+	Name    string           `json:"name"`
+	Columns []storage.Column `json:"columns"`
+	Rows    []storage.Row    `json:"rows"`
+	Deleted []int            `json:"deleted,omitempty"`
+}
+
+// Capture implements storage.Backend: each table's rows go to a fresh
+// generation of its shard file; the returned states carry references.
+// Without a data directory the capture degrades to inline rows.
+func (b *Backend) Capture() ([]storage.TableState, error) {
+	states := storage.CaptureCatalog(b.catalog)
+	if b.dir == "" {
+		return states, nil
+	}
+	gen := b.gen
+	b.gen++
+	for i := range states {
+		ts := &states[i]
+		rel := filepath.Join(tableDir, fmt.Sprintf("%s.%d.json", shardKey(ts.Name), gen))
+		if err := writeShard(filepath.Join(b.dir, rel), shardState{
+			Name: ts.Name, Columns: ts.Columns, Rows: ts.Rows, Deleted: ts.Deleted,
+		}); err != nil {
+			return nil, err
+		}
+		ts.Rows, ts.Deleted = nil, nil
+		ts.External = true
+		ts.File = rel
+	}
+	b.dropOldGenerations(gen)
+	return states, nil
+}
+
+// shardKey makes a table name safe as a file-name stem.
+func shardKey(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', '.', ':':
+			return '_'
+		}
+		return r
+	}, strings.ToLower(name))
+}
+
+func writeShard(path string, st shardState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("filebackend: encoding shard %s: %w", path, err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("filebackend: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("filebackend: %w", err)
+	}
+	return nil
+}
+
+// dropOldGenerations removes shards older than the previous generation.
+// Generation cur-1 is kept: the durable snapshot still referencing it
+// is replaced only after this Capture's states are committed above the
+// seam. Removal failures are ignored — stale shards waste disk, never
+// correctness.
+func (b *Backend) dropOldGenerations(cur uint64) {
+	td := filepath.Join(b.dir, tableDir)
+	entries, err := os.ReadDir(td)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if _, gen, ok := splitShardName(e.Name()); ok && cur >= 2 && gen < cur-1 {
+			_ = os.Remove(filepath.Join(td, e.Name()))
+		}
+	}
+}
+
+// Restore implements storage.Backend: inline states load directly;
+// external states are resolved against the data directory.
+func (b *Backend) Restore(states []storage.TableState) error {
+	for _, ts := range states {
+		if ts.External {
+			data, err := os.ReadFile(filepath.Join(b.dir, ts.File))
+			if err != nil {
+				return fmt.Errorf("filebackend: reading shard for table %s: %w", ts.Name, err)
+			}
+			var sh shardState
+			if err := json.Unmarshal(data, &sh); err != nil {
+				return fmt.Errorf("filebackend: decoding shard %s: %w", ts.File, err)
+			}
+			ts.Columns, ts.Rows, ts.Deleted = sh.Columns, sh.Rows, sh.Deleted
+		}
+		if err := storage.RestoreCatalogTable(b.catalog, ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact implements storage.Backend.
+func (b *Backend) Compact(table string, policy storage.CompactionPolicy) (storage.CompactionResult, error) {
+	tbl, ok := b.catalog.Get(table)
+	if !ok {
+		return storage.CompactionResult{}, fmt.Errorf("filebackend: no such table %q", table)
+	}
+	return tbl.Compact(policy)
+}
+
+// RebuildIndexes implements storage.Backend.
+func (b *Backend) RebuildIndexes(table string) error {
+	tbl, ok := b.catalog.Get(table)
+	if !ok {
+		return fmt.Errorf("filebackend: no such table %q", table)
+	}
+	tbl.RebuildIndexes()
+	return nil
+}
+
+// Close implements storage.Backend.
+func (b *Backend) Close() error { return nil }

@@ -24,6 +24,13 @@ const (
 	// tombstoned. Row IDs are stable, so replay order is insensitive to
 	// interleaved mutations.
 	OpTombstone OpKind = "tombstone"
+	// OpCompact records one compaction: Rows lists the tombstoned
+	// physical row IDs the compactor removed, in ascending order. Replay
+	// removes exactly those rows and shifts survivors down, so physical
+	// IDs in records logged after the compaction resolve identically on
+	// recovery. The record is logged only after the pin/fence admission
+	// gate has passed — a logged OpCompact always applied.
+	OpCompact OpKind = "compact"
 )
 
 // Op is one typed storage mutation — the unit a durability layer logs and
@@ -38,6 +45,7 @@ const (
 //	fill_column   Table, Name, Values (one per live row, in scan order)
 //	delete        Table, Rows (legacy compacting positions; replay-only)
 //	tombstone     Table, Rows (physical row IDs)
+//	compact       Table, Rows (removed physical row IDs, ascending)
 type Op struct {
 	Kind    OpKind   `json:"kind"`
 	Table   string   `json:"table"`

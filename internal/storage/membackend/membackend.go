@@ -1,0 +1,81 @@
+// Package membackend is the default storage.Backend: the MVCC columnar
+// in-memory engine with all durable state carried inline in snapshots
+// (the WAL above the seam provides crash recovery). It is a thin
+// binding of the shared catalog machinery to the Backend contract —
+// deliberately so, since the contract was extracted from it.
+package membackend
+
+import (
+	"fmt"
+
+	"crowddb/internal/storage"
+)
+
+func init() {
+	storage.RegisterBackend("mem", func() storage.Backend { return New() })
+}
+
+// Backend serves tables from memory and snapshots them inline.
+type Backend struct {
+	catalog *storage.Catalog
+}
+
+// New returns an unopened in-memory backend.
+func New() *Backend {
+	return &Backend{catalog: storage.NewCatalog()}
+}
+
+// Name implements storage.Backend.
+func (b *Backend) Name() string { return "mem" }
+
+// Open implements storage.Backend. The data directory is unused: the
+// WAL and snapshot files above the seam own all on-disk state.
+func (b *Backend) Open(dir string) error { return nil }
+
+// Catalog implements storage.Backend.
+func (b *Backend) Catalog() *storage.Catalog { return b.catalog }
+
+// ApplyOp implements storage.Backend.
+func (b *Backend) ApplyOp(op storage.Op) error {
+	return storage.ApplyCatalogOp(b.catalog, op)
+}
+
+// Capture implements storage.Backend: every table inline.
+func (b *Backend) Capture() ([]storage.TableState, error) {
+	return storage.CaptureCatalog(b.catalog), nil
+}
+
+// Restore implements storage.Backend.
+func (b *Backend) Restore(states []storage.TableState) error {
+	for _, ts := range states {
+		if ts.External {
+			return fmt.Errorf("membackend: snapshot references external table file %q; reopen with the backend that wrote it", ts.File)
+		}
+		if err := storage.RestoreCatalogTable(b.catalog, ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact implements storage.Backend.
+func (b *Backend) Compact(table string, policy storage.CompactionPolicy) (storage.CompactionResult, error) {
+	tbl, ok := b.catalog.Get(table)
+	if !ok {
+		return storage.CompactionResult{}, fmt.Errorf("membackend: no such table %q", table)
+	}
+	return tbl.Compact(policy)
+}
+
+// RebuildIndexes implements storage.Backend.
+func (b *Backend) RebuildIndexes(table string) error {
+	tbl, ok := b.catalog.Get(table)
+	if !ok {
+		return fmt.Errorf("membackend: no such table %q", table)
+	}
+	tbl.RebuildIndexes()
+	return nil
+}
+
+// Close implements storage.Backend.
+func (b *Backend) Close() error { return nil }

@@ -160,9 +160,25 @@ type Table struct {
 	idxMu   sync.RWMutex
 	indexes map[string]ColumnIndex
 
-	// pinMu guards the snapshot-pin registry (see version.go).
+	// pinMu guards the snapshot-pin registry (see version.go) and the
+	// compaction admission state below (see compact.go).
 	pinMu sync.Mutex
 	pins  map[uint64]int
+
+	// compacting is set for the duration of a compaction's build+publish;
+	// write fences wait on it via fenceCond. fences counts callers that
+	// hold physical row IDs across a scan→mutate window — compaction
+	// admission is refused while any are live.
+	compacting bool
+	fences     int
+	fenceCond  *sync.Cond
+
+	// Compaction counters, readable lock-free via CompactionStats.
+	compactRuns      atomic.Int64
+	compactRows      atomic.Int64
+	compactChunks    atomic.Int64
+	compactBytes     atomic.Int64
+	compactLastEpoch atomic.Uint64
 }
 
 // logOp emits op to the attached journal. Caller holds t.mu; validation
