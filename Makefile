@@ -53,7 +53,7 @@ bench:
 # ≥2× charge reduction; CachedSelect should sit ≥20× under the uncached
 # baseline; SpeculativeHitMerge should report columns-per-charge of 2.
 bench-smoke:
-	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect|BatchedElicitation|PointLookup|RangeScan|CachedSelect|UncachedSelectBaseline|SpeculativeHitMerge|ParallelScanFilter|ParallelHashJoin|ScanDuringFill|VectorizedFilter|PerRowFilterBaseline|CompactedScan' -benchtime 1x -benchmem -cpu 1,4 .
+	$(GO) test -run xxx -bench 'TopNSelect|SortEverythingBaseline|BenchmarkHashJoin|StreamingSelect|BatchedElicitation|PointLookup|RangeScan|CachedSelect|UncachedSelectBaseline|SpeculativeHitMerge|ParallelScanFilter|ParallelHashJoin|ScanDuringFill|VectorizedFilter|PerRowFilterBaseline|CompactedScan|InstrumentedSelect' -benchtime 1x -benchmem -cpu 1,4 .
 
 # Bench-regression wall: run the guarded benchmarks with enough
 # repetitions for a stable minimum, emit the numbers as JSON
@@ -62,7 +62,8 @@ bench-smoke:
 # BenchmarkRangeScan, BenchmarkCachedSelect,
 # BenchmarkSpeculativeHitMerge, BenchmarkParallelScanFilter,
 # BenchmarkParallelHashJoin, BenchmarkScanDuringFill,
-# BenchmarkVectorizedFilter or BenchmarkCompactedScan regressed >30%
+# BenchmarkVectorizedFilter, BenchmarkCompactedScan,
+# BenchmarkInstrumentedSelect or BenchmarkStreamingSelect regressed >30%
 # against the committed
 # BENCH_baseline.json. -cpu 1,4 runs every guarded bench serial AND
 # morsel-parallel: benchguard strips the -N suffix and keeps the minimum
@@ -70,9 +71,9 @@ bench-smoke:
 # parallel run, never tripped by it — while the bench log shows the
 # dop-4 speedup for the Parallel* pair.
 bench-guard:
-	$(GO) test -run xxx -bench 'BenchmarkTopNSelect$$|BenchmarkWALReplay$$|BenchmarkPointLookup$$|BenchmarkRangeScan$$|BenchmarkCachedSelect$$|BenchmarkSpeculativeHitMerge$$|BenchmarkParallelScanFilter$$|BenchmarkParallelHashJoin$$|BenchmarkScanDuringFill$$|BenchmarkVectorizedFilter$$|BenchmarkCompactedScan$$' -benchtime 5x -count 3 -cpu 1,4 . | tee bench-guard.txt
+	$(GO) test -run xxx -bench 'BenchmarkTopNSelect$$|BenchmarkWALReplay$$|BenchmarkPointLookup$$|BenchmarkRangeScan$$|BenchmarkCachedSelect$$|BenchmarkSpeculativeHitMerge$$|BenchmarkParallelScanFilter$$|BenchmarkParallelHashJoin$$|BenchmarkScanDuringFill$$|BenchmarkVectorizedFilter$$|BenchmarkCompactedScan$$|BenchmarkInstrumentedSelect$$|BenchmarkStreamingSelect$$' -benchtime 5x -count 3 -cpu 1,4 . | tee bench-guard.txt
 	$(GO) run ./cmd/benchguard -input bench-guard.txt -baseline BENCH_baseline.json \
-		-out $(BENCH_GUARD_OUT) -require BenchmarkTopNSelect,BenchmarkWALReplay,BenchmarkPointLookup,BenchmarkRangeScan,BenchmarkCachedSelect,BenchmarkSpeculativeHitMerge,BenchmarkParallelScanFilter,BenchmarkParallelHashJoin,BenchmarkScanDuringFill,BenchmarkVectorizedFilter,BenchmarkCompactedScan \
+		-out $(BENCH_GUARD_OUT) -require BenchmarkTopNSelect,BenchmarkWALReplay,BenchmarkPointLookup,BenchmarkRangeScan,BenchmarkCachedSelect,BenchmarkSpeculativeHitMerge,BenchmarkParallelScanFilter,BenchmarkParallelHashJoin,BenchmarkScanDuringFill,BenchmarkVectorizedFilter,BenchmarkCompactedScan,BenchmarkInstrumentedSelect,BenchmarkStreamingSelect \
 		-threshold $(BENCH_GUARD_THRESHOLD)
 
 # Static analysis beyond go vet; pinned in CI (see ci.yml), best-effort

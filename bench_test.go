@@ -1426,3 +1426,69 @@ func BenchmarkCompactedScan(b *testing.B) {
 	}
 	b.ReportMetric(float64(compactScanRows/2), "rows-scanned/op")
 }
+
+// ---------- observability benchmarks (ISSUE 10) ----------
+//
+// BenchmarkInstrumentedSelect is the observability overhead wall: the
+// default ExecSQL spine with the metrics registry live and tracing OFF
+// (cache bypassed so the executor actually runs every iteration). This
+// is the production hot path after the obs layer landed — the per-query
+// cost of instrumentation is a handful of atomic adds and histogram
+// observes, and the executor seam is literally `build(node, nil)`.
+// Guarded in BENCH_baseline.json (with BenchmarkStreamingSelect) so the
+// ≤2% tracing-off contract is enforced as a benchguard wall rather than
+// a one-off measurement. BenchmarkInstrumentedSelectTraced runs the
+// identical statement through ExecSQLTraced, pricing what ?trace=1,
+// -trace, and -slow-query actually pay for the per-operator breakdown.
+
+const instrSelectRows = 100_000
+
+func instrumentedSelectDB(b *testing.B) *crowddb.DB {
+	b.Helper()
+	db := crowddb.New(nil)
+	b.Cleanup(func() { _ = db.Close() })
+	if _, _, err := db.ExecSQL(`CREATE TABLE tele (id INTEGER, v FLOAT)`); err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("tele")
+	for i := 0; i < instrSelectRows; i++ {
+		if err := tbl.Insert(storage.Int(int64(i)), storage.Float(float64(i%1000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+const instrSelectSQL = `SELECT id, v FROM tele WHERE v > 989.0 ORDER BY id LIMIT 100`
+
+func BenchmarkInstrumentedSelect(b *testing.B) {
+	db := instrumentedSelectDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := db.ExecSQLNoCache(instrSelectSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 100 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+	b.ReportMetric(float64(instrSelectRows), "rows-scanned/op")
+}
+
+func BenchmarkInstrumentedSelectTraced(b *testing.B) {
+	db := instrumentedSelectDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, qt, err := db.ExecSQLTraced(instrSelectSQL, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 100 || qt == nil || len(qt.Plan) == 0 {
+			b.Fatalf("rows = %d trace = %+v", len(res.Rows), qt)
+		}
+	}
+	b.ReportMetric(float64(instrSelectRows), "rows-scanned/op")
+}

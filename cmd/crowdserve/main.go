@@ -72,6 +72,19 @@
 // aggregations fan out across -exec-workers goroutines (0 = one per
 // CPU, 1 = fully serial) while producing exactly the serial row order;
 // EXPLAIN shows the chosen degree per operator as [dop=N].
+//
+// Observability: GET /v1/metrics serves the process-wide metric
+// registry in Prometheus text format (HTTP, query, cache, storage, WAL,
+// job, and crowd-cost families; catalog in DESIGN.md §17). EXPLAIN
+// ANALYZE executes a SELECT and annotates each operator with actual
+// rows and wall time; POST /v1/query?trace=1 returns the same per-phase
+// and per-operator breakdown as JSON alongside the rows. Every response
+// carries an X-Request-Id (inbound IDs propagate) and every request is
+// logged structurally via log/slog. -slow-query DURATION logs any
+// statement slower than the threshold with its full traced breakdown
+// (this prices every SELECT at traced cost, as does -trace, which
+// attaches the breakdown to all queries); both default off, keeping the
+// hot path free of tracing overhead.
 package main
 
 import (
@@ -118,6 +131,8 @@ type demoConfig struct {
 	speculativeBudget float64
 	cacheBytes        int64
 	execWorkers       int
+	slowQuery         time.Duration
+	traceQueries      bool
 }
 
 func main() {
@@ -154,6 +169,10 @@ func main() {
 			"degree of intra-query parallelism for SELECT execution (0 = GOMAXPROCS, 1 = serial)")
 		pprofOn = flag.Bool("pprof", false,
 			"mount net/http/pprof under /debug/pprof/ on the API port (profiles expose internals; enable only on trusted networks)")
+		slowQuery = flag.Duration("slow-query", 0,
+			"log statements slower than this threshold with a traced phase/operator breakdown (0 = off; setting it runs every SELECT traced)")
+		traceQueries = flag.Bool("trace", false,
+			"attach a traced phase/operator breakdown to every query (same cost as -slow-query; surfaces via ?trace=1 responses and the slow-query log)")
 	)
 	flag.Parse()
 
@@ -165,7 +184,9 @@ func main() {
 		expansionWorkers: *expWork, expansionQueue: *expQ,
 		batchWindow: *batchWindow, defaultBudget: *defaultBudget,
 		speculativeBudget: *speculativeBudget, cacheBytes: *cacheBytes,
-		execWorkers: *execWorkers,
+		execWorkers:  *execWorkers,
+		slowQuery:    *slowQuery,
+		traceQueries: *traceQueries,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -243,6 +264,8 @@ func buildDemoDB(cfg demoConfig) (*core.DB, error) {
 		SpeculativeBudget: cfg.speculativeBudget,
 		CacheBytes:        cfg.cacheBytes,
 		ExecWorkers:       cfg.execWorkers,
+		SlowQuery:         cfg.slowQuery,
+		TraceQueries:      cfg.traceQueries,
 	})
 	if err != nil {
 		return nil, err

@@ -11,7 +11,9 @@
 // triggers a crowd-sourced schema expansion mid-query. Meta commands:
 //
 //	\d            describe the movies table (expanded columns marked,
-//	              secondary indexes listed)
+//	              secondary indexes listed, storage health: chunks,
+//	              tombstones, compaction history, pinned snapshots)
+//	\timing       toggle per-statement wall-clock reporting
 //	\ledger       show cumulative crowd spending
 //	\expand NAME METHOD   explicitly expand a genre (CROWD|SPACE|HYBRID)
 //	\quit         exit
@@ -29,6 +31,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"crowddb"
 	"crowddb/internal/crowd"
@@ -91,11 +94,20 @@ func main() {
 	fmt.Println(`     EXPLAIN SELECT … shows the planner's operator tree; multi-table JOIN … ON is supported`)
 	fmt.Println(`     CREATE INDEX idx ON movies (year) [USING HASH|ORDERED]; indexed predicates plan as IndexScan/IndexRange`)
 	fmt.Println(`     DROP INDEX idx ON movies; removes it again (\d movies lists a table's indexes)`)
+	fmt.Println(`     EXPLAIN ANALYZE SELECT … executes and annotates actual rows/time per operator; \timing toggles wall-clock reporting`)
 
 	repl(db, os.Stdin, os.Stdout)
 }
 
+// session carries REPL-scoped state across statements — currently just
+// the \timing toggle.
+type session struct {
+	db     *crowddb.DB
+	timing bool
+}
+
 func repl(db *crowddb.DB, in io.Reader, out io.Writer) {
+	sess := &session{db: db}
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
@@ -111,7 +123,7 @@ func repl(db *crowddb.DB, in io.Reader, out io.Writer) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !metaCommand(db, trimmed, out) {
+			if !metaCommand(sess, trimmed, out) {
 				return
 			}
 			prompt()
@@ -123,20 +135,28 @@ func repl(db *crowddb.DB, in io.Reader, out io.Writer) {
 			sql := strings.Trim(pending.String(), " \t\n;")
 			pending.Reset()
 			if sql != "" {
-				execute(db, sql, out)
+				execute(sess, sql, out)
 			}
 		}
 		prompt()
 	}
 }
 
-func metaCommand(db *crowddb.DB, cmd string, out io.Writer) bool {
+func metaCommand(sess *session, cmd string, out io.Writer) bool {
+	db := sess.db
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case `\q`, `\quit`, `\exit`:
 		return false
 	case `\d`:
 		describe(db, out)
+	case `\timing`:
+		sess.timing = !sess.timing
+		state := "off"
+		if sess.timing {
+			state = "on"
+		}
+		fmt.Fprintf(out, "timing is %s\n", state)
 	case `\ledger`:
 		l := db.Ledger()
 		fmt.Fprintf(out, "crowd spending: $%.2f | %d judgments | %d jobs | %.0f simulated minutes\n",
@@ -151,9 +171,9 @@ func metaCommand(db *crowddb.DB, cmd string, out io.Writer) bool {
 			method = strings.ToUpper(fields[2])
 		}
 		sql := fmt.Sprintf("EXPAND TABLE movies ADD COLUMN %s BOOLEAN USING %s WITH SAMPLES 40", fields[1], method)
-		execute(db, sql, out)
+		execute(sess, sql, out)
 	default:
-		fmt.Fprintf(out, "unknown meta command %s (try \\d, \\ledger, \\expand, \\q)\n", fields[0])
+		fmt.Fprintf(out, "unknown meta command %s (try \\d, \\timing, \\ledger, \\expand, \\q)\n", fields[0])
 	}
 	return true
 }
@@ -190,10 +210,23 @@ func describe(db *crowddb.DB, out io.Writer) {
 		fmt.Fprintf(out, "compaction: %d runs reclaimed %d rows (%d chunks rewritten, %d bytes freed)\n",
 			st.Runs, st.RowsReclaimed, st.ChunksRewritten, st.BytesFreed)
 	}
+	if epochs := tbl.LiveSnapshotEpochs(); len(epochs) > 0 {
+		fmt.Fprintf(out, "snapshots: %d pinned (epochs %v) — compaction defers chunk reuse until they release\n",
+			len(epochs), epochs)
+	}
 }
 
-func execute(db *crowddb.DB, sql string, out io.Writer) {
-	res, report, err := db.ExecSQL(sql)
+func execute(sess *session, sql string, out io.Writer) {
+	start := time.Now()
+	res, report, err := sess.db.ExecSQL(sql)
+	elapsed := time.Since(start)
+	defer func() {
+		// Client-measured wall clock, printed even for errors — the
+		// point of \timing is seeing what the statement cost you.
+		if sess.timing {
+			fmt.Fprintf(out, "Time: %.3f ms\n", float64(elapsed.Microseconds())/1000)
+		}
+	}()
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return

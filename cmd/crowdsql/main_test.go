@@ -125,6 +125,26 @@ func TestREPLExpandMeta(t *testing.T) {
 	}
 }
 
+func TestREPLTimingToggle(t *testing.T) {
+	db := testDB(t)
+	out := runREPL(t, db, "SELECT COUNT(*) FROM movies;\n\\timing\nSELECT COUNT(*) FROM movies;\n\\timing\nSELECT COUNT(*) FROM movies;\n\\q\n")
+	if !strings.Contains(out, "timing is on") || !strings.Contains(out, "timing is off") {
+		t.Fatalf("\\timing toggle feedback missing:\n%s", out)
+	}
+	// Exactly one statement ran with timing on.
+	if n := strings.Count(out, "Time: "); n != 1 {
+		t.Fatalf("want 1 Time: line, got %d:\n%s", n, out)
+	}
+}
+
+func TestREPLTimingCoversErrors(t *testing.T) {
+	db := testDB(t)
+	out := runREPL(t, db, "\\timing\nSELECT * FROM nope;\n\\q\n")
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "Time: ") {
+		t.Fatalf("timing must be reported even for failed statements:\n%s", out)
+	}
+}
+
 func TestREPLQuitVariants(t *testing.T) {
 	for _, q := range []string{`\q`, `\quit`, `\exit`} {
 		db := testDB(t)

@@ -167,6 +167,7 @@ func (db *DB) reserveBudget(key string, projected float64) (release func(), err 
 	limit := b.caps[key]
 	held := b.reserved[key]
 	if b.spent[key]+held+projected > limit+1e-9 {
+		mBudgetDenials.Inc()
 		return nil, fmt.Errorf("%w: key %q cap $%.2f, spent $%.2f, reserved $%.2f, projected $%.2f",
 			ErrBudgetExceeded, key, limit, b.spent[key], held, projected)
 	}

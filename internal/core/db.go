@@ -170,6 +170,14 @@ type DB struct {
 	// SpeculativeBudgetKey); non-positive disables speculation entirely.
 	specBudget float64
 
+	// slowQuery, when positive, logs every query slower than the
+	// threshold via slog with its traced phase/operator breakdown; it
+	// forces the traced execution path for all SELECTs (see autoTrace).
+	slowQuery time.Duration
+	// traceAll forces traced execution for every ExecSQL even without a
+	// slow-query threshold (the -trace flag).
+	traceAll bool
+
 	// wal is the durability log (nil when opened without a DataDir).
 	// gate serializes snapshots against journaled mutations: every
 	// mutation path holds gate.RLock across "apply + append", and
@@ -292,6 +300,13 @@ func (db *DB) execEngine(stmt sqlparse.Statement) (*Result, error) {
 // execEngineOpt is execEngine with the result cache optionally bypassed
 // for this statement (the ?nocache=1 escape hatch).
 func (db *DB) execEngineOpt(stmt sqlparse.Statement, nocache bool) (*Result, error) {
+	return db.execEngineQT(stmt, nocache, nil)
+}
+
+// execEngineQT is execEngineOpt with an optional query trace: when qt is
+// non-nil, SELECTs execute with per-operator instrumentation and fill in
+// their phase timings.
+func (db *DB) execEngineQT(stmt sqlparse.Statement, nocache bool, qt *QueryTrace) (*Result, error) {
 	db.gate.RLock()
 	defer db.gate.RUnlock()
 	switch s := stmt.(type) {
@@ -303,7 +318,7 @@ func (db *DB) execEngineOpt(stmt sqlparse.Statement, nocache bool) (*Result, err
 		return db.execDropIndex(s)
 	// SELECTs route through the workload tracker and result cache.
 	case *sqlparse.SelectStmt:
-		return db.execSelectStmt(s, nocache)
+		return db.execSelectStmt(s, nocache, qt)
 	}
 	return db.engine.Exec(stmt)
 }
@@ -399,11 +414,8 @@ type Result = engine.Result
 // are then re-executed — the query-driven loop of the paper's title.
 // The returned report is non-nil iff an expansion happened.
 func (db *DB) ExecSQL(sql string) (*Result, *ExpansionReport, error) {
-	stmt, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, nil, err
-	}
-	return db.Exec(stmt)
+	res, rep, _, err := db.execSQLTimed(sql, false, db.autoTrace())
+	return res, rep, err
 }
 
 // ExecSQLNoCache is ExecSQL with the semantic result cache bypassed for
@@ -411,11 +423,8 @@ func (db *DB) ExecSQL(sql string) (*Result, *ExpansionReport, error) {
 // escape hatch behind POST /query?nocache=1 — for verifying a cached
 // answer or benchmarking the executor.
 func (db *DB) ExecSQLNoCache(sql string) (*Result, *ExpansionReport, error) {
-	stmt, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, nil, err
-	}
-	return db.exec(stmt, true)
+	res, rep, _, err := db.execSQLTimed(sql, true, db.autoTrace())
+	return res, rep, err
 }
 
 // Exec executes a parsed statement (see ExecSQL). The caller blocks until
@@ -427,6 +436,12 @@ func (db *DB) Exec(stmt sqlparse.Statement) (*Result, *ExpansionReport, error) {
 }
 
 func (db *DB) exec(stmt sqlparse.Statement, nocache bool) (*Result, *ExpansionReport, error) {
+	return db.execQT(stmt, nocache, nil)
+}
+
+// execQT is exec with an optional query trace threaded down to the
+// SELECT path (nil means untraced).
+func (db *DB) execQT(stmt sqlparse.Statement, nocache bool, qt *QueryTrace) (*Result, *ExpansionReport, error) {
 	if ex, ok := stmt.(*sqlparse.ExpandStmt); ok {
 		job, err := db.submitExpandStmt(ex)
 		if err != nil {
@@ -441,7 +456,7 @@ func (db *DB) exec(stmt sqlparse.Statement, nocache bool) (*Result, *ExpansionRe
 		return &Result{Message: msg}, report, nil
 	}
 
-	res, err := db.execEngineOpt(stmt, nocache)
+	res, err := db.execEngineQT(stmt, nocache, qt)
 	if err == nil {
 		return res, nil, nil
 	}
@@ -463,7 +478,7 @@ func (db *DB) exec(stmt sqlparse.Statement, nocache bool) (*Result, *ExpansionRe
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err = db.execEngineOpt(stmt, nocache)
+	res, err = db.execEngineQT(stmt, nocache, qt)
 	if err != nil {
 		return nil, report, err
 	}

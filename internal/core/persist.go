@@ -89,6 +89,15 @@ type Options struct {
 	// threshold for background compaction; non-positive means the
 	// storage default (0.30).
 	CompactTombstoneFrac float64
+	// SlowQuery, when positive, slog-logs every query slower than the
+	// threshold with its traced phase and operator breakdown. Setting it
+	// runs all SELECTs on the traced executor path (the breakdown must
+	// exist before the query is known to be slow), trading a little
+	// per-row overhead for attribution.
+	SlowQuery time.Duration
+	// TraceQueries forces the traced executor path for every statement,
+	// threshold or not — the -trace flag, for debugging sessions.
+	TraceQueries bool
 }
 
 // ErrNoDataDir is returned by Snapshot on a database opened without a
@@ -245,6 +254,8 @@ func Open(opts Options) (*DB, error) {
 		expandables: map[string]map[string]expandableSpec{},
 		tracker:     workload.NewTracker(0),
 		specBudget:  opts.SpeculativeBudget,
+		slowQuery:   opts.SlowQuery,
+		traceAll:    opts.TraceQueries,
 	}
 	db.engine.SetExecWorkers(opts.ExecWorkers)
 	if opts.CacheBytes >= 0 {

@@ -165,6 +165,12 @@ func (l *Ledger) add(res *crowd.RunResult) {
 	l.totals.Cost += res.TotalCost
 	l.totals.Minutes += res.DurationMinutes
 	l.totals.Jobs++
+	// The money metrics: every global-ledger booking (direct or batched
+	// combined run) is one charge. Member shares of a combined run are
+	// budget debits, not new charges, and do not pass through here.
+	mCrowdCharges.Inc()
+	mCrowdJudgments.Add(int64(len(res.Records)))
+	mCrowdDollars.Add(res.TotalCost)
 }
 
 // Snapshot returns a copy of the current totals.

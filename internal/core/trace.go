@@ -1,0 +1,113 @@
+package core
+
+import (
+	"log/slog"
+	"time"
+
+	"crowddb/internal/sqlparse"
+)
+
+// QueryTrace is one query's phase breakdown, produced by ExecSQLTraced
+// (the POST /v1/query?trace=1 payload and the slow-query log record).
+// Durations are microseconds; Plan carries the operator tree annotated
+// with per-operator actuals when the query executed (un-annotated when
+// the answer came from the result cache — nothing ran).
+type QueryTrace struct {
+	SQL     string `json:"sql,omitempty"`
+	ParseUS int64  `json:"parse_us"`
+	PlanUS  int64  `json:"plan_us"`
+	// CacheUS is the result-cache probe time (0 when the cache is
+	// disabled or bypassed).
+	CacheUS  int64    `json:"cache_lookup_us"`
+	ExecUS   int64    `json:"execute_us"`
+	TotalUS  int64    `json:"total_us"`
+	CacheHit bool     `json:"cache_hit"`
+	Rows     int      `json:"rows"`
+	Plan     []string `json:"plan,omitempty"`
+}
+
+// ExecSQLTraced is ExecSQL with per-phase and per-operator tracing on:
+// the returned QueryTrace carries the phase split and, for SELECTs that
+// actually executed, the plan tree annotated with actual rows and wall
+// time per operator. nocache additionally bypasses the result cache
+// (?trace=1&nocache=1 composes). Tracing slows the executor's row path,
+// so this is the ?trace=1 / slow-query path, not the default.
+func (db *DB) ExecSQLTraced(sql string, nocache bool) (*Result, *ExpansionReport, *QueryTrace, error) {
+	return db.execSQLTimed(sql, nocache, true)
+}
+
+// autoTrace reports whether plain ExecSQL calls should run traced anyway:
+// a slow-query threshold needs the operator breakdown in hand *before*
+// it knows the query was slow, so configuring -slow-query (or -trace)
+// prices every SELECT at traced cost. The ≤2% overhead contract of
+// BenchmarkInstrumentedSelect applies only with both off.
+func (db *DB) autoTrace() bool { return db.traceAll || db.slowQuery > 0 }
+
+// execSQLTimed is the shared ExecSQL spine: parse, execute, record the
+// end-to-end and parse-phase metrics, and — when traced — assemble the
+// QueryTrace and feed the slow-query log.
+func (db *DB) execSQLTimed(sql string, nocache, traced bool) (*Result, *ExpansionReport, *QueryTrace, error) {
+	var qt *QueryTrace
+	if traced {
+		qt = &QueryTrace{SQL: sql}
+	}
+	start := time.Now()
+	stmt, err := sqlparse.Parse(sql)
+	parse := time.Since(start)
+	mQueryPhase.With("parse").Observe(parse.Seconds())
+	if qt != nil {
+		qt.ParseUS = parse.Microseconds()
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, rep, execErr := db.execQT(stmt, nocache, qt)
+	total := time.Since(start)
+	mQuerySeconds.Observe(total.Seconds())
+	if qt != nil {
+		qt.TotalUS = total.Microseconds()
+		if res != nil {
+			qt.Rows = len(res.Rows)
+		}
+		db.logSlow(qt, total, execErr)
+	}
+	return res, rep, qt, execErr
+}
+
+// logSlow emits the slow-query log record when the threshold is set and
+// exceeded. Structured (slog) so it is machine-collectable; the format
+// contract is DESIGN.md §17.
+func (db *DB) logSlow(qt *QueryTrace, total time.Duration, execErr error) {
+	if db.slowQuery <= 0 || total < db.slowQuery {
+		return
+	}
+	mSlowQueries.Inc()
+	attrs := []any{
+		"sql", truncateSQL(qt.SQL),
+		"total_us", qt.TotalUS,
+		"parse_us", qt.ParseUS,
+		"plan_us", qt.PlanUS,
+		"cache_lookup_us", qt.CacheUS,
+		"execute_us", qt.ExecUS,
+		"cache_hit", qt.CacheHit,
+		"rows", qt.Rows,
+		"threshold", db.slowQuery.String(),
+	}
+	if len(qt.Plan) > 0 {
+		attrs = append(attrs, "plan", qt.Plan)
+	}
+	if execErr != nil {
+		attrs = append(attrs, "error", execErr.Error())
+	}
+	slog.Warn("slow query", attrs...)
+}
+
+// truncateSQL bounds the SQL text in a log record; a multi-megabyte
+// INSERT must not become a multi-megabyte log line.
+func truncateSQL(sql string) string {
+	const max = 512
+	if len(sql) <= max {
+		return sql
+	}
+	return sql[:max] + "…"
+}

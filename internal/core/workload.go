@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"time"
 
 	"crowddb/internal/engine"
 	"crowddb/internal/sqlparse"
@@ -120,25 +121,72 @@ func (db *DB) CacheStats() rescache.Stats {
 // the entry — stored against the snapshot — can never be served (the
 // cache validates seqs on every Get). Plan errors propagate untouched so
 // a MissingColumnError still reaches the expansion machinery.
-func (db *DB) execSelectStmt(sel *sqlparse.SelectStmt, nocache bool) (*Result, error) {
+//
+// Every phase feeds the crowddb_query_phase_seconds histogram; a non-nil
+// qt additionally runs the executor with per-operator tracing and fills
+// in the QueryTrace.
+func (db *DB) execSelectStmt(sel *sqlparse.SelectStmt, nocache bool, qt *QueryTrace) (*Result, error) {
+	planStart := time.Now()
 	p, err := db.engine.PlanSelect(sel)
+	planDur := time.Since(planStart)
+	mQueryPhase.With("plan").Observe(planDur.Seconds())
+	if qt != nil {
+		qt.PlanUS += planDur.Microseconds()
+	}
 	if err != nil {
 		return nil, err
 	}
 	for _, obs := range accessObservations(sel) {
 		db.observeLocked(obs)
 	}
+	// run executes the plan, traced iff qt is set, and accounts the
+	// execute phase either way.
+	run := func() (*Result, error) {
+		execStart := time.Now()
+		var res *Result
+		var rerr error
+		if qt != nil {
+			res2, tr, terr := engine.ExecPlanTraced(p)
+			res, rerr = res2, terr
+			if terr == nil {
+				qt.Plan = p.ExplainWith(tr.Annotate)
+			}
+		} else {
+			res, rerr = engine.ExecPlan(p)
+		}
+		execDur := time.Since(execStart)
+		mQueryPhase.With("execute").Observe(execDur.Seconds())
+		if qt != nil {
+			qt.ExecUS += execDur.Microseconds()
+		}
+		return res, rerr
+	}
 	if db.rcache == nil {
-		return engine.ExecPlan(p)
+		return run()
 	}
 	fp := p.Fingerprint()
 	if !nocache {
-		if cols, rows, ok := db.rcache.Get(fp); ok {
+		cacheStart := time.Now()
+		cols, rows, ok := db.rcache.Get(fp)
+		cacheDur := time.Since(cacheStart)
+		mQueryPhase.With("cache_lookup").Observe(cacheDur.Seconds())
+		if qt != nil {
+			qt.CacheUS += cacheDur.Microseconds()
+		}
+		if ok {
+			mCacheHits.Inc()
+			if qt != nil {
+				// Served from cache: nothing executed, so the plan tree
+				// carries no actuals.
+				qt.CacheHit = true
+				qt.Plan = p.Explain()
+			}
 			return &Result{Columns: cols, Rows: rows, Affected: len(rows)}, nil
 		}
+		mCacheMisses.Inc()
 	}
 	snap := db.rcache.TableSeqs(p.Tables())
-	res, err := engine.ExecPlan(p)
+	res, err := run()
 	if err != nil {
 		return nil, err
 	}

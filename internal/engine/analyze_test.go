@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// EXPLAIN ANALYZE coverage. The acceptance bar: the root operator's
+// "actual rows" annotation must exactly match the row count the same
+// query returns when run for real — at dop=1 (every operator traced)
+// and dop=8 (morsel chains under Gather carry no per-op iterator, but
+// the root always does).
+
+var actualRowsRE = regexp.MustCompile(`actual rows=(\d+)`)
+
+// flattenPlan flattens an EXPLAIN result (one text row per line) for
+// substring checks.
+func flattenPlan(t *testing.T, res *Result) string {
+	t.Helper()
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("explain columns = %v", res.Columns)
+	}
+	var lines []string
+	for _, row := range res.Rows {
+		s, _ := row[0].AsText()
+		lines = append(lines, s)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// rootActualRows parses the root line's actual-rows annotation.
+func rootActualRows(t *testing.T, res *Result) int {
+	t.Helper()
+	root, _ := res.Rows[0][0].AsText()
+	m := actualRowsRE.FindStringSubmatch(root)
+	if m == nil {
+		t.Fatalf("root line missing actual rows: %q", root)
+	}
+	n, _ := strconv.Atoi(m[1])
+	return n
+}
+
+func TestExplainAnalyzeRootRowsMatchRealQuery(t *testing.T) {
+	e := parallelEngine(t)
+	queries := []string{
+		`SELECT id, score FROM wide WHERE score > 899.0`,
+		`SELECT id FROM wide ORDER BY score LIMIT 7`,
+		`SELECT grp, COUNT(*) c FROM wide GROUP BY grp`,
+		`SELECT w.id, d.label FROM wide w JOIN dims d ON w.k = d.k WHERE w.grp = 2`,
+	}
+	for _, dop := range []int{1, 8} {
+		e.SetExecWorkers(dop)
+		for _, sql := range queries {
+			real := mustExec(t, e, sql)
+			an := mustExec(t, e, "EXPLAIN ANALYZE "+sql)
+			if got, want := rootActualRows(t, an), len(real.Rows); got != want {
+				t.Errorf("dop=%d %s: root actual rows=%d, real query returned %d\n%s",
+					dop, sql, got, want, flattenPlan(t, an))
+			}
+			if !strings.Contains(flattenPlan(t, an), "time=") {
+				t.Errorf("dop=%d %s: missing wall-time annotation\n%s", dop, sql, flattenPlan(t, an))
+			}
+		}
+	}
+	e.SetExecWorkers(1)
+}
+
+// At dop=1 every operator has its own iterator, so every plan line must
+// carry actuals — and intermediate counts must be self-consistent: a
+// Filter's input SeqScan reports the full table.
+func TestExplainAnalyzeSerialAnnotatesEveryOperator(t *testing.T) {
+	e := parallelEngine(t)
+	e.SetExecWorkers(1)
+	an := mustExec(t, e, `EXPLAIN ANALYZE SELECT id FROM wide WHERE grp = 1`)
+	for _, row := range an.Rows {
+		line, _ := row[0].AsText()
+		if !actualRowsRE.MatchString(line) {
+			t.Errorf("serial plan line missing actuals: %q", line)
+		}
+	}
+}
+
+// Plain EXPLAIN must stay annotation-free (its text feeds the result
+// cache fingerprint) and must not execute anything.
+func TestExplainWithoutAnalyzeHasNoActuals(t *testing.T) {
+	e := parallelEngine(t)
+	res := mustExec(t, e, `EXPLAIN SELECT id FROM wide WHERE grp = 1`)
+	if txt := flattenPlan(t, res); strings.Contains(txt, "actual rows") || strings.Contains(txt, "parallel chain") {
+		t.Fatalf("plain EXPLAIN carries analyze annotations:\n%s", txt)
+	}
+}
+
+// Parallel chains build no per-operator iterator; their lines must say
+// so rather than reporting misleading zeros.
+func TestExplainAnalyzeMarksParallelChains(t *testing.T) {
+	e := parallelEngine(t)
+	e.SetExecWorkers(8)
+	defer e.SetExecWorkers(1)
+	an := mustExec(t, e, `EXPLAIN ANALYZE SELECT id, score FROM wide WHERE score > 899.0`)
+	txt := flattenPlan(t, an)
+	if !strings.Contains(txt, "[dop=8]") {
+		t.Skipf("plan did not parallelize (small machine?):\n%s", txt)
+	}
+	if !strings.Contains(txt, "(in parallel chain)") {
+		t.Fatalf("dop-8 plan lacks parallel-chain marker:\n%s", txt)
+	}
+}
+
+func TestExplainAnalyzeRejectsNonSelect(t *testing.T) {
+	e := parallelEngine(t)
+	if _, err := e.ExecSQL(`EXPLAIN ANALYZE INSERT INTO tiny VALUES (1, 'x')`); err == nil {
+		t.Fatal("EXPLAIN ANALYZE INSERT must fail")
+	}
+}

@@ -24,7 +24,24 @@ type Iterator interface {
 }
 
 // Build lowers a plan node into its iterator tree.
-func Build(n plan.Node) (Iterator, error) {
+func Build(n plan.Node) (Iterator, error) { return build(n, nil) }
+
+// BuildTraced lowers a plan node like Build, additionally wrapping every
+// materialized iterator so tr records per-operator rows-out and wall
+// time. Nodes inside morsel-parallel chains build no iterator and record
+// no stats (see Trace). With tr == nil it is exactly Build — the
+// tracing-off path adds zero work.
+func BuildTraced(n plan.Node, tr *Trace) (Iterator, error) { return build(n, tr) }
+
+func build(n plan.Node, tr *Trace) (Iterator, error) {
+	it, err := buildRaw(n, tr)
+	if err != nil || tr == nil {
+		return it, err
+	}
+	return tr.wrap(n, it), nil
+}
+
+func buildRaw(n plan.Node, tr *Trace) (Iterator, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return &scanIter{node: t}, nil
@@ -35,7 +52,7 @@ func Build(n plan.Node) (Iterator, error) {
 	case *plan.IndexOnlyScan:
 		return &indexOnlyIter{node: t}, nil
 	case *plan.Filter:
-		in, err := Build(t.Input)
+		in, err := build(t.Input, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -48,14 +65,14 @@ func Build(n plan.Node) (Iterator, error) {
 		// over the chain's morsels itself.
 		j := &hashJoinIter{node: t}
 		if !(t.Dop > 1 && parallelChain(t.Left)) {
-			left, err := Build(t.Left)
+			left, err := build(t.Left, tr)
 			if err != nil {
 				return nil, err
 			}
 			j.left = left
 		}
 		if !(t.Dop > 1 && parallelChain(t.Right)) {
-			right, err := Build(t.Right)
+			right, err := build(t.Right, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -63,7 +80,7 @@ func Build(n plan.Node) (Iterator, error) {
 		}
 		return j, nil
 	case *plan.Project:
-		in, err := Build(t.Input)
+		in, err := build(t.Input, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -72,31 +89,31 @@ func Build(n plan.Node) (Iterator, error) {
 		if t.Dop > 1 && parallelChain(t.Input) {
 			return &aggIter{node: t}, nil // folds the chain's morsels itself
 		}
-		in, err := Build(t.Input)
+		in, err := build(t.Input, tr)
 		if err != nil {
 			return nil, err
 		}
 		return &aggIter{input: in, node: t}, nil
 	case *plan.Sort:
-		in, err := Build(t.Input)
+		in, err := build(t.Input, tr)
 		if err != nil {
 			return nil, err
 		}
 		return &sortIter{input: in, keys: t.Keys, env: keyEnv(t.Layout, t.ByOutput)}, nil
 	case *plan.TopN:
-		in, err := Build(t.Input)
+		in, err := build(t.Input, tr)
 		if err != nil {
 			return nil, err
 		}
 		return &topNIter{input: in, keys: t.Keys, n: t.N, env: keyEnv(t.Layout, t.ByOutput)}, nil
 	case *plan.Distinct:
-		in, err := Build(t.Input)
+		in, err := build(t.Input, tr)
 		if err != nil {
 			return nil, err
 		}
 		return &distinctIter{input: in}, nil
 	case *plan.Limit:
-		in, err := Build(t.Input)
+		in, err := build(t.Input, tr)
 		if err != nil {
 			return nil, err
 		}

@@ -475,12 +475,28 @@ type SelectPlan struct {
 }
 
 // Explain renders the plan tree, one operator per line, children indented
-// under their parent.
+// under their parent. Its output feeds Fingerprint (the result-cache key),
+// so it must stay free of runtime annotations — EXPLAIN ANALYZE goes
+// through ExplainWith instead.
 func (p *SelectPlan) Explain() []string {
+	return p.ExplainWith(nil)
+}
+
+// ExplainWith renders the plan tree like Explain, appending annot(n) to
+// each node's line when annot is non-nil and returns a non-empty string.
+// This is how EXPLAIN ANALYZE attaches per-operator actuals without
+// perturbing the fingerprint-stable Explain output.
+func (p *SelectPlan) ExplainWith(annot func(Node) string) []string {
 	var lines []string
 	var walk func(n Node, prefix string, childPrefix string)
 	walk = func(n Node, prefix, childPrefix string) {
-		lines = append(lines, prefix+n.Describe())
+		line := prefix + n.Describe()
+		if annot != nil {
+			if a := annot(n); a != "" {
+				line += a
+			}
+		}
+		lines = append(lines, line)
 		kids := Children(n)
 		for i, k := range kids {
 			last := i == len(kids)-1

@@ -50,8 +50,28 @@ func ExecPlan(p *plan.SelectPlan) (*Result, error) {
 	return &Result{Columns: p.Columns, Rows: rows, Affected: len(rows)}, nil
 }
 
-// execExplain plans the wrapped statement without executing it and
-// returns the plan tree, one operator per row.
+// ExecPlanTraced runs a SELECT plan with per-operator instrumentation on
+// and returns the result alongside the populated trace. The trace slows
+// every Next call, so this path is reserved for EXPLAIN ANALYZE,
+// ?trace=1 requests, and the slow-query log.
+func ExecPlanTraced(p *plan.SelectPlan) (*Result, *exec.Trace, error) {
+	tr := exec.NewTrace()
+	it, err := exec.BuildTraced(p.Root, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := exec.Drain(it)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{Columns: p.Columns, Rows: rows, Affected: len(rows)}, tr, nil
+}
+
+// execExplain handles EXPLAIN and EXPLAIN ANALYZE over a SELECT. Plain
+// EXPLAIN plans without executing; ANALYZE executes the query with
+// tracing on, discards its rows, and annotates each operator line with
+// actual rows-out and wall time. Neither form ever triggers schema
+// expansion — plan errors (missing columns included) surface directly.
 func (e *Engine) execExplain(x *sqlparse.ExplainStmt) (*Result, error) {
 	sel, ok := x.Stmt.(*sqlparse.SelectStmt)
 	if !ok {
@@ -61,8 +81,16 @@ func (e *Engine) execExplain(x *sqlparse.ExplainStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	lines := p.Explain()
+	if x.Analyze {
+		_, tr, err := ExecPlanTraced(p)
+		if err != nil {
+			return nil, err
+		}
+		lines = p.ExplainWith(tr.Annotate)
+	}
 	res := &Result{Columns: []string{"plan"}}
-	for _, line := range p.Explain() {
+	for _, line := range lines {
 		res.Rows = append(res.Rows, storage.Row{storage.Text(line)})
 	}
 	res.Affected = len(res.Rows)

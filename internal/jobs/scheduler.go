@@ -56,11 +56,28 @@ func (c *Ctl) Phase(s State) {
 	if s.Terminal() {
 		return
 	}
-	c.job.mu.Lock()
-	defer c.job.mu.Unlock()
-	if !c.job.state.Terminal() {
-		c.job.state = s
+	j := c.job
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || s == j.state {
+		return
 	}
+	j.observePhaseLocked()
+	j.state = s
+}
+
+// observePhaseLocked books the time spent in the job's current phase
+// into the per-phase histogram and restarts the phase clock. Caller
+// holds j.mu. The first transition measures from creation, so queued
+// wait is attributed to the "queued" phase.
+func (j *Job) observePhaseLocked() {
+	now := time.Now()
+	from := j.phaseAt
+	if from.IsZero() {
+		from = j.created
+	}
+	mPhaseSeconds.With(string(j.state)).Observe(now.Sub(from).Seconds())
+	j.phaseAt = now
 }
 
 // Charge adds crowd work to the job's ledger.
@@ -89,6 +106,7 @@ type Job struct {
 	state    State
 	started  time.Time
 	finished time.Time
+	phaseAt  time.Time // start of the current phase, for mPhaseSeconds
 	result   any
 	err      error
 	ledger   Ledger
@@ -248,6 +266,7 @@ func (s *Scheduler) Submit(key string, run RunFunc) (job *Job, created bool, err
 	j := s.newJobLocked(key)
 	select {
 	case s.queue <- task{job: j, run: run}:
+		mQueueDepth.Inc()
 	default:
 		s.seq--
 		s.mu.Unlock()
@@ -329,6 +348,7 @@ func (s *Scheduler) worker() {
 }
 
 func (s *Scheduler) execute(t task) {
+	mQueueDepth.Dec()
 	j := t.job
 	j.mu.Lock()
 	j.started = time.Now()
@@ -346,11 +366,15 @@ func (s *Scheduler) finish(j *Job, result any, err error) {
 	j.mu.Lock()
 	j.result, j.err = result, err
 	j.finished = time.Now()
+	if !j.state.Terminal() {
+		j.observePhaseLocked() // close out the last running phase
+	}
 	if err != nil {
 		j.state = StateFailed
 	} else {
 		j.state = StateDone
 	}
+	mJobsTotal.With(string(j.state)).Inc()
 	j.mu.Unlock()
 
 	s.mu.Lock()

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Re-registering returns the same instance.
+	if c2 := r.Counter("test_total", "a counter"); c2 != c {
+		t.Fatal("re-registered counter is a different instance")
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	fc := r.FloatCounter("test_dollars_total", "money")
+	fc.Add(0.25)
+	fc.Add(0.5)
+	if got := fc.Value(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("float counter = %v, want 0.75", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%8) + 0.5) // values 0.5 .. 7.5
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 1 || p50 > 5 {
+		t.Fatalf("p50 = %v, want in [1,5]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 4 || p99 > 8 {
+		t.Fatalf("p99 = %v, want in [4,8]", p99)
+	}
+	if q := h.Quantile(0.5); q < h.Quantile(0.1) {
+		t.Fatalf("quantiles not monotone: p50=%v p10=%v", q, h.Quantile(0.1))
+	}
+	// Overflow clamps to largest finite bound.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+	// Empty histogram.
+	h3 := newHistogram([]float64{1})
+	if got := h3.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "reqs", "route", "status")
+	v.With("/query", "2xx").Add(3)
+	v.With("/query", "5xx").Inc()
+	v.With("/jobs", "2xx").Inc()
+	if got := v.With("/query", "2xx").Value(); got != 3 {
+		t.Fatalf("child = %d, want 3", got)
+	}
+	// Same label values → same child.
+	if v.With("/jobs", "2xx") != v.With("/jobs", "2xx") {
+		t.Fatal("same labels produced different children")
+	}
+	// ("a","bc") vs ("ab","c") must be distinct children.
+	v2 := r.CounterVec("amb_total", "ambiguity", "x", "y")
+	v2.With("a", "bc").Inc()
+	if got := v2.With("ab", "c").Value(); got != 0 {
+		t.Fatalf("label ambiguity: got %d, want 0", got)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zoo_total", "last alphabetically").Add(2)
+	r.Gauge("depth", "queue depth").Set(7)
+	v := r.CounterVec("req_total", "requests", "route")
+	v.With("/query").Add(9)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP zoo_total last alphabetically",
+		"# TYPE zoo_total counter",
+		"zoo_total 2",
+		"# TYPE depth gauge",
+		"depth 7",
+		`req_total{route="/query"} 9`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Families are emitted in sorted name order.
+	if strings.Index(out, "# TYPE depth") > strings.Index(out, "# TYPE zoo_total") {
+		t.Error("families not sorted by name")
+	}
+	// Every non-comment line parses as "name{labels} value".
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Errorf("unparseable line %q", line)
+			continue
+		}
+		var f float64
+		if _, err := fmt.Sscanf(parts[1], "%g", &f); err != nil {
+			t.Errorf("bad value in line %q: %v", line, err)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "escape test", "q")
+	v.With(`he said "hi"` + "\n" + `back\slash`).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `\"hi\"`) || !strings.Contains(out, `\n`) || !strings.Contains(out, `back\\slash`) {
+		t.Fatalf("labels not escaped: %s", out)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "concurrent", []float64{0.001, 0.01, 0.1, 1})
+	c := r.Counter("conc_total", "concurrent")
+	v := r.CounterVec("conc_vec_total", "concurrent vec", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(j%100) / 100)
+				c.Inc()
+				v.With(fmt.Sprintf("k%d", n%4)).Inc()
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			_ = r.WriteText(&sb) // scrape while writing
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestRegisterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dual", "second")
+}

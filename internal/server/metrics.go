@@ -1,0 +1,101 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"crowddb/internal/obs"
+)
+
+// HTTP-layer metric families (catalog: DESIGN.md §17). Routes are
+// labeled by their canonical pattern (the /v1-relative path), never the
+// raw URL — label cardinality stays bounded by the route table.
+var (
+	mHTTPRequests = obs.Default.CounterVec("crowdserve_http_requests_total",
+		"HTTP requests by route, method, and status class.", "route", "method", "status_class")
+	mHTTPSeconds = obs.Default.HistogramVec("crowdserve_http_request_seconds",
+		"HTTP request latency by route, in seconds.", nil, "route")
+	mHTTPInflight = obs.Default.Gauge("crowdserve_http_inflight",
+		"HTTP requests currently being served.")
+)
+
+// statusRecorder captures the response status for metrics and logs.
+// Flush passes through so NDJSON streaming (POST /query?stream=1) keeps
+// its per-batch flushes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// newRequestID mints a 16-hex-char random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// instrument wraps a handler with the per-route observability envelope:
+// in-flight gauge, request counter by status class, latency histogram,
+// and one structured request log line carrying the request ID. An
+// inbound X-Request-Id is propagated; otherwise one is minted. The same
+// wrapper serves the /v1 mount and its deprecated alias, so both report
+// under the canonical route label.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mHTTPInflight.Inc()
+		defer mHTTPInflight.Dec()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		dur := time.Since(start)
+		mHTTPRequests.With(route, r.Method, fmt.Sprintf("%dxx", rec.status/100)).Inc()
+		mHTTPSeconds.With(route).Observe(dur.Seconds())
+		slog.Info("http request",
+			"request_id", reqID,
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_us", dur.Microseconds(),
+		)
+	}
+}
+
+// handleMetrics serves the process-wide registry in Prometheus text
+// exposition format. Registered without a method in the pattern so that
+// a non-GET lands here (not the mux's plain-text 405) and gets the
+// standard error envelope.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest,
+			fmt.Errorf("server: %s not allowed on /v1/metrics (GET only)", r.Method))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.Default.WriteText(w); err != nil {
+		// Headers are gone by now; all we can do is log.
+		slog.Error("metrics scrape failed", "error", err)
+	}
+}

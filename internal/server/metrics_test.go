@@ -1,0 +1,416 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crowddb/internal/core"
+	"crowddb/internal/storage"
+)
+
+// TestMetricsEndpointPrometheusFormat scrapes /v1/metrics after driving
+// some traffic and validates the text exposition line by line, plus the
+// presence of every subsystem family group the catalog promises.
+func TestMetricsEndpointPrometheusFormat(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+
+	// Drive traffic so families materialize: queries (cache miss + hit),
+	// an expansion (crowd charge), a delete (tombstones).
+	for i := 0; i < 2; i++ {
+		if code, _ := postQuery(t, ts.URL, `SELECT name FROM movies WHERE year > 2000`, ""); code != http.StatusOK {
+			t.Fatalf("query code = %d", code)
+		}
+	}
+	if code, _ := postQuery(t, ts.URL, `SELECT COUNT(*) FROM movies WHERE is_comedy = true`, "sync"); code != http.StatusOK {
+		t.Fatal("expansion query failed")
+	}
+	if code, _ := postQuery(t, ts.URL, `DELETE FROM movies WHERE movie_id = 19`, ""); code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Line-level format validation: every non-comment line is
+	// `name{labels} value` or `name value`, every family has HELP+TYPE.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		series := line[:sp]
+		name := series
+		if b := strings.IndexByte(series, '{'); b >= 0 {
+			name = series[:b]
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced label braces: %q", line)
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[base] {
+			t.Fatalf("sample %q precedes its # TYPE header", line)
+		}
+	}
+
+	// Every subsystem the issue promises shows up.
+	for _, family := range []string{
+		"crowdserve_http_requests_total",  // server
+		"crowdserve_http_request_seconds", // server latency histogram
+		"crowddb_query_seconds",           // core query latency
+		"crowddb_query_phase_seconds",     // core phase split
+		"crowddb_cache_hits_total",        // result cache
+		"crowddb_cache_misses_total",
+		"crowddb_storage_tombstones_total", // storage
+		"crowddb_wal_appends_total",        // wal (registered; may be zero samples)
+		"crowddb_jobs_total",               // jobs
+		"crowddb_crowd_charges_total",      // crowd cost
+		"crowddb_crowd_cost_dollars_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("scrape missing family %s", family)
+		}
+	}
+
+	// The traffic above produced at least one cache hit and one miss.
+	if !strings.Contains(text, "crowddb_cache_hits_total 1") {
+		t.Errorf("expected exactly one cache hit:\n%s", grepLines(text, "cache"))
+	}
+	// HTTP counter labeled by canonical route and status class.
+	if !strings.Contains(text, `crowdserve_http_requests_total{route="/query",method="POST",status_class="2xx"}`) {
+		t.Errorf("missing labeled /query counter:\n%s", grepLines(text, "http_requests"))
+	}
+}
+
+// grepLines filters scrape output for error messages.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestMetricsEnvelopeOnBadMethod: satellite requirement — /v1/metrics
+// failures use the standard error envelope, not the mux's plain 405.
+func TestMetricsEnvelopeOnBadMethod(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+	resp, err := http.Post(ts.URL+"/v1/metrics", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body map[string]errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("POST /v1/metrics did not return the JSON envelope: %v", err)
+	}
+	e := body["error"]
+	if e.Code != CodeBadRequest || e.Status != http.StatusMethodNotAllowed || e.Message == "" {
+		t.Fatalf("envelope = %+v", e)
+	}
+}
+
+// TestExplainAnalyzeOverHTTP: EXPLAIN ANALYZE runs through POST /query
+// and the root actuals match a real run of the same query; failures use
+// the error envelope.
+func TestExplainAnalyzeOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+
+	sql := `SELECT name FROM movies WHERE year >= 2000`
+	code, real := postQuery(t, ts.URL, sql, "")
+	if code != http.StatusOK {
+		t.Fatalf("real query code = %d", code)
+	}
+	code, an := postQuery(t, ts.URL, "EXPLAIN ANALYZE "+sql, "")
+	if code != http.StatusOK {
+		t.Fatalf("analyze code = %d", code)
+	}
+	root, _ := an.Rows[0][0].(string)
+	want := fmt.Sprintf("actual rows=%d", len(real.Rows))
+	if !strings.Contains(root, want) {
+		t.Fatalf("root line %q missing %q", root, want)
+	}
+
+	// Failure path: planning EXPLAIN ANALYZE against a missing table is
+	// an envelope-shaped 400 (EXPLAIN never triggers expansion).
+	body, _ := json.Marshal(queryRequest{SQL: "EXPLAIN ANALYZE SELECT * FROM nope"})
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env map[string]errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("analyze failure not enveloped: %v", err)
+	}
+	e := env["error"]
+	if resp.StatusCode != http.StatusBadRequest || e.Code != CodeBadRequest || e.Message == "" {
+		t.Fatalf("status=%d envelope=%+v", resp.StatusCode, e)
+	}
+}
+
+// TestQueryTraceParam: POST /v1/query?trace=1 attaches the per-phase and
+// per-operator breakdown; without the param the field is absent.
+func TestQueryTraceParam(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+
+	post := func(url, sql string) queryResponse {
+		t.Helper()
+		body, _ := json.Marshal(queryRequest{SQL: sql})
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var out queryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	plain := post(ts.URL+"/v1/query", `SELECT name FROM movies WHERE year > 2005`)
+	if plain.Trace != nil {
+		t.Fatal("untraced query carries a trace")
+	}
+
+	// Distinct SQL so the traced run is a cache miss and actually executes.
+	traced := post(ts.URL+"/v1/query?trace=1", `SELECT name FROM movies WHERE year > 2004`)
+	if traced.Trace == nil {
+		t.Fatal("?trace=1 returned no trace")
+	}
+	qt := traced.Trace
+	if qt.TotalUS <= 0 || qt.Rows != len(traced.Rows) {
+		t.Fatalf("trace = %+v", qt)
+	}
+	if len(qt.Plan) == 0 || !strings.Contains(strings.Join(qt.Plan, "\n"), "actual rows=") {
+		t.Fatalf("trace plan missing actuals: %v", qt.Plan)
+	}
+
+	// Second traced run hits the result cache: plan present, no actuals
+	// (nothing executed), cache_hit set.
+	cached := post(ts.URL+"/v1/query?trace=1", `SELECT name FROM movies WHERE year > 2004`)
+	if cached.Trace == nil || !cached.Trace.CacheHit {
+		t.Fatalf("second run should be a traced cache hit: %+v", cached.Trace)
+	}
+	if strings.Contains(strings.Join(cached.Trace.Plan, "\n"), "actual rows=") {
+		t.Fatal("cache-hit trace must not carry actuals — nothing ran")
+	}
+}
+
+// TestRequestIDHeader: every response carries X-Request-Id; inbound IDs
+// propagate verbatim.
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); len(id) != 16 {
+		t.Fatalf("minted request ID = %q (want 16 hex chars)", id)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/schema", nil)
+	req.Header.Set("X-Request-Id", "caller-chose-this")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id != "caller-chose-this" {
+		t.Fatalf("inbound request ID not propagated: %q", id)
+	}
+}
+
+// TestPprofUnderV1: with EnablePprof the index answers under both the
+// conventional and the versioned mount, and neither is stamped
+// deprecated.
+func TestPprofUnderV1(t *testing.T) {
+	_, ts := newTestServer(t, &fakeService{}, Config{EnablePprof: true})
+	for _, path := range []string{"/debug/pprof/", "/v1/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if !bytes.Contains(body, []byte("goroutine")) {
+			t.Errorf("%s does not look like a pprof index", path)
+		}
+		if d := resp.Header.Get("Deprecation"); d != "" {
+			t.Errorf("%s carries Deprecation = %q", path, d)
+		}
+	}
+	// Disabled by default.
+	_, ts2 := newTestServer(t, &fakeService{}, Config{})
+	resp, err := http.Get(ts2.URL + "/v1/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof mounted without EnablePprof: %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsScrapeRaceStress hammers /v1/metrics while a crowd fill,
+// a query loop, and forced compactions run concurrently — the nightly
+// -race proof that the lock-free registry and every instrumentation
+// point tolerate concurrent scrapes. Kept short enough for the regular
+// suite; nightly repeats it under -race with -count=10.
+func TestMetricsScrapeRaceStress(t *testing.T) {
+	db := core.NewDB(&fakeService{})
+	t.Cleanup(func() { _ = db.Close() })
+	if _, _, err := db.ExecSQL(`CREATE TABLE movies (movie_id INTEGER, name TEXT, year INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Get("movies")
+	const rows = 4000
+	for i := 0; i < rows; i++ {
+		if err := tbl.Insert(storage.Int(int64(i)), storage.Text(fmt.Sprintf("m-%04d", i)), storage.Int(int64(1900+i%120))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deletes + compaction churn a separate table: a DELETE racing an
+	// in-flight expansion of the same table is an application-level
+	// conflict (FillColumn row-count mismatch), not what this test is
+	// after.
+	if _, _, err := db.ExecSQL(`CREATE TABLE events (id INTEGER, kind TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := db.Catalog().Get("events")
+	for i := 0; i < rows; i++ {
+		if err := events.Insert(storage.Int(int64(i)), storage.Text("k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, col := range []string{"c0", "c1", "c2", "c3"} {
+		db.RegisterExpandable("movies", col, storage.KindBool, core.ExpandOptions{Method: "CROWD"})
+	}
+	ts := httptest.NewServer(New(db, Config{}).Handler())
+	t.Cleanup(ts.Close)
+
+	deadline := time.Now().Add(600 * time.Millisecond)
+	var wg sync.WaitGroup
+	fail := make(chan string, 16)
+
+	// Scrapers: the registry must render consistently mid-update.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				resp, err := http.Get(ts.URL + "/v1/metrics")
+				if err != nil {
+					fail <- "scrape: " + err.Error()
+					return
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || !bytes.Contains(b, []byte("# TYPE")) {
+					fail <- fmt.Sprintf("scrape status=%d len=%d", resp.StatusCode, len(b))
+					return
+				}
+			}
+		}()
+	}
+	// Crowd fills: each expansion drives jobs + crowd-cost metrics.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			sql := fmt.Sprintf(`SELECT COUNT(*) FROM movies WHERE c%d = true`, i%4)
+			if _, _, err := db.ExecSQL(sql); err != nil {
+				fail <- "fill: " + err.Error()
+				return
+			}
+		}
+	}()
+	// Queries, traced and untraced, exercising cache + phase metrics.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			sql := fmt.Sprintf(`SELECT name FROM movies WHERE year > %d LIMIT 5`, 1950+i%40)
+			if _, _, _, err := db.ExecSQLTraced(sql, i%2 == 0); err != nil {
+				fail <- "query: " + err.Error()
+				return
+			}
+		}
+	}()
+	// Deletes + forced compactions: storage seal/tombstone/compaction
+	// counters race the scrapes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			del := fmt.Sprintf(`DELETE FROM events WHERE id = %d`, i%rows)
+			if _, _, err := db.ExecSQL(del); err != nil {
+				fail <- "delete: " + err.Error()
+				return
+			}
+			db.CompactNow()
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}

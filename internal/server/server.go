@@ -6,6 +6,8 @@
 //
 //	POST /v1/query          {"sql": "...", "mode": "sync"|"async"}
 //	POST /v1/query?stream=1 NDJSON row streaming for SELECTs (sync only)
+//	POST /v1/query?trace=1  attach the per-phase/per-operator trace (sync)
+//	GET  /v1/metrics        Prometheus text exposition of all subsystems
 //	GET  /v1/jobs           all expansion jobs, submission order
 //	GET  /v1/jobs/{id}      one job (add ?wait=1 to block until terminal)
 //	GET  /v1/schema         table names + storage backend
@@ -17,6 +19,12 @@
 //	POST /v1/admin/snapshot persist a snapshot and truncate the WAL
 //	POST /v1/admin/compact  force a tombstone-compaction sweep
 //	GET  /v1/healthz        liveness (also unversioned: /healthz)
+//
+// With pprof enabled, /debug/pprof/* is additionally mounted at
+// /v1/debug/pprof/*; neither mount carries deprecation headers. Every
+// route is wrapped in the observability middleware: per-route request
+// counters, latency histograms, an in-flight gauge, and a structured
+// request log line with an X-Request-Id (inbound IDs propagate).
 //
 // Every pre-versioning route remains mounted unversioned as a thin
 // alias answering identically, with a "Deprecation: true" header and a
@@ -110,27 +118,44 @@ func New(db *core.DB, cfg Config) *Server {
 		{"POST", "/admin/snapshot", s.handleSnapshot},
 	}
 	for _, rt := range versioned {
-		s.mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
-		s.mux.HandleFunc(rt.method+" "+rt.path, deprecatedAlias(rt.h))
+		// Both mounts share one instrumentation wrapper keyed by the
+		// canonical route, so legacy-alias traffic reports under the same
+		// metric labels it will keep after migrating.
+		h := s.instrument(rt.path, rt.h)
+		s.mux.HandleFunc(rt.method+" /v1"+rt.path, h)
+		s.mux.HandleFunc(rt.method+" "+rt.path, s.instrument(rt.path, deprecatedAlias(rt.h)))
 	}
 	// New in v1 — no legacy alias.
-	s.mux.HandleFunc("POST /v1/admin/compact", s.handleAdminCompact)
+	s.mux.HandleFunc("POST /v1/admin/compact", s.instrument("/admin/compact", s.handleAdminCompact))
+	// Registered without a method so non-GETs get the error envelope
+	// (the mux's own 405 is plain text); the handler enforces GET.
+	s.mux.HandleFunc("/v1/metrics", s.instrument("/metrics", s.handleMetrics))
 	// Liveness stays reachable unversioned (load balancers hardcode it)
 	// without a Deprecation stamp, and under /v1 for uniform clients.
-	healthz := func(w http.ResponseWriter, r *http.Request) {
+	healthz := s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	}
+	})
 	s.mux.HandleFunc("GET /healthz", healthz)
 	s.mux.HandleFunc("GET /v1/healthz", healthz)
 	if cfg.EnablePprof {
 		// net/http/pprof registers on DefaultServeMux as an import side
 		// effect; route our mux's /debug/pprof/ straight to the handlers
-		// so the profiles come up on the same port as the API.
+		// so the profiles come up on the same port as the API. Mounted
+		// both unversioned (the traditional path tooling expects) and
+		// under /v1 for consistency with the versioning scheme; NEITHER
+		// is a deprecated alias, so no Deprecation headers here. The v1
+		// mount strips its prefix because pprof.Index derives the profile
+		// name from the path after /debug/pprof/.
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		s.mux.Handle("/v1/debug/pprof/", http.StripPrefix("/v1", http.HandlerFunc(pprof.Index)))
+		s.mux.HandleFunc("/v1/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/v1/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/v1/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/v1/debug/pprof/trace", pprof.Trace)
 	}
 	// Built here, not in Serve, so a Shutdown racing (or preceding)
 	// Serve still closes the listener instead of silently no-opping.
@@ -194,6 +219,9 @@ type queryResponse struct {
 	Message   string                `json:"message,omitempty"`
 	Expansion *core.ExpansionReport `json:"expansion,omitempty"`
 	Job       *jobs.Status          `json:"job,omitempty"`
+	// Trace is the per-phase and per-operator breakdown, present only
+	// for ?trace=1 requests.
+	Trace *core.QueryTrace `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -232,9 +260,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("nocache"); v == "1" || v == "true" {
 		nocache = true
 	}
+	// ?trace=1 executes with per-phase and per-operator tracing on and
+	// attaches the annotated plan tree to the response (sync only —
+	// async work runs on the scheduler, detached from this request).
+	trace := false
+	if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+		trace = true
+	}
 
 	switch req.Mode {
 	case "", "sync":
+		if trace {
+			res, report, qt, err := s.db.ExecSQLTraced(req.SQL, nocache)
+			if err != nil {
+				writeQueryError(w, err)
+				return
+			}
+			resp := buildQueryResponse(res, report, nil)
+			resp.Trace = qt
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		exec := s.db.ExecSQL
 		if nocache {
 			exec = s.db.ExecSQLNoCache

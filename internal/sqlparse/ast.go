@@ -306,7 +306,12 @@ func (*ExpandStmt) stmt() {}
 
 // ExplainStmt is `EXPLAIN <statement>`: the wrapped statement is planned
 // but not executed, and the plan tree is returned as the result rows.
-type ExplainStmt struct{ Stmt Statement }
+type ExplainStmt struct {
+	Stmt Statement
+	// Analyze marks EXPLAIN ANALYZE: the statement is actually executed
+	// and the rendered plan is annotated with per-operator actuals.
+	Analyze bool
+}
 
 func (*ExplainStmt) stmt() {}
 

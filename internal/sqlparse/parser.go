@@ -131,6 +131,13 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseExpand()
 	case "EXPLAIN":
 		p.next()
+		// ANALYZE is contextual, not reserved: it only means "execute and
+		// annotate" in this position, and stays usable as an identifier.
+		analyze := false
+		if pk := p.peek(); pk.Type == TokIdent && strings.ToUpper(pk.Text) == "ANALYZE" {
+			p.next()
+			analyze = true
+		}
 		if p.peek().Type == TokKeyword && p.peek().Text == "EXPLAIN" {
 			return nil, p.errorf("EXPLAIN cannot be nested")
 		}
@@ -138,7 +145,7 @@ func (p *Parser) parseStatement() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	default:
 		return nil, p.errorf("unsupported statement %s", t)
 	}

@@ -186,6 +186,8 @@ func (t *Table) Compact(policy CompactionPolicy) (CompactionResult, error) {
 	t.compactChunks.Add(int64(chunksRewritten))
 	t.compactBytes.Add(bytesFreed)
 	t.compactLastEpoch.Store(nv.epoch)
+	mCompactionRuns.Inc()
+	mCompactionRows.Add(int64(len(removed)))
 	t.notify(Op{Kind: OpCompact, Table: t.name})
 	return CompactionResult{
 		Compacted:       true,

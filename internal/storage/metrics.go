@@ -1,0 +1,19 @@
+package storage
+
+import "crowddb/internal/obs"
+
+// Storage-layer metric families (catalog: DESIGN.md §17). Process-wide
+// across all tables and backends; per-table breakdowns stay on
+// GET /v1/schema/{table} (CompactionStats, Tombstones, LiveSnapshotEpochs).
+var (
+	mChunkSeals = obs.Default.Counter("crowddb_storage_chunk_seals_total",
+		"Column tail segments sealed into immutable 4096-row chunks.")
+	mTombstones = obs.Default.Counter("crowddb_storage_tombstones_total",
+		"Rows tombstoned by DELETE.")
+	mCompactionRuns = obs.Default.Counter("crowddb_storage_compaction_runs_total",
+		"Completed table compactions (replayed OpCompact records excluded).")
+	mCompactionRows = obs.Default.Counter("crowddb_storage_compaction_rows_reclaimed_total",
+		"Tombstoned rows physically removed by compaction.")
+	mSnapshotPins = obs.Default.Gauge("crowddb_storage_snapshot_pins",
+		"Currently pinned read snapshots across all tables.")
+)

@@ -274,6 +274,7 @@ func (t *Table) Insert(vals ...Value) error {
 			cd.tail = nil
 		}
 		nv.sealed += ChunkRows
+		mChunkSeals.Inc()
 	}
 	rowID := v.nrows
 	t.publish(nv, func() {
@@ -517,6 +518,7 @@ func (t *Table) Delete(idx []int) int {
 		}
 	})
 	t.notify(Op{Kind: OpTombstone, Table: t.name})
+	mTombstones.Add(int64(len(killed)))
 	return len(killed)
 }
 

@@ -221,6 +221,7 @@ func (t *Table) Pin() *Snap {
 		t.pins = map[uint64]int{}
 	}
 	t.pins[v.epoch]++
+	mSnapshotPins.Inc()
 	return &Snap{t: t, v: v}
 }
 
@@ -243,6 +244,7 @@ func (s *Snap) Release() {
 	} else {
 		t.pins[s.v.epoch] = n - 1
 	}
+	mSnapshotPins.Dec()
 }
 
 // NumRows returns the snapshot's physical row count (tombstoned rows

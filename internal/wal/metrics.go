@@ -1,0 +1,15 @@
+package wal
+
+import "crowddb/internal/obs"
+
+// WAL metric families (catalog: DESIGN.md §17). Fsync latency gets its
+// own histogram because group commit makes it the durability tax every
+// synchronous append shares — a slow disk shows up here first.
+var (
+	mAppends = obs.Default.Counter("crowddb_wal_appends_total",
+		"Records appended to the write-ahead log.")
+	mFsyncSeconds = obs.Default.Histogram("crowddb_wal_fsync_seconds",
+		"File sync latency of WAL flushes, in seconds.", nil)
+	mRotations = obs.Default.Counter("crowddb_wal_segment_rotations_total",
+		"WAL segment rotations (active segment sealed, new one started).")
+)

@@ -222,6 +222,7 @@ func (w *WAL) append(typ string, payload any, sync bool) (uint64, error) {
 	w.seq = seq
 	w.segSize += int64(len(frame))
 	w.dirty = true
+	mAppends.Inc()
 	if sync {
 		if err := w.flushLocked(w.opts.Fsync); err != nil {
 			return 0, err
@@ -257,7 +258,10 @@ func (w *WAL) flushLocked(fsync bool) error {
 		return w.err
 	}
 	if fsync {
-		if err := w.f.Sync(); err != nil {
+		start := time.Now()
+		err := w.f.Sync()
+		mFsyncSeconds.Observe(time.Since(start).Seconds())
+		if err != nil {
 			w.err = fmt.Errorf("wal: fsync: %w", err)
 			return w.err
 		}
@@ -285,6 +289,7 @@ func (w *WAL) rotateLocked() error {
 	w.w = bufio.NewWriterSize(f, 64<<10)
 	w.segSize = 0
 	w.dirty = false
+	mRotations.Inc()
 	return nil
 }
 
